@@ -1,0 +1,312 @@
+(* Benchmark and experiment driver.
+
+   Usage:
+     bench/main.exe            — run every experiment (E1–E10, A1, A2),
+                                 then the Bechamel benchmarks
+     bench/main.exe e3         — run one experiment (e1..e10, a1, a2)
+     bench/main.exe exps       — experiments only
+     bench/main.exe micro      — micro-benchmarks only
+     bench/main.exe scaling    — cost-vs-size series (depth, #activities)
+
+   One Bechamel test per reproduced artefact: e1..e10/a1/a2 measure the
+   cost of the measurement behind the corresponding figure/claim; b1..b7
+   measure the primitive operations of the library. *)
+
+let () = Random.self_init ()
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures (built once, outside the timed regions).   *)
+
+module Fixtures = struct
+  let store = Naming.Store.create ()
+  let unix = Schemes.Unix_scheme.build store
+
+  (* /d1/d2/.../d32, for the depth-sweep resolver bench *)
+  let () =
+    let rec go acc i =
+      if i > 32 then acc else go (acc ^ Printf.sprintf "d%d/" i) (i + 1)
+    in
+    ignore (Vfs.Fs.mkdir_path (Schemes.Unix_scheme.fs unix) (go "/" 1))
+
+  let proc = Schemes.Unix_scheme.spawn ~label:"bench" unix
+
+  let name_of_depth d =
+    Naming.Name.of_string
+      (String.concat "/" ("" :: List.init d (fun i -> Printf.sprintf "d%d" (i + 1))))
+
+  let ctx = Schemes.Process_env.context (Schemes.Unix_scheme.env unix) proc
+
+  let newcastle_store = Naming.Store.create ()
+  let newcastle =
+    Schemes.Newcastle.build ~machines:[ "u1"; "u2"; "u3" ] newcastle_store
+
+  let newcastle_procs =
+    List.concat_map
+      (fun m ->
+        List.init 2 (fun i ->
+            Schemes.Newcastle.spawn_on
+              ~label:(Printf.sprintf "%s.%d" m i)
+              newcastle ~machine:m))
+      [ "u1"; "u2"; "u3" ]
+
+  let newcastle_probes =
+    Schemes.Newcastle.absolute_probes newcastle ~machine:"u1" ~max_depth:4
+
+  let registry =
+    let r = Netaddr.Registry.create () in
+    let n1 = Netaddr.Registry.add_network r ~label:"n1" in
+    let n2 = Netaddr.Registry.add_network r ~label:"n2" in
+    List.iter
+      (fun (net, label) ->
+        let m = Netaddr.Registry.add_machine r ~net ~label in
+        for i = 1 to 4 do
+          ignore
+            (Netaddr.Registry.add_process r ~mach:m
+               ~label:(Printf.sprintf "%s.p%d" label i))
+        done)
+      [ (n1, "m11"); (n1, "m12"); (n2, "m21"); (n2, "m22") ];
+    r
+
+  let regprocs = Netaddr.Registry.all_processes registry
+
+  let embedded_store = Naming.Store.create ()
+  let embedded_fs = Vfs.Fs.create embedded_store
+
+  let project =
+    let rng = Dsim.Rng.create 7L in
+    Workload.Docgen.build embedded_fs ~at:"proj/tool" ~rng
+      ~spec:Workload.Docgen.default_spec
+
+  let project_sources = Workload.Docgen.sources embedded_fs project
+
+  let codec_text = Naming.Codec.to_string newcastle_store
+
+  let cache = Naming.Cache.create store
+  let unix_root = Schemes.Unix_scheme.root unix
+
+  (* a deep path, where memoisation actually pays *)
+  let hot_name =
+    Naming.Name.of_string
+      (String.concat "/" (List.init 16 (fun i -> Printf.sprintf "d%d" (i + 1))))
+
+  (* warm the cache once *)
+  let () = ignore (Naming.Cache.resolve_in cache unix_root hot_name)
+
+  let jade =
+    let st = Naming.Store.create () in
+    Schemes.Jade.build
+      ~services:
+        [
+          ("local", Schemes.Unix_scheme.default_tree);
+          ("campus", Schemes.Unix_scheme.default_tree);
+        ]
+      st
+
+  let jade_user =
+    Schemes.Jade.new_user jade ~mounts:[ ("sw", [ "local"; "campus" ]) ]
+end
+
+let micro_tests =
+  let open Bechamel in
+  let resolve_depth d =
+    Test.make
+      ~name:(Printf.sprintf "b1: resolve depth-%d path" d)
+      (Staged.stage (fun () ->
+           ignore
+             (Naming.Resolver.resolve Fixtures.store Fixtures.ctx
+                (Fixtures.name_of_depth d))))
+  in
+  [
+    resolve_depth 2;
+    resolve_depth 8;
+    resolve_depth 16;
+    Test.make ~name:"b2: unix scheme resolve /usr/bin/cc"
+      (Staged.stage (fun () ->
+           ignore (Schemes.Unix_scheme.resolve Fixtures.unix ~as_:Fixtures.proc "/usr/bin/cc")));
+    Test.make ~name:"b3: coherence check, 6 activities x 1 name (newcastle)"
+      (Staged.stage (fun () ->
+           let occs =
+             List.map Naming.Occurrence.generated Fixtures.newcastle_procs
+           in
+           ignore
+             (Naming.Coherence.check Fixtures.newcastle_store
+                (Schemes.Newcastle.rule Fixtures.newcastle)
+                occs
+                (Naming.Name.of_string "/usr/bin/cc"))));
+    Test.make ~name:"b4: coherence matrix row (newcastle, all probes)"
+      (Staged.stage (fun () ->
+           let occs =
+             List.map Naming.Occurrence.generated Fixtures.newcastle_procs
+           in
+           ignore
+             (Naming.Coherence.measure Fixtures.newcastle_store
+                (Schemes.Newcastle.rule Fixtures.newcastle)
+                occs Fixtures.newcastle_probes)));
+    Test.make ~name:"b5: pqid map_for_transit"
+      (Staged.stage (fun () ->
+           match Fixtures.regprocs with
+           | a :: b :: c :: _ ->
+               let pid =
+                 Netaddr.Registry.pid_of Fixtures.registry ~target:c
+                   ~relative_to:a
+               in
+               ignore
+                 (Netaddr.Registry.map_for_transit Fixtures.registry ~sender:a
+                    ~receiver:b pid)
+           | _ -> assert false));
+    Test.make ~name:"b6: algol scope resolution (one embedded ref)"
+      (Staged.stage (fun () ->
+           match Fixtures.project_sources with
+           | (dir, file) :: _ ->
+               let refs = Schemes.Embedded.refs_of Fixtures.embedded_store file in
+               List.iter
+                 (fun r ->
+                   ignore
+                     (Schemes.Embedded.resolve_at Fixtures.embedded_store ~dir r))
+                 refs
+           | [] -> assert false));
+    Test.make ~name:"b7: subtree copy (project)"
+      (Staged.stage (fun () ->
+           ignore (Vfs.Subtree.copy Fixtures.embedded_fs Fixtures.project)));
+    Test.make ~name:"b8: codec roundtrip (newcastle world)"
+      (Staged.stage (fun () ->
+           ignore (Naming.Codec.of_string Fixtures.codec_text)));
+    Test.make ~name:"b9: jade union resolution (miss then hit)"
+      (Staged.stage (fun () ->
+           ignore
+             (Schemes.Jade.resolve_str Fixtures.jade ~as_:Fixtures.jade_user
+                "sw/usr/bin/cc")));
+    Test.make ~name:"b10: store lint (newcastle world)"
+      (Staged.stage (fun () ->
+           ignore (Naming.Lint.check Fixtures.newcastle_store)));
+    Test.make ~name:"b11a: resolve_in, plain"
+      (Staged.stage (fun () ->
+           ignore
+             (Naming.Resolver.resolve_in Fixtures.store Fixtures.unix_root
+                Fixtures.hot_name)));
+    Test.make ~name:"b11b: resolve_in, cached (hot)"
+      (Staged.stage (fun () ->
+           ignore
+             (Naming.Cache.resolve_in Fixtures.cache Fixtures.unix_root
+                Fixtures.hot_name)));
+  ]
+
+let experiment_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"e1: figure 1 measurement"
+      (Staged.stage (fun () -> ignore (Harness.Exp_sources.measure ())));
+    Test.make ~name:"e2: figure 2 sweep"
+      (Staged.stage (fun () -> ignore (Harness.Exp_rules.sweep ())));
+    Test.make ~name:"e3: figure 3 newcastle"
+      (Staged.stage (fun () -> ignore (Harness.Exp_newcastle.measure ())));
+    Test.make ~name:"e4: figure 4 shared graph"
+      (Staged.stage (fun () -> ignore (Harness.Exp_shared.measure ())));
+    Test.make ~name:"e5: figure 5 crosslinks"
+      (Staged.stage (fun () -> ignore (Harness.Exp_crosslink.measure ())));
+    Test.make ~name:"e6: figure 6 embedded names"
+      (Staged.stage (fun () -> ignore (Harness.Exp_embedded.measure ())));
+    Test.make ~name:"e7: pqid reconfiguration"
+      (Staged.stage (fun () -> ignore (Harness.Exp_pqid.measure ())));
+    Test.make ~name:"e8: remote execution"
+      (Staged.stage (fun () -> ignore (Harness.Exp_remote_exec.measure ())));
+    Test.make ~name:"e9: federation"
+      (Staged.stage (fun () -> ignore (Harness.Exp_federation.measure ())));
+    Test.make ~name:"e10: scheme matrix"
+      (Staged.stage (fun () -> ignore (Harness.Exp_matrix.measure ())));
+    Test.make ~name:"a1: composite-rule ablation"
+      (Staged.stage (fun () -> ignore (Harness.Exp_composite.sweep ())));
+    Test.make ~name:"a2: recursive newcastle"
+      (Staged.stage (fun () -> ignore (Harness.Exp_recursive.measure ())));
+    Test.make ~name:"a3: renumbering vs migration"
+      (Staged.stage (fun () -> ignore (Harness.Exp_migration.measure ())));
+    Test.make ~name:"a4: replica drift and sync"
+      (Staged.stage (fun () -> ignore (Harness.Exp_replicas.measure ())));
+  ]
+
+(* Scaling series: resolver cost vs path depth, and coherence-matrix cost
+   vs number of activities — the library's two dominant loops. *)
+let scaling_tests =
+  let open Bechamel in
+  let depth_test =
+    Test.make_indexed ~name:"s1: resolve by depth" ~args:[ 2; 4; 8; 16; 32 ]
+      (fun d ->
+        Staged.stage (fun () ->
+            ignore
+              (Naming.Resolver.resolve Fixtures.store Fixtures.ctx
+                 (Fixtures.name_of_depth d))))
+  in
+  let big_newcastle n =
+    let store = Naming.Store.create () in
+    let t = Schemes.Newcastle.build ~machines:[ "u1"; "u2" ] store in
+    let procs =
+      List.init n (fun i ->
+          Schemes.Newcastle.spawn_on
+            ~label:(Printf.sprintf "p%d" i)
+            t
+            ~machine:(if i mod 2 = 0 then "u1" else "u2"))
+    in
+    let probes = Schemes.Newcastle.absolute_probes t ~machine:"u1" ~max_depth:4 in
+    (store, Schemes.Newcastle.rule t, procs, probes)
+  in
+  let matrix_test =
+    Test.make_indexed ~name:"s2: coherence matrix row by #activities"
+      ~args:[ 2; 4; 8; 16 ]
+      (fun n ->
+        let store, rule, procs, probes = big_newcastle n in
+        let occs = List.map Naming.Occurrence.generated procs in
+        Staged.stage (fun () ->
+            ignore (Naming.Coherence.measure store rule occs probes)))
+  in
+  [ depth_test; matrix_test ]
+
+let run_bechamel ~name tests =
+  let open Bechamel in
+  let grouped = Test.make_grouped ~name tests in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  Printf.printf "%-60s  %16s  %8s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 88 '-');
+  List.iter
+    (fun (name, est) ->
+      let time =
+        match Analyze.OLS.estimates est with
+        | Some [ t ] -> Printf.sprintf "%16.1f" t
+        | Some _ | None -> "             n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square est with
+        | Some r -> Printf.sprintf "%8.4f" r
+        | None -> "     n/a"
+      in
+      Printf.printf "%-60s  %s  %s\n" name time r2)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let run_experiments ppf = Harness.Experiments.run_all ppf
+
+let () =
+  let ppf = Format.std_formatter in
+  match Array.to_list Sys.argv with
+  | _ :: "micro" :: _ -> run_bechamel ~name:"micro" micro_tests
+  | _ :: "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
+  | _ :: "exps" :: _ -> run_experiments ppf
+  | _ :: id :: _ when Harness.Experiments.find id <> None ->
+      (match Harness.Experiments.find id with
+      | Some e -> Harness.Experiments.run_one ppf e
+      | None -> assert false)
+  | _ :: [] | [] ->
+      run_experiments ppf;
+      Format.fprintf ppf "@\n%s@\nBechamel benchmarks (one per reproduced artefact + primitives)@\n%s@\n@."
+        (String.make 72 '=') (String.make 72 '=');
+      run_bechamel ~name:"bench" (micro_tests @ experiment_tests)
+  | _ :: unknown :: _ ->
+      Printf.eprintf
+        "unknown argument %S (expected: micro | scaling | exps | e1..e10 | a1 | a2)\n"
+        unknown;
+      exit 2

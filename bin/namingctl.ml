@@ -1,0 +1,303 @@
+(* namingctl — command-line interface to the coherent-naming library.
+
+   Subcommands:
+     list               list the reproduced experiments
+     exp <id|all>       run one experiment (e1..e10, a1..a4) or all of them
+     report             run everything, emit a markdown report
+     dump <scheme>      serialise a sample world (Naming.Codec v1)
+     lint <scheme>      well-formedness report for a sample world
+     coherence <scheme> <name>
+                        per-activity resolution and coherence verdict
+     diff <scheme>      bucketed namespace diff of two activities
+     dot <scheme>       print the naming graph of a sample world (graphviz)
+     trace <scheme> <name>
+                        resolve a name in a sample world and print the
+                        resolution path *)
+
+let sample_schemes = [ "unix"; "newcastle"; "andrew"; "dce"; "crosslink"; "perprocess"; "federation" ]
+
+type world = {
+  store : Naming.Store.t;
+  ctx : Naming.Context.t;  (* a representative activity's context *)
+  rule : Naming.Rule.t;
+  activities : Naming.Entity.t list;
+}
+
+(* Builds a small world (two activities in the positions the scheme makes
+   interesting) for [dot], [dump], [trace] and [coherence]. *)
+let sample_world scheme =
+  let store = Naming.Store.create () in
+  let of_env env ps =
+    match ps with
+    | p :: _ ->
+        {
+          store;
+          ctx = Schemes.Process_env.context env p;
+          rule = Schemes.Process_env.rule env;
+          activities = ps;
+        }
+    | [] -> assert false
+  in
+  match scheme with
+  | "unix" ->
+      let t = Schemes.Unix_scheme.build store in
+      of_env (Schemes.Unix_scheme.env t)
+        [
+          Schemes.Unix_scheme.spawn ~label:"p0" t;
+          Schemes.Unix_scheme.spawn_chrooted ~label:"p1" ~root_path:"/usr" t;
+        ]
+  | "newcastle" ->
+      let t = Schemes.Newcastle.build ~machines:[ "unix1"; "unix2" ] store in
+      of_env (Schemes.Newcastle.env t)
+        [
+          Schemes.Newcastle.spawn_on ~label:"p0" t ~machine:"unix1";
+          Schemes.Newcastle.spawn_on ~label:"p1" t ~machine:"unix2";
+        ]
+  | "andrew" ->
+      let t = Schemes.Shared_graph.build ~clients:[ "c1"; "c2" ] store in
+      of_env (Schemes.Shared_graph.env t)
+        [
+          Schemes.Shared_graph.spawn_on ~label:"p0" t ~client:"c1";
+          Schemes.Shared_graph.spawn_on ~label:"p1" t ~client:"c2";
+        ]
+  | "dce" ->
+      let t =
+        Schemes.Dce.build ~cells:[ ("cellA", [ "m1" ]); ("cellB", [ "m2" ]) ]
+          store
+      in
+      of_env (Schemes.Dce.env t)
+        [
+          Schemes.Dce.spawn_on ~label:"p0" t ~machine:"m1";
+          Schemes.Dce.spawn_on ~label:"p1" t ~machine:"m2";
+        ]
+  | "crosslink" ->
+      let tree = Schemes.Unix_scheme.default_tree in
+      let t =
+        Schemes.Crosslink.build ~systems:[ ("sysa", tree); ("sysb", tree) ]
+          store
+      in
+      Schemes.Crosslink.add_crosslink t ~from_system:"sysa" ~name:"sysb"
+        ~to_system:"sysb" ();
+      of_env (Schemes.Crosslink.env t)
+        [
+          Schemes.Crosslink.spawn_on ~label:"p0" t ~system:"sysa";
+          Schemes.Crosslink.spawn_on ~label:"p1" t ~system:"sysb";
+        ]
+  | "perprocess" ->
+      let tree = Schemes.Unix_scheme.default_tree in
+      let t =
+        Schemes.Per_process.build
+          ~subsystems:[ ("port1", tree); ("port2", tree) ]
+          store
+      in
+      let attach = [ ("fs1", "port1"); ("fs2", "port2") ] in
+      of_env (Schemes.Per_process.env t)
+        [
+          Schemes.Per_process.spawn ~label:"p0" ~attach t;
+          Schemes.Per_process.spawn ~label:"p1" ~attach t;
+        ]
+  | "federation" ->
+      let t =
+        Schemes.Federation.build
+          ~orgs:
+            [
+              ( "org1",
+                Schemes.Federation.default_org_tree ~users:[ "alice" ]
+                  ~services:[ "print" ] );
+              ( "org2",
+                Schemes.Federation.default_org_tree ~users:[ "bob" ]
+                  ~services:[ "auth" ] );
+            ]
+          store
+      in
+      Schemes.Federation.federate t ~from:"org1" ~to_:"org2";
+      of_env (Schemes.Federation.env t)
+        [
+          Schemes.Federation.spawn_in ~label:"p0" t ~org:"org1";
+          Schemes.Federation.spawn_in ~label:"p1" t ~org:"org2";
+        ]
+  | other ->
+      Printf.eprintf "unknown scheme %S (expected one of: %s)\n" other
+        (String.concat ", " sample_schemes);
+      exit 2
+
+let cmd_list () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-4s %-24s %s\n" e.Harness.Experiments.id
+        e.Harness.Experiments.paper_artefact e.Harness.Experiments.title)
+    Harness.Experiments.all;
+  0
+
+let cmd_exp id =
+  let ppf = Format.std_formatter in
+  if String.equal (String.lowercase_ascii id) "all" then begin
+    Harness.Experiments.run_all ppf;
+    0
+  end
+  else
+    match Harness.Experiments.find id with
+    | Some e ->
+        Harness.Experiments.run_one ppf e;
+        0
+    | None ->
+        Printf.eprintf "unknown experiment %S; try 'namingctl list'\n" id;
+        2
+
+let cmd_dot scheme =
+  let w = sample_world scheme in
+  print_string (Naming.Graph.to_dot w.store);
+  0
+
+let cmd_report () =
+  print_string (Harness.Report.generate ());
+  0
+
+let cmd_dump scheme =
+  let w = sample_world scheme in
+  print_string (Naming.Codec.to_string w.store);
+  0
+
+let cmd_lint scheme =
+  let w = sample_world scheme in
+  let report = Naming.Lint.check w.store in
+  Format.printf "%a@." (Naming.Lint.pp_report w.store) report;
+  if report.Naming.Lint.violations = [] then 0 else 1
+
+let cmd_trace scheme name =
+  let w = sample_world scheme in
+  match Naming.Name.of_string name with
+  | exception Naming.Name.Invalid msg ->
+      Printf.eprintf "invalid name: %s\n" msg;
+      2
+  | n ->
+      let result, trace = Naming.Resolver.resolve_trace w.store w.ctx n in
+      Format.printf "%a@." (Naming.Resolver.pp_trace w.store) trace;
+      Format.printf "%s resolves to %a@." name (Naming.Store.pp_entity w.store)
+        result;
+      if Naming.Entity.is_undefined result then 1 else 0
+
+let probes_of_world (w : world) =
+  (* generic probe set: absolute names resolvable by the first activity *)
+  match
+    Naming.Context.lookup w.ctx Naming.Name.root_atom |> fun root ->
+    Naming.Store.context_of w.store root
+  with
+  | None -> []
+  | Some root_ctx ->
+      Naming.Name.singleton Naming.Name.root_atom
+      :: List.map
+           (fun (n, _e) -> Naming.Name.cons Naming.Name.root_atom n)
+           (Naming.Graph.all_names w.store root_ctx ~max_depth:3 ())
+
+let cmd_diff scheme =
+  let w = sample_world scheme in
+  match w.activities with
+  | a :: b :: _ ->
+      let d = Harness.Diff.diff w.store w.rule ~a ~b ~probes:(probes_of_world w) in
+      Format.printf "%a@." (Harness.Diff.pp w.store) d;
+      Format.printf "coherent fraction: %.3f@." (Harness.Diff.coherent_fraction d);
+      0
+  | _ ->
+      prerr_endline "sample world has fewer than two activities";
+      2
+
+let cmd_coherence scheme name =
+  let w = sample_world scheme in
+  match Naming.Name.of_string name with
+  | exception Naming.Name.Invalid msg ->
+      Printf.eprintf "invalid name: %s\n" msg;
+      2
+  | n ->
+      let occs = List.map Naming.Occurrence.generated w.activities in
+      List.iter
+        (fun a ->
+          let e =
+            Naming.Rule.resolve w.rule w.store (Naming.Occurrence.generated a)
+              n
+          in
+          Format.printf "  %a resolves it to %a@."
+            (Naming.Store.pp_entity w.store)
+            a
+            (Naming.Store.pp_entity w.store)
+            e)
+        w.activities;
+      let verdict = Naming.Coherence.check w.store w.rule occs n in
+      Format.printf "verdict: %a@." Naming.Coherence.pp_verdict verdict;
+      (match verdict with
+      | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ -> 0
+      | Naming.Coherence.Incoherent _ | Naming.Coherence.Vacuous -> 1)
+
+open Cmdliner
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the reproduced experiments")
+    Term.(const cmd_list $ const ())
+
+let exp_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id (e1..e10) or 'all'")
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Run an experiment") Term.(const cmd_exp $ id)
+
+let scheme_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEME"
+         ~doc:(Printf.sprintf "One of: %s" (String.concat ", " sample_schemes)))
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print a sample world's naming graph (graphviz)")
+    Term.(const cmd_dot $ scheme_arg)
+
+let dump_cmd =
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Serialise a sample world's store (Codec v1 format)")
+    Term.(const cmd_dump $ scheme_arg)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run all experiments and print a markdown report")
+    Term.(const cmd_report $ const ())
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Check a sample world's well-formedness")
+    Term.(const cmd_lint $ scheme_arg)
+
+let name_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME"
+         ~doc:"Name to resolve, e.g. /usr/bin/cc")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Resolve a name in a sample world, with trace")
+    Term.(const cmd_trace $ scheme_arg $ name_arg)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff the namespaces of a sample world's two activities")
+    Term.(const cmd_diff $ scheme_arg)
+
+let coherence_cmd =
+  Cmd.v
+    (Cmd.info "coherence"
+       ~doc:"Check a name's coherence across a sample world's activities")
+    Term.(const cmd_coherence $ scheme_arg $ name_arg)
+
+let main =
+  let info =
+    Cmd.info "namingctl" ~version:"1.0.0"
+      ~doc:
+        "Coherence in naming (Radia & Pachl, ICDCS 1993) — experiment and
+inspection tool"
+  in
+  Cmd.group info
+    [
+      list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd; trace_cmd;
+      coherence_cmd; diff_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,69 @@
+(* Structured documents with embedded file names (paper, section 6, Ex. 2).
+
+   A report includes chapters by name, LaTeX-style. Under the usual
+   reader's-context interpretation the document changes meaning with the
+   reader; under the Algol-scope rule it does not, and it can be moved and
+   copied freely.
+
+   Run with:  dune exec examples/document_build.exe *)
+
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+module Emb = Schemes.Embedded
+
+let () =
+  let store = S.create () in
+  let fs = Vfs.Fs.create ~root_label:"host:/" store in
+  Vfs.Fs.populate fs [ "tmp/"; "home/alice/"; "home/bob/" ];
+
+  (* alice writes a book: main.tex includes chapters/intro.tex, which in
+     turn includes figures/fig1. *)
+  ignore (Vfs.Fs.add_file fs "home/alice/book/figures/fig1" ~content:"a graph");
+  ignore
+    (Vfs.Fs.add_file fs "home/alice/book/chapters/intro.tex"
+       ~content:
+         (Emb.make_content ~text:"Welcome."
+            ~refs:[ N.of_string "figures/fig1" ]
+            ()));
+  ignore
+    (Vfs.Fs.add_file fs "home/alice/book/main.tex"
+       ~content:
+         (Emb.make_content ~text:"The Book."
+            ~refs:[ N.of_string "chapters/intro.tex" ]
+            ()));
+  let book = Vfs.Fs.lookup fs "home/alice/book" in
+  let main = Vfs.Fs.lookup fs "home/alice/book/main.tex" in
+
+  Format.printf "The tree:@.%a@." Vfs.Fs.pp_tree fs;
+
+  (* Resolve the whole structured object: every reference, transitively. *)
+  let show_closure () =
+    List.iter
+      (fun (r, e) ->
+        Format.printf "  @ref %-22s -> %a@." (N.to_string r) (S.pp_entity store) e)
+      (Emb.resolve_closure store ~dir:book main)
+  in
+  Format.printf "Embedded references under the Algol-scope rule:@.";
+  show_closure ();
+
+  (* Move the whole book to bob's home — the paper says the meaning of the
+     embedded names must not change. *)
+  let alice = Vfs.Fs.lookup fs "home/alice" in
+  let bob = Vfs.Fs.lookup fs "home/bob" in
+  Vfs.Subtree.relocate fs ~src:alice ~name:"book" ~dst:bob ();
+  Format.printf "@.After relocating the book to /home/bob/book:@.";
+  show_closure ();
+
+  (* Copy it: the copy's references resolve within the copy. *)
+  let copy = Vfs.Subtree.copy fs book in
+  Vfs.Fs.link fs ~dir:alice "book-draft" copy;
+  S.bind store ~dir:copy N.parent_atom alice;
+  let copy_main =
+    Vfs.Fs.resolve_from fs ~dir:copy (N.of_string "main.tex")
+  in
+  Format.printf "@.The copy at /home/alice/book-draft resolves within itself:@.";
+  List.iter
+    (fun (r, e) ->
+      Format.printf "  @ref %-22s -> %a@." (N.to_string r) (S.pp_entity store) e)
+    (Emb.resolve_closure store ~dir:copy copy_main)

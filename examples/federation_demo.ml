@@ -1,0 +1,59 @@
+(* Shared name spaces in limited scopes (paper, section 7).
+
+   Two organisations each attach user homes under /users. Inside an org
+   the names cohere; across orgs humans map names with an /org2 prefix;
+   embedded names in a foreign subtree are restored by the Algol rule.
+
+   Run with:  dune exec examples/federation_demo.exe *)
+
+module N = Naming.Name
+module F = Schemes.Federation
+module Emb = Schemes.Embedded
+
+let () =
+  let store = Naming.Store.create () in
+  let t =
+    F.build
+      ~orgs:
+        [
+          ("org1", F.default_org_tree ~users:[ "alice" ] ~services:[ "print" ]);
+          ("org2", F.default_org_tree ~users:[ "bob" ] ~services:[ "auth" ]);
+        ]
+      store
+  in
+  let env = F.env t in
+  let p1 = F.spawn_in ~label:"org1.alice" t ~org:"org1" in
+  let p2 = F.spawn_in ~label:"org2.bob" t ~org:"org2" in
+
+  let show who p name =
+    let e = Schemes.Process_env.resolve_str env ~as_:p name in
+    Format.printf "  %-10s resolves %-28s -> %a@." who name
+      (Naming.Store.pp_entity store) e
+  in
+
+  Format.printf "/users means something different in each organisation:@.";
+  show "org1.alice" p1 "/users/bob/doc/readme.txt";
+  show "org2.bob" p2 "/users/bob/doc/readme.txt";
+
+  Format.printf "@.federate: org1 attaches org2's root under /org2@.";
+  F.federate t ~from:"org1" ~to_:"org2";
+  let mapped = F.map_name t ~target_org:"org2" (N.of_string "/users/bob/doc/readme.txt") in
+  Format.printf "  the human maps the name by prefixing: %a@." N.pp mapped;
+  show "org1.alice" p1 (N.to_string mapped);
+
+  (* bob's doc embeds a name; org1 reads the doc through /org2/... — the
+     embedded name is NOT prefixed, so the human mapping cannot help, but
+     the Algol rule resolves it where the doc lives. *)
+  let fs2 = F.org_fs t "org2" in
+  ignore (Vfs.Fs.add_file fs2 "users/bob/doc/data.csv" ~content:"1,2,3");
+  let doc =
+    Vfs.Fs.add_file fs2 "users/bob/doc/report.txt"
+      ~content:(Emb.make_content ~refs:[ N.of_string "data.csv" ] ())
+  in
+  ignore doc;
+  let doc_dir = Vfs.Fs.lookup fs2 "users/bob/doc" in
+  Format.printf
+    "@.bob's report embeds 'data.csv'; resolved with the Algol rule at the
+document's home, it denotes org2's file for every reader:@.";
+  let e = Emb.resolve_at store ~dir:doc_dir (N.of_string "data.csv") in
+  Format.printf "  @ref data.csv -> %a@." (Naming.Store.pp_entity store) e

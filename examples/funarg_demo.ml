@@ -1,0 +1,69 @@
+(* The funarg problem as a naming-coherence problem (paper, section 4).
+
+   "When a function is passed as a parameter, it is desirable to resolve
+   the non-local variable names of the function in the context where the
+   function was defined, instead of the context of the callee; the funarg
+   mechanism was introduced in Lisp for this purpose."
+
+   We model it directly in the core: a function is an OBJECT containing
+   an embedded variable name; the module that defines it has a context
+   binding that name. Passing the function to another module and calling
+   it there is an Embedded occurrence read by the callee. R(activity) is
+   dynamic scoping (the callee's binding wins); R(object) is the funarg /
+   lexical rule (the definition site's binding wins).
+
+   Run with:  dune exec examples/funarg_demo.exe *)
+
+module N = Naming.Name
+module S = Naming.Store
+module C = Naming.Context
+module R = Naming.Rule
+module O = Naming.Occurrence
+
+let () =
+  let store = S.create () in
+
+  (* Two "variables" named limit: one per module. *)
+  let limit_a = S.create_object ~label:"limit=100" ~state:(S.Data "100") store in
+  let limit_b = S.create_object ~label:"limit=7" ~state:(S.Data "7") store in
+
+  (* Module A defines function f, which refers to the free variable
+     `limit`. Module B receives f and calls it. *)
+  let module_a_ctx =
+    S.create_context_object ~label:"module-A.ctx"
+      ~ctx:(C.of_bindings [ (N.atom "limit", limit_a) ])
+      store
+  in
+  let module_b_ctx =
+    S.create_context_object ~label:"module-B.ctx"
+      ~ctx:(C.of_bindings [ (N.atom "limit", limit_b) ])
+      store
+  in
+  let f = S.create_object ~label:"function-f" ~state:(S.Data "fun () -> limit") store in
+  let caller = S.create_activity ~label:"caller-in-B" store in
+
+  let activity_asg = R.Assignment.create () in
+  R.Assignment.set activity_asg caller module_b_ctx;
+
+  let object_asg = R.Assignment.create () in
+  R.Assignment.set object_asg f module_a_ctx;
+
+  let occ = O.embedded ~reader:caller ~source:f in
+  let name = N.of_string "limit" in
+
+  let show rule =
+    let result = R.resolve rule store occ name in
+    Format.printf "  %-14s -> %a  (value %s)@." (R.label rule)
+      (S.pp_entity store) result
+      (match S.data_of store result with Some v -> v | None -> "?")
+  in
+  Format.printf
+    "f is defined in module A (limit=100) and called from module B
+(limit=7); f's body mentions the free variable `limit`:@.@.";
+  Format.printf "dynamic scoping — the callee's context:@.";
+  show (R.of_activity activity_asg);
+  Format.printf "@.funarg / lexical scoping — the definition context:@.";
+  show (R.of_object object_asg);
+  Format.printf
+    "@.The same closure mechanisms, applied to operating systems, are the
+paper's R(activity) and R(object) rules for embedded names.@."

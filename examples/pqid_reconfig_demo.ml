@@ -1,0 +1,61 @@
+(* Partially qualified identifiers under reconfiguration (paper, §6 Ex. 1).
+
+   Processes hold pids for each other; a machine is renumbered; the
+   partially qualified pids of local processes survive while the fully
+   qualified ones break. Pids embedded in messages are remapped in
+   transit (the R(sender) closure mechanism).
+
+   Run with:  dune exec examples/pqid_reconfig_demo.exe *)
+
+module R = Netaddr.Registry
+module Ps = Schemes.Pqid_scheme
+
+let () =
+  let rng = Dsim.Rng.create 7L in
+  let engine = Dsim.Engine.create () in
+  let t =
+    Ps.build
+      ~topology:[ ("net1", [ ("alpha", 2); ("beta", 2) ]) ]
+      ~engine ~rng ()
+  in
+  let reg = Ps.registry t in
+  Format.printf "topology:@.%a@." R.pp reg;
+
+  match Ps.processes t with
+  | [ a1; a2; b1; _b2 ] ->
+      (* a1 and a2 are on machine alpha; b1 on beta. *)
+      let intra = Ps.connect t ~holder:a1 ~target:a2 ~qualification:`Partial in
+      let intra_full = Ps.connect t ~holder:a1 ~target:a2 ~qualification:`Full in
+      let inter = Ps.connect t ~holder:b1 ~target:a1 ~qualification:`Partial in
+      Format.printf "a1 holds %s for a2 (partially qualified)@."
+        (Netaddr.Pqid.to_string intra.Ps.held_pid);
+      Format.printf "a1 holds %s for a2 (fully qualified)@."
+        (Netaddr.Pqid.to_string intra_full.Ps.held_pid);
+      Format.printf "b1 holds %s for a1@."
+        (Netaddr.Pqid.to_string inter.Ps.held_pid);
+
+      (* Renumber machine alpha. *)
+      let alpha = R.machine_of_proc reg a1 in
+      R.renumber_machine reg alpha 77;
+      Format.printf "@.after renumbering machine alpha to maddr 77:@.";
+      let check label c =
+        Format.printf "  %-36s %s@." label
+          (if Ps.connection_valid t c then "still valid" else "BROKEN")
+      in
+      check "a1->a2, partial (local to alpha):" intra;
+      check "a1->a2, full:" intra_full;
+      check "b1->a1, partial (names alpha):" inter;
+
+      (* Messages: a pid embedded in a message is remapped in transit. *)
+      Format.printf "@.b1 tells a1 about a2, with the R(sender) mapping:@.";
+      Ps.send_pid t ~from:b1 ~to_:a1 ~target:a2 ~mapped:true;
+      ignore (Dsim.Engine.run engine);
+      List.iter
+        (fun (receiver, msg) ->
+          let ok = Ps.resolution_correct t (receiver, msg) in
+          Format.printf "  %s received %s -> %s@."
+            (R.label_proc reg receiver)
+            (Netaddr.Pqid.to_string msg.Ps.pid)
+            (if ok then "resolves to the intended process" else "WRONG"))
+        (Ps.deliveries t)
+  | _ -> assert false

@@ -1,0 +1,56 @@
+(* Quickstart: the core naming model in ten minutes.
+
+   Build a store, create contexts and context objects, resolve compound
+   names, select contexts with resolution rules, and measure coherence.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+let () =
+  (* 1. A store holds the global state: entities and their states. *)
+  let store = S.create () in
+
+  (* 2. Context objects are objects whose state is a context (a function
+        from names to entities) — think "directory". *)
+  let etc = S.create_context_object ~label:"etc" store in
+  let passwd = S.create_object ~label:"passwd" ~state:(S.Data "root:x:0") store in
+  S.bind store ~dir:etc (N.atom "passwd") passwd;
+
+  let root = S.create_context_object ~label:"root" store in
+  S.bind store ~dir:root (N.atom "etc") etc;
+
+  (* 3. Compound names are resolved step by step through context objects
+        (paper, section 2). *)
+  let ctx = Naming.Context.of_bindings [ (N.root_atom, root) ] in
+  let name = N.of_string "/etc/passwd" in
+  let result, trace = Naming.Resolver.resolve_trace store ctx name in
+  Format.printf "resolving %a:@.  %a@.  result: %a@.@." N.pp name
+    (Naming.Resolver.pp_trace store)
+    trace (S.pp_entity store) result;
+
+  (* 4. Two activities with different contexts give the same name
+        different meanings — unless the name is global. *)
+  let env = Schemes.Process_env.create store in
+  let alice = Schemes.Process_env.spawn ~label:"alice" ~root env in
+  let other_root = S.create_context_object ~label:"other-root" store in
+  let bob = Schemes.Process_env.spawn ~label:"bob" ~root:other_root env in
+
+  let rule = Schemes.Process_env.rule env in
+  let occs = [ Naming.Occurrence.generated alice; Naming.Occurrence.generated bob ] in
+  Format.printf "is /etc/passwd coherent between alice and bob? %a@."
+    Naming.Coherence.pp_verdict
+    (Naming.Coherence.check store rule occs name);
+
+  (* 5. Give bob the same root and coherence appears. *)
+  Schemes.Process_env.set_root env bob root;
+  Format.printf "after binding bob's root to alice's: %a@."
+    Naming.Coherence.pp_verdict
+    (Naming.Coherence.check store rule occs name);
+
+  (* 6. Measure a degree of coherence over a probe set. *)
+  let probes = [ name; N.of_string "/etc"; N.of_string "/nonexistent" ] in
+  let report = Naming.Coherence.measure store rule occs probes in
+  Format.printf "report: %a@." Naming.Coherence.pp_report report

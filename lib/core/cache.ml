@@ -1,0 +1,60 @@
+type key = Entity.t * Name.t
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal (e1, n1) (e2, n2) = Entity.equal e1 e2 && Name.equal n1 n2
+
+  let hash (e, n) =
+    List.fold_left
+      (fun acc a -> (acc * 65599) + Hashtbl.hash (Name.atom_to_string a))
+      (Entity.hash e) (Name.atoms n)
+end)
+
+type t = {
+  store : Store.t;
+  capacity : int;
+  entries : Entity.t Key_tbl.t;
+  mutable valid_at : int;  (* store version the entries are valid for *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+let create ?(capacity = 4096) store =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    store;
+    capacity;
+    entries = Key_tbl.create 256;
+    valid_at = Store.version store;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let clear t = Key_tbl.reset t.entries
+
+let resolve_in t ctxobj name =
+  let now = Store.version t.store in
+  if now <> t.valid_at then begin
+    clear t;
+    t.valid_at <- now;
+    t.invalidations <- t.invalidations + 1
+  end;
+  let key = (ctxobj, name) in
+  match Key_tbl.find_opt t.entries key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e
+  | None ->
+      t.misses <- t.misses + 1;
+      let e = Resolver.resolve_in t.store ctxobj name in
+      if Key_tbl.length t.entries >= t.capacity then clear t;
+      Key_tbl.replace t.entries key e;
+      e
+
+let stats (t : t) : stats =
+  { hits = t.hits; misses = t.misses; invalidations = t.invalidations }

@@ -1,0 +1,27 @@
+(** A memoising resolver with store-version invalidation.
+
+    Resolution walks the naming graph on every call; workloads that
+    resolve the same names repeatedly (command lookup, library paths —
+    exactly the replicated objects of section 5) benefit from a cache.
+    Correctness matters more than hit rate: entries are keyed to
+    {!Store.version}, so {e any} mutation of the store invalidates the
+    whole cache — resolution through a cache is always equal to
+    resolution without it (a property test holds us to this).
+
+    The cache memoises {!Naming.Resolver.resolve_in} — resolution relative
+    to a context {e object} — because context objects have stable
+    identity. Resolution in a context {e value} has no usable cache key. *)
+
+type t
+
+val create : ?capacity:int -> Store.t -> t
+(** [capacity] bounds the number of entries (default 4096); at capacity
+    the cache clears (cheap, correctness-neutral). *)
+
+val resolve_in : t -> Entity.t -> Name.t -> Entity.t
+(** Same result as {!Resolver.resolve_in}, memoised. *)
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+val stats : t -> stats
+val clear : t -> unit

@@ -1,0 +1,171 @@
+exception Parse_error of string
+
+let parse_error line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let header = "coherent-naming-store v1"
+
+let entity_ref e =
+  match e with
+  | Entity.Undefined -> "!"
+  | Entity.Activity i -> Printf.sprintf "a%d" i
+  | Entity.Object i -> Printf.sprintf "o%d" i
+
+let to_string store =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  (* Entities in allocation (id) order. *)
+  let all =
+    List.sort
+      (fun e1 e2 -> Int.compare (Entity.id e1) (Entity.id e2))
+      (Store.activities store @ Store.objects store)
+  in
+  List.iter
+    (fun e ->
+      (match Store.obj_state store e with
+      | None -> Buffer.add_string buf (Printf.sprintf "activity %d\n" (Entity.id e))
+      | Some (Store.Data d) ->
+          Buffer.add_string buf (Printf.sprintf "file %d %S\n" (Entity.id e) d)
+      | Some (Store.Context _) ->
+          Buffer.add_string buf (Printf.sprintf "dir %d\n" (Entity.id e)));
+      match Store.label store e with
+      | None -> ()
+      | Some l ->
+          Buffer.add_string buf
+            (Printf.sprintf "label %s %S\n" (entity_ref e) l))
+    all;
+  (* Bindings, after every entity exists. *)
+  List.iter
+    (fun e ->
+      match Store.obj_state store e with
+      | Some (Store.Context ctx) ->
+          List.iter
+            (fun (atom, target) ->
+              Buffer.add_string buf
+                (Printf.sprintf "bind %d %S %s\n" (Entity.id e)
+                   (Name.atom_to_string atom)
+                   (entity_ref target)))
+            (Context.bindings ctx)
+      | Some (Store.Data _) | None -> ())
+    all;
+  Buffer.contents buf
+
+type pre_entity = Pre_activity | Pre_file of string | Pre_dir
+
+let parse_entity_ref lineno s =
+  if String.length s < 2 then parse_error lineno "bad entity reference %S" s
+  else
+    let num () =
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i when i >= 0 -> i
+      | _ -> parse_error lineno "bad entity reference %S" s
+    in
+    match s.[0] with
+    | 'a' -> Entity.Activity (num ())
+    | 'o' -> Entity.Object (num ())
+    | _ -> parse_error lineno "bad entity reference %S" s
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | first :: _ when String.equal first header -> ()
+  | first :: _ -> raise (Parse_error (Printf.sprintf "bad header %S" first))
+  | [] -> raise (Parse_error "empty input"));
+  let entities = Hashtbl.create 64 in
+  let labels = ref [] in
+  let binds = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      if idx = 0 || String.equal line "" then ()
+      else if String.length line >= 9 && String.sub line 0 9 = "activity " then
+        match int_of_string_opt (String.sub line 9 (String.length line - 9)) with
+        | Some id -> Hashtbl.replace entities id Pre_activity
+        | None -> parse_error lineno "bad activity line"
+      else if String.length line >= 4 && String.sub line 0 4 = "dir " then
+        match int_of_string_opt (String.sub line 4 (String.length line - 4)) with
+        | Some id -> Hashtbl.replace entities id Pre_dir
+        | None -> parse_error lineno "bad dir line"
+      else if String.length line >= 5 && String.sub line 0 5 = "file " then begin
+        try
+          Scanf.sscanf line "file %d %S" (fun id data ->
+              Hashtbl.replace entities id (Pre_file data))
+        with Scanf.Scan_failure _ | End_of_file ->
+          parse_error lineno "bad file line"
+      end
+      else if String.length line >= 6 && String.sub line 0 6 = "label " then begin
+        try
+          Scanf.sscanf line "label %s %S" (fun ref_ l ->
+              labels := (lineno, ref_, l) :: !labels)
+        with Scanf.Scan_failure _ | End_of_file ->
+          parse_error lineno "bad label line"
+      end
+      else if String.length line >= 5 && String.sub line 0 5 = "bind " then begin
+        try
+          Scanf.sscanf line "bind %d %S %s" (fun dir atom target ->
+              binds := (lineno, dir, atom, target) :: !binds)
+        with Scanf.Scan_failure _ | End_of_file ->
+          parse_error lineno "bad bind line"
+      end
+      else parse_error lineno "unrecognised line %S" line)
+    lines;
+  (* Recreate entities in id order; ids must be dense from 0. *)
+  let store = Store.create () in
+  let count = Hashtbl.length entities in
+  let created = Hashtbl.create count in
+  for id = 0 to count - 1 do
+    match Hashtbl.find_opt entities id with
+    | None -> raise (Parse_error (Printf.sprintf "entity ids not dense: %d missing" id))
+    | Some Pre_activity ->
+        Hashtbl.replace created id (Store.create_activity store)
+    | Some (Pre_file data) ->
+        Hashtbl.replace created id (Store.create_object ~state:(Store.Data data) store)
+    | Some Pre_dir ->
+        Hashtbl.replace created id (Store.create_context_object store)
+  done;
+  let find lineno e =
+    match e with
+    | Entity.Undefined -> Entity.Undefined
+    | _ -> (
+        match Hashtbl.find_opt created (Entity.id e) with
+        | Some e' when Entity.(is_activity e = is_activity e') -> e'
+        | _ ->
+            parse_error lineno "dangling entity reference %s" (entity_ref e))
+  in
+  List.iter
+    (fun (lineno, ref_, l) ->
+      Store.set_label store (find lineno (parse_entity_ref lineno ref_)) l)
+    (List.rev !labels);
+  List.iter
+    (fun (lineno, dir_id, atom, target) ->
+      let dir = find lineno (Entity.Object dir_id) in
+      if not (Store.is_context_object store dir) then
+        parse_error lineno "bind into non-directory o%d" dir_id;
+      let target = find lineno (parse_entity_ref lineno target) in
+      match Name.atom atom with
+      | a -> Store.bind store ~dir a target
+      | exception Name.Invalid msg -> parse_error lineno "bad atom: %s" msg)
+    (List.rev !binds);
+  store
+
+let roundtrip_equal s1 s2 =
+  let entities st =
+    List.sort
+      (fun a b -> Int.compare (Entity.id a) (Entity.id b))
+      (Store.activities st @ Store.objects st)
+  in
+  let e1 = entities s1 and e2 = entities s2 in
+  List.length e1 = List.length e2
+  && List.for_all2
+       (fun a b ->
+         Entity.equal a b
+         && Store.label s1 a = Store.label s2 b
+         &&
+         match (Store.obj_state s1 a, Store.obj_state s2 b) with
+         | None, None -> true
+         | Some (Store.Data d1), Some (Store.Data d2) -> String.equal d1 d2
+         | Some (Store.Context c1), Some (Store.Context c2) ->
+             Context.equal c1 c2
+         | _ -> false)
+       e1 e2

@@ -1,0 +1,25 @@
+(** Serialisation of stores.
+
+    A textual, line-oriented, versioned format for persisting and
+    exchanging naming worlds — useful for dumping a scheme's state from
+    the CLI and for moving worlds between runs. Strings (labels, atoms,
+    file data) are escaped with OCaml lexical conventions, so arbitrary
+    content round-trips.
+
+    Entity identifiers are preserved: a store deserialised from a dump
+    uses the same [a<i>]/[o<i>] ids, so names, traces and replica tables
+    recorded against the original remain meaningful. *)
+
+val to_string : Store.t -> string
+
+exception Parse_error of string
+(** Carries a line number and message. *)
+
+val of_string : string -> Store.t
+(** @raise Parse_error on malformed input, unknown version, or dangling
+    entity references. *)
+
+val roundtrip_equal : Store.t -> Store.t -> bool
+(** Structural equality of two stores: same entities in the same order,
+    same labels, same object states. (Not exposed by {!Store} itself
+    because ordinary code should never need it.) *)

@@ -1,0 +1,96 @@
+type verdict =
+  | Coherent of Entity.t
+  | Weakly_coherent of Entity.t list
+  | Incoherent of (Occurrence.t * Entity.t) * (Occurrence.t * Entity.t)
+  | Vacuous
+
+let check ?(equiv = Entity.equal) store rule occs name =
+  match occs with
+  | [] -> invalid_arg "Coherence.check: no occurrences"
+  | first :: rest ->
+      let resolve occ = (occ, Rule.resolve rule store occ name) in
+      let results = resolve first :: List.map resolve rest in
+      let defined = List.filter (fun (_, e) -> Entity.is_defined e) results in
+      (match defined with
+      | [] -> Vacuous
+      | (occ_d, d) :: _ -> (
+          match
+            List.find_opt (fun (_, e) -> Entity.is_undefined e) results
+          with
+          | Some witness -> Incoherent ((occ_d, d), witness)
+          | None -> (
+              match List.find_opt (fun (_, e) -> not (equiv d e)) results with
+              | Some witness -> Incoherent ((occ_d, d), witness)
+              | None ->
+                  if List.for_all (fun (_, e) -> Entity.equal d e) results then
+                    Coherent d
+                  else Weakly_coherent (List.map snd results))))
+
+let is_coherent ?equiv store rule occs name =
+  match check ?equiv store rule occs name with
+  | Coherent _ | Weakly_coherent _ -> true
+  | Incoherent _ | Vacuous -> false
+
+type report = {
+  probes : int;
+  coherent : int;
+  weakly_coherent : int;
+  incoherent : int;
+  vacuous : int;
+}
+
+let degree r =
+  let meaningful = r.probes - r.vacuous in
+  if meaningful <= 0 then 1.0
+  else float_of_int (r.coherent + r.weakly_coherent) /. float_of_int meaningful
+
+let strict_degree r =
+  let meaningful = r.probes - r.vacuous in
+  if meaningful <= 0 then 1.0
+  else float_of_int r.coherent /. float_of_int meaningful
+
+let measure ?equiv store rule occs probes =
+  let init =
+    { probes = 0; coherent = 0; weakly_coherent = 0; incoherent = 0; vacuous = 0 }
+  in
+  List.fold_left
+    (fun acc name ->
+      let acc = { acc with probes = acc.probes + 1 } in
+      match check ?equiv store rule occs name with
+      | Coherent _ -> { acc with coherent = acc.coherent + 1 }
+      | Weakly_coherent _ -> { acc with weakly_coherent = acc.weakly_coherent + 1 }
+      | Incoherent _ -> { acc with incoherent = acc.incoherent + 1 }
+      | Vacuous -> { acc with vacuous = acc.vacuous + 1 })
+    init probes
+
+let classify ?equiv store rule occs probes =
+  List.map (fun n -> (n, check ?equiv store rule occs n)) probes
+
+let coherent_names ?equiv store rule occs probes =
+  List.filter (fun n -> is_coherent ?equiv store rule occs n) probes
+
+let incoherent_names ?equiv store rule occs probes =
+  List.filter
+    (fun n ->
+      match check ?equiv store rule occs n with
+      | Incoherent _ -> true
+      | Coherent _ | Weakly_coherent _ | Vacuous -> false)
+    probes
+
+let pp_verdict ppf = function
+  | Coherent e -> Format.fprintf ppf "coherent(%a)" Entity.pp e
+  | Weakly_coherent es ->
+      Format.fprintf ppf "weakly-coherent(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Entity.pp)
+        es
+  | Incoherent ((o1, e1), (o2, e2)) ->
+      Format.fprintf ppf "incoherent(%a ⇒ %a vs %a ⇒ %a)" Occurrence.pp o1
+        Entity.pp e1 Occurrence.pp o2 Entity.pp e2
+  | Vacuous -> Format.pp_print_string ppf "vacuous"
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "probes=%d coherent=%d weak=%d incoherent=%d vacuous=%d degree=%.3f" r.probes
+    r.coherent r.weakly_coherent r.incoherent r.vacuous (degree r)

@@ -1,0 +1,93 @@
+(** Coherence in naming: definitions and metrics.
+
+    A name [n] is {e coherent} across a set of occurrences when it denotes
+    the same defined entity under each of them (paper, section 4). {e Weak}
+    coherence replaces entity equality with replica equivalence (section
+    5). The {e degree} of coherence of a scheme is our quantification of
+    the paper's qualitative claims: the fraction of probe names that are
+    coherent across the given occurrences. *)
+
+type verdict =
+  | Coherent of Entity.t
+      (** Every occurrence resolves the name to this defined entity. *)
+  | Weakly_coherent of Entity.t list
+      (** Occurrences resolve to distinct but replica-equivalent entities
+          (one representative per occurrence, in occurrence order). Only
+          produced when an equivalence is supplied. *)
+  | Incoherent of (Occurrence.t * Entity.t) * (Occurrence.t * Entity.t)
+      (** Two witnessing occurrences with conflicting resolutions (either
+          two different defined entities, or defined vs ⊥). *)
+  | Vacuous  (** The name is undefined under every occurrence. *)
+
+val check :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t ->
+  verdict
+(** [check store rule occs n] resolves [n] under every occurrence and
+    classifies the outcome. With [equiv], resolutions that are equivalent
+    but unequal yield [Weakly_coherent].
+    @raise Invalid_argument on an empty occurrence list. *)
+
+val is_coherent :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t ->
+  bool
+(** True on [Coherent _] and [Weakly_coherent _]. *)
+
+type report = {
+  probes : int;  (** number of probe names *)
+  coherent : int;  (** strictly coherent *)
+  weakly_coherent : int;  (** coherent only up to replica equivalence *)
+  incoherent : int;
+  vacuous : int;  (** undefined everywhere *)
+}
+
+val degree : report -> float
+(** [(coherent + weakly_coherent) / (probes - vacuous)]; 1.0 when every
+    probe is vacuous (coherence over an empty set of meaningful probes is
+    trivially full). *)
+
+val strict_degree : report -> float
+(** [coherent / (probes - vacuous)]. *)
+
+val measure :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t list ->
+  report
+
+val classify :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t list ->
+  (Name.t * verdict) list
+(** Per-probe detail, in probe order. *)
+
+val coherent_names :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t list ->
+  Name.t list
+
+val incoherent_names :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t list ->
+  Name.t list
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit

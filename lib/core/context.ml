@@ -1,0 +1,54 @@
+type t = Entity.t Name.Atom_map.t
+
+let empty = Name.Atom_map.empty
+
+let bind c a e =
+  if Entity.is_undefined e then Name.Atom_map.remove a c
+  else Name.Atom_map.add a e c
+
+let of_bindings l = List.fold_left (fun c (a, e) -> bind c a e) empty l
+
+let lookup c a =
+  match Name.Atom_map.find_opt a c with None -> Entity.undefined | Some e -> e
+
+let mem c a = Name.Atom_map.mem a c
+let unbind c a = Name.Atom_map.remove a c
+let bindings c = Name.Atom_map.bindings c
+let cardinal = Name.Atom_map.cardinal
+let is_empty = Name.Atom_map.is_empty
+
+let union ~prefer c1 c2 =
+  let pick _a e1 e2 =
+    match prefer with `Left -> Some e1 | `Right -> Some e2
+  in
+  Name.Atom_map.union pick c1 c2
+
+let restrict c atoms =
+  List.fold_left
+    (fun acc a ->
+      match Name.Atom_map.find_opt a c with
+      | None -> acc
+      | Some e -> Name.Atom_map.add a e acc)
+    empty atoms
+
+let map f c =
+  Name.Atom_map.fold
+    (fun a e acc -> bind acc a (f e))
+    c empty
+
+let agree_on c1 c2 a = Entity.equal (lookup c1 a) (lookup c2 a)
+let equal = Name.Atom_map.equal Entity.equal
+let compare = Name.Atom_map.compare Entity.compare
+
+let pp ppf c =
+  let pp_binding ppf (a, e) =
+    Format.fprintf ppf "%a ↦ %a" Name.pp_atom a Entity.pp e
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_binding)
+    (bindings c)
+
+let fold = Name.Atom_map.fold
+let iter = Name.Atom_map.iter

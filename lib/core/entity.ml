@@ -1,0 +1,52 @@
+type t = Undefined | Activity of int | Object of int
+
+let undefined = Undefined
+let is_undefined = function Undefined -> true | Activity _ | Object _ -> false
+let is_activity = function Activity _ -> true | Undefined | Object _ -> false
+let is_object = function Object _ -> true | Undefined | Activity _ -> false
+let is_defined e = not (is_undefined e)
+
+let id = function
+  | Undefined -> invalid_arg "Entity.id: undefined entity"
+  | Activity i | Object i -> i
+
+let tag = function Undefined -> 0 | Activity _ -> 1 | Object _ -> 2
+
+let equal a b =
+  match (a, b) with
+  | Undefined, Undefined -> true
+  | Activity i, Activity j | Object i, Object j -> Int.equal i j
+  | (Undefined | Activity _ | Object _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Activity i, Activity j | Object i, Object j -> Int.compare i j
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = function
+  | Undefined -> 0
+  | Activity i -> (i * 2) + 1
+  | Object i -> (i * 2) + 2
+
+let to_string = function
+  | Undefined -> "⊥"
+  | Activity i -> Printf.sprintf "a%d" i
+  | Object i -> Printf.sprintf "o%d" i
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Stdlib.Map.Make (Ord)
+module Set = Stdlib.Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

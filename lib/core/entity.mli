@@ -1,0 +1,27 @@
+(** Entities: activities, objects, and the undefined entity.
+
+    The paper's model distinguishes {e activities} (active entities, e.g.
+    processes) from {e objects} (passive entities, e.g. files and
+    directories), and adjoins an undefined entity ⊥ that is the result of
+    failed resolutions (paper, section 2). *)
+
+type t = Undefined | Activity of int | Object of int
+
+val undefined : t
+val is_undefined : t -> bool
+val is_activity : t -> bool
+val is_object : t -> bool
+val is_defined : t -> bool
+
+val id : t -> int
+(** The raw identifier. @raise Invalid_argument on {!undefined}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

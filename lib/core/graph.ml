@@ -1,0 +1,152 @@
+type edge = { src : Entity.t; label : Name.atom; dst : Entity.t }
+
+let out_edges store e =
+  match Store.context_of store e with
+  | None -> []
+  | Some c ->
+      List.filter
+        (fun (_a, dst) -> Entity.is_defined dst)
+        (Context.bindings c)
+
+let out_degree store e = List.length (out_edges store e)
+
+let edges store =
+  List.concat_map
+    (fun src ->
+      List.map (fun (label, dst) -> { src; label; dst }) (out_edges store src))
+    (Store.context_objects store)
+
+let reachable store ~from =
+  let rec go visited = function
+    | [] -> visited
+    | e :: rest ->
+        if Entity.Set.mem e visited then go visited rest
+        else
+          let visited = Entity.Set.add e visited in
+          let succs = List.map snd (out_edges store e) in
+          go visited (succs @ rest)
+  in
+  go Entity.Set.empty [ from ]
+
+let reachable_from_context store ctx =
+  let starts =
+    List.filter_map
+      (fun (_a, e) -> if Entity.is_defined e then Some e else None)
+      (Context.bindings ctx)
+  in
+  List.fold_left
+    (fun acc e -> Entity.Set.union acc (reachable store ~from:e))
+    Entity.Set.empty starts
+
+let has_cycle store =
+  (* Iterative three-colour DFS over context objects. *)
+  let module T = Entity.Tbl in
+  let colour = T.create 64 in
+  let get e = match T.find_opt colour e with None -> `White | Some c -> c in
+  let cyclic = ref false in
+  let rec visit e =
+    match get e with
+    | `Grey -> cyclic := true
+    | `Black -> ()
+    | `White ->
+        T.replace colour e `Grey;
+        List.iter (fun (_a, dst) -> if not !cyclic then visit dst)
+          (out_edges store e);
+        T.replace colour e `Black
+  in
+  List.iter
+    (fun e -> if not !cyclic then visit e)
+    (Store.context_objects store);
+  !cyclic
+
+let default_skip a =
+  Name.atom_equal a Name.self_atom || Name.atom_equal a Name.parent_atom
+
+let is_tree store ~root ~ignore =
+  let visited = Entity.Tbl.create 64 in
+  let ok = ref true in
+  let rec visit e =
+    List.iter
+      (fun (a, dst) ->
+        if not (ignore a) then
+          if Entity.Tbl.mem visited dst then ok := false
+          else begin
+            Entity.Tbl.replace visited dst ();
+            visit dst
+          end)
+      (out_edges store e)
+  in
+  Entity.Tbl.replace visited root ();
+  visit root;
+  !ok
+
+let all_names store ctx ~max_depth ?(skip = default_skip) () =
+  (* Breadth-first enumeration of resolvable names. *)
+  let results = ref [] in
+  let frontier = ref [] in
+  (* Seed with length-1 names from the starting context value. *)
+  Context.iter
+    (fun a e ->
+      if (not (skip a)) && Entity.is_defined e then
+        frontier := (Name.singleton a, e) :: !frontier)
+    ctx;
+  let frontier = ref (List.rev !frontier) in
+  let depth = ref 1 in
+  while !frontier <> [] && !depth <= max_depth do
+    results := List.rev_append !frontier !results;
+    let next = ref [] in
+    if !depth < max_depth then
+      List.iter
+        (fun (n, e) ->
+          List.iter
+            (fun (a, dst) ->
+              if (not (skip a)) && Entity.is_defined dst then
+                next := (Name.snoc n a, dst) :: !next)
+            (out_edges store e))
+        !frontier;
+    frontier := List.rev !next;
+    incr depth
+  done;
+  List.rev !results
+
+let names_of store ctx ~target ~max_depth ?skip () =
+  List.filter_map
+    (fun (n, e) -> if Entity.equal e target then Some n else None)
+    (all_names store ctx ~max_depth ?skip ())
+
+let to_dot store =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph naming {\n";
+  let node_name e = Entity.to_string e in
+  List.iter
+    (fun e ->
+      let lbl =
+        match Store.label store e with
+        | Some l -> Printf.sprintf "%s\\n%s" l (Entity.to_string e)
+        | None -> Entity.to_string e
+      in
+      let shape = if Store.is_context_object store e then "folder" else "box" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\", shape=%s];\n" (node_name e) lbl
+           shape))
+    (Store.objects store);
+  List.iter
+    (fun a ->
+      let lbl =
+        match Store.label store a with
+        | Some l -> Printf.sprintf "%s\\n%s" l (Entity.to_string a)
+        | None -> Entity.to_string a
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\", shape=ellipse];\n" (node_name a)
+           lbl))
+    (Store.activities store);
+  List.iter
+    (fun { src; label; dst } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" (node_name src)
+           (node_name dst)
+           (Name.atom_to_string label)))
+    (edges store);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,89 @@
+type violation =
+  | Self_not_self of Entity.t
+  | Parent_not_directory of Entity.t * Entity.t
+  | Parent_not_linked of Entity.t * Entity.t
+  | Binding_to_foreign of Entity.t * Name.atom * Entity.t
+
+type report = { checked : int; violations : violation list }
+
+let is_dot a =
+  Name.atom_equal a Name.self_atom || Name.atom_equal a Name.parent_atom
+
+(* Does [parent] bind [child] under some non-dot atom? *)
+let links_back store ~parent ~child =
+  match Store.context_of store parent with
+  | None -> false
+  | Some ctx ->
+      Context.fold
+        (fun a e acc -> acc || ((not (is_dot a)) && Entity.equal e child))
+        ctx false
+
+let check_dir store dir acc =
+  match Store.context_of store dir with
+  | None -> acc
+  | Some ctx ->
+      let self = Context.lookup ctx Name.self_atom in
+      let parent = Context.lookup ctx Name.parent_atom in
+      (* Directories carry both dots; a per-activity context object binds
+         "." to the working directory and has no "..", so the self check
+         only applies when ".." is present too. *)
+      let acc =
+        if
+          Entity.is_defined parent && Entity.is_defined self
+          && not (Entity.equal self dir)
+        then Self_not_self dir :: acc
+        else acc
+      in
+      let acc =
+        if Entity.is_defined parent then
+          if not (Store.is_context_object store parent) then
+            Parent_not_directory (dir, parent) :: acc
+          else if
+            (not (Entity.equal parent dir))
+            && not (links_back store ~parent ~child:dir)
+          then Parent_not_linked (dir, parent) :: acc
+          else acc
+        else acc
+      in
+      Context.fold
+        (fun a e acc ->
+          if Entity.is_defined e && not (Store.exists store e) then
+            Binding_to_foreign (dir, a, e) :: acc
+          else acc)
+        ctx acc
+
+let check store =
+  let dirs = Store.context_objects store in
+  let violations =
+    List.fold_left (fun acc d -> check_dir store d acc) [] dirs
+  in
+  { checked = List.length dirs; violations = List.rev violations }
+
+let is_clean store = (check store).violations = []
+
+let pp_violation store ppf = function
+  | Self_not_self d ->
+      Format.fprintf ppf "%a: '.' does not denote itself"
+        (Store.pp_entity store) d
+  | Parent_not_directory (d, p) ->
+      Format.fprintf ppf "%a: '..' denotes non-directory %a"
+        (Store.pp_entity store) d (Store.pp_entity store) p
+  | Parent_not_linked (d, p) ->
+      Format.fprintf ppf "%a: parent %a does not link back"
+        (Store.pp_entity store) d (Store.pp_entity store) p
+  | Binding_to_foreign (d, a, e) ->
+      Format.fprintf ppf "%a: binding %a -> unknown entity %a"
+        (Store.pp_entity store) d Name.pp_atom a Entity.pp e
+
+let pp_report store ppf r =
+  if r.violations = [] then
+    Format.fprintf ppf "lint: %d context objects, clean" r.checked
+  else begin
+    Format.fprintf ppf "lint: %d context objects, %d violation(s):@\n"
+      r.checked
+      (List.length r.violations);
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n")
+      (fun ppf v -> Format.fprintf ppf "  %a" (pp_violation store) v)
+      ppf r.violations
+  end

@@ -1,0 +1,28 @@
+(** Well-formedness checks for naming worlds.
+
+    The model itself cannot produce dangling references (bindings always
+    point at allocated entities), but schemes maintain {e conventions} on
+    top of it — dot bindings, tree shape, reachability — whose violation
+    usually means a scheme bug. [Lint] makes those conventions checkable;
+    every scheme's world in this repository lints clean, and a property
+    test keeps it that way. *)
+
+type violation =
+  | Self_not_self of Entity.t
+      (** a directory whose ["."] binding is not itself *)
+  | Parent_not_directory of Entity.t * Entity.t
+      (** a [".."] binding to a non-directory *)
+  | Parent_not_linked of Entity.t * Entity.t
+      (** dir's [".."] names a directory that does not bind dir back
+          (excused for roots that are their own parent) *)
+  | Binding_to_foreign of Entity.t * Name.atom * Entity.t
+      (** a binding to an entity the store does not know *)
+
+type report = { checked : int; violations : violation list }
+
+val check : Store.t -> report
+(** Checks every context object of the store. *)
+
+val is_clean : Store.t -> bool
+val pp_violation : Store.t -> Format.formatter -> violation -> unit
+val pp_report : Store.t -> Format.formatter -> report -> unit

@@ -1,0 +1,139 @@
+type atom = string
+type t = atom list
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let atom s =
+  if String.equal s "/" then s
+  else if String.equal s "" then invalid "empty atom"
+  else if String.contains s '/' then invalid "atom %S contains '/'" s
+  else s
+
+let atom_to_string s = s
+let root_atom = "/"
+let self_atom = "."
+let parent_atom = ".."
+
+let of_atoms = function
+  | [] -> invalid "empty compound name"
+  | l -> l
+
+let singleton a = [ a ]
+let of_strings l = of_atoms (List.map atom l)
+
+let of_string s =
+  if String.equal s "" then invalid "empty name";
+  let parts = String.split_on_char '/' s in
+  let absolute = String.length s > 0 && Char.equal s.[0] '/' in
+  let comps = List.filter (fun c -> not (String.equal c "")) parts in
+  let comps = List.map atom comps in
+  match (absolute, comps) with
+  | true, [] -> [ root_atom ]
+  | true, l -> root_atom :: l
+  | false, [] -> invalid "name %S has no components" s
+  | false, l -> l
+
+let to_string = function
+  | [] -> assert false
+  | [ a ] when String.equal a root_atom -> "/"
+  | a :: rest when String.equal a root_atom -> "/" ^ String.concat "/" rest
+  | l -> String.concat "/" l
+
+let atoms n = n
+let length = List.length
+
+let head = function [] -> assert false | a :: _ -> a
+
+let tail = function [] -> assert false | [ _ ] -> None | _ :: r -> Some r
+
+let rec last = function
+  | [] -> assert false
+  | [ a ] -> a
+  | _ :: r -> last r
+
+let append a b = a @ b
+let snoc n a = n @ [ a ]
+let cons a n = a :: n
+
+let is_absolute = function a :: _ -> String.equal a root_atom | [] -> false
+
+let prepend_root n = if is_absolute n then n else root_atom :: n
+
+let rec is_prefix ~prefix n =
+  match (prefix, n) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | p :: ps, a :: rest -> String.equal p a && is_prefix ~prefix:ps rest
+
+let drop_prefix ~prefix n =
+  let rec go prefix n =
+    match (prefix, n) with
+    | [], [] -> None
+    | [], rest -> Some rest
+    | _ :: _, [] -> None
+    | p :: ps, a :: rest -> if String.equal p a then go ps rest else None
+  in
+  go prefix n
+
+let parent n =
+  match List.rev n with
+  | [] -> assert false
+  | [ _ ] -> None
+  | _ :: rev_init -> Some (List.rev rev_init)
+
+let normalize n =
+  let absolute = is_absolute n in
+  let comps = if absolute then List.tl n else n in
+  let step acc a =
+    if String.equal a self_atom then acc
+    else if String.equal a parent_atom then
+      match acc with
+      | [] -> if absolute then [] else [ a ]
+      | top :: rest ->
+          if String.equal top parent_atom then a :: acc else rest
+    else a :: acc
+  in
+  let rev = List.fold_left step [] comps in
+  let comps = List.rev rev in
+  match (absolute, comps) with
+  | true, l -> root_atom :: l
+  | false, [] -> [ self_atom ]
+  | false, l -> l
+
+let relative_to ~base n =
+  if is_absolute base <> is_absolute n then
+    invalid "relative_to: mixed absolute and relative names";
+  let strip l = if is_absolute l then List.tl l else l in
+  let rec strip_common b m =
+    match (b, m) with
+    | a :: bs, c :: ms when String.equal a c -> strip_common bs ms
+    | _ -> (b, m)
+  in
+  let b, m =
+    strip_common (strip (normalize base)) (strip (normalize n))
+  in
+  let ups = List.map (fun _ -> parent_atom) b in
+  match ups @ m with [] -> [ self_atom ] | l -> l
+
+let atom_equal = String.equal
+let atom_compare = String.compare
+let equal a b = List.equal String.equal a b
+let compare a b = List.compare String.compare a b
+let pp ppf n = Format.pp_print_string ppf (to_string n)
+let pp_atom ppf a = Format.pp_print_string ppf a
+
+module Atom_map = Stdlib.Map.Make (String)
+
+module Map = Stdlib.Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,108 @@
+(** Names and compound names.
+
+    In the model of Radia & Pachl, a name is an uninterpreted identifier and
+    a {e compound name} is a non-empty sequence of names, resolved
+    component-by-component through context objects (paper, section 2).
+
+    We call a single name an {e atom}. Atoms are non-empty strings that do
+    not contain ['/'], with one exception: the distinguished atom ["/"],
+    which naming schemes conventionally bind to a root directory in each
+    activity's context. Atoms ["."] and [".."] are ordinary atoms; schemes
+    that want Unix-like behaviour bind them inside directory contexts. *)
+
+type atom = private string
+
+type t = private atom list
+(** A compound name: a non-empty sequence of atoms. *)
+
+exception Invalid of string
+(** Raised by the smart constructors on malformed input. *)
+
+val atom : string -> atom
+(** [atom s] validates [s] as an atom.
+    @raise Invalid if [s] is empty or contains ['/'] (except [s = "/"]). *)
+
+val atom_to_string : atom -> string
+
+val root_atom : atom
+(** The distinguished atom ["/"]. *)
+
+val self_atom : atom
+(** The atom ["."]. *)
+
+val parent_atom : atom
+(** The atom [".."]. *)
+
+val of_atoms : atom list -> t
+(** @raise Invalid on the empty list. *)
+
+val singleton : atom -> t
+
+val of_strings : string list -> t
+(** [of_strings l] validates every element. @raise Invalid as {!atom}. *)
+
+val of_string : string -> t
+(** [of_string s] parses a path-like syntax: ["/a/b"] becomes the compound
+    name [\["/"; "a"; "b"\]] and ["a/b"] becomes [\["a"; "b"\]]. Repeated
+    slashes are collapsed; a trailing slash is ignored. ["/"] alone parses
+    to [\["/"\]].
+    @raise Invalid on the empty string or empty components. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}: a leading root atom prints as a leading
+    slash. *)
+
+val atoms : t -> atom list
+val length : t -> int
+val head : t -> atom
+val tail : t -> t option
+(** [tail n] is [None] when [n] is a single atom. *)
+
+val last : t -> atom
+val append : t -> t -> t
+val snoc : t -> atom -> t
+val cons : atom -> t -> t
+val prepend_root : t -> t
+(** [prepend_root n] is ["/" :: n] unless [n] already starts with the root
+    atom, in which case it is [n]. *)
+
+val is_absolute : t -> bool
+(** True when the first atom is {!root_atom}. *)
+
+val is_prefix : prefix:t -> t -> bool
+val drop_prefix : prefix:t -> t -> t option
+(** [drop_prefix ~prefix n] is the remainder of [n] after [prefix], or
+    [None] when [prefix] is not a proper prefix of [n] (equality yields
+    [None]: the remainder would be empty). *)
+
+val parent : t -> t option
+(** All but the last atom; [None] for a single atom. *)
+
+val relative_to : base:t -> t -> t
+(** [relative_to ~base n] is a name that, resolved from the directory
+    [base] denotes (in a tree with ordinary [".."] bindings), reaches what
+    [n] denotes from [base]'s starting point: shared prefix stripped, one
+    [".."] per remaining [base] component. Both names are lexically
+    {!normalize}d first; if the normalised [n] equals the normalised
+    [base], the result is ["."]. Purely lexical — meaningful only where
+    [".."] behaves tree-like, the same caveat as {!normalize}.
+    @raise Invalid with mixed absolute/relative arguments. *)
+
+val normalize : t -> t
+(** Lexically eliminates ["."] and [".."] atoms: [a/b/../c] becomes [a/c],
+    [./a] becomes [a]. A [".."] at the head of an absolute name is dropped
+    (the root is its own parent, as in Unix); a [".."] at the head of a
+    relative name is kept. Note that lexical normalisation is {e not}
+    semantically neutral in a general naming graph; schemes that resolve
+    [".."] through real directory bindings must not use it. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val atom_equal : atom -> atom -> bool
+val atom_compare : atom -> atom -> int
+val pp : Format.formatter -> t -> unit
+val pp_atom : Format.formatter -> atom -> unit
+
+module Atom_map : Stdlib.Map.S with type key = atom
+module Map : Stdlib.Map.S with type key = t
+module Set : Stdlib.Set.S with type elt = t

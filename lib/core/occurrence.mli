@@ -1,0 +1,39 @@
+(** Occurrences: the circumstances in which a name occurs.
+
+    Section 3 of the paper identifies three sources from which an activity
+    can obtain a name: it can generate the name internally (this includes
+    names typed by a human user), receive it in a message from another
+    activity, or read it from an object in which it is embedded. The
+    {e meta context} M describes these circumstances; a resolution rule
+    R : M → C selects the context used to resolve the name. *)
+
+type t =
+  | Generated of { by : Entity.t }
+      (** The name was generated internally by activity [by]. *)
+  | Received of { sender : Entity.t; receiver : Entity.t }
+      (** The name arrived in a message from [sender] to [receiver]. *)
+  | Embedded of { reader : Entity.t; source : Entity.t }
+      (** Activity [reader] obtained the name from object [source]. *)
+
+type source = Source_generated | Source_received | Source_embedded
+(** The three sources of names of Figure 1. *)
+
+val source : t -> source
+
+val subject : t -> Entity.t
+(** The activity performing the resolution: [by], [receiver] or
+    [reader]. *)
+
+val generated : Entity.t -> t
+val received : sender:Entity.t -> receiver:Entity.t -> t
+val embedded : reader:Entity.t -> source:Entity.t -> t
+
+val with_subject : t -> Entity.t -> t
+(** The same circumstance, re-targeted at another resolving activity. *)
+
+val source_to_string : source -> string
+val pp : Format.formatter -> t -> unit
+val pp_source : Format.formatter -> source -> unit
+val equal : t -> t -> bool
+
+val all_sources : source list

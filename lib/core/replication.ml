@@ -1,0 +1,78 @@
+type t = {
+  group_of : int Entity.Tbl.t;
+  mutable groups : Entity.t list array;
+}
+
+let create () = { group_of = Entity.Tbl.create 16; groups = [||] }
+
+let declare t members =
+  if List.length members < 2 then
+    invalid_arg "Replication.declare: a replica group needs >= 2 members";
+  List.iter
+    (fun e ->
+      if not (Entity.is_object e) then
+        invalid_arg "Replication.declare: replicas must be objects";
+      if Entity.Tbl.mem t.group_of e then
+        invalid_arg
+          (Printf.sprintf "Replication.declare: %s already replicated"
+             (Entity.to_string e)))
+    members;
+  let gid = Array.length t.groups in
+  t.groups <- Array.append t.groups [| members |];
+  List.iter (fun e -> Entity.Tbl.replace t.group_of e gid) members
+
+let group_of t e = Entity.Tbl.find_opt t.group_of e
+
+let replicas_of t e =
+  match group_of t e with None -> [ e ] | Some gid -> t.groups.(gid)
+
+let same_replica t a b =
+  Entity.equal a b
+  || Entity.is_defined a && Entity.is_defined b
+     &&
+     match (group_of t a, group_of t b) with
+     | Some ga, Some gb -> Int.equal ga gb
+     | _ -> false
+
+let groups t = Array.to_list t.groups
+
+let states_consistent t store =
+  List.for_all
+    (fun members ->
+      match members with
+      | [] | [ _ ] -> true
+      | first :: rest ->
+          let s0 = Store.obj_state store first in
+          List.for_all
+            (fun e ->
+              match (s0, Store.obj_state store e) with
+              | Some (Store.Data d1), Some (Store.Data d2) -> String.equal d1 d2
+              | Some (Store.Context c1), Some (Store.Context c2) ->
+                  Context.equal c1 c2
+              | None, None -> true
+              | _ -> false)
+            rest)
+    (groups t)
+
+let sync_from t store e =
+  match group_of t e with
+  | None -> ()
+  | Some gid -> (
+      match Store.obj_state store e with
+      | None -> ()
+      | Some state ->
+          List.iter
+            (fun replica ->
+              if not (Entity.equal replica e) then
+                Store.set_obj_state store replica state)
+            t.groups.(gid))
+
+let sync_all t store =
+  Array.iter
+    (fun members ->
+      match members with
+      | [] -> ()
+      | first :: _ -> sync_from t store first)
+    t.groups
+
+let empty_equiv = Entity.equal

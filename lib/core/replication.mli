@@ -1,0 +1,47 @@
+(** Replicated objects and replica equivalence.
+
+    Some important objects in distributed systems (e.g. executable code for
+    commands) are replicated: objects o1 … og with σ(o1) = … = σ(og) in
+    every legal state. For such objects the paper weakens coherence: a name
+    is {e weakly coherent} when it denotes replicas of the same replicated
+    object in different activities (paper, section 5). *)
+
+type t
+
+val create : unit -> t
+
+val declare : t -> Entity.t list -> unit
+(** Declares the listed objects to be replicas of one replicated object.
+    @raise Invalid_argument if any of them already belongs to a group, or
+    the list has fewer than two elements. *)
+
+val group_of : t -> Entity.t -> int option
+(** The group index, or [None] for unreplicated entities. *)
+
+val replicas_of : t -> Entity.t -> Entity.t list
+(** All replicas in the same group (including the argument); the singleton
+    list for unreplicated entities. *)
+
+val same_replica : t -> Entity.t -> Entity.t -> bool
+(** Equal entities, or members of the same replica group. This is the
+    equivalence used by weak coherence. Always false when either side is
+    the undefined entity, unless they are equal — and ⊥ never equals a
+    defined entity. *)
+
+val groups : t -> Entity.t list list
+
+val states_consistent : t -> Store.t -> bool
+(** Checks the paper's legal-state invariant: within every group all object
+    states are equal. *)
+
+val sync_from : t -> Store.t -> Entity.t -> unit
+(** Copies the given replica's state to every member of its group —
+    restores the legal-state invariant after an update to one replica.
+    No-op for unreplicated entities. *)
+
+val sync_all : t -> Store.t -> unit
+(** {!sync_from} every group's first member — a crude anti-entropy pass
+    that re-establishes the invariant everywhere. *)
+
+val empty_equiv : Entity.t -> Entity.t -> bool
+(** Plain entity equality — the equivalence for strong coherence. *)

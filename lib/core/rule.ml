@@ -1,0 +1,99 @@
+type t = {
+  label : string;
+  select : Store.t -> Occurrence.t -> Context.t option;
+}
+
+let make ~label select = { label; select }
+let label t = t.label
+let select t store occ = t.select store occ
+
+let resolve t store occ name =
+  match select t store occ with
+  | None -> Entity.undefined
+  | Some ctx -> Resolver.resolve store ctx name
+
+module Assignment = struct
+  type nonrec t = Entity.t Entity.Tbl.t
+
+  let create () = Entity.Tbl.create 16
+  let set t e ctxobj = Entity.Tbl.replace t e ctxobj
+  let remove t e = Entity.Tbl.remove t e
+  let find t e = Entity.Tbl.find_opt t e
+
+  let context t store e =
+    match find t e with
+    | None -> None
+    | Some ctxobj -> Store.context_of store ctxobj
+
+  let copy = Entity.Tbl.copy
+  let entities t = Entity.Tbl.fold (fun e _ acc -> e :: acc) t []
+end
+
+let of_activity asg =
+  make ~label:"R(activity)" (fun store occ ->
+      Assignment.context asg store (Occurrence.subject occ))
+
+let of_sender asg =
+  make ~label:"R(sender)" (fun store occ ->
+      match occ with
+      | Occurrence.Received { sender; _ } -> Assignment.context asg store sender
+      | Occurrence.Generated _ | Occurrence.Embedded _ -> None)
+
+let of_receiver asg =
+  make ~label:"R(receiver)" (fun store occ ->
+      match occ with
+      | Occurrence.Received { receiver; _ } ->
+          Assignment.context asg store receiver
+      | Occurrence.Generated _ | Occurrence.Embedded _ -> None)
+
+let of_object asg =
+  make ~label:"R(object)" (fun store occ ->
+      match occ with
+      | Occurrence.Embedded { source; _ } -> Assignment.context asg store source
+      | Occurrence.Generated _ | Occurrence.Received _ -> None)
+
+let of_receiver_sender ~prefer asg =
+  let label =
+    match prefer with
+    | `Sender -> "R(receiver,sender)/sender-wins"
+    | `Receiver -> "R(receiver,sender)/receiver-wins"
+  in
+  make ~label (fun store occ ->
+      match occ with
+      | Occurrence.Received { sender; receiver } -> (
+          let cs = Assignment.context asg store sender in
+          let cr = Assignment.context asg store receiver in
+          match (cs, cr) with
+          | None, c | c, None -> c
+          | Some cs, Some cr -> (
+              match prefer with
+              | `Sender -> Some (Context.union ~prefer:`Right cr cs)
+              | `Receiver -> Some (Context.union ~prefer:`Right cs cr)))
+      | Occurrence.Generated _ | Occurrence.Embedded _ -> None)
+
+let constant ~label ctx =
+  make ~label (fun _store _occ -> Some ctx)
+
+let in_context_object ~label ctxobj =
+  make ~label (fun store _occ -> Store.context_of store ctxobj)
+
+let dispatch ~generated ~received ~embedded =
+  let lbl =
+    Printf.sprintf "dispatch(gen=%s, recv=%s, emb=%s)" generated.label
+      received.label embedded.label
+  in
+  make ~label:lbl (fun store occ ->
+      match Occurrence.source occ with
+      | Occurrence.Source_generated -> generated.select store occ
+      | Occurrence.Source_received -> received.select store occ
+      | Occurrence.Source_embedded -> embedded.select store occ)
+
+let fallback r1 r2 =
+  make
+    ~label:(Printf.sprintf "%s?%s" r1.label r2.label)
+    (fun store occ ->
+      match r1.select store occ with
+      | Some _ as res -> res
+      | None -> r2.select store occ)
+
+let pp ppf t = Format.pp_print_string ppf t.label

@@ -1,0 +1,92 @@
+(** Resolution rules (closure mechanisms).
+
+    A resolution rule R : M → C selects, from the circumstances in which a
+    name occurs, the context in which to resolve it (paper, section 3). A
+    rule that selects no context models a resolution that cannot proceed:
+    the name then denotes ⊥.
+
+    Rules are first-class so that schemes can be compared by swapping the
+    rule and nothing else — exactly the ablation of Figure 2. *)
+
+type t
+
+val make : label:string -> (Store.t -> Occurrence.t -> Context.t option) -> t
+val label : t -> string
+
+val select : t -> Store.t -> Occurrence.t -> Context.t option
+(** The context chosen for this occurrence, if any. *)
+
+val resolve : t -> Store.t -> Occurrence.t -> Name.t -> Entity.t
+(** [resolve r store m n] = [R(m)(n)]: select the context, then resolve.
+    ⊥ when no context is selected or resolution fails. *)
+
+(** {1 Context assignments}
+
+    Operating systems keep an implicit association between entities and
+    their contexts ("the context of process p", "the context of object
+    o"). An {!Assignment.t} is that association: entity ↦ context object.
+    Because it maps to context {e objects} (not context values), updating
+    the object's state in the store is immediately visible through every
+    rule built from the assignment. *)
+
+module Assignment : sig
+  type t
+
+  val create : unit -> t
+
+  val set : t -> Entity.t -> Entity.t -> unit
+  (** [set asg e ctxobj] associates entity [e] with context object
+      [ctxobj]. *)
+
+  val remove : t -> Entity.t -> unit
+  val find : t -> Entity.t -> Entity.t option
+  val context : t -> Store.t -> Entity.t -> Context.t option
+  (** The current context value of the associated context object. *)
+
+  val copy : t -> t
+  val entities : t -> Entity.t list
+end
+
+(** {1 The rules analysed in the paper} *)
+
+val of_activity : Assignment.t -> t
+(** R(a): resolve in the context of the activity performing the
+    resolution, whatever the source of the name. This is the common
+    operating-system rule. *)
+
+val of_sender : Assignment.t -> t
+(** R(sender): for a received name, resolve in the context of the sender.
+    Selects no context for other sources. *)
+
+val of_receiver : Assignment.t -> t
+(** R(receiver): for a received name, resolve in the context of the
+    receiver. Selects no context for other sources. *)
+
+val of_object : Assignment.t -> t
+(** R(o): for an embedded name, resolve in the context associated with the
+    object from which the name was obtained. Selects no context for other
+    sources. *)
+
+val constant : label:string -> Context.t -> t
+(** A single fixed context — the "global context" of early distributed
+    systems (Locus, the V system). *)
+
+val in_context_object : label:string -> Entity.t -> t
+(** Resolve every name in the current state of the given context object. *)
+
+val of_receiver_sender :
+  prefer:[ `Sender | `Receiver ] -> Assignment.t -> t
+(** The composite rule R(receiver, sender) the paper mentions as
+    "possible" but finds "no instances of, and no justification for": for
+    a received name, resolve in the {e union} of the receiver's and the
+    sender's contexts, [prefer] deciding clashes. Selects no context for
+    other sources. Implemented so the ablation experiment can verify the
+    paper's judgement quantitatively. *)
+
+val dispatch : generated:t -> received:t -> embedded:t -> t
+(** Compose one rule per source of name. *)
+
+val fallback : t -> t -> t
+(** [fallback r1 r2] uses [r2] whenever [r1] selects no context. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+type obj_state = Context of Context.t | Data of string
+
+type t = {
+  mutable version : int;
+  mutable next_id : int;
+  objs : obj_state Entity.Tbl.t;
+  labels : string Entity.Tbl.t;
+  mutable rev_activities : Entity.t list;
+  mutable rev_objects : Entity.t list;
+}
+
+let create () =
+  {
+    version = 0;
+    next_id = 0;
+    objs = Entity.Tbl.create 64;
+    labels = Entity.Tbl.create 64;
+    rev_activities = [];
+    rev_objects = [];
+  }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.version <- t.version + 1;
+  id
+
+let create_object ?label ?(state = Data "") t =
+  let e = Entity.Object (fresh_id t) in
+  Entity.Tbl.replace t.objs e state;
+  (match label with None -> () | Some l -> Entity.Tbl.replace t.labels e l);
+  t.rev_objects <- e :: t.rev_objects;
+  e
+
+let create_context_object ?label ?(ctx = Context.empty) t =
+  create_object ?label ~state:(Context ctx) t
+
+let create_activity ?label t =
+  let e = Entity.Activity (fresh_id t) in
+  (match label with None -> () | Some l -> Entity.Tbl.replace t.labels e l);
+  t.rev_activities <- e :: t.rev_activities;
+  e
+
+let exists t e =
+  match e with
+  | Entity.Undefined -> false
+  | Entity.Object _ -> Entity.Tbl.mem t.objs e
+  | Entity.Activity _ -> List.exists (Entity.equal e) t.rev_activities
+
+let obj_state t e =
+  match e with
+  | Entity.Object _ -> Entity.Tbl.find_opt t.objs e
+  | Entity.Undefined | Entity.Activity _ -> None
+
+let set_obj_state t e state =
+  match e with
+  | Entity.Object _ when Entity.Tbl.mem t.objs e ->
+      t.version <- t.version + 1;
+      Entity.Tbl.replace t.objs e state
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Store.set_obj_state: %s is not an object of this store"
+           (Entity.to_string e))
+
+let context_of t e =
+  match obj_state t e with
+  | Some (Context c) -> Some c
+  | Some (Data _) | None -> None
+
+let is_context_object t e =
+  match context_of t e with Some _ -> true | None -> false
+
+let data_of t e =
+  match obj_state t e with
+  | Some (Data d) -> Some d
+  | Some (Context _) | None -> None
+
+let set_context t e c = set_obj_state t e (Context c)
+
+let bind t ~dir a e =
+  match context_of t dir with
+  | Some c -> set_context t dir (Context.bind c a e)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Store.bind: %s is not a context object"
+           (Entity.to_string dir))
+
+let unbind t ~dir a =
+  match context_of t dir with
+  | Some c -> set_context t dir (Context.unbind c a)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Store.unbind: %s is not a context object"
+           (Entity.to_string dir))
+
+let lookup t ~dir a =
+  match context_of t dir with
+  | Some c -> Context.lookup c a
+  | None -> Entity.undefined
+
+let version t = t.version
+
+let label t e = Entity.Tbl.find_opt t.labels e
+let set_label t e l = Entity.Tbl.replace t.labels e l
+
+let pp_entity t ppf e =
+  match label t e with
+  | Some l -> Format.fprintf ppf "%s(%a)" l Entity.pp e
+  | None -> Entity.pp ppf e
+
+let activities t = List.rev t.rev_activities
+let objects t = List.rev t.rev_objects
+
+let context_objects t =
+  List.filter (fun e -> is_context_object t e) (objects t)
+
+let cardinal t = List.length t.rev_activities + List.length t.rev_objects
+
+let snapshot t =
+  List.map
+    (fun e ->
+      match Entity.Tbl.find_opt t.objs e with
+      | Some s -> (e, s)
+      | None -> assert false)
+    (objects t)
+
+let restore t saved =
+  t.version <- t.version + 1;
+  List.iter (fun (e, s) -> Entity.Tbl.replace t.objs e s) saved
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>store: %d entities@," (cardinal t);
+  List.iter
+    (fun a -> Format.fprintf ppf "activity %a@," (pp_entity t) a)
+    (activities t);
+  List.iter
+    (fun o ->
+      match obj_state t o with
+      | Some (Context c) ->
+          Format.fprintf ppf "ctxobj %a = %a@," (pp_entity t) o Context.pp c
+      | Some (Data d) ->
+          Format.fprintf ppf "object %a = %S@," (pp_entity t) o d
+      | None -> ())
+    (objects t);
+  Format.fprintf ppf "@]"

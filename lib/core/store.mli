@@ -1,0 +1,85 @@
+(** The global state σ : E → S.
+
+    A store allocates entities and records their states. An object whose
+    state is a context is a {e context object} (e.g. a file directory); an
+    object whose state is data is a plain object (e.g. a file). The store is
+    the single mutable structure of the core model; resolving a compound
+    name reads the states of the context objects along the resolution path
+    (paper, section 2). *)
+
+type obj_state =
+  | Context of Context.t  (** the object is a context object *)
+  | Data of string  (** an uninterpreted payload, e.g. file contents *)
+
+type t
+
+val create : unit -> t
+
+val create_object : ?label:string -> ?state:obj_state -> t -> Entity.t
+(** Allocates a fresh object. Default state is [Data ""]. The optional
+    [label] is purely diagnostic. *)
+
+val create_context_object : ?label:string -> ?ctx:Context.t -> t -> Entity.t
+(** Allocates a fresh context object (default: the empty context). *)
+
+val create_activity : ?label:string -> t -> Entity.t
+
+val exists : t -> Entity.t -> bool
+
+val obj_state : t -> Entity.t -> obj_state option
+(** [None] for activities, the undefined entity, and unknown entities. *)
+
+val set_obj_state : t -> Entity.t -> obj_state -> unit
+(** @raise Invalid_argument if the entity is not an object of this store. *)
+
+val context_of : t -> Entity.t -> Context.t option
+(** The state of a context object; [None] for anything else. *)
+
+val is_context_object : t -> Entity.t -> bool
+
+val data_of : t -> Entity.t -> string option
+
+val set_context : t -> Entity.t -> Context.t -> unit
+(** @raise Invalid_argument as {!set_obj_state}. *)
+
+val bind : t -> dir:Entity.t -> Name.atom -> Entity.t -> unit
+(** Adds a binding inside the context object [dir].
+    @raise Invalid_argument if [dir] is not a context object. *)
+
+val unbind : t -> dir:Entity.t -> Name.atom -> unit
+(** @raise Invalid_argument if [dir] is not a context object. *)
+
+val lookup : t -> dir:Entity.t -> Name.atom -> Entity.t
+(** [Entity.undefined] when [dir] is not a context object or the atom is
+    unbound — matching the paper's totalised semantics. *)
+
+val label : t -> Entity.t -> string option
+val set_label : t -> Entity.t -> string -> unit
+
+val pp_entity : t -> Format.formatter -> Entity.t -> unit
+(** Prints the label when one is set, the raw id otherwise. *)
+
+val activities : t -> Entity.t list
+(** In allocation order. *)
+
+val objects : t -> Entity.t list
+(** In allocation order. *)
+
+val context_objects : t -> Entity.t list
+val cardinal : t -> int
+
+val version : t -> int
+(** A counter bumped by every object-state mutation ({!set_obj_state},
+    {!bind}, {!unbind}, {!set_context}, {!restore}) and by entity
+    allocation. Caches key their entries to it: if the version is
+    unchanged, every past resolution still holds. *)
+
+val snapshot : t -> (Entity.t * obj_state) list
+(** The states of all objects, for later {!restore}. *)
+
+val restore : t -> (Entity.t * obj_state) list -> unit
+(** Restores object states saved by {!snapshot}. Entities allocated after
+    the snapshot keep their current state. *)
+
+val pp : Format.formatter -> t -> unit
+(** A diagnostic dump of the whole store. *)

@@ -1,0 +1,67 @@
+module E = Naming.Entity
+module N = Naming.Name
+
+type t = {
+  agree : (N.t * E.t) list;
+  disagree : (N.t * E.t * E.t) list;
+  only_a : (N.t * E.t) list;
+  only_b : (N.t * E.t) list;
+  neither : N.t list;
+}
+
+let diff store rule ~a ~b ~probes =
+  let resolve subject name =
+    Naming.Rule.resolve rule store (Naming.Occurrence.generated subject) name
+  in
+  let init =
+    { agree = []; disagree = []; only_a = []; only_b = []; neither = [] }
+  in
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        let ea = resolve a name and eb = resolve b name in
+        match (E.is_defined ea, E.is_defined eb) with
+        | false, false -> { acc with neither = name :: acc.neither }
+        | true, false -> { acc with only_a = (name, ea) :: acc.only_a }
+        | false, true -> { acc with only_b = (name, eb) :: acc.only_b }
+        | true, true ->
+            if E.equal ea eb then { acc with agree = (name, ea) :: acc.agree }
+            else { acc with disagree = (name, ea, eb) :: acc.disagree })
+      init probes
+  in
+  {
+    agree = List.rev acc.agree;
+    disagree = List.rev acc.disagree;
+    only_a = List.rev acc.only_a;
+    only_b = List.rev acc.only_b;
+    neither = List.rev acc.neither;
+  }
+
+let coherent_fraction t =
+  let meaningful =
+    List.length t.agree + List.length t.disagree + List.length t.only_a
+    + List.length t.only_b
+  in
+  if meaningful = 0 then 1.0
+  else float_of_int (List.length t.agree) /. float_of_int meaningful
+
+let pp store ppf t =
+  let pe = Naming.Store.pp_entity store in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "agree: %d  disagree: %d  only-a: %d  only-b: %d  ⊥⊥: %d@,"
+    (List.length t.agree) (List.length t.disagree) (List.length t.only_a)
+    (List.length t.only_b) (List.length t.neither);
+  List.iter
+    (fun (n, ea, eb) ->
+      Format.fprintf ppf "  ≠ %-30s a: %a   b: %a@," (N.to_string n) pe ea pe
+        eb)
+    t.disagree;
+  List.iter
+    (fun (n, ea) ->
+      Format.fprintf ppf "  a %-30s -> %a  (⊥ for b)@," (N.to_string n) pe ea)
+    t.only_a;
+  List.iter
+    (fun (n, eb) ->
+      Format.fprintf ppf "  b %-30s -> %a  (⊥ for a)@," (N.to_string n) pe eb)
+    t.only_b;
+  Format.fprintf ppf "@]"

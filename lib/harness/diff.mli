@@ -1,0 +1,32 @@
+(** Namespace diffing: where exactly do two activities disagree?
+
+    The coherence degree says {e how much} of a probe set two activities
+    agree on; operators debugging an incoherent world need to know
+    {e which} names differ and what each side sees. This is the analysis
+    behind `namingctl diff`. *)
+
+type t = {
+  agree : (Naming.Name.t * Naming.Entity.t) list;
+      (** defined identically on both sides *)
+  disagree : (Naming.Name.t * Naming.Entity.t * Naming.Entity.t) list;
+      (** defined on both sides, different entities *)
+  only_a : (Naming.Name.t * Naming.Entity.t) list;
+      (** defined for [a], ⊥ for [b] *)
+  only_b : (Naming.Name.t * Naming.Entity.t) list;
+  neither : Naming.Name.t list;  (** ⊥ on both sides *)
+}
+
+val diff :
+  Naming.Store.t ->
+  Naming.Rule.t ->
+  a:Naming.Entity.t ->
+  b:Naming.Entity.t ->
+  probes:Naming.Name.t list ->
+  t
+(** Resolves every probe as a [Generated] occurrence of each activity and
+    buckets the outcomes. Probe order is preserved within buckets. *)
+
+val coherent_fraction : t -> float
+(** |agree| over all non-[neither] probes; 1.0 when that set is empty. *)
+
+val pp : Naming.Store.t -> Format.formatter -> t -> unit

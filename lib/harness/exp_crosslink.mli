@@ -1,0 +1,19 @@
+(** Experiment E5 — Figure 5: cross-links between autonomous systems.
+
+    Two autonomous systems are federated by cross-links (each binds the
+    other's root in its own root). Paper: the activities' contexts are
+    merely extended — there are no global names between the systems — so
+    names exchanged across the boundary and names embedded in shared
+    structured objects are incoherent; prefix mapping (the human closure
+    mechanism) repairs exchanged names, and the Algol-scope rule repairs
+    embedded ones. *)
+
+type result = {
+  exchanged_unmapped : float;
+  exchanged_mapped : float;
+  embedded_reader_rule : float;  (** baseline R(activity) *)
+  embedded_algol_rule : float;
+}
+
+val measure : unit -> result
+val run : Format.formatter -> unit

@@ -1,0 +1,21 @@
+(** Experiment E9 — section 7: shared name spaces in limited scopes.
+
+    Two organisations each attach home directories under [/users] and
+    services under [/services]. Within an organisation these shared
+    spaces are coherent for all its activities. Across organisations the
+    common name cannot be used; after federating (attaching org2's root
+    under [/org2] in org1), humans map names by adding the prefix — and
+    embedded names inside a foreign subtree, which the prefix mapping
+    cannot fix (humans did not generate them), are restored by the
+    Algol-scope rule. *)
+
+type result = {
+  within_org : float;  (** /users and /services names inside one org *)
+  across_orgs_unmapped : float;
+  across_orgs_mapped : float;  (** after the /org2 prefix mapping *)
+  foreign_embedded_reader_rule : float;
+  foreign_embedded_algol_rule : float;
+}
+
+val measure : unit -> result
+val run : Format.formatter -> unit

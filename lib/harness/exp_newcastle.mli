@@ -1,0 +1,24 @@
+(** Experiment E3 — Figure 3: the Newcastle Connection with three machines.
+
+    Measures (a) coherence of ["/"]-rooted names among processes on the
+    same machine vs across machines, (b) coherence of super-root-qualified
+    names ([/../unixK/...]) across all machines, (c) correctness of the
+    "simple mapping rule" that rewrites a machine-absolute name for use on
+    another machine, and (d) the two remote-execution root-binding
+    policies. Paper: (a) same-machine 1 / cross-machine 0, (b) 1, (c) the
+    mapping restores the original meaning, (d) invoker-root gives
+    parameter coherence, remote-root gives local access — not both. *)
+
+type result = {
+  same_machine : float;
+  cross_machine : float;
+  superroot_qualified : float;
+  mapping_correct : float;
+  invoker_param_coherence : float;
+  invoker_local_access : float;
+  remote_param_coherence : float;
+  remote_local_access : float;
+}
+
+val measure : unit -> result
+val run : Format.formatter -> unit

@@ -1,0 +1,21 @@
+(** Ablation A2 — recursive extension of the Newcastle Connection.
+
+    Section 5.3: "The Newcastle Connection ... can be extended recursively
+    because each extended system is still a Unix system with a single
+    tree." Two independent Newcastle systems are joined under a fresh
+    super-root; the experiment checks that the joined system behaves like
+    a (deeper) Newcastle system: machine-absolute names stay incoherent
+    across machines, doubly-qualified [/../../sys/machine/...] names are
+    coherent everywhere, and the mapping rule keeps working across the two
+    original system boundaries. *)
+
+type result = {
+  cross_system_plain : float;  (** '/'-names across the two systems *)
+  superroot_all_machines : float;  (** deep-qualified names, everywhere *)
+  mapping_across_systems : float;  (** mapped names resolve correctly *)
+  nested_dotdot_depth_ok : bool;
+      (** ['/../..'] from a machine root reaches the joined super-root *)
+}
+
+val measure : unit -> result
+val run : Format.formatter -> unit

@@ -1,0 +1,20 @@
+(** Experiment E8 — section 6, solution II: remote execution under three
+    namespace mechanisms.
+
+    A parent process on subsystem 1 executes a child remotely on
+    subsystem 2 and passes file names as parameters. Mechanisms compared:
+    Newcastle with the invoker-root policy, Newcastle with the remote-root
+    policy, and per-process namespaces (Plan 9 / extended Waterloo Port)
+    where the child inherits the parent's namespace {e and} attaches the
+    executing subsystem. Paper: the first two each achieve only one of
+    {parameter coherence, local access}; the per-process view achieves
+    both, "in spite of not having global names". *)
+
+type row = {
+  mechanism : string;
+  param_coherence : float;
+  local_access : float;
+}
+
+val measure : unit -> row list
+val run : Format.formatter -> unit

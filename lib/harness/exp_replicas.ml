@@ -1,0 +1,92 @@
+module S = Naming.Store
+module N = Naming.Name
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+module Sg = Schemes.Shared_graph
+
+type result = {
+  consistent_initially : bool;
+  weak_coherent_initially : bool;
+  consistent_after_drift : bool;
+  weak_verdict_after_drift : bool;
+  consistent_after_sync : bool;
+  drifted_content_propagated : bool;
+}
+
+let measure () =
+  let store = S.create () in
+  let t = Sg.build ~clients:[ "c1"; "c2"; "c3" ] store in
+  Sg.replicate_local t ~path:"bin/ls" ~content:"ls v1";
+  let repl = Sg.replication t in
+  let procs =
+    List.map (fun c -> Sg.spawn_on t ~client:c) (Sg.clients t)
+  in
+  let occs = List.map O.generated procs in
+  let name = N.of_string "/bin/ls" in
+  let equiv = Naming.Replication.same_replica repl in
+  let weak () = Coh.is_coherent ~equiv store (Sg.rule t) occs name in
+  let consistent () = Naming.Replication.states_consistent repl store in
+  let consistent_initially = consistent () in
+  let weak_coherent_initially = weak () in
+  (* drift: c2 upgrades its local ls *)
+  let c2_ls = Vfs.Fs.lookup (Sg.client_fs t "c2") "/bin/ls" in
+  Vfs.Fs.write (Sg.client_fs t "c2") c2_ls "ls v2";
+  let consistent_after_drift = consistent () in
+  let weak_verdict_after_drift = weak () in
+  (* anti-entropy from the updated replica *)
+  Naming.Replication.sync_from repl store c2_ls;
+  let consistent_after_sync = consistent () in
+  let drifted_content_propagated =
+    List.for_all
+      (fun c ->
+        S.data_of store (Vfs.Fs.lookup (Sg.client_fs t c) "/bin/ls")
+        = Some "ls v2")
+      (Sg.clients t)
+  in
+  {
+    consistent_initially;
+    weak_coherent_initially;
+    consistent_after_drift;
+    weak_verdict_after_drift;
+    consistent_after_sync;
+    drifted_content_propagated;
+  }
+
+let run ppf =
+  let r = measure () in
+  let yn v = if v then "true" else "false" in
+  Format.fprintf ppf
+    "A4 (section 5): weak coherence presupposes the legal-state invariant
+σ(o1) = … = σ(og). We drift one replica of /bin/ls and restore it with
+an anti-entropy pass.@\n@\n";
+  Format.pp_print_string ppf
+    (Table.render ~aligns:[ Table.Left; Table.Right; Table.Right ]
+       ~headers:[ "observation"; "measured"; "expected" ]
+       [
+         [ "replica states equal initially"; yn r.consistent_initially; "true" ];
+         [
+           "weak coherence for /bin/ls initially";
+           yn r.weak_coherent_initially;
+           "true";
+         ];
+         [
+           "states equal after one-replica update";
+           yn r.consistent_after_drift;
+           "false";
+         ];
+         [
+           "weak verdict after drift (identity-only!)";
+           yn r.weak_verdict_after_drift;
+           "true";
+         ];
+         [ "states equal after sync_from"; yn r.consistent_after_sync; "true" ];
+         [
+           "updated content on every client";
+           yn r.drifted_content_propagated;
+           "true";
+         ];
+       ]);
+  Format.fprintf ppf
+    "@\nThe identity-level weak verdict cannot see state drift — which is
+why the library checks the invariant separately (states_consistent) and
+provides the sync pass to re-establish it.@\n"

@@ -1,0 +1,24 @@
+(** Ablation A4 — the legal-state invariant behind weak coherence.
+
+    Section 5 defines weak coherence against replicated objects whose
+    states are equal {e in every legal state}: σ(o1) = … = σ(og). The
+    definition is only meaningful while that invariant holds. This
+    ablation drifts one replica (a local update to one client's
+    [/bin/ls]), observes that the invariant is broken while the
+    name-level weak coherence verdict alone would not notice (it compares
+    identities, not states), and then restores the invariant with the
+    anti-entropy pass {!Naming.Replication.sync_from}. *)
+
+type result = {
+  consistent_initially : bool;
+  weak_coherent_initially : bool;
+  consistent_after_drift : bool;  (** paper: must be false *)
+  weak_verdict_after_drift : bool;
+      (** still true — which is exactly why the invariant must be
+          checked separately *)
+  consistent_after_sync : bool;
+  drifted_content_propagated : bool;
+}
+
+val measure : unit -> result
+val run : Format.formatter -> unit

@@ -1,0 +1,22 @@
+(** Experiment E4 — Figure 4: a naming graph shared among client
+    subsystems (Andrew-style).
+
+    Paper: names prefixed by the shared attachment point ([/vice]) are
+    global — coherent among all processes; local names are coherent only
+    within a client subsystem; replicated commands and libraries
+    ([/bin/...]) are coherent only in the weak sense (they denote
+    replicas of the same replicated object); and during remote execution
+    only entities of the shared graph can be passed as arguments. *)
+
+type result = {
+  shared_names_all_clients : float;
+  local_names_within_client : float;
+  local_names_across_clients : float;
+  replicated_strict : float;  (** strict coherence for /bin-style names *)
+  replicated_weak : float;  (** weak coherence for the same names *)
+  remote_exec_shared_params : float;
+  remote_exec_local_params : float;
+}
+
+val measure : unit -> result
+val run : Format.formatter -> unit

@@ -1,0 +1,94 @@
+module N = Naming.Name
+module E = Naming.Entity
+module O = Naming.Occurrence
+
+type outcome = {
+  source : O.source;
+  rule_label : string;
+  result : E.t;
+  agrees_with_originator : bool;
+}
+
+let probe = "/home/alice/notes.txt"
+
+let build () =
+  let store = Naming.Store.create () in
+  (* Two machines with identically-shaped trees: every name resolves on
+     both sides, but to different entities — the interesting regime. *)
+  let fs1 = Vfs.Fs.create ~root_label:"m1:/" store in
+  let fs2 = Vfs.Fs.create ~root_label:"m2:/" store in
+  Vfs.Fs.populate fs1 Schemes.Unix_scheme.default_tree;
+  Vfs.Fs.populate fs2 Schemes.Unix_scheme.default_tree;
+  let env = Schemes.Process_env.create store in
+  let a1 =
+    Schemes.Process_env.spawn ~label:"originator" ~root:(Vfs.Fs.root fs1) env
+  in
+  let a2 =
+    Schemes.Process_env.spawn ~label:"consumer" ~root:(Vfs.Fs.root fs2) env
+  in
+  (* A structured object authored by a1, embedding the probe name. *)
+  let doc =
+    Vfs.Fs.add_file fs1 "home/alice/doc.txt"
+      ~content:
+        (Schemes.Embedded.make_content ~refs:[ N.of_string probe ] ())
+  in
+  (store, env, a1, a2, doc)
+
+let measure () =
+  let store, env, a1, a2, doc = build () in
+  let asg = Schemes.Process_env.assignment env in
+  (* Associate the document with its author's context, so that R(object)
+     has something to select (paper, section 3). *)
+  let obj_asg = Naming.Rule.Assignment.create () in
+  Naming.Rule.Assignment.set obj_asg doc
+    (Naming.Rule.Assignment.find asg a1 |> Option.get);
+  let name = N.of_string probe in
+  let originator_meaning =
+    Naming.Rule.resolve (Naming.Rule.of_activity asg) store (O.generated a1)
+      name
+  in
+  let outcome source rule occ =
+    let result = Naming.Rule.resolve rule store occ name in
+    {
+      source;
+      rule_label = Naming.Rule.label rule;
+      result;
+      agrees_with_originator = E.equal result originator_meaning;
+    }
+  in
+  [
+    outcome O.Source_generated (Naming.Rule.of_activity asg) (O.generated a2);
+    outcome O.Source_received (Naming.Rule.of_receiver asg)
+      (O.received ~sender:a1 ~receiver:a2);
+    outcome O.Source_received (Naming.Rule.of_sender asg)
+      (O.received ~sender:a1 ~receiver:a2);
+    outcome O.Source_embedded (Naming.Rule.of_activity asg)
+      (O.embedded ~reader:a2 ~source:doc);
+    outcome O.Source_embedded (Naming.Rule.of_object obj_asg)
+      (O.embedded ~reader:a2 ~source:doc);
+  ]
+
+let run ppf =
+  let outcomes = measure () in
+  Format.fprintf ppf
+    "E1 (Figure 1): three sources of names, resolved by activity
+'consumer' on machine m2; the name %s was authored by 'originator' on m1.
+Paper: under R(activity) the selected context cannot depend on where the
+name came from, so only global names are coherent; R(sender)/R(object)
+recover the originator's meaning.@\n@\n"
+    probe;
+  let rows =
+    List.map
+      (fun o ->
+        [
+          O.source_to_string o.source;
+          o.rule_label;
+          E.to_string o.result;
+          (if o.agrees_with_originator then "yes" else "NO");
+        ])
+      outcomes
+  in
+  Format.pp_print_string ppf
+    (Table.render
+       ~headers:[ "source"; "rule"; "resolves to"; "= originator's meaning?" ]
+       rows)

@@ -1,0 +1,106 @@
+type t = {
+  id : string;
+  paper_artefact : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let all =
+  [
+    {
+      id = "e1";
+      paper_artefact = "Figure 1";
+      title = "three sources of names";
+      run = Exp_sources.run;
+    };
+    {
+      id = "e2";
+      paper_artefact = "Figure 2";
+      title = "coherence vs resolution rule";
+      run = Exp_rules.run;
+    };
+    {
+      id = "e3";
+      paper_artefact = "Figure 3";
+      title = "the Newcastle Connection";
+      run = Exp_newcastle.run;
+    };
+    {
+      id = "e4";
+      paper_artefact = "Figure 4";
+      title = "shared naming graph among clients";
+      run = Exp_shared.run;
+    };
+    {
+      id = "e5";
+      paper_artefact = "Figure 5";
+      title = "cross-links between autonomous systems";
+      run = Exp_crosslink.run;
+    };
+    {
+      id = "e6";
+      paper_artefact = "Figure 6";
+      title = "embedded names, Algol-scope rule";
+      run = Exp_embedded.run;
+    };
+    {
+      id = "e7";
+      paper_artefact = "section 6, Example 1";
+      title = "partially qualified identifiers";
+      run = Exp_pqid.run;
+    };
+    {
+      id = "e8";
+      paper_artefact = "section 6, II";
+      title = "remote execution and per-process namespaces";
+      run = Exp_remote_exec.run;
+    };
+    {
+      id = "e9";
+      paper_artefact = "section 7";
+      title = "shared name spaces in limited scopes";
+      run = Exp_federation.run;
+    };
+    {
+      id = "e10";
+      paper_artefact = "section 5 (summary)";
+      title = "coherence matrix of common schemes";
+      run = Exp_matrix.run;
+    };
+    {
+      id = "a1";
+      paper_artefact = "section 4 (remark)";
+      title = "ablation: composite rule R(receiver, sender)";
+      run = Exp_composite.run;
+    };
+    {
+      id = "a2";
+      paper_artefact = "section 5.3";
+      title = "ablation: recursive Newcastle extension";
+      run = Exp_recursive.run;
+    };
+    {
+      id = "a3";
+      paper_artefact = "section 6, Ex. 1 (boundary)";
+      title = "ablation: renumbering vs process migration";
+      run = Exp_migration.run;
+    };
+    {
+      id = "a4";
+      paper_artefact = "section 5 (legal states)";
+      title = "ablation: replica drift and the legal-state invariant";
+      run = Exp_replicas.run;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.equal e.id id) all
+
+let run_one ppf e =
+  Format.fprintf ppf "%s@\n== %s [%s] %s ==@\n@\n" (String.make 72 '=')
+    (String.uppercase_ascii e.id) e.paper_artefact e.title;
+  e.run ppf;
+  Format.fprintf ppf "@\n"
+
+let run_all ppf = List.iter (run_one ppf) all

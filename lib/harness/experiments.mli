@@ -1,0 +1,20 @@
+(** The experiment registry: every figure and qualitative claim of the
+    paper, as a runnable experiment. See DESIGN.md for the index. *)
+
+type t = {
+  id : string;  (** e.g. ["e3"] *)
+  paper_artefact : string;  (** e.g. ["Figure 3"] *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : t list
+(** E1–E10, in order. *)
+
+val find : string -> t option
+(** Lookup by id, case-insensitive. *)
+
+val run_one : Format.formatter -> t -> unit
+(** Runs with a header/footer rule. *)
+
+val run_all : Format.formatter -> unit

@@ -1,0 +1,81 @@
+type world = {
+  label : string;
+  store : Naming.Store.t;
+  rule : Naming.Rule.t;
+  activities : Naming.Entity.t list;
+  probes : Naming.Name.t list;
+  embedded : (Naming.Entity.t * Naming.Name.t list) list;
+  equiv : (Naming.Entity.t -> Naming.Entity.t -> bool) option;
+}
+
+type row = {
+  world : string;
+  generated : float;
+  received : float;
+  embedded_deg : float option;
+}
+
+let generated_degree w =
+  let occs = List.map Naming.Occurrence.generated w.activities in
+  let report =
+    Naming.Coherence.measure ?equiv:w.equiv w.store w.rule occs w.probes
+  in
+  Naming.Coherence.degree report
+
+let received_degree w =
+  let events =
+    Workload.Exchange.all_pairs ~activities:w.activities ~probes:w.probes
+  in
+  Workload.Exchange.coherent_fraction ?equiv:w.equiv w.store w.rule events
+
+let embedded_degree w =
+  match w.embedded with
+  | [] -> None
+  | sources ->
+      let coherent = ref 0 and meaningful = ref 0 in
+      List.iter
+        (fun (source, names) ->
+          let occs =
+            List.map
+              (fun reader -> Naming.Occurrence.embedded ~reader ~source)
+              w.activities
+          in
+          List.iter
+            (fun name ->
+              match
+                Naming.Coherence.check ?equiv:w.equiv w.store w.rule occs name
+              with
+              | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _
+                ->
+                  incr coherent;
+                  incr meaningful
+              | Naming.Coherence.Incoherent _ -> incr meaningful
+              | Naming.Coherence.Vacuous -> ())
+            names)
+        sources;
+      if !meaningful = 0 then Some 1.0
+      else Some (float_of_int !coherent /. float_of_int !meaningful)
+
+let measure w =
+  {
+    world = w.label;
+    generated = generated_degree w;
+    received = received_degree w;
+    embedded_deg = embedded_degree w;
+  }
+
+let render_rows rows =
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~headers:[ "scheme"; "generated"; "received"; "embedded" ]
+    (List.map
+       (fun r ->
+         [
+           r.world;
+           Table.fraction r.generated;
+           Table.fraction r.received;
+           (match r.embedded_deg with
+           | None -> "-"
+           | Some d -> Table.fraction d);
+         ])
+       rows)

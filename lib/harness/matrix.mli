@@ -1,0 +1,39 @@
+(** The scheme × source-of-name coherence matrix (experiment E10).
+
+    For a world (a built scheme with its activities, probe names, and
+    resolution rule) this module measures the degree of coherence for each
+    of the paper's three sources of names — the quantitative rendering of
+    the qualitative comparison that section 5 of the paper carries out in
+    prose. *)
+
+type world = {
+  label : string;
+  store : Naming.Store.t;
+  rule : Naming.Rule.t;
+  activities : Naming.Entity.t list;  (** the scope of the measurement *)
+  probes : Naming.Name.t list;  (** names generated/exchanged *)
+  embedded : (Naming.Entity.t * Naming.Name.t list) list;
+      (** objects containing embedded names, with those names *)
+  equiv : (Naming.Entity.t -> Naming.Entity.t -> bool) option;
+      (** replica equivalence, when the world has replicated objects *)
+}
+
+type row = {
+  world : string;
+  generated : float;
+  received : float;
+  embedded_deg : float option;  (** [None] when the world embeds nothing *)
+}
+
+val generated_degree : world -> float
+(** Coherence across all activities for names each generates itself. *)
+
+val received_degree : world -> float
+(** Mean coherence over all ordered (sender, receiver) pairs for all
+    probes sent from one to the other. *)
+
+val embedded_degree : world -> float option
+(** Coherence across all activities reading each embedded source. *)
+
+val measure : world -> row
+val render_rows : row list -> string

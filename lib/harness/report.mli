@@ -1,0 +1,12 @@
+(** Machine-generated experiment reports.
+
+    Runs every registered experiment and renders the output as a markdown
+    document — the measured companion to the hand-curated EXPERIMENTS.md.
+    Used by [namingctl report]; useful for regenerating results after
+    changing a scheme, and for CI artifacts. *)
+
+val generate : unit -> string
+(** The full report: one section per experiment, output in fenced code
+    blocks, plus a header naming the paper and the experiment count. *)
+
+val generate_for : Experiments.t list -> string

@@ -1,0 +1,43 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render ?aligns ~headers rows =
+  let ncols =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (List.length row))
+      (List.length headers) rows
+  in
+  let get l i = match List.nth_opt l i with Some x -> x | None -> "" in
+  let aligns =
+    match aligns with
+    | Some a -> List.init ncols (fun i -> match List.nth_opt a i with Some x -> x | None -> Left)
+    | None -> List.init ncols (fun _ -> Left)
+  in
+  let width i =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (String.length (get row i)))
+      (String.length (get headers i))
+      rows
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i (w, a) -> pad a w (get row i))
+         (List.combine widths aligns))
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    ((render_row headers :: rule :: List.map render_row rows) @ [ "" ])
+
+let fraction f = Printf.sprintf "%.3f" f
+let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)

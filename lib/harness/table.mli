@@ -1,0 +1,14 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> headers:string list -> string list list -> string
+(** Monospace table with a header rule. [aligns] defaults to left for
+    every column; ragged rows are padded with empty cells. *)
+
+val fraction : float -> string
+(** Formats a coherence degree, e.g. ["1.000"]. *)
+
+val pct : float -> string
+(** ["87.5%"]. *)

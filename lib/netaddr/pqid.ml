@@ -1,0 +1,48 @@
+type t = { naddr : int; maddr : int; laddr : int }
+
+let v ~naddr ~maddr ~laddr =
+  if naddr < 0 || maddr < 0 || laddr < 0 then
+    invalid_arg "Pqid.v: negative address component";
+  if naddr <> 0 && maddr = 0 then
+    invalid_arg "Pqid.v: network-qualified pid must be machine-qualified";
+  if maddr <> 0 && laddr = 0 then
+    invalid_arg "Pqid.v: machine-qualified pid must be locally qualified";
+  { naddr; maddr; laddr }
+
+let self = { naddr = 0; maddr = 0; laddr = 0 }
+
+let local l =
+  if l = 0 then invalid_arg "Pqid.local: laddr must be non-zero";
+  v ~naddr:0 ~maddr:0 ~laddr:l
+
+let machine ~maddr ~laddr =
+  if maddr = 0 then invalid_arg "Pqid.machine: maddr must be non-zero";
+  v ~naddr:0 ~maddr ~laddr
+
+let full ~naddr ~maddr ~laddr =
+  if naddr = 0 then invalid_arg "Pqid.full: naddr must be non-zero";
+  v ~naddr ~maddr ~laddr
+
+type qualification = Self | Machine_local | Network_local | Fully_qualified
+
+let qualification t =
+  if t.naddr <> 0 then Fully_qualified
+  else if t.maddr <> 0 then Network_local
+  else if t.laddr <> 0 then Machine_local
+  else Self
+
+let is_self t = t.naddr = 0 && t.maddr = 0 && t.laddr = 0
+
+let equal a b =
+  Int.equal a.naddr b.naddr && Int.equal a.maddr b.maddr
+  && Int.equal a.laddr b.laddr
+
+let compare a b =
+  let c = Int.compare a.naddr b.naddr in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.maddr b.maddr in
+    if c <> 0 then c else Int.compare a.laddr b.laddr
+
+let to_string t = Printf.sprintf "(%d,%d,%d)" t.naddr t.maddr t.laddr
+let pp ppf t = Format.pp_print_string ppf (to_string t)

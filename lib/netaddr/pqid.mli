@@ -1,0 +1,42 @@
+(** Partially qualified process identifiers.
+
+    Section 6, Example 1 of the paper: process identifiers have the form
+    [(naddr, maddr, laddr)] and are qualified {e only as far as
+    necessary}. A process with local address [l] on machine [m] in network
+    [n] can be denoted, depending on the context of reference, by
+    [(0,0,0)] (itself), [(0,0,l)] (within its machine), [(0,m,l)] (within
+    its network) or [(n,m,l)] (fully qualified). The component value [0]
+    means "unqualified". *)
+
+type t = { naddr : int; maddr : int; laddr : int }
+
+val v : naddr:int -> maddr:int -> laddr:int -> t
+(** @raise Invalid_argument on negative components, or when a qualified
+    component appears below an unqualified one (e.g. [naddr <> 0] with
+    [maddr = 0] but [laddr <> 0] is fine — that cannot happen — the real
+    constraint is: if [naddr <> 0] then [maddr <> 0] and [laddr <> 0]; if
+    [maddr <> 0] then [laddr <> 0]). *)
+
+val self : t
+(** [(0,0,0)] — usable by any process to refer to itself. *)
+
+val local : int -> t
+(** [(0,0,l)]: machine-local form. @raise Invalid_argument when [l = 0]. *)
+
+val machine : maddr:int -> laddr:int -> t
+(** [(0,m,l)]: network-local form. *)
+
+val full : naddr:int -> maddr:int -> laddr:int -> t
+(** Fully qualified. *)
+
+type qualification = Self | Machine_local | Network_local | Fully_qualified
+
+val qualification : t -> qualification
+
+val is_self : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** [(n,m,l)] notation, as in the paper. *)

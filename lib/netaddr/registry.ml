@@ -1,0 +1,288 @@
+type net = int
+type mach = int
+type proc = int
+
+type net_rec = { mutable naddr : int; n_label : string }
+type mach_rec = { mutable maddr : int; mutable net : int; m_label : string }
+type proc_rec = { mutable laddr : int; mutable mach : int; p_label : string }
+
+type t = {
+  mutable nets : net_rec array;
+  mutable machs : mach_rec array;
+  mutable procs : proc_rec array;
+}
+
+let create () = { nets = [||]; machs = [||]; procs = [||] }
+
+let append arr x = Array.append arr [| x |]
+
+let indices arr = List.init (Array.length arr) (fun i -> i)
+
+(* Free-address helpers. *)
+
+let net_addr_used t a = Array.exists (fun n -> Int.equal n.naddr a) t.nets
+
+let mach_addr_used t ~net a =
+  Array.exists (fun m -> Int.equal m.net net && Int.equal m.maddr a) t.machs
+
+let proc_addr_used t ~mach a =
+  Array.exists (fun p -> Int.equal p.mach mach && Int.equal p.laddr a) t.procs
+
+let smallest_free used =
+  let rec go a = if used a then go (a + 1) else a in
+  go 1
+
+let add_network ?naddr t ~label =
+  let addr =
+    match naddr with
+    | None -> smallest_free (net_addr_used t)
+    | Some a ->
+        if a <= 0 then invalid_arg "Registry.add_network: naddr must be > 0";
+        if net_addr_used t a then
+          invalid_arg (Printf.sprintf "Registry.add_network: naddr %d in use" a);
+        a
+  in
+  t.nets <- append t.nets { naddr = addr; n_label = label };
+  Array.length t.nets - 1
+
+let check_net t net =
+  if net < 0 || net >= Array.length t.nets then
+    invalid_arg "Registry: unknown network"
+
+let check_mach t mach =
+  if mach < 0 || mach >= Array.length t.machs then
+    invalid_arg "Registry: unknown machine"
+
+let check_proc t proc =
+  if proc < 0 || proc >= Array.length t.procs then
+    invalid_arg "Registry: unknown process"
+
+let add_machine ?maddr t ~net ~label =
+  check_net t net;
+  let addr =
+    match maddr with
+    | None -> smallest_free (mach_addr_used t ~net)
+    | Some a ->
+        if a <= 0 then invalid_arg "Registry.add_machine: maddr must be > 0";
+        if mach_addr_used t ~net a then
+          invalid_arg (Printf.sprintf "Registry.add_machine: maddr %d in use" a);
+        a
+  in
+  t.machs <- append t.machs { maddr = addr; net; m_label = label };
+  Array.length t.machs - 1
+
+let add_process ?laddr t ~mach ~label =
+  check_mach t mach;
+  let addr =
+    match laddr with
+    | None -> smallest_free (proc_addr_used t ~mach)
+    | Some a ->
+        if a <= 0 then invalid_arg "Registry.add_process: laddr must be > 0";
+        if proc_addr_used t ~mach a then
+          invalid_arg (Printf.sprintf "Registry.add_process: laddr %d in use" a);
+        a
+  in
+  t.procs <- append t.procs { laddr = addr; mach; p_label = label };
+  Array.length t.procs - 1
+
+let networks t = indices t.nets
+
+let machines t net =
+  check_net t net;
+  List.filter (fun m -> Int.equal t.machs.(m).net net) (indices t.machs)
+
+let processes t mach =
+  check_mach t mach;
+  List.filter (fun p -> Int.equal t.procs.(p).mach mach) (indices t.procs)
+
+let all_processes t = indices t.procs
+
+let label_net t net =
+  check_net t net;
+  t.nets.(net).n_label
+
+let label_mach t mach =
+  check_mach t mach;
+  t.machs.(mach).m_label
+
+let label_proc t proc =
+  check_proc t proc;
+  t.procs.(proc).p_label
+
+let naddr t net =
+  check_net t net;
+  t.nets.(net).naddr
+
+let maddr t mach =
+  check_mach t mach;
+  t.machs.(mach).maddr
+
+let laddr t proc =
+  check_proc t proc;
+  t.procs.(proc).laddr
+
+let network_of_mach t mach =
+  check_mach t mach;
+  t.machs.(mach).net
+
+let machine_of_proc t proc =
+  check_proc t proc;
+  t.procs.(proc).mach
+
+let placement t proc =
+  let p = t.procs.(proc) in
+  let m = t.machs.(p.mach) in
+  let n = t.nets.(m.net) in
+  Pqid.v ~naddr:n.naddr ~maddr:m.maddr ~laddr:p.laddr
+
+let full_pid = placement
+
+let renumber_machine t mach addr =
+  check_mach t mach;
+  if addr <= 0 then invalid_arg "Registry.renumber_machine: maddr must be > 0";
+  let m = t.machs.(mach) in
+  if not (Int.equal m.maddr addr) then begin
+    if mach_addr_used t ~net:m.net addr then
+      invalid_arg
+        (Printf.sprintf "Registry.renumber_machine: maddr %d in use" addr);
+    m.maddr <- addr
+  end
+
+let renumber_network t net addr =
+  check_net t net;
+  if addr <= 0 then invalid_arg "Registry.renumber_network: naddr must be > 0";
+  let n = t.nets.(net) in
+  if not (Int.equal n.naddr addr) then begin
+    if net_addr_used t addr then
+      invalid_arg
+        (Printf.sprintf "Registry.renumber_network: naddr %d in use" addr);
+    n.naddr <- addr
+  end
+
+let move_process t proc mach =
+  check_proc t proc;
+  check_mach t mach;
+  let p = t.procs.(proc) in
+  let addr =
+    if proc_addr_used t ~mach p.laddr then smallest_free (proc_addr_used t ~mach)
+    else p.laddr
+  in
+  p.mach <- mach;
+  p.laddr <- addr
+
+let move_machine t mach net =
+  check_mach t mach;
+  check_net t net;
+  let m = t.machs.(mach) in
+  let addr =
+    if mach_addr_used t ~net m.maddr then
+      smallest_free (mach_addr_used t ~net)
+    else m.maddr
+  in
+  m.net <- net;
+  m.maddr <- addr
+
+(* Address → handle lookups under current addressing. *)
+
+let find_net t a =
+  let rec go i =
+    if i >= Array.length t.nets then None
+    else if Int.equal t.nets.(i).naddr a then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_mach t ~net a =
+  let rec go i =
+    if i >= Array.length t.machs then None
+    else if Int.equal t.machs.(i).net net && Int.equal t.machs.(i).maddr a then
+      Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_proc t ~mach a =
+  let rec go i =
+    if i >= Array.length t.procs then None
+    else if Int.equal t.procs.(i).mach mach && Int.equal t.procs.(i).laddr a
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let resolve t ~from pid =
+  check_proc t from;
+  match Pqid.qualification pid with
+  | Pqid.Self -> Some from
+  | Pqid.Machine_local ->
+      find_proc t ~mach:(machine_of_proc t from) pid.Pqid.laddr
+  | Pqid.Network_local -> (
+      let net = network_of_mach t (machine_of_proc t from) in
+      match find_mach t ~net pid.Pqid.maddr with
+      | None -> None
+      | Some mach -> find_proc t ~mach pid.Pqid.laddr)
+  | Pqid.Fully_qualified -> (
+      match find_net t pid.Pqid.naddr with
+      | None -> None
+      | Some net -> (
+          match find_mach t ~net pid.Pqid.maddr with
+          | None -> None
+          | Some mach -> find_proc t ~mach pid.Pqid.laddr))
+
+let pid_of t ~target ~relative_to =
+  check_proc t target;
+  check_proc t relative_to;
+  if Int.equal target relative_to then Pqid.self
+  else
+    let tm = machine_of_proc t target
+    and rm = machine_of_proc t relative_to in
+    if Int.equal tm rm then Pqid.local (laddr t target)
+    else
+      let tn = network_of_mach t tm and rn = network_of_mach t rm in
+      if Int.equal tn rn then
+        Pqid.machine ~maddr:(maddr t tm) ~laddr:(laddr t target)
+      else placement t target
+
+let map_for_transit t ~sender ~receiver pid =
+  check_proc t sender;
+  check_proc t receiver;
+  (* Expand in the sender's frame. *)
+  let sp = placement t sender in
+  let expanded =
+    match Pqid.qualification pid with
+    | Pqid.Self -> sp
+    | Pqid.Machine_local ->
+        Pqid.v ~naddr:sp.Pqid.naddr ~maddr:sp.Pqid.maddr ~laddr:pid.Pqid.laddr
+    | Pqid.Network_local ->
+        Pqid.v ~naddr:sp.Pqid.naddr ~maddr:pid.Pqid.maddr ~laddr:pid.Pqid.laddr
+    | Pqid.Fully_qualified -> pid
+  in
+  (* Reduce in the receiver's frame. *)
+  let rp = placement t receiver in
+  if Pqid.equal expanded rp then Pqid.self
+  else if
+    Int.equal expanded.Pqid.naddr rp.Pqid.naddr
+    && Int.equal expanded.Pqid.maddr rp.Pqid.maddr
+  then Pqid.local expanded.Pqid.laddr
+  else if Int.equal expanded.Pqid.naddr rp.Pqid.naddr then
+    Pqid.machine ~maddr:expanded.Pqid.maddr ~laddr:expanded.Pqid.laddr
+  else expanded
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun net ->
+      Format.fprintf ppf "network %s (naddr=%d)@," (label_net t net)
+        (naddr t net);
+      List.iter
+        (fun mach ->
+          Format.fprintf ppf "  machine %s (maddr=%d)@," (label_mach t mach)
+            (maddr t mach);
+          List.iter
+            (fun proc ->
+              Format.fprintf ppf "    process %s %s@," (label_proc t proc)
+                (Pqid.to_string (placement t proc)))
+            (processes t mach))
+        (machines t net))
+    (networks t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,96 @@
+(** The address registry: networks, machines, processes, and renumbering.
+
+    Maintains the current placement (naddr, maddr, laddr) of every
+    process. Handles are stable across renumbering — they model the
+    processes themselves; addresses model how processes are referred to.
+    Experiment E7 uses [renumber_machine] / [renumber_network] to replay
+    the reconfiguration scenario of section 6, Example 1, and compares how
+    many held process identifiers stay valid under fully vs partially
+    qualified pids. *)
+
+type t
+type net = private int
+type mach = private int
+type proc = private int
+
+val create : unit -> t
+
+(** {1 Topology construction} *)
+
+val add_network : ?naddr:int -> t -> label:string -> net
+(** @raise Invalid_argument when an explicit [naddr] is 0, negative or in
+    use. Default: smallest free positive address. *)
+
+val add_machine : ?maddr:int -> t -> net:net -> label:string -> mach
+(** Machine addresses are unique within their network. *)
+
+val add_process : ?laddr:int -> t -> mach:mach -> label:string -> proc
+(** Local addresses are unique within their machine. *)
+
+val networks : t -> net list
+val machines : t -> net -> mach list
+val processes : t -> mach -> proc list
+val all_processes : t -> proc list
+
+val label_net : t -> net -> string
+val label_mach : t -> mach -> string
+val label_proc : t -> proc -> string
+
+(** {1 Current placement} *)
+
+val naddr : t -> net -> int
+val maddr : t -> mach -> int
+val laddr : t -> proc -> int
+
+val placement : t -> proc -> Pqid.t
+(** The fully qualified pid of a process under current addressing. *)
+
+val network_of_mach : t -> mach -> net
+val machine_of_proc : t -> proc -> mach
+
+(** {1 Reconfiguration} *)
+
+val renumber_machine : t -> mach -> int -> unit
+(** Changes the machine's address within its network.
+    @raise Invalid_argument on clash or on a non-positive address. *)
+
+val renumber_network : t -> net -> int -> unit
+
+val move_machine : t -> mach -> net -> unit
+(** Relocates a machine (keeping its maddr if free, else the smallest free
+    one) into another network. *)
+
+val move_process : t -> proc -> mach -> unit
+(** Migrates a process to another machine (keeping its laddr if free,
+    else the smallest free one). Unlike machine/network renumbering —
+    which the paper shows partially-qualified pids survive — migration
+    changes the process's own address, so even machine-local pids held by
+    its old neighbours break. E7's companion tests use this as the
+    contrast case. *)
+
+(** {1 Resolution and mapping} *)
+
+val resolve : t -> from:proc -> Pqid.t -> proc option
+(** Resolves a pid {e in the context of} process [from], interpreting
+    unqualified components relative to [from]'s current placement: self,
+    same machine, same network, or fully qualified. [None] when no process
+    currently has the denoted address. *)
+
+val pid_of : t -> target:proc -> relative_to:proc -> Pqid.t
+(** The {e minimally qualified} pid for [target] as referred to by
+    [relative_to]: [(0,0,0)] for itself, [(0,0,l)] within a machine,
+    [(0,m,l)] within a network, fully qualified across networks. *)
+
+val full_pid : t -> proc -> Pqid.t
+(** Alias of {!placement} — the fully-qualified baseline of E7. *)
+
+val map_for_transit : t -> sender:proc -> receiver:proc -> Pqid.t -> Pqid.t
+(** The R(sender) closure mechanism for pids embedded in messages: a pid
+    valid in the sender's context is rewritten into an equivalent pid
+    valid in the receiver's context (qualified exactly as far as
+    necessary). This is the "mapping the embedded pid" implementation of
+    the paper. The pid is expanded in the sender's frame, then reduced in
+    the receiver's frame — no resolution to a process is required, so it
+    also works for pids denoting third parties. *)
+
+val pp : Format.formatter -> t -> unit

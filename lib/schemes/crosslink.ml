@@ -1,0 +1,67 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+type t = { env : Process_env.t; systems : (string * Vfs.Fs.t) list }
+
+let build ~systems store =
+  if systems = [] then invalid_arg "Crosslink.build: no systems";
+  let fss =
+    List.map
+      (fun (name, tree) ->
+        let fs = Vfs.Fs.create ~root_label:(name ^ ":/") store in
+        Vfs.Fs.populate fs tree;
+        (name, fs))
+      systems
+  in
+  { env = Process_env.create store; systems = fss }
+
+let env t = t.env
+let store t = Process_env.store t.env
+let systems t = List.map fst t.systems
+
+let system_fs t s =
+  match List.assoc_opt s t.systems with
+  | Some fs -> fs
+  | None -> invalid_arg (Printf.sprintf "Crosslink: unknown system %S" s)
+
+let system_root t s = Vfs.Fs.root (system_fs t s)
+
+let add_crosslink t ~from_system ?(at = "/") ~name ~to_system ?(to_path = "/")
+    () =
+  let from_fs = system_fs t from_system in
+  let to_fs = system_fs t to_system in
+  let dir = Vfs.Fs.lookup from_fs at in
+  if not (S.is_context_object (store t) dir) then
+    invalid_arg
+      (Printf.sprintf "Crosslink.add_crosslink: %S is not a directory" at);
+  let target = Vfs.Fs.lookup to_fs to_path in
+  if E.is_undefined target then
+    invalid_arg
+      (Printf.sprintf "Crosslink.add_crosslink: %S does not resolve" to_path);
+  Vfs.Fs.link from_fs ~dir name target
+
+let spawn_on ?label t ~system =
+  let r = system_root t system in
+  let label = match label with Some l -> Some l | None -> Some system in
+  Process_env.spawn ?label ~root:r ~cwd:r t.env
+
+let map_name ~prefix ~replacement name =
+  if N.equal name prefix then replacement
+  else
+    match N.drop_prefix ~prefix name with
+    | None -> name
+    | Some rest -> N.append replacement rest
+
+let rule t = Process_env.rule t.env
+let resolve t ~as_ s = Process_env.resolve_str t.env ~as_ s
+
+let system_probes ?(max_depth = 6) t ~system =
+  let st = store t in
+  let root = system_root t system in
+  match S.context_of st root with
+  | None -> []
+  | Some ctx ->
+      let names = Naming.Graph.all_names st ctx ~max_depth:(max_depth - 1) () in
+      N.singleton N.root_atom
+      :: List.map (fun (n, _e) -> N.cons N.root_atom n) names

@@ -1,0 +1,51 @@
+(** Cross-links between autonomous systems (Figure 5).
+
+    Two or more autonomous systems, each with its own naming graph, are
+    connected by adding cross-links: bindings in one system's directories
+    that denote entities of another system. The context of each activity
+    is still based on its local system, merely {e extended} to reach the
+    remote graph — so there are no global names between the systems unless
+    they happen to use the same prefix for a shared entity, and
+    incoherence arises for exchanged and embedded names (paper, section
+    5.3). *)
+
+type t
+
+val build :
+  systems:(string * string list) list -> Naming.Store.t -> t
+(** One autonomous system per [(name, tree)] pair. *)
+
+val env : t -> Process_env.t
+val store : t -> Naming.Store.t
+val systems : t -> string list
+val system_fs : t -> string -> Vfs.Fs.t
+val system_root : t -> string -> Naming.Entity.t
+
+val add_crosslink :
+  t ->
+  from_system:string ->
+  ?at:string ->
+  name:string ->
+  to_system:string ->
+  ?to_path:string ->
+  unit ->
+  unit
+(** Binds [name], in the directory [at] of [from_system] (default its
+    root), to the entity at [to_path] of [to_system] (default its root).
+    @raise Invalid_argument when either path does not resolve to a
+    suitable entity. *)
+
+val spawn_on : ?label:string -> t -> system:string -> Naming.Entity.t
+
+val map_name :
+  prefix:Naming.Name.t -> replacement:Naming.Name.t -> Naming.Name.t -> Naming.Name.t
+(** The human prefix-mapping closure mechanism of section 7: replaces
+    [prefix] with [replacement] when it matches (e.g. [/users/...] →
+    [/org2/users/...]); otherwise returns the name unchanged. *)
+
+val rule : t -> Naming.Rule.t
+val resolve : t -> as_:Naming.Entity.t -> string -> Naming.Entity.t
+
+val system_probes : ?max_depth:int -> t -> system:string -> Naming.Name.t list
+(** ["/"]-rooted names within one system's own graph, cross-link edges
+    included (they are part of the extended context). *)

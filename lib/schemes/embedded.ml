@@ -1,0 +1,148 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+module C = Naming.Context
+
+let ref_marker = "@ref "
+
+let make_content ?(text = "") ~refs () =
+  let lines = List.map (fun r -> ref_marker ^ N.to_string r) refs in
+  String.concat "\n" (lines @ if String.equal text "" then [] else [ text ])
+
+let refs_of_content content =
+  let lines = String.split_on_char '\n' content in
+  List.filter_map
+    (fun line ->
+      let mlen = String.length ref_marker in
+      if
+        String.length line > mlen
+        && String.equal (String.sub line 0 mlen) ref_marker
+      then
+        match N.of_string (String.sub line mlen (String.length line - mlen)) with
+        | name -> Some name
+        | exception N.Invalid _ -> None
+      else None)
+    lines
+
+let refs_of store file =
+  match S.data_of store file with
+  | None -> []
+  | Some content -> refs_of_content content
+
+let add_ref store file name =
+  match S.data_of store file with
+  | None -> invalid_arg "Embedded.add_ref: not a file"
+  | Some content ->
+      let line = ref_marker ^ N.to_string name in
+      let content =
+        if String.equal content "" then line else content ^ "\n" ^ line
+      in
+      S.set_obj_state store file (S.Data content)
+
+let ancestors store dir =
+  let rec go acc seen d =
+    if E.Set.mem d seen then List.rev acc
+    else
+      let acc = d :: acc and seen = E.Set.add d seen in
+      match S.context_of store d with
+      | None -> List.rev acc
+      | Some ctx ->
+          let parent = C.lookup ctx N.parent_atom in
+          if E.is_undefined parent || E.equal parent d then List.rev acc
+          else go acc seen parent
+  in
+  go [] E.Set.empty dir
+
+let scope_context store ~dir =
+  (* Fold from the root down so that nearer ancestors override. *)
+  let chain = List.rev (ancestors store dir) in
+  List.fold_left
+    (fun acc d ->
+      match S.context_of store d with
+      | None -> acc
+      | Some ctx -> C.union ~prefer:`Right acc ctx)
+    C.empty chain
+
+(* Resolve an embedded name and report the directory containing the final
+   entity (needed to recurse into structured objects). *)
+let resolve_at_full store ~dir name =
+  let scope = scope_context store ~dir in
+  let atoms = N.atoms name in
+  match atoms with
+  | [] -> (E.undefined, E.undefined)
+  | first :: rest ->
+      (* The anchor: the nearest ancestor whose context binds [first]. *)
+      let anchor =
+        List.find_opt
+          (fun d ->
+            match S.context_of store d with
+            | None -> false
+            | Some ctx -> C.mem ctx first)
+          (ancestors store dir)
+      in
+      let e1 = C.lookup scope first in
+      if E.is_undefined e1 then (E.undefined, E.undefined)
+      else
+        let anchor = match anchor with Some a -> a | None -> E.undefined in
+        let rec walk container current = function
+          | [] -> (current, container)
+          | a :: rest -> (
+              match S.context_of store current with
+              | None -> (E.undefined, E.undefined)
+              | Some ctx ->
+                  let next = C.lookup ctx a in
+                  if E.is_undefined next then (E.undefined, E.undefined)
+                  else walk current next rest)
+        in
+        walk anchor e1 rest
+
+let resolve_at store ~dir name = fst (resolve_at_full store ~dir name)
+
+let home_of store ~file =
+  let dirs = S.context_objects store in
+  List.find_opt
+    (fun d ->
+      match S.context_of store d with
+      | None -> false
+      | Some ctx ->
+          C.fold
+            (fun a e acc ->
+              acc
+              || (not
+                    (N.atom_equal a N.self_atom || N.atom_equal a N.parent_atom))
+                 && E.equal e file)
+            ctx false)
+    dirs
+
+let rule_algol () =
+  Naming.Rule.make ~label:"R(file):algol-scope" (fun store occ ->
+      match occ with
+      | Naming.Occurrence.Embedded { source; _ } ->
+          let dir =
+            if S.is_context_object store source then Some source
+            else home_of store ~file:source
+          in
+          (match dir with
+          | None -> None
+          | Some dir -> Some (scope_context store ~dir))
+      | Naming.Occurrence.Generated _ | Naming.Occurrence.Received _ -> None)
+
+let rule_reader asg = Naming.Rule.of_activity asg
+
+let resolve_closure store ~dir file =
+  let results = ref [] in
+  let visited = E.Tbl.create 16 in
+  let rec go dir file =
+    if not (E.Tbl.mem visited file) then begin
+      E.Tbl.replace visited file ();
+      List.iter
+        (fun r ->
+          let target, container = resolve_at_full store ~dir r in
+          results := (r, target) :: !results;
+          if E.is_defined target && S.data_of store target <> None then
+            go container target)
+        (refs_of store file)
+    end
+  in
+  go dir file;
+  List.rev !results

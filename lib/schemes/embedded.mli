@@ -1,0 +1,81 @@
+(** Embedded names and the Algol-scope resolution rule (Figure 6).
+
+    Names can be embedded in objects to build structured objects — a LaTeX
+    document including chapter files, a C source including headers, an
+    executable split over several files. The meaning of the structured
+    object depends on the objects denoted by the embedded names, so when
+    the object is shared it is desirable that the embedded names mean the
+    same thing for every reader (paper, sections 4 and 6, Example 2).
+
+    The paper's scheme resolves a name embedded in node [n] with the
+    resolution rule R(file): search up the tree from [n], through the
+    [".."] bindings, for the closest ancestor with a binding matching the
+    first component — Algol block scoping with subtrees for blocks. We
+    formalise the search as a single {e scope context} (the union of the
+    ancestor contexts, nearest ancestor winning), which makes R(file) a
+    bona-fide resolution rule M → C.
+
+    Embedded references are stored in the file's content using a
+    [@ref <name>] line syntax, so copying a subtree (which copies file
+    data) copies the references — no side tables to keep consistent. *)
+
+val ref_marker : string
+(** ["@ref "]. *)
+
+val make_content : ?text:string -> refs:Naming.Name.t list -> unit -> string
+(** Content consisting of one [@ref] line per reference followed by the
+    free text. *)
+
+val refs_of_content : string -> Naming.Name.t list
+(** Parses [@ref] lines; malformed names are ignored. *)
+
+val refs_of : Naming.Store.t -> Naming.Entity.t -> Naming.Name.t list
+(** References embedded in a file object (empty for non-files). *)
+
+val add_ref : Naming.Store.t -> Naming.Entity.t -> Naming.Name.t -> unit
+(** Appends a reference to a file's content.
+    @raise Invalid_argument for non-files. *)
+
+val ancestors : Naming.Store.t -> Naming.Entity.t -> Naming.Entity.t list
+(** The [".."] chain from the given directory up to (and including) the
+    fixpoint root, nearest first. Cycles are cut. *)
+
+val scope_context : Naming.Store.t -> dir:Naming.Entity.t -> Naming.Context.t
+(** The effective context of a node: union of the contexts along
+    {!ancestors}, the nearest ancestor overriding — the Algol scope
+    chain collapsed into one context. *)
+
+val resolve_at : Naming.Store.t -> dir:Naming.Entity.t -> Naming.Name.t -> Naming.Entity.t
+(** Resolution of an embedded name whose containing file lives in [dir],
+    under the Algol-scope rule: the first component is looked up through
+    the scope chain; the rest is resolved from there. *)
+
+val home_of : Naming.Store.t -> file:Naming.Entity.t -> Naming.Entity.t option
+(** A directory binding the file (its "home"), found by scanning; [None]
+    if the file is not linked anywhere. When a file is hard-linked into
+    several directories the first in store order is returned — readers
+    that care should resolve via the directory they actually used
+    ({!resolve_at}). *)
+
+val rule_algol : unit -> Naming.Rule.t
+(** R(file): for an [Embedded] occurrence, the scope context of the
+    source's home directory (if the source is itself a directory, of the
+    source). Selects no context for other occurrence kinds. *)
+
+val rule_reader : Naming.Rule.Assignment.t -> Naming.Rule.t
+(** The baseline that operating systems use: embedded names resolved in
+    the {e reader}'s context, R(activity) — the rule under which shared
+    structured objects lose coherence. *)
+
+(** {1 Structured-object helpers for the experiments} *)
+
+val resolve_closure :
+  Naming.Store.t ->
+  dir:Naming.Entity.t ->
+  Naming.Entity.t ->
+  (Naming.Name.t * Naming.Entity.t) list
+(** Transitively resolves a structured object: returns every embedded
+    reference (of the given file and, recursively, of referenced files)
+    with its denotation under the Algol rule. The [dir] is where the
+    root file lives. Cycles between files are cut. Reference resolution
+    failures appear as ⊥ denotations. *)

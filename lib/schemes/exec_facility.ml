@@ -1,0 +1,104 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+type request = { client : E.t; reads : N.t list }
+type result = (N.t * string option) list
+type response = result
+
+type t = {
+  world : Per_process.t;
+  engine : Dsim.Engine.t;
+  network : (request, response) Dsim.Rpc.message Dsim.Network.t;
+  servers : (string * (request, response) Dsim.Rpc.endpoint) list;
+  nodes : (string * Dsim.Network.node_id) list;
+  clients : (request, response) Dsim.Rpc.endpoint E.Tbl.t;
+  mutable next_client_port : int;
+  mutable children : int;
+}
+
+let serve t subsystem request =
+  let child =
+    Per_process.remote_exec ~label:"exec-child" ~local_name:"local" t.world
+      ~parent:request.client ~subsystem
+  in
+  t.children <- t.children + 1;
+  let store = Per_process.store t.world in
+  let read name =
+    let e = Process_env.resolve (Per_process.env t.world) ~as_:child name in
+    (name, S.data_of store e)
+  in
+  Some (List.map read request.reads)
+
+let build ~subsystems ~engine ~rng ?net_config store =
+  let config =
+    match net_config with Some c -> c | None -> Dsim.Network.default_config
+  in
+  let world = Per_process.build ~subsystems store in
+  let network = Dsim.Network.create ~config ~engine ~rng () in
+  let t_ref = ref None in
+  let nodes =
+    List.map
+      (fun (name, _) -> (name, Dsim.Network.add_node network ~label:name))
+      subsystems
+  in
+  let servers =
+    List.map
+      (fun (name, node) ->
+        let handler request =
+          match !t_ref with
+          | None -> None
+          | Some t -> serve t name request
+        in
+        (name, Dsim.Rpc.create network ~node ~port:1 ~handler ()))
+      nodes
+  in
+  let t =
+    {
+      world;
+      engine;
+      network;
+      servers;
+      nodes;
+      clients = E.Tbl.create 8;
+      next_client_port = 100;
+      children = 0;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let world t = t.world
+let engine t = t.engine
+
+let node_of t name =
+  match List.assoc_opt name t.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Exec_facility: unknown subsystem %S" name)
+
+let server_of t name =
+  match List.assoc_opt name t.servers with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Exec_facility: unknown subsystem %S" name)
+
+let new_client ?label t ~on ~attach =
+  let node = node_of t on in
+  let client = Per_process.spawn ?label ~attach t.world in
+  let port = t.next_client_port in
+  t.next_client_port <- port + 1;
+  let endpoint = Dsim.Rpc.create t.network ~node ~port () in
+  E.Tbl.replace t.clients client endpoint;
+  client
+
+let exec_remote t ~client ~on ~reads ?(timeout = 30.0) ~on_result () =
+  let endpoint =
+    match E.Tbl.find_opt t.clients client with
+    | Some e -> e
+    | None -> invalid_arg "Exec_facility.exec_remote: not a client"
+  in
+  let server = server_of t on in
+  Dsim.Rpc.call endpoint ~to_:(Dsim.Rpc.address server) ~timeout
+    { client; reads }
+    ~on_reply:on_result
+
+let children_spawned t = t.children

@@ -1,0 +1,60 @@
+(** A remote execution facility over the simulated network.
+
+    The paper (section 6, II) builds "a powerful remote execution
+    facility" on the per-process view of naming: the remotely executing
+    process can access files on both its local and its parent's machines.
+    This module is that facility as a working client/server protocol:
+
+    - every subsystem runs an {e exec server} (an {!Dsim.Rpc} endpoint);
+    - a client sends it an exec request naming the files the remote
+      program needs;
+    - the server spawns the child with the client's namespace (inherited)
+      plus the executing subsystem attached, resolves every name in the
+      child's namespace, and replies with the file contents.
+
+    Because the child's namespace is arranged per the paper's solution II,
+    names that the client generated resolve remotely to the same entities
+    — the experiment-level claim of E8, here exercised end-to-end through
+    messages, latency, and (if configured) loss. *)
+
+type t
+
+val build :
+  subsystems:(string * string list) list ->
+  engine:Dsim.Engine.t ->
+  rng:Dsim.Rng.t ->
+  ?net_config:Dsim.Network.config ->
+  Naming.Store.t ->
+  t
+(** One file tree, one network node and one exec server per subsystem. *)
+
+val world : t -> Per_process.t
+val engine : t -> Dsim.Engine.t
+
+val new_client :
+  ?label:string -> t -> on:string -> attach:(string * string) list ->
+  Naming.Entity.t
+(** A client process on subsystem [on], with the given namespace
+    attachments, and a private RPC endpoint for its calls. *)
+
+type result = (Naming.Name.t * string option) list
+(** For each requested name: the content of the file it denotes in the
+    {e child's} namespace, or [None] if it did not resolve to a file. *)
+
+val exec_remote :
+  t ->
+  client:Naming.Entity.t ->
+  on:string ->
+  reads:Naming.Name.t list ->
+  ?timeout:float ->
+  on_result:((result, [ `Timeout ]) Stdlib.result -> unit) ->
+  unit ->
+  unit
+(** Ships the exec request to subsystem [on]'s server. The reply arrives
+    (or times out) when the engine runs. Children are spawned with
+    [local_name "local"], so [reads] may mix the client's own names
+    (e.g. [/fs/home/alice/in.txt]) with execution-site names
+    ([/local/tmp/scratch]). *)
+
+val children_spawned : t -> int
+(** Total children spawned by all servers (for tests). *)

@@ -1,0 +1,69 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+type t = { env : Process_env.t; orgs : (string * Vfs.Fs.t) list }
+
+let default_org_tree ~users ~services =
+  List.concat_map
+    (fun u ->
+      [
+        Printf.sprintf "users/%s/inbox/" u;
+        Printf.sprintf "users/%s/doc/readme.txt" u;
+      ])
+    users
+  @ List.map (fun s -> Printf.sprintf "services/%s" s) services
+
+let build ~orgs store =
+  if orgs = [] then invalid_arg "Federation.build: no organisations";
+  let fss =
+    List.map
+      (fun (name, tree) ->
+        let fs = Vfs.Fs.create ~root_label:(name ^ ":/") store in
+        Vfs.Fs.populate fs tree;
+        (name, fs))
+      orgs
+  in
+  { env = Process_env.create store; orgs = fss }
+
+let env t = t.env
+let store t = Process_env.store t.env
+let orgs t = List.map fst t.orgs
+
+let org_fs t o =
+  match List.assoc_opt o t.orgs with
+  | Some fs -> fs
+  | None -> invalid_arg (Printf.sprintf "Federation: unknown org %S" o)
+
+let org_root t o = Vfs.Fs.root (org_fs t o)
+
+let federate t ~from ~to_ =
+  let from_fs = org_fs t from in
+  Vfs.Fs.link from_fs ~dir:(Vfs.Fs.root from_fs) to_ (org_root t to_)
+
+let spawn_in ?label t ~org =
+  let r = org_root t org in
+  let label = match label with Some l -> Some l | None -> Some org in
+  Process_env.spawn ?label ~root:r ~cwd:r t.env
+
+let map_name t ~target_org name =
+  ignore (org_fs t target_org);
+  if not (N.is_absolute name) then name
+  else
+    match N.tail name with
+    | None -> N.of_strings [ "/"; target_org ]
+    | Some rest -> N.append (N.of_strings [ "/"; target_org ]) rest
+
+let rule t = Process_env.rule t.env
+let resolve t ~as_ s = Process_env.resolve_str t.env ~as_ s
+
+let space_probes ?(max_depth = 6) t ~org ~space =
+  let st = store t in
+  let fs = org_fs t org in
+  let dir = Vfs.Fs.lookup fs space in
+  match S.context_of st dir with
+  | None -> []
+  | Some ctx ->
+      let prefix = N.of_strings [ "/"; space ] in
+      let names = Naming.Graph.all_names st ctx ~max_depth:(max_depth - 2) () in
+      prefix :: List.map (fun (n, _e) -> N.append prefix n) names

@@ -1,0 +1,42 @@
+(** Shared name spaces in limited scopes (section 7).
+
+    The paper's overall architecture: rather than one global name space,
+    organisations share name spaces — home directories under [/users],
+    services under [/services] — attached by a {e common name} to the
+    contexts of the activities in the scope. Within an organisation these
+    names are coherent; across organisations the common name cannot be
+    used ([/users] means something different in each), and one relies on
+    prefix mapping ([/org2/users/...]) by humans, plus the section-6
+    mechanisms for embedded and exchanged names. *)
+
+type t
+
+val build : orgs:(string * string list) list -> Naming.Store.t -> t
+(** One organisation per [(name, tree)]; the default-tree helper
+    {!default_org_tree} provides [/users] and [/services] layouts. *)
+
+val default_org_tree : users:string list -> services:string list -> string list
+
+val env : t -> Process_env.t
+val store : t -> Naming.Store.t
+val orgs : t -> string list
+val org_fs : t -> string -> Vfs.Fs.t
+val org_root : t -> string -> Naming.Entity.t
+
+val federate : t -> from:string -> to_:string -> unit
+(** Attaches [to_]'s root in [from]'s root under the name [to_] — after
+    which [/<to_>/users/...] works for activities of [from]. *)
+
+val spawn_in : ?label:string -> t -> org:string -> Naming.Entity.t
+
+val map_name : t -> target_org:string -> Naming.Name.t -> Naming.Name.t
+(** The human prefix-mapping: [/users/x] becomes [/<target_org>/users/x]
+    (similarly for any absolute name). *)
+
+val rule : t -> Naming.Rule.t
+val resolve : t -> as_:Naming.Entity.t -> string -> Naming.Entity.t
+
+val space_probes :
+  ?max_depth:int -> t -> org:string -> space:string -> Naming.Name.t list
+(** Names under a shared space, e.g. [space = "users"] yields
+    [/users/...] probes of that organisation. *)

@@ -1,0 +1,118 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+type t = {
+  env : Process_env.t;
+  services : (string * Vfs.Fs.t) list;
+  mounts : (string * string list) list E.Tbl.t;  (* user -> mount table *)
+}
+
+let build ~services store =
+  if services = [] then invalid_arg "Jade.build: no services";
+  let fss =
+    List.map
+      (fun (name, tree) ->
+        let fs = Vfs.Fs.create ~root_label:(name ^ ":/") store in
+        Vfs.Fs.populate fs tree;
+        (name, fs))
+      services
+  in
+  { env = Process_env.create store; services = fss; mounts = E.Tbl.create 8 }
+
+let env t = t.env
+let store t = Process_env.store t.env
+let services t = List.map fst t.services
+
+let service_fs t s =
+  match List.assoc_opt s t.services with
+  | Some fs -> fs
+  | None -> invalid_arg (Printf.sprintf "Jade: unknown service %S" s)
+
+let service_root t s = Vfs.Fs.root (service_fs t s)
+
+let check_services t names =
+  List.iter (fun s -> ignore (service_fs t s)) names
+
+let new_user ?label t ~mounts =
+  List.iter (fun (_n, ss) -> check_services t ss) mounts;
+  let user = Process_env.spawn ?label t.env in
+  E.Tbl.replace t.mounts user mounts;
+  user
+
+let mounts_of t user =
+  match E.Tbl.find_opt t.mounts user with
+  | Some m -> m
+  | None -> invalid_arg "Jade: not a Jade user"
+
+let add_mount t user ~name ~services =
+  check_services t services;
+  let mounts = mounts_of t user in
+  let mounts = List.remove_assoc name mounts @ [ (name, services) ] in
+  E.Tbl.replace t.mounts user mounts
+
+let remove_mount t user name =
+  E.Tbl.replace t.mounts user (List.remove_assoc name (mounts_of t user))
+
+let resolve t ~as_ name =
+  let mounts = mounts_of t as_ in
+  let st = store t in
+  match N.atoms name with
+  | [] -> E.undefined
+  | mount :: rest -> (
+      match List.assoc_opt (N.atom_to_string mount) mounts with
+      | None -> E.undefined
+      | Some backing -> (
+          match rest with
+          | [] ->
+              (* the mount itself: the first backing directory *)
+              (match backing with
+              | [] -> E.undefined
+              | s :: _ -> service_root t s)
+          | _ ->
+              let rest_name = N.of_atoms rest in
+              let rec search = function
+                | [] -> E.undefined
+                | s :: more ->
+                    let result =
+                      Naming.Resolver.resolve_in st (service_root t s)
+                        rest_name
+                    in
+                    if E.is_defined result then result else search more
+              in
+              search backing))
+
+let resolve_str t ~as_ s = resolve t ~as_ (N.of_string s)
+
+let which t ~as_ name =
+  let mounts = mounts_of t as_ in
+  let st = store t in
+  match N.atoms name with
+  | [] | [ _ ] -> None
+  | mount :: rest -> (
+      match List.assoc_opt (N.atom_to_string mount) mounts with
+      | None -> None
+      | Some backing ->
+          let rest_name = N.of_atoms rest in
+          List.find_opt
+            (fun s ->
+              E.is_defined
+                (Naming.Resolver.resolve_in st (service_root t s) rest_name))
+            backing)
+
+let probes ?(max_depth = 5) t user =
+  let st = store t in
+  List.concat_map
+    (fun (mount, backing) ->
+      let mount_atom = N.atom mount in
+      List.concat_map
+        (fun s ->
+          match S.context_of st (service_root t s) with
+          | None -> []
+          | Some ctx ->
+              List.map
+                (fun (n, _e) -> N.cons mount_atom n)
+                (Naming.Graph.all_names st ctx ~max_depth:(max_depth - 1) ()))
+        backing)
+    (mounts_of t user)
+  |> List.sort_uniq N.compare

@@ -1,0 +1,54 @@
+(** Jade-style per-user name spaces with union directories.
+
+    The paper cites the Jade file system (Rao & Peterson — reference
+    [13]) as evidence for "a case against a unique global name space":
+    each user assembles a {e personal} name space from multiple,
+    autonomous file services, and one name may be backed by an ordered
+    {e search path} of directories (a union directory: the first service
+    that can resolve a component wins).
+
+    We model a union directory at resolution time — the model's contexts
+    stay plain functions; the union is a scheme-level closure mechanism,
+    like the Algol rule of {!Embedded}. A user's namespace maps attachment
+    names to ordered lists of backing directories. *)
+
+type t
+
+val build : services:(string * string list) list -> Naming.Store.t -> t
+(** One autonomous file service per [(name, tree)]. *)
+
+val env : t -> Process_env.t
+val store : t -> Naming.Store.t
+val services : t -> string list
+val service_fs : t -> string -> Vfs.Fs.t
+val service_root : t -> string -> Naming.Entity.t
+
+val new_user :
+  ?label:string ->
+  t ->
+  mounts:(string * string list) list ->
+  Naming.Entity.t
+(** A user (activity) with a personal namespace: each [(name, services)]
+    pair attaches, under [name], the ordered union of the listed
+    services' roots. E.g. [("bin", \["local"; "campus"\])] makes
+    [bin/ls] search the local service first, then the campus one. *)
+
+val add_mount :
+  t -> Naming.Entity.t -> name:string -> services:string list -> unit
+
+val remove_mount : t -> Naming.Entity.t -> string -> unit
+
+val resolve : t -> as_:Naming.Entity.t -> Naming.Name.t -> Naming.Entity.t
+(** Union-aware resolution in the user's namespace: the first atom names
+    a mount; the remainder is resolved in each backing directory in
+    order, first hit wins. Plain names with no mount resolve to ⊥. *)
+
+val resolve_str : t -> as_:Naming.Entity.t -> string -> Naming.Entity.t
+
+val which : t -> as_:Naming.Entity.t -> Naming.Name.t -> string option
+(** The service that won the union search, for diagnostics. *)
+
+val mounts_of : t -> Naming.Entity.t -> (string * string list) list
+
+val probes : ?max_depth:int -> t -> Naming.Entity.t -> Naming.Name.t list
+(** Resolvable names in the user's namespace (mount-qualified). *)

@@ -1,0 +1,92 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+module C = Naming.Context
+
+type t = { env : Process_env.t; subsystems : (string * Vfs.Fs.t) list }
+
+let build ~subsystems store =
+  if subsystems = [] then invalid_arg "Per_process.build: no subsystems";
+  let fss =
+    List.map
+      (fun (name, tree) ->
+        let fs = Vfs.Fs.create ~root_label:(name ^ ":/") store in
+        Vfs.Fs.populate fs tree;
+        (name, fs))
+      subsystems
+  in
+  { env = Process_env.create store; subsystems = fss }
+
+let env t = t.env
+let store t = Process_env.store t.env
+let subsystems t = List.map fst t.subsystems
+
+let subsystem_fs t s =
+  match List.assoc_opt s t.subsystems with
+  | Some fs -> fs
+  | None -> invalid_arg (Printf.sprintf "Per_process: unknown subsystem %S" s)
+
+let subsystem_root t s = Vfs.Fs.root (subsystem_fs t s)
+
+let make_private_root ?(label = "ns") t =
+  let root = S.create_context_object ~label (store t) in
+  S.bind (store t) ~dir:root N.self_atom root;
+  S.bind (store t) ~dir:root N.parent_atom root;
+  root
+
+let spawn ?label ?(attach = []) t =
+  let ns_label = match label with Some l -> l ^ ".ns" | None -> "ns" in
+  let root = make_private_root ~label:ns_label t in
+  List.iter
+    (fun (as_name, subsystem) ->
+      S.bind (store t) ~dir:root (N.atom as_name) (subsystem_root t subsystem))
+    attach;
+  Process_env.spawn ?label ~root ~cwd:root t.env
+
+let private_root t a =
+  let r = Process_env.root_of t.env a in
+  if E.is_undefined r then
+    invalid_arg "Per_process.private_root: process has no root"
+  else r
+
+let attach_dir t a ~as_name dir =
+  S.bind (store t) ~dir:(private_root t a) (N.atom as_name) dir
+
+let attach t a ~as_name ~subsystem =
+  attach_dir t a ~as_name (subsystem_root t subsystem)
+
+let detach t a name = S.unbind (store t) ~dir:(private_root t a) (N.atom name)
+
+let remote_exec ?label ?(local_name = "local") t ~parent ~subsystem =
+  (* Copy-on-fork of the private root: the namespaces then diverge. *)
+  let parent_root = private_root t parent in
+  let parent_ns =
+    match S.context_of (store t) parent_root with
+    | Some c -> c
+    | None -> assert false
+  in
+  let ns_label = match label with Some l -> l ^ ".ns" | None -> "ns" in
+  let child_root =
+    S.create_context_object ~label:ns_label ~ctx:parent_ns (store t)
+  in
+  S.bind (store t) ~dir:child_root N.self_atom child_root;
+  S.bind (store t) ~dir:child_root N.parent_atom child_root;
+  S.bind (store t) ~dir:child_root (N.atom local_name)
+    (subsystem_root t subsystem);
+  let child = Process_env.fork ?label t.env ~parent in
+  Process_env.set_root t.env child child_root;
+  Process_env.set_cwd t.env child child_root;
+  child
+
+let rule t = Process_env.rule t.env
+let resolve t ~as_ s = Process_env.resolve_str t.env ~as_ s
+
+let namespace_probes ?(max_depth = 6) t a =
+  let root = private_root t a in
+  match S.context_of (store t) root with
+  | None -> []
+  | Some ctx ->
+      let names =
+        Naming.Graph.all_names (store t) ctx ~max_depth:(max_depth - 1) ()
+      in
+      List.map (fun (n, _e) -> N.cons N.root_atom n) names

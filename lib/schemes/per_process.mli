@@ -1,0 +1,58 @@
+(** Per-process namespaces (Plan 9, extended Waterloo Port; section 6, II).
+
+    Each process has its own private root — a context object of its own —
+    to which the naming trees of the subsystems known to the process are
+    attached. This decouples a process from the context of its execution
+    site: a process executing on one subsystem may use the context of
+    another. Arranging the contexts of two communicating activities so
+    that they agree on the names exchanged is the paper's solution II, and
+    the basis of its "powerful remote execution facility": the remote
+    child inherits the parent's namespace (parameters stay coherent) {e
+    and} attaches the executing machine's tree (local objects stay
+    reachable). *)
+
+type t
+
+val build :
+  subsystems:(string * string list) list -> Naming.Store.t -> t
+(** One file tree per named subsystem; no process namespaces yet. *)
+
+val env : t -> Process_env.t
+val store : t -> Naming.Store.t
+val subsystems : t -> string list
+val subsystem_fs : t -> string -> Vfs.Fs.t
+val subsystem_root : t -> string -> Naming.Entity.t
+
+val spawn :
+  ?label:string -> ?attach:(string * string) list -> t -> Naming.Entity.t
+(** A process with a fresh private root; [attach] lists
+    [(name, subsystem)] pairs to attach initially, e.g.
+    [\["fs", "port1"\]] makes the subsystem reachable as [/fs/...]. *)
+
+val attach : t -> Naming.Entity.t -> as_name:string -> subsystem:string -> unit
+(** Attaches a subsystem tree into the process's private root. *)
+
+val attach_dir :
+  t -> Naming.Entity.t -> as_name:string -> Naming.Entity.t -> unit
+(** Attaches an arbitrary directory (e.g. another process's cwd). *)
+
+val detach : t -> Naming.Entity.t -> string -> unit
+val private_root : t -> Naming.Entity.t -> Naming.Entity.t
+
+val remote_exec :
+  ?label:string ->
+  ?local_name:string ->
+  t ->
+  parent:Naming.Entity.t ->
+  subsystem:string ->
+  Naming.Entity.t
+(** Spawns a child that {e inherits a copy of} the parent's namespace and
+    additionally attaches the executing subsystem's tree under
+    [local_name] (default ["local"]). Parent's names remain valid in the
+    child; the child also reaches its execution site. *)
+
+val rule : t -> Naming.Rule.t
+val resolve : t -> as_:Naming.Entity.t -> string -> Naming.Entity.t
+
+val namespace_probes : ?max_depth:int -> t -> Naming.Entity.t -> Naming.Name.t list
+(** ["/"]-rooted names currently resolvable by the given process. *)

@@ -1,0 +1,116 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+module R = Netaddr.Registry
+
+type t = {
+  store : S.t;
+  registry : R.t;
+  universe : E.t;
+  net_objs : (R.net * E.t) list;
+  mach_objs : (R.mach * E.t) list;
+  proc_acts : (R.proc * E.t) list;
+}
+
+let addr_atom i = N.atom (string_of_int i)
+
+let mirror t =
+  (* Rebuild every context from the registry's current addressing. *)
+  S.set_context t.store t.universe Naming.Context.empty;
+  List.iter
+    (fun (net, obj) ->
+      S.set_context t.store obj Naming.Context.empty;
+      S.bind t.store ~dir:t.universe (addr_atom (R.naddr t.registry net)) obj)
+    t.net_objs;
+  List.iter
+    (fun (mach, obj) ->
+      S.set_context t.store obj Naming.Context.empty;
+      let net_obj = List.assoc (R.network_of_mach t.registry mach) t.net_objs in
+      S.bind t.store ~dir:net_obj (addr_atom (R.maddr t.registry mach)) obj)
+    t.mach_objs;
+  List.iter
+    (fun (proc, act) ->
+      let mach_obj = List.assoc (R.machine_of_proc t.registry proc) t.mach_objs in
+      S.bind t.store ~dir:mach_obj (addr_atom (R.laddr t.registry proc)) act)
+    t.proc_acts
+
+let of_registry store registry =
+  let universe = S.create_context_object ~label:"universe" store in
+  let net_objs =
+    List.map
+      (fun net ->
+        (net, S.create_context_object ~label:(R.label_net registry net) store))
+      (R.networks registry)
+  in
+  let mach_objs =
+    List.concat_map
+      (fun net ->
+        List.map
+          (fun mach ->
+            ( mach,
+              S.create_context_object ~label:(R.label_mach registry mach) store
+            ))
+          (R.machines registry net))
+      (R.networks registry)
+  in
+  let proc_acts =
+    List.map
+      (fun proc ->
+        (proc, S.create_activity ~label:(R.label_proc registry proc) store))
+      (R.all_processes registry)
+  in
+  let t = { store; registry; universe; net_objs; mach_objs; proc_acts } in
+  mirror t;
+  t
+
+let refresh = mirror
+let store t = t.store
+let universe t = t.universe
+
+let activity_of t proc =
+  match List.assoc_opt proc t.proc_acts with
+  | Some a -> a
+  | None -> invalid_arg "Pqid_model.activity_of: unknown process"
+
+let pid_name pid =
+  match Netaddr.Pqid.qualification pid with
+  | Netaddr.Pqid.Self -> None
+  | Netaddr.Pqid.Machine_local ->
+      Some (N.singleton (addr_atom pid.Netaddr.Pqid.laddr))
+  | Netaddr.Pqid.Network_local ->
+      Some
+        (N.of_atoms
+           [ addr_atom pid.Netaddr.Pqid.maddr; addr_atom pid.Netaddr.Pqid.laddr ])
+  | Netaddr.Pqid.Fully_qualified ->
+      Some
+        (N.of_atoms
+           [
+             addr_atom pid.Netaddr.Pqid.naddr;
+             addr_atom pid.Netaddr.Pqid.maddr;
+             addr_atom pid.Netaddr.Pqid.laddr;
+           ])
+
+let proc_of_activity t act =
+  List.find_opt (fun (_p, a) -> E.equal a act) t.proc_acts
+  |> Option.map fst
+
+let resolve t ~from pid =
+  (* The closure mechanism: qualification level selects the context
+     object in which the compound name is resolved. *)
+  let start =
+    match Netaddr.Pqid.qualification pid with
+    | Netaddr.Pqid.Self -> None (* no resolution at all *)
+    | Netaddr.Pqid.Machine_local ->
+        List.assoc_opt (R.machine_of_proc t.registry from) t.mach_objs
+    | Netaddr.Pqid.Network_local ->
+        List.assoc_opt
+          (R.network_of_mach t.registry (R.machine_of_proc t.registry from))
+          t.net_objs
+    | Netaddr.Pqid.Fully_qualified -> Some t.universe
+  in
+  match (start, pid_name pid) with
+  | None, None -> Some from (* the self pid *)
+  | Some ctxobj, Some name ->
+      let e = Naming.Resolver.resolve_in t.store ctxobj name in
+      if E.is_activity e then proc_of_activity t e else None
+  | _ -> None

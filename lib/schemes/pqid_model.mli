@@ -1,0 +1,45 @@
+(** Partially qualified identifiers expressed inside the naming model.
+
+    The paper insists that memory addresses, network addresses and
+    process identifiers are all {e names} (section 1), and its PQID
+    analysis is an instance of the general model: networks and machines
+    are context objects, address components are atoms, a pid
+    [(n, m, l)] is a compound name, and the qualification level is a
+    closure mechanism that picks the starting context — the universe,
+    the referrer's network, or the referrer's machine. Renumbering is
+    rebinding.
+
+    {!Netaddr.Registry} implements the same semantics with address
+    arithmetic (that is what a kernel would do); this module implements
+    it with stores, contexts and {!Naming.Resolver} — and a property test
+    checks the two agree on every resolution, which is the mechanised
+    version of the paper's "our model covers identifiers of all
+    kinds". *)
+
+type t
+
+val of_registry : Naming.Store.t -> Netaddr.Registry.t -> t
+(** Mirrors the registry's current state into the store: one context
+    object for the universe, one per network, one per machine; one
+    activity per process. *)
+
+val refresh : t -> unit
+(** Re-mirrors after the registry changed (renumbering, moves). The
+    entities persist — only bindings change, exactly as the paper
+    describes reconfiguration. *)
+
+val store : t -> Naming.Store.t
+val universe : t -> Naming.Entity.t
+(** The context object binding network addresses. *)
+
+val activity_of : t -> Netaddr.Registry.proc -> Naming.Entity.t
+
+val pid_name : Netaddr.Pqid.t -> Naming.Name.t option
+(** The compound name of a pid's qualified components: [(0,0,l)] → ["l"],
+    [(0,m,l)] → ["m/l"], [(n,m,l)] → ["n/m/l"]. [None] for the self pid,
+    which names no path (it is the identity closure). *)
+
+val resolve :
+  t -> from:Netaddr.Registry.proc -> Netaddr.Pqid.t -> Netaddr.Registry.proc option
+(** Resolution by naming-graph traversal: choose the starting context
+    object by qualification level, then resolve {!pid_name} there. *)

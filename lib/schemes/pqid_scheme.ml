@@ -1,0 +1,80 @@
+module R = Netaddr.Registry
+module P = Netaddr.Pqid
+
+type message = { pid : P.t; intended : R.proc }
+
+type t = {
+  registry : R.t;
+  network : message Dsim.Network.t;
+  actors : (R.proc * message Dsim.Actor.t) list;
+}
+
+let build ~topology ~engine ~rng ?net_config () =
+  let config =
+    match net_config with Some c -> c | None -> Dsim.Network.default_config
+  in
+  let registry = R.create () in
+  let network = Dsim.Network.create ~config ~engine ~rng () in
+  let actors = ref [] in
+  List.iter
+    (fun (net_label, machines) ->
+      let net = R.add_network registry ~label:net_label in
+      List.iter
+        (fun (mach_label, nprocs) ->
+          let mach = R.add_machine registry ~net ~label:mach_label in
+          let node = Dsim.Network.add_node network ~label:mach_label in
+          for i = 1 to nprocs do
+            let label = Printf.sprintf "%s.p%d" mach_label i in
+            let proc = R.add_process registry ~mach ~label in
+            let actor = Dsim.Actor.create ~label network ~node ~port:i in
+            actors := (proc, actor) :: !actors
+          done)
+        machines)
+    topology;
+  { registry; network; actors = List.rev !actors }
+
+let registry t = t.registry
+let network t = t.network
+let processes t = List.map fst t.actors
+
+let actor_of t proc =
+  match List.assoc_opt proc t.actors with
+  | Some a -> a
+  | None -> invalid_arg "Pqid_scheme.actor_of: unknown process"
+
+let send_pid t ~from ~to_ ~target ~mapped =
+  let pid = R.pid_of t.registry ~target ~relative_to:from in
+  let pid =
+    if mapped then R.map_for_transit t.registry ~sender:from ~receiver:to_ pid
+    else pid
+  in
+  Dsim.Actor.send (actor_of t from) ~to_:(actor_of t to_)
+    { pid; intended = target }
+
+let deliveries t =
+  List.concat_map
+    (fun (proc, actor) ->
+      List.map
+        (fun env -> (proc, env.Dsim.Network.payload))
+        (Dsim.Actor.drain actor))
+    t.actors
+
+let resolution_correct t (receiver, msg) =
+  match R.resolve t.registry ~from:receiver msg.pid with
+  | Some p -> Int.equal (p : R.proc :> int) (msg.intended : R.proc :> int)
+  | None -> false
+
+type connection = { holder : R.proc; target : R.proc; held_pid : P.t }
+
+let connect t ~holder ~target ~qualification =
+  let held_pid =
+    match qualification with
+    | `Partial -> R.pid_of t.registry ~target ~relative_to:holder
+    | `Full -> R.full_pid t.registry target
+  in
+  { holder; target; held_pid }
+
+let connection_valid t conn =
+  match R.resolve t.registry ~from:conn.holder conn.held_pid with
+  | Some p -> Int.equal (p : R.proc :> int) (conn.target : R.proc :> int)
+  | None -> false

@@ -1,0 +1,77 @@
+(** Partially qualified identifiers in a simulated network (section 6, Ex. 1).
+
+    Couples the {!Netaddr.Registry} with the {!Dsim} message network:
+    processes are simulated actors that exchange messages containing
+    process identifiers. A pid embedded in a message is valid in the
+    context of the sender, but not necessarily in the context of the
+    receiver; the R(sender) closure mechanism is implemented by {e mapping
+    the embedded pid} in transit. The module supports both behaviours so
+    experiment E7 can ablate the mapping, and maintains long-lived
+    "connections" whose survival under machine/network renumbering is the
+    paper's headline argument for partial qualification. *)
+
+type t
+
+type message = {
+  pid : Netaddr.Pqid.t;  (** the identifier embedded in the message *)
+  intended : Netaddr.Registry.proc;
+      (** ground truth, carried for measurement only *)
+}
+
+val build :
+  topology:(string * (string * int) list) list ->
+  engine:Dsim.Engine.t ->
+  rng:Dsim.Rng.t ->
+  ?net_config:Dsim.Network.config ->
+  unit ->
+  t
+(** [topology] lists networks, each with its machines and per-machine
+    process counts. Each simulated process gets an actor on a node of the
+    message network. *)
+
+val registry : t -> Netaddr.Registry.t
+val network : t -> message Dsim.Network.t
+val processes : t -> Netaddr.Registry.proc list
+val actor_of : t -> Netaddr.Registry.proc -> message Dsim.Actor.t
+
+val send_pid :
+  t ->
+  from:Netaddr.Registry.proc ->
+  to_:Netaddr.Registry.proc ->
+  target:Netaddr.Registry.proc ->
+  mapped:bool ->
+  unit
+(** [from] sends [to_] a message embedding a minimally-qualified pid for
+    [target] (as seen by [from]). With [mapped:true] the pid is rewritten
+    with {!Netaddr.Registry.map_for_transit} — the R(sender) mechanism;
+    with [mapped:false] it travels verbatim — the R(receiver) baseline. *)
+
+val deliveries : t -> (Netaddr.Registry.proc * message) list
+(** Drains all inboxes: [(receiver, message)] pairs, delivery order per
+    receiver. Call after running the engine. *)
+
+val resolution_correct : t -> Netaddr.Registry.proc * message -> bool
+(** Whether the receiver, resolving the embedded pid in its own context,
+    reaches the intended process. *)
+
+(** {1 Connections under reconfiguration} *)
+
+type connection = {
+  holder : Netaddr.Registry.proc;
+  target : Netaddr.Registry.proc;
+  held_pid : Netaddr.Pqid.t;
+}
+
+val connect :
+  t ->
+  holder:Netaddr.Registry.proc ->
+  target:Netaddr.Registry.proc ->
+  qualification:[ `Partial | `Full ] ->
+  connection
+(** The holder stores a pid for the target: minimally qualified
+    ([`Partial], the paper's scheme) or fully qualified ([`Full], the
+    conventional baseline). *)
+
+val connection_valid : t -> connection -> bool
+(** Whether the stored pid still resolves, {e from the holder}, to the
+    original target under current addressing. *)

@@ -1,0 +1,51 @@
+type 'a t = {
+  label : string;
+  address : Network.address;
+  network : 'a Network.t;
+  inbox : 'a Network.envelope Queue.t;
+  mutable bound : bool;
+}
+
+let default_handler t envelope = Queue.push envelope t.inbox
+
+let create ?label network ~node ~port =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "%s:%d" (Network.node_label network node) port
+  in
+  let address = { Network.node; port } in
+  if Network.is_bound network address then
+    invalid_arg
+      (Printf.sprintf "Actor.create: %s port %d already bound"
+         (Network.node_label network node)
+         port);
+  let t = { label; address; network; inbox = Queue.create (); bound = false } in
+  Network.bind network address (default_handler t);
+  t.bound <- true;
+  t
+
+let label t = t.label
+let address t = t.address
+let node t = t.address.Network.node
+let network t = t.network
+
+let send t ~to_ payload =
+  Network.send t.network ~src:t.address ~dst:to_.address payload
+
+let send_to t dst payload = Network.send t.network ~src:t.address ~dst payload
+
+let on_receive t handler = Network.bind t.network t.address handler
+let queue_incoming t = Network.bind t.network t.address (default_handler t)
+
+let receive t = Queue.take_opt t.inbox
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t.inbox with
+    | None -> List.rev acc
+    | Some e -> go (e :: acc)
+  in
+  go []
+
+let inbox_length t = Queue.length t.inbox

@@ -1,0 +1,36 @@
+(** Simulated activities that exchange messages.
+
+    An actor is an endpoint on a node. By default incoming messages are
+    queued in an inbox the experiment drains after running the engine;
+    alternatively a reactive handler can be installed (e.g. to reply, or to
+    remap an embedded identifier on receipt, as the PQID scheme does). *)
+
+type 'a t
+
+val create : ?label:string -> 'a Network.t -> node:Network.node_id -> port:int -> 'a t
+(** Creates the actor and binds it on the network.
+    @raise Invalid_argument for an unknown node or an already-bound port
+    on that node. *)
+
+val label : 'a t -> string
+val address : 'a t -> Network.address
+val node : 'a t -> Network.node_id
+val network : 'a t -> 'a Network.t
+
+val send : 'a t -> to_:'a t -> 'a -> unit
+val send_to : 'a t -> Network.address -> 'a -> unit
+
+val on_receive : 'a t -> ('a Network.envelope -> unit) -> unit
+(** Replaces inbox queueing with a reactive handler. The handler runs at
+    delivery time, inside the engine. *)
+
+val queue_incoming : 'a t -> unit
+(** Restores default inbox queueing. *)
+
+val receive : 'a t -> 'a Network.envelope option
+(** Pops the oldest queued message. *)
+
+val drain : 'a t -> 'a Network.envelope list
+(** Pops everything, oldest first. *)
+
+val inbox_length : 'a t -> int

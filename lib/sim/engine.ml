@@ -1,0 +1,150 @@
+type event = {
+  time : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+module Heap = struct
+  (* A binary min-heap of events ordered by (time, seq). *)
+  type t = { mutable arr : event array; mutable size : int }
+
+  let dummy =
+    { time = 0.0; seq = -1; thunk = (fun () -> ()); cancelled = true }
+
+  let create () = { arr = Array.make 64 dummy; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let grow h =
+    let arr = Array.make (2 * Array.length h.arr) dummy in
+    Array.blit h.arr 0 arr 0 h.size;
+    h.arr <- arr
+
+  let push h e =
+    if h.size = Array.length h.arr then grow h;
+    h.arr.(h.size) <- e;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(!i) in
+        h.arr.(!i) <- h.arr.(parent);
+        h.arr.(parent) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let peek h = if h.size = 0 then None else Some h.arr.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      h.arr.(0) <- h.arr.(h.size);
+      h.arr.(h.size) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!i) in
+          h.arr.(!i) <- h.arr.(!smallest);
+          h.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  heap : Heap.t;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable executed : int;
+}
+
+let create () =
+  { heap = Heap.create (); now = 0.0; next_seq = 0; live = 0; executed = 0 }
+
+let now t = t.now
+
+let schedule_at t ~time thunk =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
+         time t.now);
+  let e = { time; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap e;
+  e
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) thunk
+
+let cancel t e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e ->
+      if e.cancelled then step t
+      else begin
+        t.live <- t.live - 1;
+        t.now <- e.time;
+        t.executed <- t.executed + 1;
+        e.thunk ();
+        true
+      end
+
+let run ?until ?max_events t =
+  let budget = match max_events with None -> max_int | Some m -> m in
+  let fits time =
+    match until with None -> true | Some limit -> time <= limit
+  in
+  let rec go n =
+    if n >= budget then n
+    else
+      match Heap.peek t.heap with
+      | None -> n
+      | Some e ->
+          if e.cancelled then begin
+            ignore (Heap.pop t.heap);
+            go n
+          end
+          else if fits e.time then
+            if step t then go (n + 1) else n
+          else n
+  in
+  let n = go 0 in
+  (match until with
+  | Some limit when t.now < limit && Heap.peek t.heap = None -> t.now <- limit
+  | Some limit when t.now < limit -> (
+      (* Queue non-empty but next event beyond the horizon. *)
+      match Heap.peek t.heap with
+      | Some e when e.time > limit -> t.now <- limit
+      | _ -> ())
+  | _ -> ());
+  n
+
+let executed t = t.executed

@@ -1,0 +1,41 @@
+(** A discrete-event simulation engine.
+
+    Events are thunks scheduled at simulated times; [run] executes them in
+    time order (FIFO among simultaneous events). This is the substrate on
+    which we simulate the distributed environments the paper assumes:
+    machines exchanging messages with latency. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; 0.0 initially. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** Schedule a thunk [delay] time units from now.
+    @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** @raise Invalid_argument when [time] is in the past. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-executed or cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-executed, not-cancelled events. *)
+
+val step : t -> bool
+(** Execute the single next event. False when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> int
+(** Execute events until the queue is empty, the next event would exceed
+    [until], or [max_events] have been executed. Returns the number of
+    events executed. Time advances to the last executed event (or to
+    [until] if given and the queue drained earlier than that). *)
+
+val executed : t -> int
+(** Total events executed since creation. *)

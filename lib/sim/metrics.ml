@@ -1,0 +1,53 @@
+module Counter = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Series = struct
+  type t = {
+    mutable rev_values : float list;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { rev_values = []; count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+  let observe t v =
+    t.rev_values <- v :: t.rev_values;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = t.min
+  let max t = t.max
+  let sum t = t.sum
+  let values t = List.rev t.rev_values
+
+  let percentile t p =
+    if p < 0.0 || p > 1.0 then invalid_arg "Series.percentile: p outside [0;1]";
+    if t.count = 0 then invalid_arg "Series.percentile: empty series";
+    let sorted = List.sort Float.compare (values t) in
+    let arr = Array.of_list sorted in
+    let rank =
+      Stdlib.min (t.count - 1)
+        (int_of_float (Float.round (p *. float_of_int (t.count - 1))))
+    in
+    arr.(rank)
+
+  let pp_summary ppf t =
+    if t.count = 0 then Format.pp_print_string ppf "n=0"
+    else
+      Format.fprintf ppf "n=%d mean=%.3f min=%.3f p95=%.3f max=%.3f" t.count
+        (mean t) t.min (percentile t 0.95) t.max
+end

@@ -1,0 +1,35 @@
+(** Counters and summary statistics for simulations and benchmarks. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Series : sig
+  (** A series of float observations with summary statistics. *)
+
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0.0 on an empty series. *)
+
+  val min : t -> float
+  val max : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t 0.95] — nearest-rank on the sorted observations.
+      @raise Invalid_argument outside [0;1] or on an empty series. *)
+
+  val sum : t -> float
+  val values : t -> float list
+  (** In observation order. *)
+
+  val pp_summary : Format.formatter -> t -> unit
+end

@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  create (mix seed)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then bits t mod bound
+  else
+    let v = Int64.shift_right_logical (next_int64 t) 2 in
+    Int64.to_int (Int64.rem v (Int64.of_int bound))
+
+let int_in t ~min ~max =
+  if max < min then invalid_arg "Rng.int_in: max < min";
+  min + int t (max - min + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample t k l =
+  let shuffled = shuffle t l in
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take k shuffled
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u

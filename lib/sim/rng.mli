@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every simulator run is reproducible from its seed; experiments report
+    the seed they used. SplitMix64 is small, fast, and has a [split]
+    operation so independent subsystems can draw from independent
+    streams. *)
+
+type t
+
+val create : int64 -> t
+(** A generator seeded with the given value. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** A new generator statistically independent of the original; the
+    original advances. *)
+
+val next_int64 : t -> int64
+val bits : t -> int
+(** 30 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val int_in : t -> min:int -> max:int -> int
+(** Uniform in [\[min, max\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+val shuffle : t -> 'a list -> 'a list
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k l] draws [k] elements without replacement ([k] may exceed
+    the length, in which case the whole list is returned, shuffled). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for inter-arrival times. *)

@@ -1,0 +1,106 @@
+type ('req, 'resp) message =
+  | Request of { id : int; payload : 'req }
+  | Response of { id : int; payload : 'resp }
+
+type ('req, 'resp) pending_call = {
+  on_reply : ('resp, [ `Timeout ]) result -> unit;
+  timeout_handle : Engine.handle;
+}
+
+type stats = {
+  calls : int;
+  replies : int;
+  timeouts : int;
+  served : int;
+  dropped_requests : int;
+  late_replies : int;
+}
+
+type ('req, 'resp) endpoint = {
+  network : ('req, 'resp) message Network.t;
+  address : Network.address;
+  mutable handler : ('req -> 'resp option) option;
+  pending_calls : (int, ('req, 'resp) pending_call) Hashtbl.t;
+  mutable next_id : int;
+  mutable calls : int;
+  mutable replies : int;
+  mutable timeouts : int;
+  mutable served : int;
+  mutable dropped_requests : int;
+  mutable late_replies : int;
+}
+
+let receive t envelope =
+  match envelope.Network.payload with
+  | Request { id; payload } -> (
+      match t.handler with
+      | None -> t.dropped_requests <- t.dropped_requests + 1
+      | Some handler -> (
+          match handler payload with
+          | None -> t.dropped_requests <- t.dropped_requests + 1
+          | Some response ->
+              t.served <- t.served + 1;
+              Network.send t.network ~src:t.address ~dst:envelope.Network.src
+                (Response { id; payload = response })))
+  | Response { id; payload } -> (
+      match Hashtbl.find_opt t.pending_calls id with
+      | None -> t.late_replies <- t.late_replies + 1
+      | Some call ->
+          Hashtbl.remove t.pending_calls id;
+          Engine.cancel (Network.engine t.network) call.timeout_handle;
+          t.replies <- t.replies + 1;
+          call.on_reply (Ok payload))
+
+let create network ~node ~port ?handler () =
+  let t =
+    {
+      network;
+      address = { Network.node; port };
+      handler;
+      pending_calls = Hashtbl.create 16;
+      next_id = 0;
+      calls = 0;
+      replies = 0;
+      timeouts = 0;
+      served = 0;
+      dropped_requests = 0;
+      late_replies = 0;
+    }
+  in
+  Network.bind network t.address (receive t);
+  t
+
+let address t = t.address
+let set_handler t h = t.handler <- Some h
+
+let call t ~to_ ~timeout payload ~on_reply =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.calls <- t.calls + 1;
+  let timeout_handle =
+    Engine.schedule (Network.engine t.network) ~delay:timeout (fun () ->
+        if Hashtbl.mem t.pending_calls id then begin
+          Hashtbl.remove t.pending_calls id;
+          t.timeouts <- t.timeouts + 1;
+          on_reply (Error `Timeout)
+        end)
+  in
+  Hashtbl.replace t.pending_calls id { on_reply; timeout_handle };
+  Network.send t.network ~src:t.address ~dst:to_ (Request { id; payload })
+
+let pending t = Hashtbl.length t.pending_calls
+
+let stats t =
+  {
+    calls = t.calls;
+    replies = t.replies;
+    timeouts = t.timeouts;
+    served = t.served;
+    dropped_requests = t.dropped_requests;
+    late_replies = t.late_replies;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "calls=%d replies=%d timeouts=%d served=%d dropped=%d late=%d" s.calls
+    s.replies s.timeouts s.served s.dropped_requests s.late_replies

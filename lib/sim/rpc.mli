@@ -1,0 +1,53 @@
+(** Request/response messaging over the simulated {!Network}.
+
+    The paper's name-exchange scenarios are client/server interactions
+    ("process identifiers are exchanged between client and server
+    processes in the Waterloo Port system"). This module provides the
+    request/response plumbing: correlation of replies to calls, and
+    timeouts for requests whose reply was lost. *)
+
+type ('req, 'resp) message
+(** The wire type: carry it as the network payload. *)
+
+type ('req, 'resp) endpoint
+
+val create :
+  ('req, 'resp) message Network.t ->
+  node:Network.node_id ->
+  port:int ->
+  ?handler:('req -> 'resp option) ->
+  unit ->
+  ('req, 'resp) endpoint
+(** Binds an endpoint. [handler] serves incoming requests (return [None]
+    to drop a request silently — simulating a server-side failure);
+    endpoints without a handler are pure clients, and count unserved
+    requests. *)
+
+val address : ('req, 'resp) endpoint -> Network.address
+val set_handler : ('req, 'resp) endpoint -> ('req -> 'resp option) -> unit
+
+val call :
+  ('req, 'resp) endpoint ->
+  to_:Network.address ->
+  timeout:float ->
+  'req ->
+  on_reply:(('resp, [ `Timeout ]) result -> unit) ->
+  unit
+(** Sends a request; [on_reply] fires exactly once — with the response,
+    or with [Error `Timeout] after [timeout] simulated time units. A
+    response arriving after the timeout is discarded. *)
+
+val pending : ('req, 'resp) endpoint -> int
+(** Calls still awaiting a reply or timeout. *)
+
+type stats = {
+  calls : int;
+  replies : int;
+  timeouts : int;
+  served : int;  (** requests this endpoint's handler answered *)
+  dropped_requests : int;  (** requests the handler declined or had no handler *)
+  late_replies : int;  (** responses discarded after their timeout *)
+}
+
+val stats : ('req, 'resp) endpoint -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,31 @@
+type entry = { time : float; category : string; message : string }
+type t = { mutable rev_entries : entry list; mutable size : int }
+
+let create () = { rev_entries = []; size = 0 }
+
+let record t ~time ~category message =
+  t.rev_entries <- { time; category; message } :: t.rev_entries;
+  t.size <- t.size + 1
+
+let recordf t ~time ~category fmt =
+  Format.kasprintf (fun message -> record t ~time ~category message) fmt
+
+let entries t = List.rev t.rev_entries
+
+let filter t ~category =
+  List.filter (fun e -> String.equal e.category category) (entries t)
+
+let count t ~category = List.length (filter t ~category)
+let length t = t.size
+
+let clear t =
+  t.rev_entries <- [];
+  t.size <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%8.3f] %-12s %s" e.time e.category e.message
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list pp_entry)
+    (entries t)

@@ -1,0 +1,20 @@
+(** Time-stamped event traces for simulations and experiments. *)
+
+type entry = { time : float; category : string; message : string }
+type t
+
+val create : unit -> t
+val record : t -> time:float -> category:string -> string -> unit
+
+val recordf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val entries : t -> entry list
+(** In recording order. *)
+
+val filter : t -> category:string -> entry list
+val count : t -> category:string -> int
+val length : t -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,80 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+type spec = {
+  n_components : int;
+  n_sources : int;
+  refs_per_source : int;
+  nested : bool;
+}
+
+let default_spec =
+  { n_components = 4; n_sources = 6; refs_per_source = 2; nested = true }
+
+let component_name i = Printf.sprintf "c%d" i
+let source_name i = Printf.sprintf "s%d" i
+
+let build_level fs ~dir ~rng ~spec ~prefix =
+  let store = Vfs.Fs.store fs in
+  let sub = Vfs.Fs.of_root store dir in
+  for i = 0 to spec.n_components - 1 do
+    ignore
+      (Vfs.Fs.add_file sub
+         ("lib/" ^ component_name i)
+         ~content:(Printf.sprintf "component %s%d" prefix i))
+  done;
+  for i = 0 to spec.n_sources - 1 do
+    let refs =
+      List.init spec.refs_per_source (fun _ ->
+          let c = Dsim.Rng.int rng spec.n_components in
+          N.of_strings [ "lib"; component_name c ])
+    in
+    let content =
+      Schemes.Embedded.make_content
+        ~text:(Printf.sprintf "source %s%d" prefix i)
+        ~refs ()
+    in
+    ignore (Vfs.Fs.add_file sub ("src/" ^ source_name i) ~content)
+  done
+
+let build fs ~at ~rng ~spec =
+  if spec.n_components <= 0 then invalid_arg "Docgen.build: no components";
+  let root = Vfs.Fs.mkdir_path fs at in
+  build_level fs ~dir:root ~rng ~spec ~prefix:"outer-";
+  if spec.nested then begin
+    let store = Vfs.Fs.store fs in
+    let sub_root =
+      let sub_fs = Vfs.Fs.of_root store root in
+      Vfs.Fs.mkdir_path sub_fs "sub"
+    in
+    (* The nested level shadows component 0 at the inner scope. *)
+    build_level fs ~dir:sub_root ~rng
+      ~spec:{ spec with n_components = 1; nested = false }
+      ~prefix:"inner-"
+  end;
+  root
+
+let sources fs project_root =
+  let store = Vfs.Fs.store fs in
+  let rec collect acc dir =
+    List.fold_left
+      (fun acc (a, child) ->
+        if S.is_context_object store child then collect acc child
+        else if N.atom_equal a (N.atom "lib") then acc
+        else
+          match S.data_of store child with
+          | Some content when Schemes.Embedded.refs_of_content content <> [] ->
+              (dir, child) :: acc
+          | Some _ | None -> acc)
+      acc (Vfs.Fs.readdir fs dir)
+  in
+  List.rev (collect [] project_root)
+
+let expected_refs fs project_root =
+  let store = Vfs.Fs.store fs in
+  List.fold_left
+    (fun acc (_dir, file) ->
+      acc + List.length (Schemes.Embedded.refs_of store file))
+    0
+    (sources fs project_root)

@@ -1,0 +1,32 @@
+(** Structured-object (document) generation for the embedded-names
+    experiments.
+
+    Builds, inside a file system, a self-contained project subtree in the
+    shape of Figure 6: a [lib/] directory of components, a [src/]
+    directory of files whose contents embed references like
+    [lib/<component>], and (optionally) nested sub-projects that shadow
+    component names at an inner scope — exercising the "closest ancestor"
+    part of the Algol rule. *)
+
+type spec = {
+  n_components : int;  (** files under [lib/] *)
+  n_sources : int;  (** files under [src/] *)
+  refs_per_source : int;
+  nested : bool;
+      (** also create [sub/] with its own [lib/] shadowing component 0 *)
+}
+
+val default_spec : spec
+
+val build :
+  Vfs.Fs.t -> at:string -> rng:Dsim.Rng.t -> spec:spec -> Naming.Entity.t
+(** Creates the project subtree at path [at] (directories created as
+    needed) and returns the subtree root directory. Sources reference
+    uniformly random components. *)
+
+val sources : Vfs.Fs.t -> Naming.Entity.t -> (Naming.Entity.t * Naming.Entity.t) list
+(** [(dir, file)] pairs of the project's source files (including nested
+    ones), where [dir] is the directory containing the file. *)
+
+val expected_refs : Vfs.Fs.t -> Naming.Entity.t -> int
+(** Total number of embedded references in the project. *)

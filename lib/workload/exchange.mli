@@ -1,0 +1,50 @@
+(** Name-exchange workloads.
+
+    Names are frequently exchanged between activities — between parent and
+    child, and between client and server (paper, section 4, case 2). An
+    exchange event is "sender tells receiver about name n"; coherence for
+    the event means the name denotes the same entity for the sender (who
+    generated it) and for the receiver (who got it in a message). *)
+
+type event = {
+  sender : Naming.Entity.t;
+  receiver : Naming.Entity.t;
+  name : Naming.Name.t;
+}
+
+val random_events :
+  rng:Dsim.Rng.t ->
+  activities:Naming.Entity.t list ->
+  probes:Naming.Name.t list ->
+  n:int ->
+  event list
+(** Uniform sender ≠ receiver pairs and uniform probe names.
+    @raise Invalid_argument with fewer than two activities or no
+    probes. *)
+
+val all_pairs :
+  activities:Naming.Entity.t list -> probes:Naming.Name.t list -> event list
+(** The exhaustive workload: every ordered pair × every probe. *)
+
+val occurrences : event -> Naming.Occurrence.t list
+(** [\[Generated(sender); Received(sender → receiver)\]] — the two
+    circumstances whose agreement defines coherence of the exchange. *)
+
+val coherent_fraction :
+  ?equiv:(Naming.Entity.t -> Naming.Entity.t -> bool) ->
+  Naming.Store.t ->
+  Naming.Rule.t ->
+  event list ->
+  float
+(** Fraction of non-vacuous events that are coherent under the rule. *)
+
+val run_over_network :
+  engine:Dsim.Engine.t ->
+  network:Naming.Name.t Dsim.Network.t ->
+  actor_of:(Naming.Entity.t -> Naming.Name.t Dsim.Actor.t) ->
+  event list ->
+  (Naming.Entity.t * Naming.Entity.t * Naming.Name.t) list
+(** Actually ships each event's name through the simulated network and
+    returns the [(sender, receiver, name)] triples that were delivered
+    (drops and partitions reduce the result). Receivers are identified by
+    reverse lookup of the destination actor. *)

@@ -1,0 +1,28 @@
+module N = Naming.Name
+
+let from_graph store ctx ~rng ~n ~max_depth =
+  let all = Naming.Graph.all_names store ctx ~max_depth () in
+  let names = List.map fst all in
+  Dsim.Rng.sample rng n names
+
+let garbage_atom rng =
+  let letters = "zxqvwk" in
+  let len = 3 + Dsim.Rng.int rng 5 in
+  String.init len (fun _ ->
+      letters.[Dsim.Rng.int rng (String.length letters)])
+
+let noise ~rng ~n ~max_depth =
+  List.init n (fun _ ->
+      let depth = 1 + Dsim.Rng.int rng max_depth in
+      N.of_strings (List.init depth (fun _ -> garbage_atom rng)))
+
+let mixed store ctx ~rng ~n ~max_depth ~valid_fraction =
+  if valid_fraction < 0.0 || valid_fraction > 1.0 then
+    invalid_arg "Namegen.mixed: valid_fraction outside [0;1]";
+  let n_valid = int_of_float (Float.round (valid_fraction *. float_of_int n)) in
+  let valid = from_graph store ctx ~rng ~n:n_valid ~max_depth in
+  let invalid = noise ~rng ~n:(n - List.length valid) ~max_depth in
+  Dsim.Rng.shuffle rng (valid @ invalid)
+
+let atoms_of_alphabet ~prefix n =
+  List.init n (fun i -> Printf.sprintf "%s%d" prefix i)

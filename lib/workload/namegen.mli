@@ -1,0 +1,34 @@
+(** Probe-name generation.
+
+    Experiments measure coherence over sets of probe names. This module
+    samples resolvable names from a world's naming graph, generates
+    unresolvable noise, and mixes the two in controlled proportions so
+    that experiments can sweep the "fraction of shared names" axis. *)
+
+val from_graph :
+  Naming.Store.t ->
+  Naming.Context.t ->
+  rng:Dsim.Rng.t ->
+  n:int ->
+  max_depth:int ->
+  Naming.Name.t list
+(** A sample (without replacement, as far as availability allows) of names
+    resolvable from the given context. *)
+
+val noise : rng:Dsim.Rng.t -> n:int -> max_depth:int -> Naming.Name.t list
+(** Random names over a garbage alphabet — overwhelmingly unresolvable. *)
+
+val mixed :
+  Naming.Store.t ->
+  Naming.Context.t ->
+  rng:Dsim.Rng.t ->
+  n:int ->
+  max_depth:int ->
+  valid_fraction:float ->
+  Naming.Name.t list
+(** [valid_fraction] of the names drawn {!from_graph}, the rest
+    {!noise}, shuffled. *)
+
+val atoms_of_alphabet : prefix:string -> int -> string list
+(** [atoms_of_alphabet ~prefix:"f" 3] = [\["f0"; "f1"; "f2"\]] — helper
+    for synthetic trees. *)

@@ -1,0 +1,84 @@
+module R = Netaddr.Registry
+
+type op =
+  | Renumber_machine of R.mach * int
+  | Renumber_network of R.net * int
+  | Move_machine of R.mach * R.net
+
+let apply registry = function
+  | Renumber_machine (m, a) -> R.renumber_machine registry m a
+  | Renumber_network (n, a) -> R.renumber_network registry n a
+  | Move_machine (m, n) -> R.move_machine registry m n
+
+let apply_all registry ops = List.iter (apply registry) ops
+
+let fresh_addr rng used =
+  let rec go attempts =
+    if attempts > 10_000 then invalid_arg "Reconfig: address space exhausted";
+    let a = 1 + Dsim.Rng.int rng 1_000_000 in
+    if used a then go (attempts + 1) else a
+  in
+  go 0
+
+let all_machines registry =
+  List.concat_map (fun n -> R.machines registry n) (R.networks registry)
+
+let random_op registry ~rng ~kinds =
+  let kind = Dsim.Rng.pick rng kinds in
+  match kind with
+  | `Renumber_machine ->
+      let machines = all_machines registry in
+      let m = Dsim.Rng.pick rng machines in
+      let net = R.network_of_mach registry m in
+      let used a =
+        List.exists
+          (fun m' -> Int.equal (R.maddr registry m') a)
+          (R.machines registry net)
+      in
+      Renumber_machine (m, fresh_addr rng used)
+  | `Renumber_network ->
+      let n = Dsim.Rng.pick rng (R.networks registry) in
+      let used a =
+        List.exists
+          (fun n' -> Int.equal (R.naddr registry n') a)
+          (R.networks registry)
+      in
+      Renumber_network (n, fresh_addr rng used)
+  | `Move_machine ->
+      let machines = all_machines registry in
+      let m = Dsim.Rng.pick rng machines in
+      let current = R.network_of_mach registry m in
+      let others =
+        List.filter
+          (fun n -> not (Int.equal (n : R.net :> int) (current : R.net :> int)))
+          (R.networks registry)
+      in
+      (match others with
+      | [] -> (* fall back to renumbering *)
+          let net = current in
+          let used a =
+            List.exists
+              (fun m' -> Int.equal (R.maddr registry m') a)
+              (R.machines registry net)
+          in
+          Renumber_machine (m, fresh_addr rng used)
+      | _ -> Move_machine (m, Dsim.Rng.pick rng others))
+
+let random_ops registry ~rng ~n
+    ?(kinds = [ `Renumber_machine; `Renumber_network ]) () =
+  if kinds = [] then invalid_arg "Reconfig.random_ops: empty kinds";
+  List.init n (fun _ ->
+      let op = random_op registry ~rng ~kinds in
+      apply registry op;
+      op)
+
+let pp_op registry ppf = function
+  | Renumber_machine (m, a) ->
+      Format.fprintf ppf "renumber machine %s -> maddr %d"
+        (R.label_mach registry m) a
+  | Renumber_network (n, a) ->
+      Format.fprintf ppf "renumber network %s -> naddr %d"
+        (R.label_net registry n) a
+  | Move_machine (m, n) ->
+      Format.fprintf ppf "move machine %s -> network %s"
+        (R.label_mach registry m) (R.label_net registry n)

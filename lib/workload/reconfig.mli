@@ -1,0 +1,28 @@
+(** Reconfiguration workloads: renumbering and relocation events.
+
+    Section 6, Example 1: "when the address of a machine or a network is
+    changed as part of relocation or reconfiguration, pids of local
+    processes within the renamed machine or network remain valid".
+    Experiment E7 replays random sequences of these events against held
+    process identifiers. *)
+
+type op =
+  | Renumber_machine of Netaddr.Registry.mach * int
+  | Renumber_network of Netaddr.Registry.net * int
+  | Move_machine of Netaddr.Registry.mach * Netaddr.Registry.net
+
+val random_ops :
+  Netaddr.Registry.t ->
+  rng:Dsim.Rng.t ->
+  n:int ->
+  ?kinds:[ `Renumber_machine | `Renumber_network | `Move_machine ] list ->
+  unit ->
+  op list
+(** Generates {e and applies} [n] random operations (fresh addresses are
+    chosen to avoid clashes), returning the list applied, in order.
+    [kinds] restricts the repertoire (default: renumbering only, matching
+    the paper's scenario; moves need at least two networks). *)
+
+val apply : Netaddr.Registry.t -> op -> unit
+val apply_all : Netaddr.Registry.t -> op list -> unit
+val pp_op : Netaddr.Registry.t -> Format.formatter -> op -> unit

@@ -1,0 +1,149 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+
+type op =
+  | Mkdir of string
+  | Add_file of string * string
+  | Write of string * string
+  | Unlink of string
+  | Spawn of string
+  | Fork of int
+  | Chdir of int * string
+  | Chroot of int * string
+  | Bind of int * string * string
+  | Unbind of int * string
+
+type world = {
+  fs : Vfs.Fs.t;
+  env : Schemes.Process_env.t;
+  mutable rev_procs : E.t list;
+}
+
+let new_world store =
+  { fs = Vfs.Fs.create store; env = Schemes.Process_env.create store; rev_procs = [] }
+
+let fs w = w.fs
+let env w = w.env
+let processes w = List.rev w.rev_procs
+
+let proc w idx =
+  let procs = processes w in
+  if idx >= 0 && idx < List.length procs then Some (List.nth procs idx)
+  else None
+
+let dir_at w path =
+  let e = Vfs.Fs.lookup w.fs path in
+  if S.is_context_object (Vfs.Fs.store w.fs) e then Some e else None
+
+let apply w op =
+  match op with
+  | Mkdir path -> (
+      match Vfs.Fs.mkdir_path w.fs path with
+      | (_ : E.t) -> ()
+      | exception Invalid_argument _ -> ())
+  | Add_file (path, content) -> (
+      match Vfs.Fs.add_file w.fs path ~content with
+      | (_ : E.t) -> ()
+      | exception Invalid_argument _ -> ())
+  | Write (path, content) -> (
+      let e = Vfs.Fs.lookup w.fs path in
+      match Vfs.Fs.write w.fs e content with
+      | () -> ()
+      | exception Invalid_argument _ -> ())
+  | Unlink path -> (
+      match N.of_string path with
+      | exception N.Invalid _ -> ()
+      | n -> (
+          match N.parent n with
+          | Some parent_name -> (
+              let parent =
+                if N.equal parent_name (N.singleton N.root_atom) then
+                  Some (Vfs.Fs.root w.fs)
+                else dir_at w (N.to_string parent_name)
+              in
+              match parent with
+              | Some dir -> Vfs.Fs.unlink w.fs ~dir (N.atom_to_string (N.last n))
+              | None -> ())
+          | None -> ()))
+  | Spawn label ->
+      let p =
+        Schemes.Process_env.spawn ~label ~root:(Vfs.Fs.root w.fs) w.env
+      in
+      w.rev_procs <- p :: w.rev_procs
+  | Fork idx -> (
+      match proc w idx with
+      | Some parent ->
+          let child = Schemes.Process_env.fork w.env ~parent in
+          w.rev_procs <- child :: w.rev_procs
+      | None -> ())
+  | Chdir (idx, path) -> (
+      match (proc w idx, dir_at w path) with
+      | Some p, Some d -> Schemes.Process_env.set_cwd w.env p d
+      | _ -> ())
+  | Chroot (idx, path) -> (
+      match (proc w idx, dir_at w path) with
+      | Some p, Some d -> Schemes.Process_env.set_root w.env p d
+      | _ -> ())
+  | Bind (idx, name, path) -> (
+      match (proc w idx, dir_at w path) with
+      | Some p, Some d -> (
+          match Schemes.Process_env.set_binding w.env p name d with
+          | () -> ()
+          | exception N.Invalid _ -> ())
+      | _ -> ())
+  | Unbind (idx, name) -> (
+      match proc w idx with
+      | Some p -> (
+          match Schemes.Process_env.remove_binding w.env p name with
+          | () -> ()
+          | exception N.Invalid _ -> ())
+      | None -> ())
+
+let run w ops = List.iter (apply w) ops
+
+let paths = [| "/a"; "/a/b"; "/a/b/c"; "/d"; "/d/e"; "/f" |]
+let binding_names = [| "mnt"; "vice"; "x" |]
+
+let random_op w rng =
+  let n_procs = List.length (processes w) in
+  let path () = Dsim.Rng.pick_array rng paths in
+  let idx () = Dsim.Rng.int rng (max 1 n_procs) in
+  match Dsim.Rng.int rng 10 with
+  | 0 -> Mkdir (path ())
+  | 1 -> Add_file (path (), Printf.sprintf "c%d" (Dsim.Rng.int rng 100))
+  | 2 -> Write (path (), Printf.sprintf "w%d" (Dsim.Rng.int rng 100))
+  | 3 ->
+      (* unlink files only: unbinding a directory orphans it with a stale
+         '..' (a lint violation by design), as in Unix where unlink(2)
+         does not apply to directories *)
+      let p = path () in
+      if Vfs.Fs.kind w.fs (Vfs.Fs.lookup w.fs p) = `File then Unlink p
+      else Mkdir p
+  | 4 -> Spawn (Printf.sprintf "p%d" n_procs)
+  | 5 -> Fork (idx ())
+  | 6 -> Chdir (idx (), path ())
+  | 7 -> Chroot (idx (), path ())
+  | 8 -> Bind (idx (), Dsim.Rng.pick_array rng binding_names, path ())
+  | _ -> Unbind (idx (), Dsim.Rng.pick_array rng binding_names)
+
+let random_ops w ~rng ~n =
+  let first = Spawn "p0" in
+  apply w first;
+  first
+  :: List.init (max 0 (n - 1)) (fun _ ->
+         let op = random_op w rng in
+         apply w op;
+         op)
+
+let pp_op ppf = function
+  | Mkdir p -> Format.fprintf ppf "mkdir %s" p
+  | Add_file (p, c) -> Format.fprintf ppf "add-file %s %S" p c
+  | Write (p, c) -> Format.fprintf ppf "write %s %S" p c
+  | Unlink p -> Format.fprintf ppf "unlink %s" p
+  | Spawn l -> Format.fprintf ppf "spawn %s" l
+  | Fork i -> Format.fprintf ppf "fork %d" i
+  | Chdir (i, p) -> Format.fprintf ppf "chdir %d %s" i p
+  | Chroot (i, p) -> Format.fprintf ppf "chroot %d %s" i p
+  | Bind (i, n, p) -> Format.fprintf ppf "bind %d %s %s" i n p
+  | Unbind (i, n) -> Format.fprintf ppf "unbind %d %s" i n

@@ -1,0 +1,44 @@
+(** Scripted naming scenarios.
+
+    A small operation language over a host tree and a set of processes:
+    deterministic construction and replay of naming scenarios, and a
+    generator of random-but-valid scripts for fuzzing. The fuzz property
+    in the test suite runs random scripts and checks the global
+    invariants (lint-clean store, total resolution, coherence degrees in
+    [0, 1]) — the library-level equivalent of crash-free fuzzing. *)
+
+type op =
+  | Mkdir of string  (** path in the host tree *)
+  | Add_file of string * string  (** path, content *)
+  | Write of string * string
+  | Unlink of string  (** path of a binding to remove *)
+  | Spawn of string  (** label; rooted at the host root *)
+  | Fork of int  (** index of the parent process *)
+  | Chdir of int * string
+  | Chroot of int * string
+  | Bind of int * string * string
+      (** process, context binding name, host path *)
+  | Unbind of int * string
+
+type world
+
+val new_world : Naming.Store.t -> world
+val fs : world -> Vfs.Fs.t
+val env : world -> Schemes.Process_env.t
+
+val processes : world -> Naming.Entity.t list
+(** In spawn order. *)
+
+val apply : world -> op -> unit
+(** Applies one operation. Operations referring to missing paths or
+    process indices are silently skipped — scripts are total, which is
+    what makes generated scripts replayable against evolving worlds. *)
+
+val run : world -> op list -> unit
+
+val random_ops :
+  world -> rng:Dsim.Rng.t -> n:int -> op list
+(** Generates {e and applies} [n] random operations (always at least one
+    initial [Spawn]); returns them, in order, for replay elsewhere. *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,119 @@
+(* Tests for Naming.Cache — memoised resolution with invalidation. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Ca = Naming.Cache
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let fs = Vfs.Fs.create st in
+  Vfs.Fs.populate fs Schemes.Unix_scheme.default_tree;
+  (st, fs, Vfs.Fs.root fs)
+
+let test_hit_miss () =
+  let st, fs, root = fixture () in
+  let cache = Ca.create st in
+  let n = N.of_string "usr/bin/cc" in
+  let e1 = Ca.resolve_in cache root n in
+  check entity "correct" (Vfs.Fs.lookup fs "/usr/bin/cc") e1;
+  let e2 = Ca.resolve_in cache root n in
+  check entity "same on hit" e1 e2;
+  let s = Ca.stats cache in
+  check i "one miss" 1 s.Ca.misses;
+  check i "one hit" 1 s.Ca.hits
+
+let test_invalidation_on_mutation () =
+  let st, fs, root = fixture () in
+  let cache = Ca.create st in
+  let n = N.of_string "bin/ls" in
+  let before = Ca.resolve_in cache root n in
+  check b "resolves" true (E.is_defined before);
+  (* mutate: replace the binding *)
+  let replacement = Vfs.Fs.add_file fs "/bin/ls2" ~content:"new" in
+  let bin = Vfs.Fs.lookup fs "/bin" in
+  Vfs.Fs.unlink fs ~dir:bin "ls";
+  Vfs.Fs.link fs ~dir:bin "ls" replacement;
+  let after = Ca.resolve_in cache root n in
+  check entity "sees the new binding" replacement after;
+  check b "invalidated at least once" true
+    ((Ca.stats cache).Ca.invalidations >= 1)
+
+let test_negative_caching () =
+  let st, _, root = fixture () in
+  let cache = Ca.create st in
+  let n = N.of_string "no/such/thing" in
+  check entity "miss is bottom" E.undefined (Ca.resolve_in cache root n);
+  check entity "cached bottom" E.undefined (Ca.resolve_in cache root n);
+  check i "hit on negative entry" 1 (Ca.stats cache).Ca.hits
+
+let test_capacity_reset () =
+  let st, _, root = fixture () in
+  let cache = Ca.create ~capacity:4 st in
+  (* more distinct keys than capacity: must stay correct *)
+  List.iter
+    (fun p ->
+      ignore (Ca.resolve_in cache root (N.of_string p));
+      ignore (Ca.resolve_in cache root (N.of_string p)))
+    [ "bin"; "etc"; "usr"; "home"; "tmp"; "dev"; "bin/ls"; "etc/passwd" ];
+  check entity "still correct after churn"
+    (Naming.Resolver.resolve_in st root (N.of_string "bin/ls"))
+    (Ca.resolve_in cache root (N.of_string "bin/ls"))
+
+let test_create_errors () =
+  let st, _, _ = fixture () in
+  match Ca.create ~capacity:0 st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero capacity accepted"
+
+(* property: under random interleavings of resolutions and mutations, the
+   cache always agrees with the plain resolver. *)
+let prop_cache_transparent =
+  QCheck.Test.make ~name:"cache = plain resolver under mutation" ~count:40
+    QCheck.small_nat (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let st, fs, root = fixture () in
+      let cache = Ca.create ~capacity:16 st in
+      let names =
+        List.map N.of_string
+          [ "bin/ls"; "usr/bin/cc"; "etc/passwd"; "tmp"; "ghost"; "bin" ]
+      in
+      let ok = ref true in
+      for k = 0 to 80 do
+        if Dsim.Rng.bool rng 0.2 then
+          (* mutate: create or remove a file *)
+          if Dsim.Rng.bool rng 0.5 then
+            ignore
+              (Vfs.Fs.add_file fs
+                 (Printf.sprintf "/tmp/f%d" k)
+                 ~content:"x")
+          else begin
+            let tmp = Vfs.Fs.lookup fs "/tmp" in
+            match Vfs.Fs.readdir fs tmp with
+            | (a, _) :: _ -> Vfs.Fs.unlink fs ~dir:tmp (N.atom_to_string a)
+            | [] -> ()
+          end
+        else begin
+          let n = Dsim.Rng.pick rng names in
+          let cached = Ca.resolve_in cache root n in
+          let plain = Naming.Resolver.resolve_in st root n in
+          if not (E.equal cached plain) then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "hit/miss" `Quick test_hit_miss;
+    Alcotest.test_case "invalidation on mutation" `Quick
+      test_invalidation_on_mutation;
+    Alcotest.test_case "negative caching" `Quick test_negative_caching;
+    Alcotest.test_case "capacity reset" `Quick test_capacity_reset;
+    Alcotest.test_case "create errors" `Quick test_create_errors;
+    QCheck_alcotest.to_alcotest prop_cache_transparent;
+  ]

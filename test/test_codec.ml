@@ -1,0 +1,104 @@
+(* Tests for Naming.Codec — store serialisation. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Cd = Naming.Codec
+
+let check = Alcotest.check
+let b = Alcotest.bool
+
+let sample_store () =
+  let st = S.create () in
+  let t = Schemes.Unix_scheme.build st in
+  ignore (Schemes.Unix_scheme.spawn ~label:"p0" t);
+  ignore
+    (Vfs.Fs.add_file (Schemes.Unix_scheme.fs t) "/etc/motd"
+       ~content:"hello\n\"quoted\"\tand tabs");
+  st
+
+let test_roundtrip () =
+  let st = sample_store () in
+  let text = Cd.to_string st in
+  let st' = Cd.of_string text in
+  check b "roundtrip equal" true (Cd.roundtrip_equal st st')
+
+let test_roundtrip_resolves () =
+  let st = sample_store () in
+  let st' = Cd.of_string (Cd.to_string st) in
+  (* Entity ids are preserved, so a name resolved in the original and in
+     the copy yields the SAME id. *)
+  let root st =
+    List.find (fun e -> S.label st e = Some "/") (S.objects st)
+  in
+  let resolve st =
+    Naming.Resolver.resolve st
+      (Naming.Context.of_bindings [ (N.root_atom, root st) ])
+      (N.of_string "/etc/motd")
+  in
+  let e = resolve st and e' = resolve st' in
+  check b "same id" true (E.equal e e');
+  check b "same content" true (S.data_of st e = S.data_of st' e')
+
+let test_idempotent_text () =
+  let st = sample_store () in
+  let text = Cd.to_string st in
+  let text' = Cd.to_string (Cd.of_string text) in
+  check Alcotest.string "stable text" text text'
+
+let test_bad_inputs () =
+  let expect_fail s =
+    match Cd.of_string s with
+    | exception Cd.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  expect_fail "";
+  expect_fail "not a store";
+  expect_fail "coherent-naming-store v1\ngarbage line";
+  expect_fail "coherent-naming-store v1\nactivity 1";
+  (* non-dense ids *)
+  expect_fail "coherent-naming-store v1\nbind 0 \"x\" o5";
+  (* dangling reference *)
+  expect_fail "coherent-naming-store v1\ndir 0\nbind 0 \"x\" o9"
+
+let test_empty_store () =
+  let st = S.create () in
+  let st' = Cd.of_string (Cd.to_string st) in
+  check b "empty roundtrip" true (Cd.roundtrip_equal st st')
+
+let test_binding_to_activity () =
+  let st = S.create () in
+  let d = S.create_context_object ~label:"procs" st in
+  let a = S.create_activity ~label:"init" st in
+  S.bind st ~dir:d (N.atom "init") a;
+  let st' = Cd.of_string (Cd.to_string st) in
+  check b "activity edge survives" true (Cd.roundtrip_equal st st');
+  check b "resolves to the activity" true
+    (E.equal (S.lookup st' ~dir:d (N.atom "init")) a)
+
+(* property: every randomly generated world round-trips. *)
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"random worlds roundtrip" ~count:30 QCheck.small_nat
+    (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let st = S.create () in
+      let fs = Vfs.Fs.create st in
+      ignore
+        (Workload.Docgen.build fs ~at:"p" ~rng ~spec:Workload.Docgen.default_spec);
+      for _ = 1 to Dsim.Rng.int rng 4 do
+        ignore (S.create_activity st)
+      done;
+      Cd.roundtrip_equal st (Cd.of_string (Cd.to_string st)))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "roundtrip preserves resolution" `Quick
+      test_roundtrip_resolves;
+    Alcotest.test_case "idempotent text" `Quick test_idempotent_text;
+    Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+    Alcotest.test_case "empty store" `Quick test_empty_store;
+    Alcotest.test_case "binding to an activity" `Quick
+      test_binding_to_activity;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for Naming.Coherence — the paper's central definition. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module C = Naming.Context
+module R = Naming.Rule
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let f = Alcotest.float 1e-9
+
+(* Three activities: a1 and a2 share a binding for "shared"; everyone has
+   a private binding for "local"; "only1" is bound only for a1. *)
+let fixture () =
+  let st = S.create () in
+  let shared = S.create_object ~label:"shared" st in
+  let l1 = S.create_object st and l2 = S.create_object st and l3 = S.create_object st in
+  let only = S.create_object st in
+  let a1 = S.create_activity st and a2 = S.create_activity st and a3 = S.create_activity st in
+  let asg = R.Assignment.create () in
+  let mk bindings = S.create_context_object ~ctx:(C.of_bindings bindings) st in
+  R.Assignment.set asg a1
+    (mk [ (N.atom "shared", shared); (N.atom "local", l1); (N.atom "only1", only) ]);
+  R.Assignment.set asg a2
+    (mk [ (N.atom "shared", shared); (N.atom "local", l2) ]);
+  R.Assignment.set asg a3
+    (mk [ (N.atom "shared", shared); (N.atom "local", l3) ]);
+  (st, R.of_activity asg, [ a1; a2; a3 ], (l1, l2, l3))
+
+let occs activities = List.map O.generated activities
+
+let test_coherent () =
+  let st, rule, acts, _ = fixture () in
+  match Coh.check st rule (occs acts) (N.of_string "shared") with
+  | Coh.Coherent e -> check b "defined" true (E.is_defined e)
+  | v -> Alcotest.failf "expected coherent, got %a" Coh.pp_verdict v
+
+let test_incoherent_different () =
+  let st, rule, acts, _ = fixture () in
+  match Coh.check st rule (occs acts) (N.of_string "local") with
+  | Coh.Incoherent ((_, e1), (_, e2)) ->
+      check b "witnesses differ" false (E.equal e1 e2)
+  | v -> Alcotest.failf "expected incoherent, got %a" Coh.pp_verdict v
+
+let test_incoherent_partial () =
+  let st, rule, acts, _ = fixture () in
+  (* only1 is defined for a1 and bottom for the others: incoherent, with a
+     defined witness and an undefined one. *)
+  match Coh.check st rule (occs acts) (N.of_string "only1") with
+  | Coh.Incoherent ((_, d), (_, u)) ->
+      check b "defined witness" true (E.is_defined d);
+      check b "undefined witness" true (E.is_undefined u)
+  | v -> Alcotest.failf "expected incoherent, got %a" Coh.pp_verdict v
+
+let test_vacuous () =
+  let st, rule, acts, _ = fixture () in
+  match Coh.check st rule (occs acts) (N.of_string "ghost") with
+  | Coh.Vacuous -> ()
+  | v -> Alcotest.failf "expected vacuous, got %a" Coh.pp_verdict v
+
+let test_weak () =
+  let st, rule, acts, (l1, l2, l3) = fixture () in
+  let repl = Naming.Replication.create () in
+  Naming.Replication.declare repl [ l1; l2; l3 ];
+  let equiv = Naming.Replication.same_replica repl in
+  (match Coh.check ~equiv st rule (occs acts) (N.of_string "local") with
+  | Coh.Weakly_coherent es ->
+      check Alcotest.int "one per occurrence" 3 (List.length es)
+  | v -> Alcotest.failf "expected weakly coherent, got %a" Coh.pp_verdict v);
+  check b "is_coherent counts weak" true
+    (Coh.is_coherent ~equiv st rule (occs acts) (N.of_string "local"))
+
+let test_empty_occurrences () =
+  let st, rule, _, _ = fixture () in
+  match Coh.check st rule [] (N.of_string "shared") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty occurrence list accepted"
+
+let test_single_occurrence_coherent () =
+  let st, rule, acts, _ = fixture () in
+  match Coh.check st rule [ O.generated (List.hd acts) ] (N.of_string "local") with
+  | Coh.Coherent _ -> ()
+  | v -> Alcotest.failf "single occurrence should be coherent, got %a"
+           Coh.pp_verdict v
+
+let test_measure_and_degrees () =
+  let st, rule, acts, _ = fixture () in
+  let probes =
+    [ N.of_string "shared"; N.of_string "local"; N.of_string "only1";
+      N.of_string "ghost" ]
+  in
+  let r = Coh.measure st rule (occs acts) probes in
+  check Alcotest.int "probes" 4 r.Coh.probes;
+  check Alcotest.int "coherent" 1 r.Coh.coherent;
+  check Alcotest.int "incoherent" 2 r.Coh.incoherent;
+  check Alcotest.int "vacuous" 1 r.Coh.vacuous;
+  check Alcotest.int "weak" 0 r.Coh.weakly_coherent;
+  check f "degree = 1/3" (1.0 /. 3.0) (Coh.degree r);
+  check f "strict same here" (1.0 /. 3.0) (Coh.strict_degree r)
+
+let test_degree_all_vacuous () =
+  let st, rule, acts, _ = fixture () in
+  let r = Coh.measure st rule (occs acts) [ N.of_string "ghost" ] in
+  check f "vacuous-only degree is 1" 1.0 (Coh.degree r)
+
+let test_classify_and_filters () =
+  let st, rule, acts, _ = fixture () in
+  let probes = [ N.of_string "shared"; N.of_string "local" ] in
+  let detail = Coh.classify st rule (occs acts) probes in
+  check Alcotest.int "detail length" 2 (List.length detail);
+  let coh = Coh.coherent_names st rule (occs acts) probes in
+  check (Alcotest.list Alcotest.string) "coherent names" [ "shared" ]
+    (List.map N.to_string coh);
+  let inc = Coh.incoherent_names st rule (occs acts) probes in
+  check (Alcotest.list Alcotest.string) "incoherent names" [ "local" ]
+    (List.map N.to_string inc)
+
+(* property: the verdict class is invariant under permutation of the
+   occurrence list. *)
+let prop_order_invariant =
+  QCheck.Test.make ~name:"verdict invariant under occurrence order" ~count:100
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.return 3) QCheck.small_nat)
+       QCheck.small_nat)
+    (fun (_perm_seed, name_pick) ->
+      let st, rule, acts, _ = fixture () in
+      let name =
+        List.nth
+          [ N.of_string "shared"; N.of_string "local"; N.of_string "only1";
+            N.of_string "ghost" ]
+          (name_pick mod 4)
+      in
+      let class_of occs =
+        match Coh.check st rule occs name with
+        | Coh.Coherent _ -> 0
+        | Coh.Weakly_coherent _ -> 1
+        | Coh.Incoherent _ -> 2
+        | Coh.Vacuous -> 3
+      in
+      let fwd = class_of (occs acts) in
+      let bwd = class_of (occs (List.rev acts)) in
+      fwd = bwd)
+
+(* property: enlarging the occurrence set never turns an incoherent or
+   vacuous name coherent (coherence is an intersection). *)
+let prop_monotone_in_activities =
+  QCheck.Test.make ~name:"coherence anti-monotone in the activity set"
+    ~count:100
+    (QCheck.pair QCheck.small_nat QCheck.small_nat)
+    (fun (_seed, name_pick) ->
+      let st, rule, acts, _ = fixture () in
+      let name =
+        List.nth
+          [ N.of_string "shared"; N.of_string "local"; N.of_string "only1";
+            N.of_string "ghost" ]
+          (name_pick mod 4)
+      in
+      let rank occs =
+        match Coh.check st rule occs name with
+        | Coh.Coherent _ | Coh.Weakly_coherent _ -> 2
+        | Coh.Vacuous -> 1
+        | Coh.Incoherent _ -> 0
+      in
+      match acts with
+      | a1 :: a2 :: a3 :: _ ->
+          let small = rank (occs [ a1; a2 ]) in
+          let large = rank (occs [ a1; a2; a3 ]) in
+          (* a coherent pair can become incoherent with more activities,
+             never the reverse (2 >= large unless small < 2) *)
+          small >= large || small = 1 (* vacuous can become incoherent *)
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "coherent" `Quick test_coherent;
+    Alcotest.test_case "incoherent (different entities)" `Quick
+      test_incoherent_different;
+    Alcotest.test_case "incoherent (defined vs bottom)" `Quick
+      test_incoherent_partial;
+    Alcotest.test_case "vacuous" `Quick test_vacuous;
+    Alcotest.test_case "weak coherence" `Quick test_weak;
+    Alcotest.test_case "empty occurrences rejected" `Quick
+      test_empty_occurrences;
+    Alcotest.test_case "single occurrence" `Quick
+      test_single_occurrence_coherent;
+    Alcotest.test_case "measure and degrees" `Quick test_measure_and_degrees;
+    Alcotest.test_case "all-vacuous degree" `Quick test_degree_all_vacuous;
+    Alcotest.test_case "classify and filters" `Quick test_classify_and_filters;
+    QCheck_alcotest.to_alcotest prop_order_invariant;
+    QCheck_alcotest.to_alcotest prop_monotone_in_activities;
+  ]

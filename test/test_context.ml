@@ -1,0 +1,118 @@
+(* Tests for Naming.Context: totalised finite maps from atoms to entities. *)
+
+module C = Naming.Context
+module E = Naming.Entity
+module N = Naming.Name
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let a = N.atom
+
+let entity_testable = Alcotest.testable E.pp E.equal
+
+let test_empty_total () =
+  check entity_testable "unmapped is bottom" E.undefined
+    (C.lookup C.empty (a "x"));
+  check b "empty" true (C.is_empty C.empty);
+  check i "cardinal" 0 (C.cardinal C.empty)
+
+let test_bind_lookup () =
+  let c = C.bind C.empty (a "f") (E.Object 1) in
+  check entity_testable "bound" (E.Object 1) (C.lookup c (a "f"));
+  check b "mem" true (C.mem c (a "f"));
+  check b "not mem" false (C.mem c (a "g"));
+  let c2 = C.bind c (a "f") (E.Object 2) in
+  check entity_testable "rebound" (E.Object 2) (C.lookup c2 (a "f"));
+  check entity_testable "original unchanged (persistent)" (E.Object 1)
+    (C.lookup c (a "f"))
+
+let test_bind_undefined_unbinds () =
+  let c = C.bind C.empty (a "f") (E.Object 1) in
+  let c = C.bind c (a "f") E.undefined in
+  check b "binding to bottom removes" false (C.mem c (a "f"));
+  check i "cardinal 0" 0 (C.cardinal c)
+
+let test_unbind () =
+  let c = C.of_bindings [ (a "x", E.Object 1); (a "y", E.Object 2) ] in
+  let c = C.unbind c (a "x") in
+  check b "gone" false (C.mem c (a "x"));
+  check b "other kept" true (C.mem c (a "y"))
+
+let test_of_bindings_last_wins () =
+  let c = C.of_bindings [ (a "x", E.Object 1); (a "x", E.Object 9) ] in
+  check entity_testable "later wins" (E.Object 9) (C.lookup c (a "x"))
+
+let test_union_prefer () =
+  let c1 = C.of_bindings [ (a "x", E.Object 1); (a "y", E.Object 2) ] in
+  let c2 = C.of_bindings [ (a "x", E.Object 10); (a "z", E.Object 3) ] in
+  let l = C.union ~prefer:`Left c1 c2 in
+  let r = C.union ~prefer:`Right c1 c2 in
+  check entity_testable "left wins" (E.Object 1) (C.lookup l (a "x"));
+  check entity_testable "right wins" (E.Object 10) (C.lookup r (a "x"));
+  check entity_testable "left-only kept" (E.Object 2) (C.lookup r (a "y"));
+  check entity_testable "right-only kept" (E.Object 3) (C.lookup l (a "z"))
+
+let test_restrict () =
+  let c = C.of_bindings [ (a "x", E.Object 1); (a "y", E.Object 2) ] in
+  let c = C.restrict c [ a "x"; a "missing" ] in
+  check b "kept" true (C.mem c (a "x"));
+  check b "dropped" false (C.mem c (a "y"));
+  check i "cardinal" 1 (C.cardinal c)
+
+let test_map () =
+  let c = C.of_bindings [ (a "x", E.Object 1) ] in
+  let c = C.map (fun _ -> E.Object 42) c in
+  check entity_testable "mapped" (E.Object 42) (C.lookup c (a "x"))
+
+let test_agree_on () =
+  let c1 = C.of_bindings [ (a "x", E.Object 1) ] in
+  let c2 = C.of_bindings [ (a "x", E.Object 1); (a "y", E.Object 2) ] in
+  check b "agree on x" true (C.agree_on c1 c2 (a "x"));
+  check b "agree on unbound-vs-unbound" true (C.agree_on c1 c1 (a "z"));
+  check b "disagree bound-vs-unbound" false (C.agree_on c1 c2 (a "y"))
+
+let test_bindings_sorted_defined () =
+  let c = C.of_bindings [ (a "z", E.Object 1); (a "a", E.Object 2) ] in
+  let atoms = List.map (fun (x, _) -> N.atom_to_string x) (C.bindings c) in
+  check (Alcotest.list Alcotest.string) "sorted" [ "a"; "z" ] atoms
+
+let test_equal_compare () =
+  let c1 = C.of_bindings [ (a "x", E.Object 1) ] in
+  let c2 = C.of_bindings [ (a "x", E.Object 1) ] in
+  check b "equal" true (C.equal c1 c2);
+  check i "compare" 0 (C.compare c1 c2);
+  check b "unequal" false (C.equal c1 (C.bind c1 (a "y") (E.Object 2)))
+
+(* property: union with prefer:`Right behaves like sequential rebinding *)
+let prop_union_right_rebind =
+  let binding_gen =
+    QCheck.Gen.(
+      map
+        (fun (s, i) -> (a (String.make 1 (Char.chr (97 + (s mod 6)))), E.Object i))
+        (pair (int_bound 5) (int_bound 20)))
+  in
+  let ctx_gen = QCheck.Gen.(map C.of_bindings (list_size (0 -- 8) binding_gen)) in
+  let arb = QCheck.make ctx_gen in
+  QCheck.Test.make ~name:"union prefer:`Right = fold bind" ~count:300
+    (QCheck.pair arb arb) (fun (c1, c2) ->
+      let expected =
+        List.fold_left (fun acc (k, v) -> C.bind acc k v) c1 (C.bindings c2)
+      in
+      C.equal (C.union ~prefer:`Right c1 c2) expected)
+
+let suite =
+  [
+    Alcotest.test_case "empty is total" `Quick test_empty_total;
+    Alcotest.test_case "bind/lookup" `Quick test_bind_lookup;
+    Alcotest.test_case "bind bottom = unbind" `Quick test_bind_undefined_unbinds;
+    Alcotest.test_case "unbind" `Quick test_unbind;
+    Alcotest.test_case "of_bindings last wins" `Quick test_of_bindings_last_wins;
+    Alcotest.test_case "union prefer" `Quick test_union_prefer;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "map" `Quick test_map;
+    Alcotest.test_case "agree_on" `Quick test_agree_on;
+    Alcotest.test_case "bindings sorted" `Quick test_bindings_sorted_defined;
+    Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+    QCheck_alcotest.to_alcotest prop_union_right_rebind;
+  ]

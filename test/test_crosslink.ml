@@ -1,0 +1,121 @@
+(* Tests for Schemes.Crosslink — Figure 5. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module X = Schemes.Crosslink
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let tree = [ "docs/report"; "bin/tool" ]
+
+let fixture () =
+  let st = S.create () in
+  let t = X.build ~systems:[ ("sysa", tree); ("sysb", tree) ] st in
+  (st, t)
+
+let test_autonomous_roots () =
+  let _, t = fixture () in
+  check b "different roots" false
+    (E.equal (X.system_root t "sysa") (X.system_root t "sysb"))
+
+let test_crosslink_reaches_remote () =
+  let _, t = fixture () in
+  X.add_crosslink t ~from_system:"sysa" ~name:"remote" ~to_system:"sysb" ();
+  let pa = X.spawn_on t ~system:"sysa" in
+  check entity "through the link"
+    (Vfs.Fs.lookup (X.system_fs t "sysb") "/docs/report")
+    (X.resolve t ~as_:pa "/remote/docs/report")
+
+let test_crosslink_at_subdir_and_path () =
+  let _, t = fixture () in
+  X.add_crosslink t ~from_system:"sysa" ~at:"/docs" ~name:"their-bin"
+    ~to_system:"sysb" ~to_path:"/bin" ();
+  let pa = X.spawn_on t ~system:"sysa" in
+  check entity "nested link"
+    (Vfs.Fs.lookup (X.system_fs t "sysb") "/bin/tool")
+    (X.resolve t ~as_:pa "/docs/their-bin/tool")
+
+let test_crosslink_errors () =
+  let _, t = fixture () in
+  (match
+     X.add_crosslink t ~from_system:"sysa" ~at:"/docs/report" ~name:"x"
+       ~to_system:"sysb" ()
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "file attach point accepted");
+  (match
+     X.add_crosslink t ~from_system:"sysa" ~name:"x" ~to_system:"sysb"
+       ~to_path:"/missing" ()
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "dangling target accepted")
+
+let test_no_global_names () =
+  let st, t = fixture () in
+  let pa = X.spawn_on t ~system:"sysa" in
+  let pb = X.spawn_on t ~system:"sysb" in
+  (* identical spelling, different denotation *)
+  let report =
+    Coh.measure st (X.rule t)
+      [ O.generated pa; O.generated pb ]
+      [ N.of_string "/docs/report"; N.of_string "/bin/tool" ]
+  in
+  check (Alcotest.float 1e-9) "incoherent" 0.0 (Coh.degree report)
+
+let test_map_name_utility () =
+  let prefix = N.of_string "/users" in
+  let replacement = N.of_string "/org2/users" in
+  check Alcotest.string "mapped" "/org2/users/bob"
+    (N.to_string (X.map_name ~prefix ~replacement (N.of_string "/users/bob")));
+  check Alcotest.string "exact prefix" "/org2/users"
+    (N.to_string (X.map_name ~prefix ~replacement (N.of_string "/users")));
+  check Alcotest.string "no match unchanged" "/etc/passwd"
+    (N.to_string (X.map_name ~prefix ~replacement (N.of_string "/etc/passwd")))
+
+let test_mapped_exchange_restores_meaning () =
+  let _, t = fixture () in
+  X.add_crosslink t ~from_system:"sysb" ~name:"sysa" ~to_system:"sysa" ();
+  let pa = X.spawn_on t ~system:"sysa" in
+  let pb = X.spawn_on t ~system:"sysb" in
+  let n = N.of_string "/docs/report" in
+  let intended = X.resolve t ~as_:pa "/docs/report" in
+  let mapped =
+    X.map_name ~prefix:(N.of_string "/")
+      ~replacement:(N.of_string "/sysa")
+      n
+  in
+  check entity "receiver reaches sender's entity" intended
+    (Schemes.Process_env.resolve (X.env t) ~as_:pb mapped)
+
+let test_probes () =
+  let _, t = fixture () in
+  let probes = X.system_probes t ~system:"sysa" ~max_depth:3 in
+  check b "non-empty" true (probes <> []);
+  check b "has root" true (List.exists (fun n -> N.to_string n = "/") probes)
+
+let test_build_errors () =
+  let st = S.create () in
+  match X.build ~systems:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no systems accepted"
+
+let suite =
+  [
+    Alcotest.test_case "autonomous roots" `Quick test_autonomous_roots;
+    Alcotest.test_case "crosslink reaches remote" `Quick
+      test_crosslink_reaches_remote;
+    Alcotest.test_case "crosslink at subdir/path" `Quick
+      test_crosslink_at_subdir_and_path;
+    Alcotest.test_case "crosslink errors" `Quick test_crosslink_errors;
+    Alcotest.test_case "no global names" `Quick test_no_global_names;
+    Alcotest.test_case "map_name utility" `Quick test_map_name_utility;
+    Alcotest.test_case "mapped exchange" `Quick
+      test_mapped_exchange_restores_meaning;
+    Alcotest.test_case "probes" `Quick test_probes;
+    Alcotest.test_case "build errors" `Quick test_build_errors;
+  ]

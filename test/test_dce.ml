@@ -1,0 +1,143 @@
+(* Tests for Schemes.Dce — global directory service + cells. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module D = Schemes.Dce
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let t =
+    D.build ~cells:[ ("cellA", [ "ma1"; "ma2" ]); ("cellB", [ "mb1" ]) ] st
+  in
+  (st, t)
+
+let test_structure () =
+  let _, t = fixture () in
+  check (Alcotest.list Alcotest.string) "cells" [ "cellA"; "cellB" ] (D.cells t);
+  check Alcotest.int "machines" 3 (List.length (D.machines t));
+  check Alcotest.string "cell of ma2" "cellA" (D.cell_of_machine t "ma2");
+  check Alcotest.string "cell of mb1" "cellB" (D.cell_of_machine t "mb1")
+
+let test_global_binding () =
+  let _, t = fixture () in
+  List.iter
+    (fun m ->
+      check entity (m ^ " /... is gds root") (D.global_root t)
+        (Vfs.Fs.lookup (Vfs.Fs.of_root (D.store t) (D.machine_root t m))
+           ("/" ^ D.global_atom)))
+    (D.machines t)
+
+let test_cell_binding () =
+  let _, t = fixture () in
+  let p = D.spawn_on t ~machine:"ma1" in
+  check entity "/.: is cellA" (D.cell_dir t "cellA")
+    (D.resolve t ~as_:p ("/" ^ D.cell_atom));
+  let q = D.spawn_on t ~machine:"mb1" in
+  check entity "/.: is cellB for mb1" (D.cell_dir t "cellB")
+    (D.resolve t ~as_:q ("/" ^ D.cell_atom))
+
+let test_cells_reachable_globally () =
+  let _, t = fixture () in
+  let p = D.spawn_on t ~machine:"mb1" in
+  (* cellA's services reachable from cellB machines via the global path. *)
+  check entity "global path to foreign cell"
+    (D.resolve t ~as_:(D.spawn_on t ~machine:"ma1") "/.:/services/print")
+    (D.resolve t ~as_:p "/.../cells/cellA/services/print")
+
+let test_coherence_split () =
+  let st, t = fixture () in
+  let pa = D.spawn_on t ~machine:"ma1" in
+  let pa' = D.spawn_on t ~machine:"ma2" in
+  let pb = D.spawn_on t ~machine:"mb1" in
+  let rule = D.rule t in
+  let cell_probes = D.cell_relative_probes t ~cell:"cellA" ~max_depth:4 in
+  let global_probes = D.global_probes t ~max_depth:4 in
+  (* within a cell, /.:-names cohere *)
+  let within =
+    Coh.measure st rule [ O.generated pa; O.generated pa' ] cell_probes
+  in
+  check (Alcotest.float 1e-9) "cell-relative within cell" 1.0
+    (Coh.degree within);
+  (* across cells they do not *)
+  let across =
+    Coh.measure st rule [ O.generated pa; O.generated pb ] cell_probes
+  in
+  check b "cell-relative across cells < 1" true (Coh.degree across < 1.0);
+  (* global names cohere everywhere *)
+  let global =
+    Coh.measure st rule
+      [ O.generated pa; O.generated pa'; O.generated pb ]
+      global_probes
+  in
+  check (Alcotest.float 1e-9) "global names" 1.0 (Coh.degree global)
+
+let test_map_cell_name () =
+  let _, t = fixture () in
+  let n = N.of_string "/.:/services/print" in
+  let mapped = D.map_cell_name t ~cell:"cellA" n in
+  check Alcotest.string "mapped" "/.../cells/cellA/services/print"
+    (N.to_string mapped);
+  let pb = D.spawn_on t ~machine:"mb1" in
+  let pa = D.spawn_on t ~machine:"ma1" in
+  check entity "mapping preserves meaning" (D.resolve t ~as_:pa "/.:/services/print")
+    (Schemes.Process_env.resolve (D.env t) ~as_:pb mapped);
+  (* non-cell names unchanged *)
+  let g = N.of_string "/.../registry/orgs.txt" in
+  check b "global name unchanged" true
+    (N.equal g (D.map_cell_name t ~cell:"cellA" g))
+
+let test_add_local_context () =
+  let _, t = fixture () in
+  (* a department context inside the cell, attached as an extra local
+     context on one machine only *)
+  let dept =
+    Vfs.Fs.mkdir_path
+      (Vfs.Fs.of_root (D.store t) (D.cell_dir t "cellA"))
+      "departments/os-group"
+  in
+  D.add_local_context t ~machine:"ma1" ~name:".dept:" ~dir:dept;
+  let p1 = D.spawn_on t ~machine:"ma1" in
+  let p2 = D.spawn_on t ~machine:"ma2" in
+  check entity "bound on ma1" dept (D.resolve t ~as_:p1 "/.dept:");
+  check entity "absent on ma2" E.undefined (D.resolve t ~as_:p2 "/.dept:");
+  (* more local contexts, more incoherence — exactly the paper's point *)
+  check b "incoherent across the cell" false
+    (Naming.Coherence.is_coherent (D.store t) (D.rule t)
+       [ O.generated p1; O.generated p2 ]
+       (N.of_string "/.dept:"));
+  (match D.add_local_context t ~machine:"ma1" ~name:"x" ~dir:E.undefined with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-directory accepted")
+
+let test_errors () =
+  let st = S.create () in
+  (match D.build ~cells:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no cells accepted");
+  let _, t = fixture () in
+  (match D.cell_dir t "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown cell accepted");
+  (match D.machine_root t "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown machine accepted")
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "global binding" `Quick test_global_binding;
+    Alcotest.test_case "cell binding" `Quick test_cell_binding;
+    Alcotest.test_case "cells reachable globally" `Quick
+      test_cells_reachable_globally;
+    Alcotest.test_case "coherence split" `Quick test_coherence_split;
+    Alcotest.test_case "map_cell_name" `Quick test_map_cell_name;
+    Alcotest.test_case "add_local_context" `Quick test_add_local_context;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]

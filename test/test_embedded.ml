@@ -1,0 +1,205 @@
+(* Tests for Schemes.Embedded — Figure 6 and section 6, Example 2. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module C = Naming.Context
+module Emb = Schemes.Embedded
+module Fs = Vfs.Fs
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let entity = Alcotest.testable E.pp E.equal
+
+let test_content_roundtrip () =
+  let refs = [ N.of_string "a/b"; N.of_string "c" ] in
+  let content = Emb.make_content ~text:"hello\nworld" ~refs () in
+  check (Alcotest.list Alcotest.string) "roundtrip" [ "a/b"; "c" ]
+    (List.map N.to_string (Emb.refs_of_content content))
+
+let test_content_ignores_noise () =
+  let content = "@ref ok\nplain line\n@reference not-a-marker\n@ref also/ok" in
+  check (Alcotest.list Alcotest.string) "parsed" [ "ok"; "also/ok" ]
+    (List.map N.to_string (Emb.refs_of_content content));
+  check i "empty content" 0 (List.length (Emb.refs_of_content ""))
+
+let test_add_ref () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  let f = Fs.add_file fs "/f" ~content:"text" in
+  Emb.add_ref st f (N.of_string "x/y");
+  check (Alcotest.list Alcotest.string) "appended" [ "x/y" ]
+    (List.map N.to_string (Emb.refs_of st f));
+  let d = Fs.mkdir_path fs "/d" in
+  (match Emb.add_ref st d (N.of_string "x") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "add_ref to directory accepted")
+
+(* Figure 6 fixture:
+     root/ a(binding at root) ...
+     root/outer/  lib/{c}  inner/  lib'{shadow}  src-file *)
+let scope_fixture () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  Fs.populate fs [ "outer/lib/c"; "outer/inner/f"; "lib/c" ];
+  ( st,
+    fs,
+    Fs.lookup fs "/outer",
+    Fs.lookup fs "/outer/inner",
+    Fs.lookup fs "/outer/lib/c",
+    Fs.lookup fs "/lib/c" )
+
+let test_ancestors () =
+  let st, fs, outer, inner, _, _ = scope_fixture () in
+  let chain = Emb.ancestors st inner in
+  check (Alcotest.list entity) "nearest first" [ inner; outer; Fs.root fs ]
+    chain
+
+let test_ancestors_cycle_cut () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  let a = Fs.mkdir_path fs "/a" in
+  let bdir = Fs.mkdir_path fs "/a/b" in
+  (* corrupt: make the root's parent point back down to b *)
+  S.bind st ~dir:(Fs.root fs) N.parent_atom bdir;
+  let chain = Emb.ancestors st a in
+  check i "terminates" 3 (List.length chain)
+
+let test_scope_nearest_wins () =
+  let st, _, _, inner, _, _ = scope_fixture () in
+  (* name lib/c from inner: inner has no lib, outer does -> outer's. *)
+  let _, fs, outer, _, outer_c, root_c = scope_fixture () in
+  ignore (st, inner);
+  let inner' = Fs.lookup fs "/outer/inner" in
+  let st' = Fs.store fs in
+  check entity "outer shadows root" outer_c
+    (Emb.resolve_at st' ~dir:inner' (N.of_string "lib/c"));
+  (* from the root itself, the root's lib wins *)
+  check entity "root scope" root_c
+    (Emb.resolve_at st' ~dir:(Fs.root fs) (N.of_string "lib/c"));
+  ignore outer
+
+let test_scope_falls_back_to_ancestor () =
+  let st, fs, _, inner, _, _ = scope_fixture () in
+  (* "lib" only exists at outer and root; from inner it resolves. *)
+  check b "found via ancestor" true
+    (E.is_defined (Emb.resolve_at st ~dir:inner (N.of_string "lib/c")));
+  check entity "unknown name is bottom" E.undefined
+    (Emb.resolve_at st ~dir:inner (N.of_string "nothing/here"));
+  ignore fs
+
+let test_scope_context_union () =
+  let st, fs, outer, inner, _, _ = scope_fixture () in
+  let scope = Emb.scope_context st ~dir:inner in
+  (* has outer's lib, root's lib shadowed, and inner's own f *)
+  check entity "lib from outer"
+    (Fs.lookup fs "/outer/lib")
+    (C.lookup scope (N.atom "lib"));
+  check entity "own binding"
+    (Fs.lookup fs "/outer/inner/f")
+    (C.lookup scope (N.atom "f"));
+  check entity "root binding visible"
+    (Fs.lookup fs "/outer")
+    (C.lookup scope (N.atom "outer"));
+  ignore outer
+
+let test_home_of () =
+  let st, fs, _, _, outer_c, _ = scope_fixture () in
+  (match Emb.home_of st ~file:outer_c with
+  | Some d -> check entity "home" (Fs.lookup fs "/outer/lib") d
+  | None -> Alcotest.fail "no home");
+  let orphan = S.create_object st in
+  check b "orphan has no home" true (Emb.home_of st ~file:orphan = None)
+
+let test_rule_algol () =
+  let st, fs, _, _, outer_c, _ = scope_fixture () in
+  (* a document inside inner embedding "lib/c" *)
+  let doc =
+    Fs.add_file fs "/outer/inner/doc"
+      ~content:(Emb.make_content ~refs:[ N.of_string "lib/c" ] ())
+  in
+  let reader = S.create_activity st in
+  let rule = Emb.rule_algol () in
+  check entity "embedded occurrence uses the file's scope" outer_c
+    (Naming.Rule.resolve rule st
+       (Naming.Occurrence.embedded ~reader ~source:doc)
+       (N.of_string "lib/c"));
+  (* no context for other occurrence kinds *)
+  check entity "generated is bottom" E.undefined
+    (Naming.Rule.resolve rule st
+       (Naming.Occurrence.generated reader)
+       (N.of_string "lib/c"))
+
+let test_resolve_closure_transitive () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  ignore (Fs.add_file fs "/p/figures/fig" ~content:"f");
+  ignore
+    (Fs.add_file fs "/p/chapter"
+       ~content:(Emb.make_content ~refs:[ N.of_string "figures/fig" ] ()));
+  let main =
+    Fs.add_file fs "/p/main"
+      ~content:(Emb.make_content ~refs:[ N.of_string "chapter" ] ())
+  in
+  let p = Fs.lookup fs "/p" in
+  let closure = Emb.resolve_closure st ~dir:p main in
+  check i "two refs transitively" 2 (List.length closure);
+  check b "all resolved" true
+    (List.for_all (fun (_, e) -> E.is_defined e) closure)
+
+let test_resolve_closure_cyclic () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  let a = Fs.add_file fs "/p/a" ~content:"" in
+  let bfile = Fs.add_file fs "/p/b" ~content:"" in
+  Emb.add_ref st a (N.of_string "b");
+  Emb.add_ref st bfile (N.of_string "a");
+  let p = Fs.lookup fs "/p" in
+  let closure = Emb.resolve_closure st ~dir:p a in
+  check i "cycle cut" 2 (List.length closure)
+
+(* property: for refs planted at random depths, resolve_at never returns
+   an entity different from what the scope-context lookup says — the
+   collapsed-context formalisation agrees with the search procedure. *)
+let prop_scope_agrees_with_search =
+  QCheck.Test.make ~name:"scope context = upward search" ~count:50
+    QCheck.small_nat (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let st = S.create () in
+      let fs = Fs.create st in
+      let project =
+        Workload.Docgen.build fs ~at:"p" ~rng ~spec:Workload.Docgen.default_spec
+      in
+      List.for_all
+        (fun (dir, file) ->
+          List.for_all
+            (fun r ->
+              let via_resolve = Emb.resolve_at st ~dir r in
+              let via_scope =
+                Naming.Resolver.resolve st (Emb.scope_context st ~dir) r
+              in
+              E.equal via_resolve via_scope)
+            (Emb.refs_of st file))
+        (Workload.Docgen.sources fs project))
+
+let suite =
+  [
+    Alcotest.test_case "content roundtrip" `Quick test_content_roundtrip;
+    Alcotest.test_case "content ignores noise" `Quick
+      test_content_ignores_noise;
+    Alcotest.test_case "add_ref" `Quick test_add_ref;
+    Alcotest.test_case "ancestors" `Quick test_ancestors;
+    Alcotest.test_case "ancestors cycle cut" `Quick test_ancestors_cycle_cut;
+    Alcotest.test_case "nearest ancestor wins" `Quick test_scope_nearest_wins;
+    Alcotest.test_case "falls back to ancestor" `Quick
+      test_scope_falls_back_to_ancestor;
+    Alcotest.test_case "scope context union" `Quick test_scope_context_union;
+    Alcotest.test_case "home_of" `Quick test_home_of;
+    Alcotest.test_case "rule_algol" `Quick test_rule_algol;
+    Alcotest.test_case "resolve_closure transitive" `Quick
+      test_resolve_closure_transitive;
+    Alcotest.test_case "resolve_closure cyclic" `Quick
+      test_resolve_closure_cyclic;
+    QCheck_alcotest.to_alcotest prop_scope_agrees_with_search;
+  ]

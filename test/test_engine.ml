@@ -1,0 +1,184 @@
+(* Tests for Dsim.Engine — the discrete-event core. *)
+
+module En = Dsim.Engine
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let f = Alcotest.float 1e-9
+
+let test_time_order () =
+  let e = En.create () in
+  let log = ref [] in
+  ignore (En.schedule e ~delay:3.0 (fun () -> log := 3 :: !log));
+  ignore (En.schedule e ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (En.schedule e ~delay:2.0 (fun () -> log := 2 :: !log));
+  ignore (En.run e);
+  check (Alcotest.list i) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check f "clock at last event" 3.0 (En.now e)
+
+let test_fifo_ties () =
+  let e = En.create () in
+  let log = ref [] in
+  for k = 1 to 5 do
+    ignore (En.schedule e ~delay:1.0 (fun () -> log := k :: !log))
+  done;
+  ignore (En.run e);
+  check (Alcotest.list i) "FIFO among equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = En.create () in
+  let log = ref [] in
+  ignore
+    (En.schedule e ~delay:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (En.schedule e ~delay:0.5 (fun () -> log := "inner" :: !log))));
+  ignore (En.run e);
+  check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ]
+    (List.rev !log);
+  check f "clock" 1.5 (En.now e)
+
+let test_cancel () =
+  let e = En.create () in
+  let fired = ref false in
+  let h = En.schedule e ~delay:1.0 (fun () -> fired := true) in
+  check i "pending" 1 (En.pending e);
+  En.cancel e h;
+  check i "pending after cancel" 0 (En.pending e);
+  ignore (En.run e);
+  check b "not fired" false !fired;
+  (* double cancel is a no-op *)
+  En.cancel e h;
+  check i "still zero" 0 (En.pending e)
+
+let test_step () =
+  let e = En.create () in
+  let count = ref 0 in
+  ignore (En.schedule e ~delay:1.0 (fun () -> incr count));
+  ignore (En.schedule e ~delay:2.0 (fun () -> incr count));
+  check b "step true" true (En.step e);
+  check i "one ran" 1 !count;
+  check b "step true again" true (En.step e);
+  check b "queue empty" false (En.step e)
+
+let test_run_until () =
+  let e = En.create () in
+  let count = ref 0 in
+  for k = 1 to 5 do
+    ignore (En.schedule e ~delay:(float_of_int k) (fun () -> incr count))
+  done;
+  let n = En.run ~until:3.0 e in
+  check i "three executed" 3 n;
+  check f "clock at horizon" 3.0 (En.now e);
+  check i "two left" 2 (En.pending e);
+  ignore (En.run e);
+  check i "rest executed" 5 !count
+
+let test_run_until_empty_queue_advances_clock () =
+  let e = En.create () in
+  ignore (En.run ~until:10.0 e);
+  check f "clock advanced" 10.0 (En.now e)
+
+let test_max_events () =
+  let e = En.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore (En.schedule e ~delay:1.0 (fun () -> incr count))
+  done;
+  let n = En.run ~max_events:4 e in
+  check i "limited" 4 n;
+  check i "count" 4 !count
+
+let test_schedule_at_and_past () =
+  let e = En.create () in
+  ignore (En.schedule_at e ~time:5.0 (fun () -> ()));
+  ignore (En.run e);
+  check f "clock" 5.0 (En.now e);
+  (match En.schedule_at e ~time:1.0 (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "past scheduling accepted");
+  (match En.schedule e ~delay:(-1.0) (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative delay accepted")
+
+let test_executed_counter () =
+  let e = En.create () in
+  for _ = 1 to 3 do
+    ignore (En.schedule e ~delay:1.0 (fun () -> ()))
+  done;
+  ignore (En.run e);
+  check i "executed" 3 (En.executed e)
+
+(* property: events always execute in non-decreasing time order, whatever
+   the (delay) multiset. *)
+let prop_monotone_time =
+  QCheck.Test.make ~name:"event times are non-decreasing" ~count:100
+    (QCheck.list_of_size QCheck.Gen.(1 -- 30) (QCheck.pos_float)) (fun delays ->
+      let delays = List.map (fun d -> Float.rem (Float.abs d) 1000.0) delays in
+      let e = En.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          ignore (En.schedule e ~delay:d (fun () -> times := En.now e :: !times)))
+        delays;
+      ignore (En.run e);
+      let ts = List.rev !times in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono ts && List.length ts = List.length delays)
+
+(* property: with a random subset of events cancelled, exactly the
+   non-cancelled ones run. *)
+let prop_cancel_subset =
+  QCheck.Test.make ~name:"cancelled events never run" ~count:100
+    (QCheck.list_of_size QCheck.Gen.(1 -- 20) (QCheck.pair QCheck.pos_float QCheck.bool))
+    (fun specs ->
+      let e = En.create () in
+      let ran = ref 0 in
+      let expected = ref 0 in
+      let handles =
+        List.map
+          (fun (d, keep) ->
+            let d = Float.rem (Float.abs d) 100.0 in
+            let h = En.schedule e ~delay:d (fun () -> incr ran) in
+            if keep then incr expected;
+            (h, keep))
+          specs
+      in
+      List.iter (fun (h, keep) -> if not keep then En.cancel e h) handles;
+      ignore (En.run e);
+      !ran = !expected)
+
+let test_heap_growth () =
+  (* far beyond the initial heap capacity of 64 *)
+  let e = En.create () in
+  let count = ref 0 in
+  for k = 1 to 5000 do
+    ignore
+      (En.schedule e
+         ~delay:(float_of_int ((k * 7919) mod 1000))
+         (fun () -> incr count))
+  done;
+  ignore (En.run e);
+  check i "all executed" 5000 !count
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_time_order;
+    Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "run until on empty queue" `Quick
+      test_run_until_empty_queue_advances_clock;
+    Alcotest.test_case "max events" `Quick test_max_events;
+    Alcotest.test_case "schedule_at / past" `Quick test_schedule_at_and_past;
+    Alcotest.test_case "executed counter" `Quick test_executed_counter;
+    QCheck_alcotest.to_alcotest prop_monotone_time;
+    QCheck_alcotest.to_alcotest prop_cancel_subset;
+    Alcotest.test_case "heap growth (5000 events)" `Quick test_heap_growth;
+  ]

@@ -1,0 +1,79 @@
+(* Tests for Naming.Entity. *)
+
+module E = Naming.Entity
+
+let check = Alcotest.check
+let b = Alcotest.bool
+
+let test_predicates () =
+  check b "undefined" true (E.is_undefined E.undefined);
+  check b "activity" true (E.is_activity (E.Activity 1));
+  check b "object" true (E.is_object (E.Object 1));
+  check b "defined activity" true (E.is_defined (E.Activity 0));
+  check b "undefined not defined" false (E.is_defined E.undefined);
+  check b "activity is not object" false (E.is_object (E.Activity 1))
+
+let test_id () =
+  check Alcotest.int "activity id" 7 (E.id (E.Activity 7));
+  check Alcotest.int "object id" 9 (E.id (E.Object 9));
+  Alcotest.check_raises "undefined id"
+    (Invalid_argument "Entity.id: undefined entity") (fun () ->
+      ignore (E.id E.undefined))
+
+let test_equal_compare () =
+  check b "same activity" true (E.equal (E.Activity 3) (E.Activity 3));
+  check b "activity vs object same id" false (E.equal (E.Activity 3) (E.Object 3));
+  check b "undefined eq" true (E.equal E.undefined E.undefined);
+  check b "compare distinguishes kinds" true
+    (E.compare (E.Activity 3) (E.Object 3) <> 0);
+  check Alcotest.int "compare refl" 0 (E.compare (E.Object 5) (E.Object 5))
+
+let test_hash_distinct () =
+  check b "hash distinguishes kind" true
+    (E.hash (E.Activity 4) <> E.hash (E.Object 4));
+  check b "hash stable" true (E.hash (E.Object 4) = E.hash (E.Object 4))
+
+let test_to_string () =
+  check Alcotest.string "activity" "a3" (E.to_string (E.Activity 3));
+  check Alcotest.string "object" "o3" (E.to_string (E.Object 3));
+  check Alcotest.string "bottom" "⊥" (E.to_string E.undefined)
+
+let test_collections () =
+  let set = E.Set.of_list [ E.Activity 1; E.Object 1; E.Activity 1 ] in
+  check Alcotest.int "set distinguishes kinds" 2 (E.Set.cardinal set);
+  let tbl = E.Tbl.create 4 in
+  E.Tbl.replace tbl (E.Object 2) "x";
+  check b "tbl find" true (E.Tbl.find_opt tbl (E.Object 2) = Some "x");
+  check b "tbl kind-sensitive" true (E.Tbl.find_opt tbl (E.Activity 2) = None);
+  let m = E.Map.add (E.Activity 8) 1 E.Map.empty in
+  check b "map mem" true (E.Map.mem (E.Activity 8) m)
+
+let prop_compare_total_order =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (k, i) ->
+          match k mod 3 with
+          | 0 -> E.undefined
+          | 1 -> E.Activity i
+          | _ -> E.Object i)
+        (pair int (int_bound 100)))
+  in
+  let arb = QCheck.make ~print:E.to_string gen in
+  QCheck.Test.make ~name:"compare antisymmetric & consistent with equal"
+    ~count:500 (QCheck.pair arb arb) (fun (a, b) ->
+      let c1 = E.compare a b and c2 = E.compare b a in
+      (c1 = 0) = (c2 = 0)
+      && (c1 > 0) = (c2 < 0)
+      && E.equal a b = (c1 = 0))
+
+let suite =
+  [
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Alcotest.test_case "id" `Quick test_id;
+    Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+    Alcotest.test_case "hash" `Quick test_hash_distinct;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "collections" `Quick test_collections;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+  ]

@@ -1,0 +1,160 @@
+(* Tests for Schemes.Exec_facility — remote execution over RPC. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Ef = Schemes.Exec_facility
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+
+let subsystems =
+  [
+    ("port1", [ "home/alice/input.txt"; "bin/tool" ]);
+    ("port2", [ "tmp/scratch"; "bin/tool" ]);
+  ]
+
+let fixture ?net_config () =
+  let engine = Dsim.Engine.create () in
+  let rng = Dsim.Rng.create 42L in
+  let store = S.create () in
+  let t = Ef.build ~subsystems ~engine ~rng ?net_config store in
+  (* give port1's input file content *)
+  Vfs.Fs.write
+    (Schemes.Per_process.subsystem_fs (Ef.world t) "port1")
+    (Vfs.Fs.lookup (Schemes.Per_process.subsystem_fs (Ef.world t) "port1")
+       "/home/alice/input.txt")
+    "alice's data";
+  (engine, t)
+
+let test_remote_read_of_client_names () =
+  let engine, t = fixture () in
+  let client = Ef.new_client t ~on:"port1" ~attach:[ ("fs", "port1") ] in
+  let got = ref None in
+  Ef.exec_remote t ~client ~on:"port2"
+    ~reads:[ N.of_string "/fs/home/alice/input.txt" ]
+    ~on_result:(fun r -> got := Some r)
+    ();
+  ignore (Dsim.Engine.run engine);
+  (match !got with
+  | Some (Ok [ (_, Some content) ]) ->
+      check Alcotest.string "client's file readable remotely" "alice's data"
+        content
+  | Some (Ok r) -> Alcotest.failf "unexpected result shape (%d)" (List.length r)
+  | Some (Error `Timeout) -> Alcotest.fail "timed out"
+  | None -> Alcotest.fail "no reply");
+  check i "one child" 1 (Ef.children_spawned t)
+
+let test_remote_read_of_local_names () =
+  let engine, t = fixture () in
+  let client = Ef.new_client t ~on:"port1" ~attach:[ ("fs", "port1") ] in
+  let got = ref None in
+  (* the child can reach its execution site through /local *)
+  Ef.exec_remote t ~client ~on:"port2"
+    ~reads:[ N.of_string "/local/tmp/scratch"; N.of_string "/fs/bin/tool" ]
+    ~on_result:(fun r -> got := Some r)
+    ();
+  ignore (Dsim.Engine.run engine);
+  match !got with
+  | Some (Ok [ (_, Some _); (_, Some _) ]) -> ()
+  | Some (Ok r) ->
+      Alcotest.failf "some read failed: %s"
+        (String.concat ", "
+           (List.map
+              (fun (n, c) ->
+                Printf.sprintf "%s=%s" (N.to_string n)
+                  (match c with Some _ -> "ok" | None -> "MISS"))
+              r))
+  | Some (Error `Timeout) -> Alcotest.fail "timed out"
+  | None -> Alcotest.fail "no reply"
+
+let test_unresolvable_reads_are_none () =
+  let engine, t = fixture () in
+  let client = Ef.new_client t ~on:"port1" ~attach:[] in
+  let got = ref None in
+  (* no attachments: the client's own names are not defined remotely *)
+  Ef.exec_remote t ~client ~on:"port2"
+    ~reads:[ N.of_string "/fs/bin/tool" ]
+    ~on_result:(fun r -> got := Some r)
+    ();
+  ignore (Dsim.Engine.run engine);
+  match !got with
+  | Some (Ok [ (_, None) ]) -> ()
+  | _ -> Alcotest.fail "expected a None read"
+
+let test_timeout_when_partitioned () =
+  let engine, t = fixture () in
+  let client = Ef.new_client t ~on:"port1" ~attach:[ ("fs", "port1") ] in
+  (* cut the client's subsystem off before calling: note the network is
+     internal, so we use a total drop config instead *)
+  ignore client;
+  ignore engine;
+  let engine2 = Dsim.Engine.create () in
+  let store2 = S.create () in
+  let t2 =
+    Ef.build ~subsystems ~engine:engine2 ~rng:(Dsim.Rng.create 1L)
+      ~net_config:
+        { Dsim.Network.default_config with drop_probability = 1.0 }
+      store2
+  in
+  let client2 = Ef.new_client t2 ~on:"port1" ~attach:[] in
+  let got = ref None in
+  Ef.exec_remote t2 ~client:client2 ~on:"port2" ~reads:[] ~timeout:3.0
+    ~on_result:(fun r -> got := Some r)
+    ();
+  ignore (Dsim.Engine.run engine2);
+  check b "timeout surfaced" true (!got = Some (Error `Timeout));
+  check i "no child spawned" 0 (Ef.children_spawned t2)
+
+let test_errors () =
+  let _, t = fixture () in
+  let client = Ef.new_client t ~on:"port1" ~attach:[] in
+  (match Ef.new_client t ~on:"ghost" ~attach:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown subsystem accepted");
+  (match
+     Ef.exec_remote t ~client ~on:"ghost" ~reads:[] ~on_result:(fun _ -> ()) ()
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown target accepted");
+  let stranger = S.create_activity (Schemes.Per_process.store (Ef.world t)) in
+  match
+    Ef.exec_remote t ~client:stranger ~on:"port2" ~reads:[]
+      ~on_result:(fun _ -> ())
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-client accepted"
+
+let test_many_clients_parallel () =
+  let engine, t = fixture () in
+  let replies = ref 0 in
+  for k = 1 to 8 do
+    let client =
+      Ef.new_client ~label:(Printf.sprintf "c%d" k) t ~on:"port1"
+        ~attach:[ ("fs", "port1") ]
+    in
+    Ef.exec_remote t ~client ~on:"port2"
+      ~reads:[ N.of_string "/fs/home/alice/input.txt" ]
+      ~on_result:(fun r -> if Result.is_ok r then incr replies)
+      ()
+  done;
+  ignore (Dsim.Engine.run engine);
+  check i "all served" 8 !replies;
+  check i "one child each" 8 (Ef.children_spawned t)
+
+let suite =
+  [
+    Alcotest.test_case "remote read of client names" `Quick
+      test_remote_read_of_client_names;
+    Alcotest.test_case "remote read of local names" `Quick
+      test_remote_read_of_local_names;
+    Alcotest.test_case "unresolvable reads are None" `Quick
+      test_unresolvable_reads_are_none;
+    Alcotest.test_case "timeout under total loss" `Quick
+      test_timeout_when_partitioned;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "eight clients in parallel" `Quick
+      test_many_clients_parallel;
+  ]

@@ -1,0 +1,109 @@
+(* Tests for Schemes.Federation — shared name spaces in limited scopes. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module F = Schemes.Federation
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let t =
+    F.build
+      ~orgs:
+        [
+          ("org1", F.default_org_tree ~users:[ "alice" ] ~services:[ "print" ]);
+          ("org2", F.default_org_tree ~users:[ "bob" ] ~services:[ "auth" ]);
+        ]
+      st
+  in
+  (st, t)
+
+let test_default_tree_layout () =
+  let _, t = fixture () in
+  let fs1 = F.org_fs t "org1" in
+  check b "user home" true
+    (E.is_defined (Vfs.Fs.lookup fs1 "/users/alice/doc/readme.txt"));
+  check b "inbox dir" true
+    (Vfs.Fs.kind fs1 (Vfs.Fs.lookup fs1 "/users/alice/inbox") = `Dir);
+  check b "service" true (E.is_defined (Vfs.Fs.lookup fs1 "/services/print"));
+  check b "no foreign user" true (E.is_undefined (Vfs.Fs.lookup fs1 "/users/bob"))
+
+let test_common_name_different_meaning () =
+  let _, t = fixture () in
+  let p1 = F.spawn_in t ~org:"org1" in
+  let p2 = F.spawn_in t ~org:"org2" in
+  check b "/users differs" false
+    (E.equal (F.resolve t ~as_:p1 "/users") (F.resolve t ~as_:p2 "/users"));
+  check b "/services differs" false
+    (E.equal (F.resolve t ~as_:p1 "/services") (F.resolve t ~as_:p2 "/services"))
+
+let test_federate_and_map () =
+  let _, t = fixture () in
+  F.federate t ~from:"org1" ~to_:"org2";
+  let p1 = F.spawn_in t ~org:"org1" in
+  let p2 = F.spawn_in t ~org:"org2" in
+  (* the foreign root is reachable under the org's name *)
+  check entity "org2 root via /org2" (F.org_root t "org2")
+    (F.resolve t ~as_:p1 "/org2");
+  (* prefix mapping preserves meaning *)
+  let n = N.of_string "/users/bob/doc/readme.txt" in
+  let mapped = F.map_name t ~target_org:"org2" n in
+  check Alcotest.string "mapped form" "/org2/users/bob/doc/readme.txt"
+    (N.to_string mapped);
+  check entity "same entity"
+    (Schemes.Process_env.resolve (F.env t) ~as_:p2 n)
+    (Schemes.Process_env.resolve (F.env t) ~as_:p1 mapped);
+  (* federation is one-way unless done both ways *)
+  check entity "org2 cannot see org1" E.undefined
+    (F.resolve t ~as_:p2 "/org1")
+
+let test_map_name_edge_cases () =
+  let _, t = fixture () in
+  let rel = N.of_string "users/bob" in
+  check b "relative unchanged" true
+    (N.equal rel (F.map_name t ~target_org:"org2" rel));
+  check Alcotest.string "bare root" "/org2"
+    (N.to_string (F.map_name t ~target_org:"org2" (N.of_string "/")));
+  (match F.map_name t ~target_org:"ghost" (N.of_string "/users") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown org accepted")
+
+let test_space_probes () =
+  let _, t = fixture () in
+  let users = F.space_probes t ~org:"org1" ~space:"users" ~max_depth:5 in
+  check b "non-empty" true (users <> []);
+  check b "all under /users" true
+    (List.for_all
+       (fun n -> N.is_prefix ~prefix:(N.of_string "/users") n)
+       users);
+  let p1 = F.spawn_in t ~org:"org1" in
+  check b "all resolvable in-scope" true
+    (List.for_all
+       (fun n ->
+         E.is_defined (Schemes.Process_env.resolve (F.env t) ~as_:p1 n))
+       users)
+
+let test_build_errors () =
+  let st = S.create () in
+  (match F.build ~orgs:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no orgs accepted");
+  let _, t = fixture () in
+  (match F.org_fs t "ghost" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown org accepted")
+
+let suite =
+  [
+    Alcotest.test_case "default tree layout" `Quick test_default_tree_layout;
+    Alcotest.test_case "common name, different meaning" `Quick
+      test_common_name_different_meaning;
+    Alcotest.test_case "federate and map" `Quick test_federate_and_map;
+    Alcotest.test_case "map_name edge cases" `Quick test_map_name_edge_cases;
+    Alcotest.test_case "space probes" `Quick test_space_probes;
+    Alcotest.test_case "build errors" `Quick test_build_errors;
+  ]

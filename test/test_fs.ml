@@ -1,0 +1,427 @@
+(* Tests for Vfs.Fs — the file-system substrate. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Fs = Vfs.Fs
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let entity = Alcotest.testable E.pp E.equal
+
+let make () =
+  let st = S.create () in
+  (st, Fs.create st)
+
+let test_create_root () =
+  let st, fs = make () in
+  check b "root is dir" true (S.is_context_object st (Fs.root fs));
+  check entity "lookup /" (Fs.root fs) (Fs.lookup fs "/");
+  (* dots on the root *)
+  check entity "root/." (Fs.root fs)
+    (Fs.resolve_from fs ~dir:(Fs.root fs) (N.of_string "."));
+  check entity "root/.. is root" (Fs.root fs)
+    (Fs.resolve_from fs ~dir:(Fs.root fs) (N.of_string ".."))
+
+let test_mkdir_and_lookup () =
+  let st, fs = make () in
+  let d = Fs.mkdir fs ~under:(Fs.root fs) "home" in
+  check b "is dir" true (S.is_context_object st d);
+  check entity "lookup" d (Fs.lookup fs "/home");
+  (* idempotent *)
+  check entity "mkdir again returns same" d (Fs.mkdir fs ~under:(Fs.root fs) "home")
+
+let test_mkdir_path () =
+  let _, fs = make () in
+  let d = Fs.mkdir_path fs "/a/b/c" in
+  check entity "deep" d (Fs.lookup fs "/a/b/c");
+  check b "intermediate exists" true
+    (E.is_defined (Fs.lookup fs "/a/b"));
+  (* relative spelling goes from root too *)
+  check entity "relative same" d (Fs.mkdir_path fs "a/b/c")
+
+let test_add_file () =
+  let _, fs = make () in
+  let f = Fs.add_file fs "/etc/passwd" ~content:"root" in
+  check b "kind file" true (Fs.kind fs f = `File);
+  check b "content" true (Fs.read fs f = Some "root");
+  let f2 = Fs.add_file fs "/etc/passwd" ~content:"v2" in
+  check entity "same entity on overwrite" f f2;
+  check b "overwritten" true (Fs.read fs f = Some "v2")
+
+let test_add_file_conflicts () =
+  let _, fs = make () in
+  ignore (Fs.mkdir_path fs "/var/log");
+  (match Fs.add_file fs "/var/log" ~content:"x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "file over directory accepted");
+  (match Fs.add_file fs "/" ~content:"x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "file at root accepted")
+
+let test_write_read () =
+  let _, fs = make () in
+  let f = Fs.add_file fs "/f" ~content:"a" in
+  Fs.write fs f "b";
+  check b "written" true (Fs.read fs f = Some "b");
+  let d = Fs.mkdir_path fs "/d" in
+  check b "read dir is none" true (Fs.read fs d = None);
+  (match Fs.write fs d "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "write to dir accepted")
+
+let test_populate () =
+  let _, fs = make () in
+  Fs.populate fs [ "bin/ls"; "tmp/"; "usr/lib/libc.a" ];
+  check b "file" true (Fs.kind fs (Fs.lookup fs "/bin/ls") = `File);
+  check b "dir spec" true (Fs.kind fs (Fs.lookup fs "/tmp") = `Dir);
+  check b "nested" true (Fs.kind fs (Fs.lookup fs "/usr/lib/libc.a") = `File)
+
+let test_resolve_from_and_dots () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/b/f"; "a/g" ];
+  let bdir = Fs.lookup fs "/a/b" in
+  check entity "relative" (Fs.lookup fs "/a/b/f")
+    (Fs.resolve_from fs ~dir:bdir (N.of_string "f"));
+  check entity "dotdot" (Fs.lookup fs "/a/g")
+    (Fs.resolve_from fs ~dir:bdir (N.of_string "../g"));
+  check entity "dot" bdir (Fs.resolve_from fs ~dir:bdir (N.of_string "."));
+  check entity "missing" E.undefined
+    (Fs.resolve_from fs ~dir:bdir (N.of_string "zzz"))
+
+let test_readdir_excludes_dots () =
+  let _, fs = make () in
+  Fs.populate fs [ "d/x"; "d/y" ];
+  let d = Fs.lookup fs "/d" in
+  let entries = List.map (fun (a, _) -> N.atom_to_string a) (Fs.readdir fs d) in
+  check (Alcotest.list Alcotest.string) "entries" [ "x"; "y" ] entries
+
+let test_parent_of () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/b/" ];
+  let a = Fs.lookup fs "/a" and ab = Fs.lookup fs "/a/b" in
+  check b "parent" true (Fs.parent_of fs ab = Some a);
+  check b "root parent is root" true
+    (Fs.parent_of fs (Fs.root fs) = Some (Fs.root fs))
+
+let test_link_unlink () =
+  let _, fs = make () in
+  let f = Fs.add_file fs "/a/orig" ~content:"x" in
+  let d = Fs.mkdir_path fs "/b" in
+  Fs.link fs ~dir:d "alias" f;
+  check entity "hard link" f (Fs.lookup fs "/b/alias");
+  Fs.unlink fs ~dir:d "alias";
+  check entity "unlinked" E.undefined (Fs.lookup fs "/b/alias");
+  check entity "original remains" f (Fs.lookup fs "/a/orig");
+  (match Fs.link fs ~dir:f "x" d with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "link inside a file accepted")
+
+let test_dir_link_shared_subtree () =
+  (* Linking a directory under two names gives a shared subtree — the
+     Andrew /vice attachment. *)
+  let _, fs = make () in
+  Fs.populate fs [ "shared/data" ];
+  let sh = Fs.lookup fs "/shared" in
+  let d = Fs.mkdir_path fs "/mnt" in
+  Fs.link fs ~dir:d "vice" sh;
+  check entity "same entity via both names" (Fs.lookup fs "/shared/data")
+    (Fs.lookup fs "/mnt/vice/data")
+
+let test_paths_of () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/f" ];
+  let f = Fs.lookup fs "/a/f" in
+  let d = Fs.mkdir_path fs "/b" in
+  Fs.link fs ~dir:d "g" f;
+  let paths = List.map N.to_string (Fs.paths_of fs ~target:f ~max_depth:4) in
+  check b "original path" true (List.mem "a/f" paths);
+  check b "link path" true (List.mem "b/g" paths)
+
+let test_tree_size () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/f"; "a/g"; "b/" ];
+  (* root, a, f, g, b *)
+  check i "size" 5 (Fs.tree_size fs)
+
+let test_of_root () =
+  let st, fs = make () in
+  let d = Fs.mkdir_path fs "/sub" in
+  let sub = Fs.of_root st d in
+  ignore (Fs.add_file sub "inner/f" ~content:"x");
+  check b "built under subroot" true
+    (E.is_defined (Fs.lookup fs "/sub/inner/f"));
+  let file = Fs.add_file fs "/plain" ~content:"" in
+  (match Fs.of_root st file with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_root on a file accepted")
+
+let test_rename () =
+  let _, fs = make () in
+  let f = Fs.add_file fs "/a/old" ~content:"x" in
+  let a = Fs.lookup fs "/a" in
+  Fs.rename fs ~dir:a "old" "new";
+  check entity "renamed" f (Fs.lookup fs "/a/new");
+  check entity "old gone" E.undefined (Fs.lookup fs "/a/old");
+  (match Fs.rename fs ~dir:a "ghost" "x" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rename of unbound accepted");
+  ignore (Fs.add_file fs "/a/taken" ~content:"");
+  (match Fs.rename fs ~dir:a "new" "taken" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rename onto existing accepted")
+
+let test_remove_tree () =
+  let _, fs = make () in
+  Fs.populate fs [ "d/x"; "d/y"; "keep" ];
+  Fs.remove_tree fs ~dir:(Fs.root fs) "d";
+  check entity "removed" E.undefined (Fs.lookup fs "/d/x");
+  check b "sibling kept" true (E.is_defined (Fs.lookup fs "/keep"));
+  (match Fs.remove_tree fs ~dir:(Fs.root fs) "d" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double remove accepted")
+
+let test_walk () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/b/f"; "a/g"; "h" ];
+  let seen = ref [] in
+  Fs.walk fs (Fs.root fs) (fun n _e -> seen := N.to_string n :: !seen);
+  let seen = List.sort compare !seen in
+  check (Alcotest.list Alcotest.string) "visits everything"
+    [ "a"; "a/b"; "a/b/f"; "a/g"; "h" ] seen
+
+let test_walk_links () =
+  let _, fs = make () in
+  Fs.populate fs [ "proj/src/"; "other/lib/thing" ]; 
+  let proj = Fs.lookup fs "/proj" in
+  let other = Fs.lookup fs "/other" in
+  Fs.link fs ~dir:proj "ext" other;
+  (* default: the foreign directory is reported but not entered *)
+  let seen = ref [] in
+  Fs.walk fs proj (fun n _e -> seen := N.to_string n :: !seen);
+  check b "link reported" true (List.mem "ext" !seen);
+  check b "not entered" false (List.mem "ext/lib" !seen);
+  (* follow_links: entered, but each node still visited once *)
+  let seen = ref [] in
+  Fs.walk fs ~follow_links:true proj (fun n _e ->
+      seen := N.to_string n :: !seen);
+  check b "entered with follow_links" true (List.mem "ext/lib/thing" !seen)
+
+let test_find_literal_and_star () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/x.txt"; "a/y.txt"; "b/x.txt"; "a/sub/z.txt" ];
+  let names pat =
+    List.map (fun (n, _) -> N.to_string n) (Fs.find fs (Fs.root fs) ~pattern:pat)
+  in
+  check (Alcotest.list Alcotest.string) "literal" [ "a/x.txt" ] (names "a/x.txt");
+  check (Alcotest.list Alcotest.string) "star dir" [ "a/x.txt"; "b/x.txt" ]
+    (names "*/x.txt");
+  check (Alcotest.list Alcotest.string) "star leaf"
+    [ "a/sub"; "a/x.txt"; "a/y.txt" ]
+    (List.sort compare (names "a/*"));
+  check (Alcotest.list Alcotest.string) "no match" [] (names "zz/*")
+
+let test_find_deep () =
+  let _, fs = make () in
+  Fs.populate fs [ "a/x"; "a/sub/y"; "b/" ];
+  let names pat =
+    List.sort compare
+      (List.map (fun (n, _) -> N.to_string n)
+         (Fs.find fs (Fs.root fs) ~pattern:pat))
+  in
+  check (Alcotest.list Alcotest.string) "everything"
+    [ "a"; "a/sub"; "a/sub/y"; "a/x"; "b" ]
+    (names "**");
+  check (Alcotest.list Alcotest.string) "scoped deep"
+    [ "a/sub"; "a/sub/y"; "a/x" ]
+    (names "a/**")
+
+let test_find_errors () =
+  let _, fs = make () in
+  (match Fs.find fs (Fs.root fs) ~pattern:"" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pattern accepted");
+  (match Fs.find fs (Fs.root fs) ~pattern:"**/x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inner ** accepted")
+
+let test_kind () =
+  let st, fs = make () in
+  let f = Fs.add_file fs "/f" ~content:"" in
+  check b "file" true (Fs.kind fs f = `File);
+  check b "dir" true (Fs.kind fs (Fs.root fs) = `Dir);
+  check b "missing" true (Fs.kind fs E.undefined = `Missing);
+  let a = S.create_activity st in
+  check b "activity is other" true (Fs.kind fs a = `Other)
+
+(* Model-based property: a random op sequence applied to Fs and to a
+   naive path-map model yields the same observable file system. *)
+module Model = struct
+  type node = Dir | File of string
+
+  (* path (list of atoms, root-relative) -> node; root implicit *)
+  type t = (string list * node) list ref
+
+  let create () : t = ref []
+
+  let mem m path = List.mem_assoc path !m
+
+  let ensure_dirs m path =
+    let rec prefixes acc = function
+      | [] -> []
+      | a :: rest ->
+          let here = acc @ [ a ] in
+          here :: prefixes here rest
+    in
+    List.iter
+      (fun p -> if not (mem m p) then m := (p, Dir) :: !m)
+      (prefixes [] path)
+
+  let mkdir_path m path = ensure_dirs m path
+
+  let add_file m path content =
+    (match List.rev path with
+    | [] -> ()
+    | _ :: rev_dirs -> ensure_dirs m (List.rev rev_dirs));
+    m := (path, File content) :: List.remove_assoc path !m
+
+  let unlink m path =
+    (* removing a binding removes the whole subtree from view *)
+    let prefix p q =
+      let rec go p q =
+        match (p, q) with
+        | [], _ -> true
+        | _, [] -> false
+        | a :: ps, b :: qs -> String.equal a b && go ps qs
+      in
+      go p q
+    in
+    m := List.filter (fun (q, _) -> not (prefix path q)) !m
+
+  let dirs m = List.filter_map (fun (p, n) -> if n = Dir then Some p else None) !m
+  let files m =
+    List.filter_map (fun (p, n) -> match n with File c -> Some (p, c) | Dir -> None) !m
+end
+
+let prop_fs_matches_model =
+  QCheck.Test.make ~name:"Fs agrees with a naive path-map model" ~count:40
+    QCheck.small_nat (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let st = S.create () in
+      let fs = Fs.create st in
+      let model = Model.create () in
+      let atoms = [| "a"; "b"; "c"; "d" |] in
+      let random_path () =
+        List.init
+          (1 + Dsim.Rng.int rng 3)
+          (fun _ -> Dsim.Rng.pick_array rng atoms)
+      in
+      let path_str p = "/" ^ String.concat "/" p in
+      for _ = 1 to 40 do
+        let p = random_path () in
+        match Dsim.Rng.int rng 3 with
+        | 0 ->
+            (* mkdir -p unless the path crosses a file *)
+            let crosses_file =
+              List.exists
+                (fun (q, n) ->
+                  n <> Model.Dir
+                  &&
+                  let rec is_prefix q p =
+                    match (q, p) with
+                    | [], _ -> true
+                    | _, [] -> false
+                    | a :: qs, b :: ps -> String.equal a b && is_prefix qs ps
+                  in
+                  is_prefix q p)
+                !model
+            in
+            if not crosses_file then begin
+              ignore (Fs.mkdir_path fs (path_str p));
+              Model.mkdir_path model p
+            end
+        | 1 ->
+            (* add_file unless the path (or a prefix) is a dir/file clash *)
+            let parent_ok =
+              (not (Model.mem model p))
+              || List.assoc_opt p !model <> Some Model.Dir
+            in
+            let crosses_file =
+              List.exists
+                (fun (q, n) ->
+                  n <> Model.Dir
+                  && q <> p
+                  &&
+                  let rec is_prefix q p =
+                    match (q, p) with
+                    | [], _ -> true
+                    | _, [] -> false
+                    | a :: qs, b :: ps -> String.equal a b && is_prefix qs ps
+                  in
+                  is_prefix q p)
+                !model
+            in
+            if parent_ok && not crosses_file then begin
+              let content = Printf.sprintf "c%d" (Dsim.Rng.int rng 100) in
+              ignore (Fs.add_file fs (path_str p) ~content);
+              Model.add_file model p content
+            end
+        | _ -> (
+            (* unlink an existing top-level-ish binding *)
+            match !model with
+            | [] -> ()
+            | entries ->
+                let q, _ = Dsim.Rng.pick rng entries in
+                (match List.rev q with
+                | [] -> ()
+                | last :: rev_parent ->
+                    let parent_path = List.rev rev_parent in
+                    let parent_entity =
+                      if parent_path = [] then Fs.root fs
+                      else Fs.lookup fs (path_str parent_path)
+                    in
+                    if S.is_context_object st parent_entity then begin
+                      Fs.unlink fs ~dir:parent_entity last;
+                      Model.unlink model q
+                    end))
+      done;
+      (* compare: every model dir is a dir, every model file has the right
+         content, and nothing else is visible at the model's paths *)
+      List.for_all
+        (fun p -> Fs.kind fs (Fs.lookup fs (path_str p)) = `Dir)
+        (Model.dirs model)
+      && List.for_all
+           (fun (p, content) ->
+             Fs.read fs (Fs.lookup fs (path_str p)) = Some content)
+           (Model.files model))
+
+let suite =
+  [
+    Alcotest.test_case "create root" `Quick test_create_root;
+    Alcotest.test_case "mkdir and lookup" `Quick test_mkdir_and_lookup;
+    Alcotest.test_case "mkdir_path" `Quick test_mkdir_path;
+    Alcotest.test_case "add_file" `Quick test_add_file;
+    Alcotest.test_case "add_file conflicts" `Quick test_add_file_conflicts;
+    Alcotest.test_case "write/read" `Quick test_write_read;
+    Alcotest.test_case "populate" `Quick test_populate;
+    Alcotest.test_case "resolve_from and dots" `Quick test_resolve_from_and_dots;
+    Alcotest.test_case "readdir excludes dots" `Quick test_readdir_excludes_dots;
+    Alcotest.test_case "parent_of" `Quick test_parent_of;
+    Alcotest.test_case "link/unlink" `Quick test_link_unlink;
+    Alcotest.test_case "shared subtree via dir link" `Quick
+      test_dir_link_shared_subtree;
+    Alcotest.test_case "paths_of" `Quick test_paths_of;
+    Alcotest.test_case "tree_size" `Quick test_tree_size;
+    Alcotest.test_case "of_root" `Quick test_of_root;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "remove_tree" `Quick test_remove_tree;
+    Alcotest.test_case "walk" `Quick test_walk;
+    Alcotest.test_case "walk and links" `Quick test_walk_links;
+    Alcotest.test_case "kind" `Quick test_kind;
+    Alcotest.test_case "find: literal and star" `Quick
+      test_find_literal_and_star;
+    Alcotest.test_case "find: deep" `Quick test_find_deep;
+    Alcotest.test_case "find: errors" `Quick test_find_errors;
+    QCheck_alcotest.to_alcotest prop_fs_matches_model;
+  ]

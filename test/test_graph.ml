@@ -1,0 +1,138 @@
+(* Tests for Naming.Graph: the naming graph view of a store. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module C = Naming.Context
+module G = Naming.Graph
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+
+(* root -> {bin -> {ls}, tmp}, plus dot edges on root when asked. *)
+let fixture ?(dots = false) () =
+  let st = S.create () in
+  let root = S.create_context_object ~label:"root" st in
+  let bin = S.create_context_object ~label:"bin" st in
+  let ls = S.create_object ~label:"ls" st in
+  let tmp = S.create_context_object ~label:"tmp" st in
+  S.bind st ~dir:root (N.atom "bin") bin;
+  S.bind st ~dir:root (N.atom "tmp") tmp;
+  S.bind st ~dir:bin (N.atom "ls") ls;
+  if dots then begin
+    S.bind st ~dir:root N.self_atom root;
+    S.bind st ~dir:root N.parent_atom root
+  end;
+  (st, root, bin, ls, tmp)
+
+let test_edges_and_degree () =
+  let st, root, bin, _, _ = fixture () in
+  check i "total edges" 3 (List.length (G.edges st));
+  check i "root degree" 2 (G.out_degree st root);
+  check i "bin degree" 1 (G.out_degree st bin);
+  let labels =
+    List.map (fun (a, _) -> N.atom_to_string a) (G.out_edges st root)
+  in
+  check (Alcotest.list Alcotest.string) "sorted edge labels" [ "bin"; "tmp" ]
+    labels
+
+let test_out_edges_non_context () =
+  let st, _, _, ls, _ = fixture () in
+  check i "file has no out edges" 0 (List.length (G.out_edges st ls))
+
+let test_reachable () =
+  let st, root, bin, ls, tmp = fixture () in
+  let r = G.reachable st ~from:root in
+  check i "all reachable" 4 (E.Set.cardinal r);
+  check b "contains ls" true (E.Set.mem ls r);
+  let r2 = G.reachable st ~from:bin in
+  check i "subtree" 2 (E.Set.cardinal r2);
+  check b "tmp not from bin" false (E.Set.mem tmp r2)
+
+let test_reachable_from_context () =
+  let st, _, bin, _, tmp = fixture () in
+  let ctx = C.of_bindings [ (N.atom "b", bin); (N.atom "t", tmp) ] in
+  let r = G.reachable_from_context st ctx in
+  check i "bin+ls+tmp" 3 (E.Set.cardinal r)
+
+let test_cycles () =
+  let st, root, bin, _, _ = fixture () in
+  check b "acyclic" false (G.has_cycle st);
+  S.bind st ~dir:bin (N.atom "up") root;
+  check b "cyclic" true (G.has_cycle st)
+
+let test_dots_cycle () =
+  let st, _, _, _, _ = fixture ~dots:true () in
+  check b "dot edges are cycles" true (G.has_cycle st)
+
+let test_is_tree () =
+  let st, root, bin, ls, _ = fixture ~dots:true () in
+  let ignore_dots a =
+    N.atom_equal a N.self_atom || N.atom_equal a N.parent_atom
+  in
+  check b "tree modulo dots" true (G.is_tree st ~root ~ignore:ignore_dots);
+  (* A hard link makes it a DAG, not a tree. *)
+  S.bind st ~dir:bin (N.atom "ls2") ls;
+  check b "extra link breaks tree" false
+    (G.is_tree st ~root ~ignore:ignore_dots)
+
+let test_all_names () =
+  let st, root, _, _, _ = fixture ~dots:true () in
+  let ctx = C.of_bindings [ (N.atom "r", root) ] in
+  let names = G.all_names st ctx ~max_depth:3 () in
+  let strings = List.map (fun (n, _) -> N.to_string n) names in
+  check b "has r" true (List.mem "r" strings);
+  check b "has r/bin/ls" true (List.mem "r/bin/ls" strings);
+  check b "skips dots by default" false (List.mem "r/./bin" strings);
+  (* depth limiting *)
+  let shallow = G.all_names st ctx ~max_depth:1 () in
+  check i "depth 1" 1 (List.length shallow)
+
+let test_all_names_custom_skip () =
+  let st, root, _, _, _ = fixture () in
+  let ctx = C.of_bindings [ (N.atom "r", root) ] in
+  let skip a = N.atom_equal a (N.atom "bin") in
+  let names = G.all_names st ctx ~max_depth:3 ~skip () in
+  let strings = List.map (fun (n, _) -> N.to_string n) names in
+  check b "bin pruned" false (List.mem "r/bin/ls" strings);
+  check b "tmp kept" true (List.mem "r/tmp" strings)
+
+let test_names_of () =
+  let st, root, bin, ls, _ = fixture () in
+  S.bind st ~dir:root (N.atom "ls-link") ls;
+  let ctx = C.of_bindings [ (N.atom "r", root) ] in
+  let names = G.names_of st ctx ~target:ls ~max_depth:3 () in
+  let strings = List.map N.to_string names in
+  check b "path name" true (List.mem "r/bin/ls" strings);
+  check b "link name" true (List.mem "r/ls-link" strings);
+  check i "exactly two" 2 (List.length strings);
+  ignore bin
+
+let test_to_dot () =
+  let st, _, _, _, _ = fixture () in
+  let dot = G.to_dot st in
+  check b "digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  check b "mentions edge label" true
+    (let rec contains i =
+       i + 2 <= String.length dot
+       && (String.equal (String.sub dot i 2) "ls" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [
+    Alcotest.test_case "edges and degree" `Quick test_edges_and_degree;
+    Alcotest.test_case "non-context out edges" `Quick test_out_edges_non_context;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "reachable from context" `Quick
+      test_reachable_from_context;
+    Alcotest.test_case "cycle detection" `Quick test_cycles;
+    Alcotest.test_case "dot edges are cycles" `Quick test_dots_cycle;
+    Alcotest.test_case "is_tree" `Quick test_is_tree;
+    Alcotest.test_case "all_names" `Quick test_all_names;
+    Alcotest.test_case "all_names custom skip" `Quick test_all_names_custom_skip;
+    Alcotest.test_case "names_of finds links" `Quick test_names_of;
+    Alcotest.test_case "to_dot" `Quick test_to_dot;
+  ]

@@ -1,0 +1,277 @@
+(* Tests for the harness: table rendering, the coherence matrix, and the
+   headline numbers of every experiment (the paper's qualitative claims,
+   asserted). *)
+
+module N = Naming.Name
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let f = Alcotest.float 1e-9
+
+let test_table_render () =
+  let out =
+    Harness.Table.render
+      ~aligns:[ Harness.Table.Left; Harness.Table.Right ]
+      ~headers:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "header + rule + 2 rows + trailing" 5 (List.length lines);
+  (* all non-empty lines share a width *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  check b "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  (* ragged rows are padded, not crashed *)
+  let ragged = Harness.Table.render ~headers:[ "a"; "b" ] [ [ "x" ] ] in
+  check b "ragged ok" true (String.length ragged > 0)
+
+let test_table_formats () =
+  check Alcotest.string "fraction" "0.500" (Harness.Table.fraction 0.5);
+  check Alcotest.string "pct" "87.5%" (Harness.Table.pct 0.875)
+
+let test_matrix_trivial_world () =
+  (* one shared context: everything coherent *)
+  let st = Naming.Store.create () in
+  let t = Schemes.Unix_scheme.build st in
+  let a1 = Schemes.Unix_scheme.spawn t and a2 = Schemes.Unix_scheme.spawn t in
+  let probes = Schemes.Unix_scheme.absolute_probes t ~max_depth:3 in
+  let world =
+    {
+      Harness.Matrix.label = "test";
+      store = st;
+      rule = Schemes.Unix_scheme.rule t;
+      activities = [ a1; a2 ];
+      probes;
+      embedded = [];
+      equiv = None;
+    }
+  in
+  let row = Harness.Matrix.measure world in
+  check f "generated" 1.0 row.Harness.Matrix.generated;
+  check f "received" 1.0 row.Harness.Matrix.received;
+  check b "no embedded" true (row.Harness.Matrix.embedded_deg = None)
+
+let test_experiments_registry () =
+  check Alcotest.int "fourteen experiments (E1-E10, A1-A4)" 14
+    (List.length Harness.Experiments.all);
+  check b "find e3" true (Harness.Experiments.find "E3" <> None);
+  check b "find missing" true (Harness.Experiments.find "e99" = None)
+
+let test_all_experiments_run () =
+  (* every experiment completes and prints something *)
+  List.iter
+    (fun e ->
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      e.Harness.Experiments.run ppf;
+      Format.pp_print_flush ppf ();
+      if Buffer.length buf < 40 then
+        Alcotest.failf "experiment %s produced almost no output"
+          e.Harness.Experiments.id)
+    Harness.Experiments.all
+
+(* -- headline assertions, one per experiment -------------------------- *)
+
+let test_e1_claims () =
+  let outcomes = Harness.Exp_sources.measure () in
+  List.iter
+    (fun o ->
+      let expected =
+        match o.Harness.Exp_sources.rule_label with
+        | "R(sender)" | "R(object)" -> true
+        | _ -> false
+      in
+      check b o.Harness.Exp_sources.rule_label expected
+        o.Harness.Exp_sources.agrees_with_originator)
+    outcomes
+
+let test_e2_claims () =
+  let points = Harness.Exp_rules.sweep () in
+  List.iter
+    (fun p ->
+      let open Harness.Exp_rules in
+      check f "R(sender) always 1" 1.0 p.received_sender;
+      check f "R(object) always 1" 1.0 p.embedded_object;
+      check (Alcotest.float 0.03) "R(receiver) tracks g" p.global_fraction
+        p.received_receiver;
+      check (Alcotest.float 0.03) "R(activity) tracks g" p.global_fraction
+        p.embedded_activity)
+    points
+
+let test_e3_claims () =
+  let r = Harness.Exp_newcastle.measure () in
+  let open Harness.Exp_newcastle in
+  check f "same machine" 1.0 r.same_machine;
+  check f "cross machine" 0.0 r.cross_machine;
+  check f "superroot names" 1.0 r.superroot_qualified;
+  check f "mapping" 1.0 r.mapping_correct;
+  check f "invoker params" 1.0 r.invoker_param_coherence;
+  check f "invoker local" 0.0 r.invoker_local_access;
+  check f "remote params" 0.0 r.remote_param_coherence;
+  check f "remote local" 1.0 r.remote_local_access
+
+let test_e4_claims () =
+  let r = Harness.Exp_shared.measure () in
+  let open Harness.Exp_shared in
+  check f "shared" 1.0 r.shared_names_all_clients;
+  check f "local within" 1.0 r.local_names_within_client;
+  check f "local across" 0.0 r.local_names_across_clients;
+  check f "replicated strict" 0.0 r.replicated_strict;
+  check f "replicated weak" 1.0 r.replicated_weak;
+  check f "remote shared params" 1.0 r.remote_exec_shared_params;
+  check f "remote local params" 0.0 r.remote_exec_local_params
+
+let test_e5_claims () =
+  let r = Harness.Exp_crosslink.measure () in
+  let open Harness.Exp_crosslink in
+  check f "unmapped" 0.0 r.exchanged_unmapped;
+  check f "mapped" 1.0 r.exchanged_mapped;
+  check f "embedded baseline" 0.0 r.embedded_reader_rule;
+  check f "embedded algol" 1.0 r.embedded_algol_rule
+
+let test_e6_claims () =
+  let r = Harness.Exp_embedded.measure () in
+  let open Harness.Exp_embedded in
+  check b "baseline below 1" true (r.baseline_reader_rule < 1.0);
+  check b "shadowing" true r.shadowing_correct;
+  List.iter
+    (fun s ->
+      check f (s.label ^ " resolved") 1.0 s.resolved;
+      check f (s.label ^ " coherent") 1.0 s.coherent_across_readers;
+      check f (s.label ^ " preserved") 1.0 s.meaning_preserved)
+    r.scenarios
+
+let test_e7_claims () =
+  let r = Harness.Exp_pqid.measure () in
+  let open Harness.Exp_pqid in
+  (* same-machine partial pids survive every renumbering *)
+  List.iter
+    (fun p -> check f "same-machine immune" 1.0 p.partial_same_machine_valid)
+    r.survival;
+  (* partial dominates full at every step *)
+  List.iter
+    (fun p -> check b "partial >= full" true (p.partial_valid >= p.full_valid))
+    r.survival;
+  (* after enough ops the full baseline is (almost) dead *)
+  let final = List.nth r.survival (List.length r.survival - 1) in
+  check b "full collapses" true (final.full_valid < 0.2);
+  check f "mapped transit" 1.0 r.transit.mapped_correct;
+  check b "unmapped transit imperfect" true (r.transit.unmapped_correct < 1.0)
+
+let test_e8_claims () =
+  let rows = Harness.Exp_remote_exec.measure () in
+  let get m =
+    List.find (fun r -> r.Harness.Exp_remote_exec.mechanism = m) rows
+  in
+  let open Harness.Exp_remote_exec in
+  let inv = get "newcastle, invoker root" in
+  check f "invoker params" 1.0 inv.param_coherence;
+  check f "invoker local" 0.0 inv.local_access;
+  let rem = get "newcastle, remote root" in
+  check f "remote params" 0.0 rem.param_coherence;
+  check f "remote local" 1.0 rem.local_access;
+  let pp = get "per-process namespace" in
+  check f "per-process params" 1.0 pp.param_coherence;
+  check f "per-process local" 1.0 pp.local_access
+
+let test_e9_claims () =
+  let r = Harness.Exp_federation.measure () in
+  let open Harness.Exp_federation in
+  check f "within org" 1.0 r.within_org;
+  check f "across unmapped" 0.0 r.across_orgs_unmapped;
+  check f "across mapped" 1.0 r.across_orgs_mapped;
+  check f "foreign embedded baseline" 0.0 r.foreign_embedded_reader_rule;
+  check f "foreign embedded algol" 1.0 r.foreign_embedded_algol_rule
+
+let test_e10_claims () =
+  let rows = Harness.Exp_matrix.measure () in
+  let get label =
+    List.find (fun r -> r.Harness.Matrix.world = label) rows
+  in
+  let open Harness.Matrix in
+  check f "global context coherent" 1.0 (get "global context (Locus/V style)").generated;
+  check f "unix shared root coherent" 1.0 (get "unix, shared root").generated;
+  check b "chroot breaks" true ((get "unix, one process chrooted").generated < 1.0);
+  check f "newcastle incoherent" 0.0 (get "newcastle connection").generated;
+  let andrew = get "shared naming graph (Andrew)" in
+  check b "andrew partial" true
+    (andrew.generated > 0.0 && andrew.generated < 1.0);
+  let dce = get "DCE (global + cell contexts)" in
+  check b "dce partial" true (dce.generated > 0.0 && dce.generated < 1.0);
+  check f "crosslink incoherent" 0.0
+    (get "cross-linked autonomous systems").generated;
+  check f "per-process arranged coherent" 1.0
+    (get "per-process namespaces (arranged)").generated;
+  let algol = get "newcastle + Algol embedded rule" in
+  check f "algol generated still 0" 0.0 algol.generated;
+  check b "algol embedded repaired" true (algol.embedded_deg = Some 1.0)
+
+let test_a1_claims () =
+  let points = Harness.Exp_composite.sweep () in
+  List.iter
+    (fun p ->
+      let open Harness.Exp_composite in
+      (* the composite never beats the plain rules it combines *)
+      check f "sender-wins composite = R(sender)" p.sender
+        p.composite_sender_wins;
+      check f "receiver-wins composite = R(receiver)" p.receiver
+        p.composite_receiver_wins)
+    points
+
+let test_a2_claims () =
+  let r = Harness.Exp_recursive.measure () in
+  let open Harness.Exp_recursive in
+  check f "cross-system plain names" 0.0 r.cross_system_plain;
+  check f "deep-qualified names" 1.0 r.superroot_all_machines;
+  check f "mapping across systems" 1.0 r.mapping_across_systems;
+  check b "dotdot depth" true r.nested_dotdot_depth_ok
+
+let test_a3_claims () =
+  let r = Harness.Exp_migration.measure () in
+  let open Harness.Exp_migration in
+  (* renumbering never breaks machine-local pids *)
+  List.iter
+    (fun p -> check f "renumber-only immune" 1.0 p.renumber_only)
+    r.series;
+  (* migration eventually does *)
+  let final = List.nth r.series (List.length r.series - 1) in
+  check b "migrations break local pids" true (final.with_migrations < 1.0);
+  check b "fresh pids recover" true r.fresh_pids_always_work
+
+let test_a4_claims () =
+  let r = Harness.Exp_replicas.measure () in
+  let open Harness.Exp_replicas in
+  check b "consistent initially" true r.consistent_initially;
+  check b "weak initially" true r.weak_coherent_initially;
+  check b "drift breaks the invariant" false r.consistent_after_drift;
+  check b "identity-level verdict blind to drift" true
+    r.weak_verdict_after_drift;
+  check b "sync restores" true r.consistent_after_sync;
+  check b "content propagated" true r.drifted_content_propagated
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table formats" `Quick test_table_formats;
+    Alcotest.test_case "matrix trivial world" `Quick test_matrix_trivial_world;
+    Alcotest.test_case "experiments registry" `Quick test_experiments_registry;
+    Alcotest.test_case "all experiments run" `Slow test_all_experiments_run;
+    Alcotest.test_case "E1 claims" `Quick test_e1_claims;
+    Alcotest.test_case "E2 claims" `Quick test_e2_claims;
+    Alcotest.test_case "E3 claims" `Quick test_e3_claims;
+    Alcotest.test_case "E4 claims" `Quick test_e4_claims;
+    Alcotest.test_case "E5 claims" `Quick test_e5_claims;
+    Alcotest.test_case "E6 claims" `Quick test_e6_claims;
+    Alcotest.test_case "E7 claims" `Slow test_e7_claims;
+    Alcotest.test_case "E8 claims" `Quick test_e8_claims;
+    Alcotest.test_case "E9 claims" `Quick test_e9_claims;
+    Alcotest.test_case "E10 claims" `Quick test_e10_claims;
+    Alcotest.test_case "A1 claims" `Quick test_a1_claims;
+    Alcotest.test_case "A2 claims" `Quick test_a2_claims;
+    Alcotest.test_case "A3 claims" `Quick test_a3_claims;
+    Alcotest.test_case "A4 claims" `Quick test_a4_claims;
+  ]

@@ -1,0 +1,167 @@
+(* Tests for Schemes.Jade — per-user name spaces with union directories. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module J = Schemes.Jade
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+(* local has bin/{ls,custom}; campus has bin/{ls,cc} with different
+   entities; archive has data/set1 *)
+let fixture () =
+  let st = S.create () in
+  let t =
+    J.build
+      ~services:
+        [
+          ("local", [ "bin/ls"; "bin/custom" ]);
+          ("campus", [ "bin/ls"; "bin/cc" ]);
+          ("archive", [ "data/set1" ]);
+        ]
+      st
+  in
+  (st, t)
+
+let test_union_search () =
+  let _, t = fixture () in
+  let u = J.new_user t ~mounts:[ ("sw", [ "local"; "campus" ]) ] in
+  (* the mount unions the service ROOTS; components search in order *)
+  check entity "local wins for ls"
+    (Vfs.Fs.lookup (J.service_fs t "local") "/bin/ls")
+    (J.resolve_str t ~as_:u "sw/bin/ls");
+  check entity "falls through to campus for cc"
+    (Vfs.Fs.lookup (J.service_fs t "campus") "/bin/cc")
+    (J.resolve_str t ~as_:u "sw/bin/cc");
+  check entity "local-only still found"
+    (Vfs.Fs.lookup (J.service_fs t "local") "/bin/custom")
+    (J.resolve_str t ~as_:u "sw/bin/custom");
+  check entity "missing everywhere" E.undefined
+    (J.resolve_str t ~as_:u "sw/bin/nothing")
+
+let test_order_matters () =
+  let _, t = fixture () in
+  let u1 = J.new_user t ~mounts:[ ("sw", [ "local"; "campus" ]) ] in
+  let u2 = J.new_user t ~mounts:[ ("sw", [ "campus"; "local" ]) ] in
+  check b "different winners for ls" false
+    (E.equal
+       (J.resolve_str t ~as_:u1 "sw/bin/ls")
+       (J.resolve_str t ~as_:u2 "sw/bin/ls"));
+  (* personal name spaces: the same name legitimately differs per user —
+     the flexibility Jade is cited for *)
+  check b "which reports winners" true
+    (J.which t ~as_:u1 (N.of_string "sw/bin/ls") = Some "local"
+    && J.which t ~as_:u2 (N.of_string "sw/bin/ls") = Some "campus")
+
+let test_mount_management () =
+  let _, t = fixture () in
+  let u = J.new_user t ~mounts:[] in
+  check entity "nothing mounted" E.undefined (J.resolve_str t ~as_:u "d/data/set1");
+  J.add_mount t u ~name:"d" ~services:[ "archive" ];
+  check entity "mounted"
+    (Vfs.Fs.lookup (J.service_fs t "archive") "/data/set1")
+    (J.resolve_str t ~as_:u "d/data/set1");
+  check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.list Alcotest.string)))
+    "mount table" [ ("d", [ "archive" ]) ] (J.mounts_of t u);
+  J.remove_mount t u "d";
+  check entity "unmounted" E.undefined (J.resolve_str t ~as_:u "d/data/set1")
+
+let test_mount_head_only () =
+  let _, t = fixture () in
+  let u = J.new_user t ~mounts:[ ("sw", [ "campus" ]) ] in
+  (* the bare mount name denotes the first backing root *)
+  check entity "bare mount" (J.service_root t "campus")
+    (J.resolve_str t ~as_:u "sw");
+  check entity "unmounted head" E.undefined (J.resolve_str t ~as_:u "zzz")
+
+let test_probes_resolve () =
+  let _, t = fixture () in
+  let u = J.new_user t
+      ~mounts:[ ("sw", [ "local"; "campus" ]); ("d", [ "archive" ]) ]
+  in
+  let probes = J.probes t u ~max_depth:4 in
+  check b "non-empty" true (probes <> []);
+  List.iter
+    (fun n ->
+      if E.is_undefined (J.resolve t ~as_:u n) then
+        Alcotest.failf "probe %s does not resolve" (N.to_string n))
+    probes
+
+let test_coherence_by_arrangement () =
+  let _, t = fixture () in
+  (* two users with identical mount tables agree on everything *)
+  let mounts = [ ("sw", [ "local"; "campus" ]) ] in
+  let u1 = J.new_user t ~mounts and u2 = J.new_user t ~mounts in
+  List.iter
+    (fun n ->
+      if not (E.equal (J.resolve t ~as_:u1 n) (J.resolve t ~as_:u2 n)) then
+        Alcotest.failf "disagreement on %s" (N.to_string n))
+    (J.probes t u1 ~max_depth:4)
+
+let test_errors () =
+  let st, t = fixture () in
+  (match J.build ~services:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no services accepted");
+  (match J.new_user t ~mounts:[ ("x", [ "ghost-service" ]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown service accepted");
+  let outsider = S.create_activity st in
+  (match J.resolve_str t ~as_:outsider "sw/bin/ls" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-user accepted")
+
+(* property: a union resolution, when defined, always equals the
+   resolution in one of the backing services, respecting order: no
+   earlier service also defines it. *)
+let prop_union_respects_order =
+  QCheck.Test.make ~name:"union picks the first defined backing" ~count:50
+    QCheck.small_nat (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let _, t = fixture () in
+      let backing =
+        Dsim.Rng.shuffle rng [ "local"; "campus"; "archive" ]
+      in
+      let u = J.new_user t ~mounts:[ ("m", backing) ] in
+      List.for_all
+        (fun n ->
+          match N.tail n with
+          | None -> true
+          | Some rest ->
+              let result = J.resolve t ~as_:u n in
+              if E.is_undefined result then
+                (* then NO backing defines it *)
+                List.for_all
+                  (fun s ->
+                    E.is_undefined
+                      (Naming.Resolver.resolve_in (J.store t)
+                         (J.service_root t s) rest))
+                  backing
+              else
+                let rec check_order = function
+                  | [] -> false
+                  | s :: later -> (
+                      let r =
+                        Naming.Resolver.resolve_in (J.store t)
+                          (J.service_root t s) rest
+                      in
+                      if E.is_defined r then E.equal r result
+                      else check_order later)
+                in
+                check_order backing)
+        (J.probes t u ~max_depth:4))
+
+let suite =
+  [
+    Alcotest.test_case "union search" `Quick test_union_search;
+    Alcotest.test_case "order matters" `Quick test_order_matters;
+    Alcotest.test_case "mount management" `Quick test_mount_management;
+    Alcotest.test_case "bare mount head" `Quick test_mount_head_only;
+    Alcotest.test_case "probes resolve" `Quick test_probes_resolve;
+    Alcotest.test_case "coherence by arrangement" `Quick
+      test_coherence_by_arrangement;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_union_respects_order;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for Naming.Name: atoms, compound names, parsing, prefixes. *)
+
+module N = Naming.Name
+
+let check = Alcotest.check
+let s = Alcotest.string
+let b = Alcotest.bool
+
+let test_atom_validation () =
+  Alcotest.check_raises "empty atom" (N.Invalid "empty atom") (fun () ->
+      ignore (N.atom ""));
+  (match N.atom "a/b" with
+  | exception N.Invalid _ -> ()
+  | _ -> Alcotest.fail "atom with '/' accepted");
+  check s "root atom ok" "/" (N.atom_to_string (N.atom "/"));
+  check s "dot ok" "." (N.atom_to_string (N.atom "."));
+  check s "dotdot ok" ".." (N.atom_to_string (N.atom ".."));
+  check s "unicode-ish ok" "café" (N.atom_to_string (N.atom "café"))
+
+let test_of_string_absolute () =
+  let n = N.of_string "/a/b/c" in
+  check b "absolute" true (N.is_absolute n);
+  check Alcotest.int "length includes root" 4 (N.length n);
+  check s "roundtrip" "/a/b/c" (N.to_string n)
+
+let test_of_string_relative () =
+  let n = N.of_string "a/b" in
+  check b "relative" false (N.is_absolute n);
+  check s "roundtrip" "a/b" (N.to_string n)
+
+let test_of_string_slash_collapse () =
+  check s "collapsed" "/a/b" (N.to_string (N.of_string "//a///b/"));
+  check s "lone slash" "/" (N.to_string (N.of_string "/"))
+
+let test_of_string_errors () =
+  (match N.of_string "" with
+  | exception N.Invalid _ -> ()
+  | _ -> Alcotest.fail "empty accepted")
+
+let test_of_atoms_empty () =
+  match N.of_atoms [] with
+  | exception N.Invalid _ -> ()
+  | _ -> Alcotest.fail "empty compound name accepted"
+
+let test_head_tail_last () =
+  let n = N.of_string "a/b/c" in
+  check s "head" "a" (N.atom_to_string (N.head n));
+  check s "last" "c" (N.atom_to_string (N.last n));
+  (match N.tail n with
+  | Some t -> check s "tail" "b/c" (N.to_string t)
+  | None -> Alcotest.fail "tail missing");
+  check b "singleton tail none" true (N.tail (N.of_string "x") = None)
+
+let test_append_snoc_cons () =
+  let a = N.of_string "a/b" and c = N.of_string "c/d" in
+  check s "append" "a/b/c/d" (N.to_string (N.append a c));
+  check s "snoc" "a/b/z" (N.to_string (N.snoc a (N.atom "z")));
+  check s "cons" "z/a/b" (N.to_string (N.cons (N.atom "z") a))
+
+let test_prepend_root () =
+  check s "prepends" "/a" (N.to_string (N.prepend_root (N.of_string "a")));
+  check s "idempotent" "/a" (N.to_string (N.prepend_root (N.of_string "/a")))
+
+let test_prefix_ops () =
+  let p = N.of_string "/a/b" and n = N.of_string "/a/b/c/d" in
+  check b "is_prefix" true (N.is_prefix ~prefix:p n);
+  check b "not prefix" false (N.is_prefix ~prefix:(N.of_string "/a/c") n);
+  (match N.drop_prefix ~prefix:p n with
+  | Some rest -> check s "drop" "c/d" (N.to_string rest)
+  | None -> Alcotest.fail "drop_prefix failed");
+  check b "drop equal is None" true (N.drop_prefix ~prefix:n n = None);
+  check b "prefix longer than name" true
+    (N.drop_prefix ~prefix:n p = None)
+
+let test_parent () =
+  (match N.parent (N.of_string "/a/b") with
+  | Some p -> check s "parent" "/a" (N.to_string p)
+  | None -> Alcotest.fail "no parent");
+  check b "single atom has no parent" true (N.parent (N.of_string "x") = None)
+
+let test_normalize () =
+  let norm str = N.to_string (N.normalize (N.of_string str)) in
+  check s "dots" "a/c" (norm "a/./b/../c");
+  check s "leading dotdot kept (relative)" "../a" (norm "../a");
+  check s "leading dotdot dropped (absolute)" "/a" (norm "/../a");
+  check s "all dots" "." (norm "././.");
+  check s "root stays" "/" (norm "/.");
+  check s "stacked dotdots" "../../x" (norm "../../x")
+
+let test_relative_to () =
+  let rel base n =
+    N.to_string (N.relative_to ~base:(N.of_string base) (N.of_string n))
+  in
+  check s "sibling" "../c" (rel "/a/b" "/a/c");
+  check s "child" "c/d" (rel "/a/b" "/a/b/c/d");
+  check s "cousin" "../../x/y" (rel "/a/b/c" "/a/x/y");
+  check s "same" "." (rel "/a/b" "/a/b");
+  check s "relative names too" "../c" (rel "a/b" "a/c");
+  check s "normalizes first" "../c" (rel "/a/./b" "/a/c");
+  (match N.relative_to ~base:(N.of_string "/a") (N.of_string "a") with
+  | exception N.Invalid _ -> ()
+  | _ -> Alcotest.fail "mixed absolute/relative accepted")
+
+let test_compare_equal () =
+  check b "equal" true (N.equal (N.of_string "/a/b") (N.of_string "/a/b"));
+  check b "unequal" false (N.equal (N.of_string "/a") (N.of_string "a"));
+  check Alcotest.int "compare refl" 0
+    (N.compare (N.of_string "x/y") (N.of_string "x/y"))
+
+let test_collections () =
+  let m = N.Map.singleton (N.of_string "/a") 1 in
+  check b "map mem" true (N.Map.mem (N.of_string "/a") m);
+  let set = N.Set.of_list [ N.of_string "/a"; N.of_string "/a"; N.of_string "b" ] in
+  check Alcotest.int "set dedup" 2 (N.Set.cardinal set)
+
+(* --- properties ------------------------------------------------------ *)
+
+let atom_gen =
+  QCheck.Gen.(
+    map
+      (fun (c, rest) -> String.make 1 c ^ rest)
+      (pair (char_range 'a' 'z') (string_size ~gen:(char_range 'a' 'z') (0 -- 5))))
+
+let name_gen =
+  QCheck.Gen.(
+    map
+      (fun (abs, atoms) ->
+        let atoms = if atoms = [] then [ "x" ] else atoms in
+        if abs then N.of_strings ("/" :: atoms) else N.of_strings atoms)
+      (pair bool (list_size (1 -- 6) atom_gen)))
+
+let arbitrary_name = QCheck.make ~print:N.to_string name_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string n) = n" ~count:500
+    arbitrary_name (fun n -> N.equal (N.of_string (N.to_string n)) n)
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize idempotent" ~count:500 arbitrary_name
+    (fun n -> N.equal (N.normalize n) (N.normalize (N.normalize n)))
+
+let prop_append_length =
+  QCheck.Test.make ~name:"length (append a b) = length a + length b" ~count:200
+    (QCheck.pair arbitrary_name arbitrary_name) (fun (a, b) ->
+      N.length (N.append a b) = N.length a + N.length b)
+
+let prop_drop_prefix_inverse =
+  QCheck.Test.make ~name:"append p (drop_prefix p n) = n" ~count:500
+    (QCheck.pair arbitrary_name arbitrary_name) (fun (p, n) ->
+      match N.drop_prefix ~prefix:p n with
+      | None -> true
+      | Some rest -> N.equal (N.append p rest) n)
+
+let prop_relative_to_rebuilds =
+  (* appending base and the relative name, then normalizing, rebuilds n *)
+  QCheck.Test.make ~name:"normalize (base / relative_to base n) = normalize n"
+    ~count:300
+    (QCheck.pair arbitrary_name arbitrary_name)
+    (fun (base, n) ->
+      QCheck.assume (N.is_absolute base = N.is_absolute n);
+      let r = N.relative_to ~base n in
+      N.equal (N.normalize (N.append base r)) (N.normalize n))
+
+let prop_is_prefix_of_append =
+  QCheck.Test.make ~name:"is_prefix a (append a b)" ~count:500
+    (QCheck.pair arbitrary_name arbitrary_name) (fun (a, b) ->
+      N.is_prefix ~prefix:a (N.append a b))
+
+let suite =
+  [
+    Alcotest.test_case "atom validation" `Quick test_atom_validation;
+    Alcotest.test_case "of_string absolute" `Quick test_of_string_absolute;
+    Alcotest.test_case "of_string relative" `Quick test_of_string_relative;
+    Alcotest.test_case "slash collapsing" `Quick test_of_string_slash_collapse;
+    Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+    Alcotest.test_case "of_atoms empty" `Quick test_of_atoms_empty;
+    Alcotest.test_case "head/tail/last" `Quick test_head_tail_last;
+    Alcotest.test_case "append/snoc/cons" `Quick test_append_snoc_cons;
+    Alcotest.test_case "prepend_root" `Quick test_prepend_root;
+    Alcotest.test_case "prefix ops" `Quick test_prefix_ops;
+    Alcotest.test_case "parent" `Quick test_parent;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "relative_to" `Quick test_relative_to;
+    Alcotest.test_case "compare/equal" `Quick test_compare_equal;
+    Alcotest.test_case "maps and sets" `Quick test_collections;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+    QCheck_alcotest.to_alcotest prop_append_length;
+    QCheck_alcotest.to_alcotest prop_drop_prefix_inverse;
+    QCheck_alcotest.to_alcotest prop_is_prefix_of_append;
+    QCheck_alcotest.to_alcotest prop_relative_to_rebuilds;
+  ]

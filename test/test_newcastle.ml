@@ -1,0 +1,176 @@
+(* Tests for Schemes.Newcastle — Figure 3. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Nc = Schemes.Newcastle
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let t = Nc.build ~machines:[ "unix1"; "unix2"; "unix3" ] st in
+  (st, t)
+
+let test_structure () =
+  let st, t = fixture () in
+  check (Alcotest.list Alcotest.string) "machines" [ "unix1"; "unix2"; "unix3" ]
+    (Nc.machines t);
+  (* super-root has one edge per machine *)
+  let edges = Naming.Graph.out_edges st (Nc.super_root t) in
+  let non_dot =
+    List.filter
+      (fun (a, _) ->
+        not (N.atom_equal a N.self_atom || N.atom_equal a N.parent_atom))
+      edges
+  in
+  check Alcotest.int "3 machine edges" 3 (List.length non_dot);
+  (* each machine root's '..' is the super-root *)
+  List.iter
+    (fun m ->
+      check entity (m ^ " .. is super") (Nc.super_root t)
+        (Naming.Resolver.resolve_in st (Nc.machine_root t m) (N.of_string "..")))
+    (Nc.machines t)
+
+let test_unknown_machine () =
+  let _, t = fixture () in
+  match Nc.fs_of t "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown machine accepted"
+
+let test_per_machine_roots () =
+  let _, t = fixture () in
+  let p1 = Nc.spawn_on t ~machine:"unix1" in
+  let p2 = Nc.spawn_on t ~machine:"unix2" in
+  check Alcotest.string "machine_of p1" "unix1" (Nc.machine_of t p1);
+  check Alcotest.string "machine_of p2" "unix2" (Nc.machine_of t p2);
+  check b "different /" false
+    (E.equal (Nc.resolve t ~as_:p1 "/") (Nc.resolve t ~as_:p2 "/"))
+
+let test_dotdot_above_root () =
+  let _, t = fixture () in
+  let p1 = Nc.spawn_on t ~machine:"unix1" in
+  check entity "/.. is super-root" (Nc.super_root t)
+    (Nc.resolve t ~as_:p1 "/..");
+  check entity "cross-machine path" (Vfs.Fs.lookup (Nc.fs_of t "unix3") "/bin/ls")
+    (Nc.resolve t ~as_:p1 "/../unix3/bin/ls")
+
+let test_same_machine_coherence () =
+  let st, t = fixture () in
+  let p1 = Nc.spawn_on t ~machine:"unix1" in
+  let p1' = Nc.spawn_on t ~machine:"unix1" in
+  let p2 = Nc.spawn_on t ~machine:"unix2" in
+  let probes = Nc.absolute_probes t ~machine:"unix1" ~max_depth:4 in
+  let rule = Nc.rule t in
+  let same = Coh.measure st rule [ O.generated p1; O.generated p1' ] probes in
+  check (Alcotest.float 1e-9) "same machine 1.0" 1.0 (Coh.degree same);
+  let cross = Coh.measure st rule [ O.generated p1; O.generated p2 ] probes in
+  check (Alcotest.float 1e-9) "cross machine 0.0" 0.0 (Coh.degree cross)
+
+let test_map_name () =
+  let _, t = fixture () in
+  let p2 = Nc.spawn_on t ~machine:"unix2" in
+  let n = N.of_string "/etc/hosts" in
+  let mapped = Nc.map_name t ~from_machine:"unix1" ~to_machine:"unix2" n in
+  check Alcotest.string "syntax" "/../unix1/etc/hosts" (N.to_string mapped);
+  check entity "meaning preserved"
+    (Vfs.Fs.lookup (Nc.fs_of t "unix1") "/etc/hosts")
+    (Schemes.Process_env.resolve (Nc.env t) ~as_:p2 mapped);
+  (* relative names pass through *)
+  let rel = N.of_string "etc/hosts" in
+  check b "relative unchanged" true
+    (N.equal rel (Nc.map_name t ~from_machine:"unix1" ~to_machine:"unix2" rel));
+  (match Nc.map_name t ~from_machine:"zzz" ~to_machine:"unix2" n with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown machine accepted")
+
+let test_remote_exec_policies () =
+  let _, t = fixture () in
+  let parent = Nc.spawn_on t ~machine:"unix1" in
+  let ci =
+    Nc.remote_exec t ~parent ~machine:"unix2" ~policy:Nc.Invoker_root
+  in
+  let cr = Nc.remote_exec t ~parent ~machine:"unix2" ~policy:Nc.Remote_root in
+  (* invoker root: parameters coherent *)
+  check entity "invoker: parent's names work"
+    (Nc.resolve t ~as_:parent "/etc/hosts")
+    (Nc.resolve t ~as_:ci "/etc/hosts");
+  (* remote root: local access *)
+  check entity "remote: local names work"
+    (Vfs.Fs.lookup (Nc.fs_of t "unix2") "/tmp")
+    (Nc.resolve t ~as_:cr "/tmp");
+  check b "remote: parameters broken" false
+    (E.equal (Nc.resolve t ~as_:parent "/etc/hosts")
+       (Nc.resolve t ~as_:cr "/etc/hosts"));
+  check Alcotest.string "invoker child reports parent's machine" "unix1"
+    (Nc.machine_of t ci);
+  check Alcotest.string "remote child reports exec machine" "unix2"
+    (Nc.machine_of t cr)
+
+let test_join_structure () =
+  let st = S.create () in
+  let ta = Nc.build ~machines:[ "u1"; "u2" ] st in
+  let tb = Nc.build ~machines:[ "v1" ] st in
+  let j = Nc.join st [ ("sysA", ta); ("sysB", tb) ] in
+  check (Alcotest.list Alcotest.string) "qualified machine names"
+    [ "sysA.u1"; "sysA.u2"; "sysB.v1" ]
+    (Nc.machines j);
+  (* the old super-roots now hang under the new one *)
+  check entity "old super reachable" (Nc.super_root ta)
+    (Naming.Resolver.resolve_in st (Nc.super_root j) (N.of_string "sysA"));
+  check entity "old super's .. is the new super" (Nc.super_root j)
+    (Naming.Resolver.resolve_in st (Nc.super_root ta) (N.of_string ".."))
+
+let test_join_resolution_and_mapping () =
+  let st = S.create () in
+  let ta = Nc.build ~machines:[ "u1"; "u2" ] st in
+  let tb = Nc.build ~machines:[ "v1" ] st in
+  let j = Nc.join st [ ("sysA", ta); ("sysB", tb) ] in
+  let pa = Nc.spawn_on j ~machine:"sysA.u1" in
+  let pb = Nc.spawn_on j ~machine:"sysB.v1" in
+  (* deep cross-system path *)
+  check entity "deep path"
+    (Vfs.Fs.lookup (Nc.fs_of j "sysB.v1") "/bin/ls")
+    (Nc.resolve j ~as_:pa "/../../sysB/v1/bin/ls");
+  (* mapping rule across the system boundary *)
+  let n = N.of_string "/etc/hosts" in
+  let mapped = Nc.map_name j ~from_machine:"sysA.u1" ~to_machine:"sysB.v1" n in
+  check Alcotest.string "mapped syntax" "/../../sysA/u1/etc/hosts"
+    (N.to_string mapped);
+  check entity "mapping works"
+    (Nc.resolve j ~as_:pa "/etc/hosts")
+    (Schemes.Process_env.resolve (Nc.env j) ~as_:pb mapped)
+
+let test_join_errors () =
+  let st = S.create () in
+  let ta = Nc.build ~machines:[ "u1" ] st in
+  match Nc.join st [ ("solo", ta) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single-system join accepted"
+
+let test_build_errors () =
+  let st = S.create () in
+  match Nc.build ~machines:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty machine list accepted"
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "unknown machine" `Quick test_unknown_machine;
+    Alcotest.test_case "per-machine roots" `Quick test_per_machine_roots;
+    Alcotest.test_case "'..' above the root" `Quick test_dotdot_above_root;
+    Alcotest.test_case "coherence same/cross machine" `Quick
+      test_same_machine_coherence;
+    Alcotest.test_case "map_name" `Quick test_map_name;
+    Alcotest.test_case "remote exec policies" `Quick test_remote_exec_policies;
+    Alcotest.test_case "build errors" `Quick test_build_errors;
+    Alcotest.test_case "join structure" `Quick test_join_structure;
+    Alcotest.test_case "join resolution and mapping" `Quick
+      test_join_resolution_and_mapping;
+    Alcotest.test_case "join errors" `Quick test_join_errors;
+  ]

@@ -1,0 +1,72 @@
+(* Tests for Naming.Occurrence — the meta context M. *)
+
+module E = Naming.Entity
+module O = Naming.Occurrence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let a1 = E.Activity 1
+let a2 = E.Activity 2
+let o1 = E.Object 1
+
+let test_sources () =
+  check b "generated" true (O.source (O.generated a1) = O.Source_generated);
+  check b "received" true
+    (O.source (O.received ~sender:a1 ~receiver:a2) = O.Source_received);
+  check b "embedded" true
+    (O.source (O.embedded ~reader:a1 ~source:o1) = O.Source_embedded);
+  check Alcotest.int "all sources listed" 3 (List.length O.all_sources)
+
+let test_subject () =
+  check entity "generated subject" a1 (O.subject (O.generated a1));
+  check entity "received subject is the receiver" a2
+    (O.subject (O.received ~sender:a1 ~receiver:a2));
+  check entity "embedded subject is the reader" a1
+    (O.subject (O.embedded ~reader:a1 ~source:o1))
+
+let test_with_subject () =
+  let retarget occ = O.subject (O.with_subject occ a2) in
+  check entity "generated retargeted" a2 (retarget (O.generated a1));
+  check entity "received retargeted" a2
+    (retarget (O.received ~sender:a1 ~receiver:a1));
+  (* non-subject fields are preserved *)
+  (match O.with_subject (O.received ~sender:a1 ~receiver:a2) a2 with
+  | O.Received { sender; _ } -> check entity "sender kept" a1 sender
+  | _ -> Alcotest.fail "wrong shape");
+  match O.with_subject (O.embedded ~reader:a1 ~source:o1) a2 with
+  | O.Embedded { source; reader } ->
+      check entity "source kept" o1 source;
+      check entity "reader changed" a2 reader
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_equal () =
+  check b "same" true (O.equal (O.generated a1) (O.generated a1));
+  check b "different subject" false (O.equal (O.generated a1) (O.generated a2));
+  check b "different kind" false
+    (O.equal (O.generated a1) (O.embedded ~reader:a1 ~source:o1));
+  check b "received equality is componentwise" false
+    (O.equal
+       (O.received ~sender:a1 ~receiver:a2)
+       (O.received ~sender:a2 ~receiver:a1))
+
+let test_pp () =
+  let str occ = Format.asprintf "%a" O.pp occ in
+  check b "generated mentions subject" true
+    (String.length (str (O.generated a1)) > 5);
+  check Alcotest.string "source names" "generated"
+    (O.source_to_string O.Source_generated);
+  check Alcotest.string "received name" "received"
+    (O.source_to_string O.Source_received);
+  check Alcotest.string "embedded name" "embedded"
+    (O.source_to_string O.Source_embedded)
+
+let suite =
+  [
+    Alcotest.test_case "sources" `Quick test_sources;
+    Alcotest.test_case "subject" `Quick test_subject;
+    Alcotest.test_case "with_subject" `Quick test_with_subject;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

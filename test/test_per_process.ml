@@ -1,0 +1,124 @@
+(* Tests for Schemes.Per_process — Plan 9 / extended Waterloo Port. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Pp = Schemes.Per_process
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let tree = [ "bin/tool"; "data/set1"; "tmp/" ]
+
+let fixture () =
+  let st = S.create () in
+  let t = Pp.build ~subsystems:[ ("port1", tree); ("port2", tree) ] st in
+  (st, t)
+
+let test_private_roots () =
+  let _, t = fixture () in
+  let p1 = Pp.spawn ~attach:[ ("fs", "port1") ] t in
+  let p2 = Pp.spawn ~attach:[ ("fs", "port2") ] t in
+  check b "distinct private roots" false
+    (E.equal (Pp.private_root t p1) (Pp.private_root t p2));
+  (* same name, different subsystem: the flexibility *)
+  check b "same spelling, different entity" false
+    (E.equal (Pp.resolve t ~as_:p1 "/fs/bin/tool")
+       (Pp.resolve t ~as_:p2 "/fs/bin/tool"))
+
+let test_arranged_coherence () =
+  let st, t = fixture () in
+  (* Solution II: arrange both namespaces identically. *)
+  let attach = [ ("fs1", "port1"); ("fs2", "port2") ] in
+  let p1 = Pp.spawn ~attach t in
+  let p2 = Pp.spawn ~attach t in
+  let probes = Pp.namespace_probes t p1 ~max_depth:4 in
+  let report =
+    Coh.measure st (Pp.rule t) [ O.generated p1; O.generated p2 ] probes
+  in
+  check (Alcotest.float 1e-9) "coherent by arrangement" 1.0 (Coh.degree report)
+
+let test_attach_detach () =
+  let _, t = fixture () in
+  let p = Pp.spawn t in
+  check entity "nothing attached" E.undefined (Pp.resolve t ~as_:p "/fs/bin/tool");
+  Pp.attach t p ~as_name:"fs" ~subsystem:"port1";
+  check entity "attached"
+    (Vfs.Fs.lookup (Pp.subsystem_fs t "port1") "/bin/tool")
+    (Pp.resolve t ~as_:p "/fs/bin/tool");
+  Pp.detach t p "fs";
+  check entity "detached" E.undefined (Pp.resolve t ~as_:p "/fs/bin/tool")
+
+let test_attach_dir () =
+  let _, t = fixture () in
+  let p = Pp.spawn t in
+  let data = Vfs.Fs.lookup (Pp.subsystem_fs t "port2") "/data" in
+  Pp.attach_dir t p ~as_name:"d" data;
+  check entity "arbitrary dir attached"
+    (Vfs.Fs.lookup (Pp.subsystem_fs t "port2") "/data/set1")
+    (Pp.resolve t ~as_:p "/d/set1")
+
+let test_remote_exec_both_properties () =
+  let _, t = fixture () in
+  let parent = Pp.spawn ~label:"parent" ~attach:[ ("fs", "port1") ] t in
+  let child = Pp.remote_exec ~label:"child" t ~parent ~subsystem:"port2" in
+  (* parameter coherence *)
+  check entity "parent's name valid in child"
+    (Pp.resolve t ~as_:parent "/fs/data/set1")
+    (Pp.resolve t ~as_:child "/fs/data/set1");
+  (* local access *)
+  check entity "child reaches executing subsystem"
+    (Vfs.Fs.lookup (Pp.subsystem_fs t "port2") "/tmp")
+    (Pp.resolve t ~as_:child "/local/tmp")
+
+let test_remote_exec_isolation () =
+  let _, t = fixture () in
+  let parent = Pp.spawn ~attach:[ ("fs", "port1") ] t in
+  let child = Pp.remote_exec t ~parent ~subsystem:"port2" in
+  (* The child's extra attachment is invisible to the parent... *)
+  check entity "parent has no /local" E.undefined
+    (Pp.resolve t ~as_:parent "/local/tmp");
+  (* ...and post-fork changes do not propagate either way. *)
+  Pp.attach t parent ~as_name:"new" ~subsystem:"port2";
+  check entity "parent's later attach not in child" E.undefined
+    (Pp.resolve t ~as_:child "/new/tmp");
+  Pp.detach t child "fs";
+  check b "parent keeps fs" true
+    (E.is_defined (Pp.resolve t ~as_:parent "/fs/bin/tool"))
+
+let test_custom_local_name () =
+  let _, t = fixture () in
+  let parent = Pp.spawn ~attach:[ ("fs", "port1") ] t in
+  let child = Pp.remote_exec ~local_name:"site" t ~parent ~subsystem:"port2" in
+  check b "custom local name" true
+    (E.is_defined (Pp.resolve t ~as_:child "/site/tmp"))
+
+let test_namespace_probes () =
+  let _, t = fixture () in
+  let p = Pp.spawn ~attach:[ ("fs", "port1") ] t in
+  let probes = List.map N.to_string (Pp.namespace_probes t p ~max_depth:4) in
+  check b "probe through attachment" true (List.mem "/fs/bin/tool" probes)
+
+let test_build_errors () =
+  let st = S.create () in
+  match Pp.build ~subsystems:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no subsystems accepted"
+
+let suite =
+  [
+    Alcotest.test_case "private roots" `Quick test_private_roots;
+    Alcotest.test_case "arranged coherence" `Quick test_arranged_coherence;
+    Alcotest.test_case "attach/detach" `Quick test_attach_detach;
+    Alcotest.test_case "attach_dir" `Quick test_attach_dir;
+    Alcotest.test_case "remote exec: both properties" `Quick
+      test_remote_exec_both_properties;
+    Alcotest.test_case "remote exec: isolation" `Quick
+      test_remote_exec_isolation;
+    Alcotest.test_case "custom local name" `Quick test_custom_local_name;
+    Alcotest.test_case "namespace probes" `Quick test_namespace_probes;
+    Alcotest.test_case "build errors" `Quick test_build_errors;
+  ]

@@ -1,0 +1,288 @@
+(* Tests for Netaddr.Pqid and Netaddr.Registry (section 6, Example 1). *)
+
+module P = Netaddr.Pqid
+module R = Netaddr.Registry
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let pqid = Alcotest.testable P.pp P.equal
+
+let test_constructors () =
+  check pqid "self" P.self (P.v ~naddr:0 ~maddr:0 ~laddr:0);
+  check pqid "local" (P.v ~naddr:0 ~maddr:0 ~laddr:3) (P.local 3);
+  check pqid "machine" (P.v ~naddr:0 ~maddr:2 ~laddr:3) (P.machine ~maddr:2 ~laddr:3);
+  check pqid "full" (P.v ~naddr:1 ~maddr:2 ~laddr:3) (P.full ~naddr:1 ~maddr:2 ~laddr:3)
+
+let test_constructor_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid pqid accepted"
+  in
+  expect_invalid (fun () -> P.v ~naddr:1 ~maddr:0 ~laddr:1);
+  expect_invalid (fun () -> P.v ~naddr:0 ~maddr:1 ~laddr:0);
+  expect_invalid (fun () -> P.v ~naddr:(-1) ~maddr:0 ~laddr:0);
+  expect_invalid (fun () -> P.local 0);
+  expect_invalid (fun () -> P.machine ~maddr:0 ~laddr:1);
+  expect_invalid (fun () -> P.full ~naddr:0 ~maddr:1 ~laddr:1)
+
+let test_qualification () =
+  check b "self" true (P.qualification P.self = P.Self);
+  check b "machine local" true (P.qualification (P.local 2) = P.Machine_local);
+  check b "network local" true
+    (P.qualification (P.machine ~maddr:1 ~laddr:2) = P.Network_local);
+  check b "full" true
+    (P.qualification (P.full ~naddr:1 ~maddr:1 ~laddr:1) = P.Fully_qualified);
+  check b "is_self" true (P.is_self P.self)
+
+let test_to_string () =
+  check Alcotest.string "paper notation" "(1,2,3)"
+    (P.to_string (P.full ~naddr:1 ~maddr:2 ~laddr:3))
+
+(* -- registry ---------------------------------------------------------- *)
+
+(* net1:{alpha:{p1,p2}, beta:{p1}}, net2:{gamma:{p1}} *)
+let fixture () =
+  let r = R.create () in
+  let n1 = R.add_network r ~label:"net1" in
+  let n2 = R.add_network r ~label:"net2" in
+  let alpha = R.add_machine r ~net:n1 ~label:"alpha" in
+  let beta = R.add_machine r ~net:n1 ~label:"beta" in
+  let gamma = R.add_machine r ~net:n2 ~label:"gamma" in
+  let a1 = R.add_process r ~mach:alpha ~label:"a1" in
+  let a2 = R.add_process r ~mach:alpha ~label:"a2" in
+  let b1 = R.add_process r ~mach:beta ~label:"b1" in
+  let g1 = R.add_process r ~mach:gamma ~label:"g1" in
+  (r, (n1, n2), (alpha, beta, gamma), (a1, a2, b1, g1))
+
+let test_topology () =
+  let r, (n1, n2), (alpha, _, _), (a1, _, _, _) = fixture () in
+  check i "networks" 2 (List.length (R.networks r));
+  check i "machines in net1" 2 (List.length (R.machines r n1));
+  check i "machines in net2" 1 (List.length (R.machines r n2));
+  check i "procs on alpha" 2 (List.length (R.processes r alpha));
+  check i "all procs" 4 (List.length (R.all_processes r));
+  check Alcotest.string "labels" "a1" (R.label_proc r a1);
+  check b "addresses start at 1" true (R.naddr r n1 = 1 && R.naddr r n2 = 2)
+
+let test_placement () =
+  let r, _, _, (a1, a2, b1, g1) = fixture () in
+  check pqid "a1" (P.full ~naddr:1 ~maddr:1 ~laddr:1) (R.placement r a1);
+  check pqid "a2" (P.full ~naddr:1 ~maddr:1 ~laddr:2) (R.placement r a2);
+  check pqid "b1" (P.full ~naddr:1 ~maddr:2 ~laddr:1) (R.placement r b1);
+  check pqid "g1" (P.full ~naddr:2 ~maddr:1 ~laddr:1) (R.placement r g1)
+
+let test_pid_of_minimality () =
+  let r, _, _, (a1, a2, b1, g1) = fixture () in
+  check pqid "itself" P.self (R.pid_of r ~target:a1 ~relative_to:a1);
+  check pqid "same machine" (P.local 2) (R.pid_of r ~target:a2 ~relative_to:a1);
+  check pqid "same network" (P.machine ~maddr:2 ~laddr:1)
+    (R.pid_of r ~target:b1 ~relative_to:a1);
+  check pqid "cross network" (P.full ~naddr:2 ~maddr:1 ~laddr:1)
+    (R.pid_of r ~target:g1 ~relative_to:a1)
+
+let test_resolve_each_form () =
+  let r, _, _, (a1, a2, b1, g1) = fixture () in
+  let procs = [ a1; a2; b1; g1 ] in
+  (* every minimally qualified pid resolves back to its target from the
+     holder's context. *)
+  List.iter
+    (fun holder ->
+      List.iter
+        (fun target ->
+          let pid = R.pid_of r ~target ~relative_to:holder in
+          match R.resolve r ~from:holder pid with
+          | Some p when p = target -> ()
+          | _ -> Alcotest.fail "pid_of does not resolve back")
+        procs)
+    procs;
+  check b "dangling pid" true (R.resolve r ~from:a1 (P.local 99) = None)
+
+let test_resolve_is_contextual () =
+  let r, _, _, (a1, _, b1, _) = fixture () in
+  (* (0,0,1) means a1 from alpha, but b1 from beta. *)
+  let pid = P.local 1 in
+  check b "from a1" true (R.resolve r ~from:a1 pid = Some a1);
+  check b "from b1" true (R.resolve r ~from:b1 pid = Some b1)
+
+let test_map_for_transit () =
+  let r, _, _, (a1, a2, b1, g1) = fixture () in
+  let procs = [ a1; a2; b1; g1 ] in
+  (* after mapping, the receiver resolves the pid to the sender's
+     referent — for all (sender, receiver, target) triples and all
+     qualification levels the sender might have used. *)
+  List.iter
+    (fun sender ->
+      List.iter
+        (fun receiver ->
+          List.iter
+            (fun target ->
+              let pid = R.pid_of r ~target ~relative_to:sender in
+              let mapped = R.map_for_transit r ~sender ~receiver pid in
+              match R.resolve r ~from:receiver mapped with
+              | Some p when p = target -> ()
+              | _ ->
+                  Alcotest.failf "transit mapping broken: %s->%s about %s"
+                    (R.label_proc r sender) (R.label_proc r receiver)
+                    (R.label_proc r target))
+            procs)
+        procs)
+    procs
+
+let test_map_for_transit_minimal () =
+  let r, _, _, (a1, a2, b1, _) = fixture () in
+  (* a1 tells its machine-mate a2 about b1: result should stay
+     network-local, not fully qualified. *)
+  let pid = R.pid_of r ~target:b1 ~relative_to:a1 in
+  let mapped = R.map_for_transit r ~sender:a1 ~receiver:a2 pid in
+  check b "minimally qualified" true
+    (P.qualification mapped = P.Network_local);
+  (* a1 tells a2 about a1 itself: the self pid expands then reduces to a
+     machine-local pid. *)
+  let mapped_self = R.map_for_transit r ~sender:a1 ~receiver:a2 P.self in
+  check pqid "self becomes local" (P.local 1) mapped_self
+
+let test_renumber_machine () =
+  let r, _, (alpha, _, _), (a1, a2, b1, _) = fixture () in
+  let intra = R.pid_of r ~target:a2 ~relative_to:a1 in
+  let inter = R.pid_of r ~target:a1 ~relative_to:b1 in
+  let full = R.full_pid r a1 in
+  R.renumber_machine r alpha 42;
+  check b "intra-machine pid survives" true
+    (R.resolve r ~from:a1 intra = Some a2);
+  check b "inter-machine pid to renamed machine breaks" true
+    (R.resolve r ~from:b1 inter = None);
+  check b "full pid breaks" true (R.resolve r ~from:b1 full = None);
+  (* New pids work under the new addressing. *)
+  check pqid "new address visible" (P.full ~naddr:1 ~maddr:42 ~laddr:1)
+    (R.placement r a1)
+
+let test_renumber_network () =
+  let r, (n1, _), _, (a1, a2, b1, g1) = fixture () in
+  let intra_net = R.pid_of r ~target:b1 ~relative_to:a1 in
+  let cross = R.pid_of r ~target:a1 ~relative_to:g1 in
+  R.renumber_network r n1 77;
+  check b "intra-network pid survives" true
+    (R.resolve r ~from:a1 intra_net = Some b1);
+  check b "intra-machine pid survives" true
+    (R.resolve r ~from:a1 (R.pid_of r ~target:a2 ~relative_to:a1) = Some a2);
+  check b "cross-network pid breaks" true (R.resolve r ~from:g1 cross = None)
+
+let test_renumber_validation () =
+  let r, (n1, n2), (alpha, beta, _), _ = fixture () in
+  (match R.renumber_machine r alpha (R.maddr r beta) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "address clash accepted");
+  (match R.renumber_network r n1 (R.naddr r n2) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "network clash accepted");
+  (match R.renumber_machine r alpha 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "zero address accepted");
+  (* renumbering to one's own address is a no-op *)
+  R.renumber_machine r alpha (R.maddr r alpha)
+
+let test_move_machine () =
+  let r, (n1, n2), (alpha, _, gamma), (a1, _, _, g1) = fixture () in
+  R.move_machine r alpha n2;
+  check b "moved" true (R.network_of_mach r alpha = n2);
+  (* alpha had maddr 1, gamma already has maddr 1 in net2: a fresh one is
+     chosen. *)
+  check b "fresh maddr" true (R.maddr r alpha <> R.maddr r gamma);
+  check b "now same network" true
+    (P.qualification (R.pid_of r ~target:g1 ~relative_to:a1) = P.Network_local);
+  ignore n1
+
+let test_move_process () =
+  let r, _, (alpha, beta, _), (a1, a2, _, _) = fixture () in
+  let neighbour_pid = R.pid_of r ~target:a2 ~relative_to:a1 in
+  check b "machine-local before" true
+    (P.qualification neighbour_pid = P.Machine_local);
+  (* a2 migrates to beta; beta already has laddr 1 (b1), a2 had laddr 2 *)
+  R.move_process r a2 beta;
+  check b "moved" true (R.machine_of_proc r a2 = beta);
+  (* the old machine-local pid now dangles (or denotes someone else) *)
+  check b "old pid broken" true (R.resolve r ~from:a1 neighbour_pid <> Some a2);
+  (* fresh pids work and are network-local now *)
+  let fresh = R.pid_of r ~target:a2 ~relative_to:a1 in
+  check b "fresh network-local" true (P.qualification fresh = P.Network_local);
+  check b "fresh resolves" true (R.resolve r ~from:a1 fresh = Some a2);
+  ignore alpha
+
+let test_move_process_laddr_clash () =
+  let r, _, (_, beta, _), (a1, _, b1, _) = fixture () in
+  (* a1 has laddr 1; beta's b1 also has laddr 1: migration picks a fresh one *)
+  R.move_process r a1 beta;
+  check b "laddr changed on clash" true (R.laddr r a1 <> R.laddr r b1);
+  check b "still resolvable" true
+    (R.resolve r ~from:b1 (R.pid_of r ~target:a1 ~relative_to:b1) = Some a1)
+
+let test_explicit_addresses () =
+  let r = R.create () in
+  let n = R.add_network ~naddr:10 r ~label:"n" in
+  check i "explicit naddr" 10 (R.naddr r n);
+  (match R.add_network ~naddr:10 r ~label:"dup" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate naddr accepted");
+  let m = R.add_machine ~maddr:5 r ~net:n ~label:"m" in
+  check i "explicit maddr" 5 (R.maddr r m);
+  let p = R.add_process ~laddr:7 r ~mach:m ~label:"p" in
+  check i "explicit laddr" 7 (R.laddr r p)
+
+(* property: pid_of always resolves back, under random topologies. *)
+let prop_pid_roundtrip =
+  QCheck.Test.make ~name:"pid_of resolves back (random topology)" ~count:50
+    QCheck.small_nat (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let r = R.create () in
+      let nets =
+        List.init (1 + Dsim.Rng.int rng 3) (fun k ->
+            R.add_network r ~label:(Printf.sprintf "n%d" k))
+      in
+      List.iter
+        (fun net ->
+          for m = 0 to Dsim.Rng.int rng 3 do
+            let mach = R.add_machine r ~net ~label:(Printf.sprintf "m%d" m) in
+            for p = 0 to Dsim.Rng.int rng 3 do
+              ignore (R.add_process r ~mach ~label:(Printf.sprintf "p%d" p))
+            done
+          done)
+        nets;
+      let procs = R.all_processes r in
+      procs = []
+      || List.for_all
+           (fun holder ->
+             List.for_all
+               (fun target ->
+                 R.resolve r ~from:holder
+                   (R.pid_of r ~target ~relative_to:holder)
+                 = Some target)
+               procs)
+           procs)
+
+let suite =
+  [
+    Alcotest.test_case "pqid constructors" `Quick test_constructors;
+    Alcotest.test_case "pqid validation" `Quick test_constructor_validation;
+    Alcotest.test_case "qualification" `Quick test_qualification;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "topology" `Quick test_topology;
+    Alcotest.test_case "placement" `Quick test_placement;
+    Alcotest.test_case "pid_of minimality" `Quick test_pid_of_minimality;
+    Alcotest.test_case "resolve all forms" `Quick test_resolve_each_form;
+    Alcotest.test_case "resolution is contextual" `Quick
+      test_resolve_is_contextual;
+    Alcotest.test_case "map_for_transit correct" `Quick test_map_for_transit;
+    Alcotest.test_case "map_for_transit minimal" `Quick
+      test_map_for_transit_minimal;
+    Alcotest.test_case "renumber machine" `Quick test_renumber_machine;
+    Alcotest.test_case "renumber network" `Quick test_renumber_network;
+    Alcotest.test_case "renumber validation" `Quick test_renumber_validation;
+    Alcotest.test_case "move machine" `Quick test_move_machine;
+    Alcotest.test_case "move process" `Quick test_move_process;
+    Alcotest.test_case "move process laddr clash" `Quick
+      test_move_process_laddr_clash;
+    Alcotest.test_case "explicit addresses" `Quick test_explicit_addresses;
+    QCheck_alcotest.to_alcotest prop_pid_roundtrip;
+  ]

@@ -1,0 +1,145 @@
+(* Tests for Schemes.Pqid_model — pids as ordinary names in the model,
+   checked equivalent to the arithmetic Netaddr.Registry. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module P = Netaddr.Pqid
+module R = Netaddr.Registry
+module M = Schemes.Pqid_model
+
+let check = Alcotest.check
+let b = Alcotest.bool
+
+let small_registry () =
+  let r = R.create () in
+  let n1 = R.add_network r ~label:"n1" in
+  let n2 = R.add_network r ~label:"n2" in
+  let m11 = R.add_machine r ~net:n1 ~label:"m11" in
+  let m12 = R.add_machine r ~net:n1 ~label:"m12" in
+  let m21 = R.add_machine r ~net:n2 ~label:"m21" in
+  List.iter
+    (fun m ->
+      for k = 1 to 2 do
+        ignore (R.add_process r ~mach:m ~label:(Printf.sprintf "p%d" k))
+      done)
+    [ m11; m12; m21 ];
+  r
+
+let test_pid_name () =
+  check b "self has no name" true (M.pid_name P.self = None);
+  (match M.pid_name (P.local 3) with
+  | Some n -> check Alcotest.string "local" "3" (N.to_string n)
+  | None -> Alcotest.fail "no name");
+  (match M.pid_name (P.machine ~maddr:2 ~laddr:3) with
+  | Some n -> check Alcotest.string "network-local" "2/3" (N.to_string n)
+  | None -> Alcotest.fail "no name");
+  match M.pid_name (P.full ~naddr:1 ~maddr:2 ~laddr:3) with
+  | Some n -> check Alcotest.string "full" "1/2/3" (N.to_string n)
+  | None -> Alcotest.fail "no name"
+
+let test_structure () =
+  let r = small_registry () in
+  let st = S.create () in
+  let m = M.of_registry st r in
+  (* the universe resolves full pids as graph paths *)
+  let first = List.hd (R.all_processes r) in
+  let pid = R.full_pid r first in
+  (match M.pid_name pid with
+  | Some name ->
+      check b "graph traversal reaches the activity" true
+        (E.equal
+           (Naming.Resolver.resolve_in st (M.universe m) name)
+           (M.activity_of m first))
+  | None -> Alcotest.fail "full pid has a name");
+  (* the mirrored store is well-formed *)
+  check b "lint clean" true (Naming.Lint.is_clean st)
+
+let agree r m =
+  let procs = R.all_processes r in
+  let pids_about target holder =
+    [
+      R.pid_of r ~target ~relative_to:holder;
+      R.full_pid r target;
+      P.local (R.laddr r target);
+    ]
+  in
+  List.for_all
+    (fun holder ->
+      List.for_all
+        (fun target ->
+          List.for_all
+            (fun pid ->
+              R.resolve r ~from:holder pid = M.resolve m ~from:holder pid)
+            (pids_about target holder))
+        procs)
+    procs
+
+let test_equivalence_static () =
+  let r = small_registry () in
+  let m = M.of_registry (S.create ()) r in
+  check b "registry = model" true (agree r m)
+
+let test_equivalence_after_renumbering () =
+  let r = small_registry () in
+  let m = M.of_registry (S.create ()) r in
+  let rng = Dsim.Rng.create 3L in
+  ignore
+    (Workload.Reconfig.random_ops r ~rng ~n:10
+       ~kinds:[ `Renumber_machine; `Renumber_network; `Move_machine ]
+       ());
+  (* renumbering in the model is REBINDING: refresh re-mirrors *)
+  M.refresh m;
+  check b "still agree after reconfiguration" true (agree r m)
+
+let test_dangling () =
+  let r = small_registry () in
+  let m = M.of_registry (S.create ()) r in
+  let from = List.hd (R.all_processes r) in
+  check b "dangling pid" true
+    (M.resolve m ~from (P.local 99) = None
+    && R.resolve r ~from (P.local 99) = None)
+
+(* property: equivalence over random topologies and reconfigurations *)
+let prop_model_equals_registry =
+  QCheck.Test.make ~name:"model resolution = registry resolution" ~count:25
+    QCheck.small_nat (fun seed ->
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let r = R.create () in
+      let nets =
+        List.init (1 + Dsim.Rng.int rng 2) (fun k ->
+            R.add_network r ~label:(Printf.sprintf "n%d" k))
+      in
+      List.iter
+        (fun net ->
+          for mm = 0 to Dsim.Rng.int rng 2 do
+            let mach =
+              R.add_machine r ~net ~label:(Printf.sprintf "m%d" mm)
+            in
+            for p = 0 to Dsim.Rng.int rng 2 do
+              ignore (R.add_process r ~mach ~label:(Printf.sprintf "p%d" p))
+            done
+          done)
+        nets;
+      if R.all_processes r = [] then true
+      else begin
+        let m = M.of_registry (S.create ()) r in
+        let ok_before = agree r m in
+        ignore
+          (Workload.Reconfig.random_ops r ~rng ~n:5
+             ~kinds:[ `Renumber_machine; `Renumber_network ]
+             ());
+        M.refresh m;
+        ok_before && agree r m
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "pid_name" `Quick test_pid_name;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "equivalence (static)" `Quick test_equivalence_static;
+    Alcotest.test_case "equivalence after renumbering" `Quick
+      test_equivalence_after_renumbering;
+    Alcotest.test_case "dangling pids" `Quick test_dangling;
+    QCheck_alcotest.to_alcotest prop_model_equals_registry;
+  ]

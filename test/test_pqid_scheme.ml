@@ -1,0 +1,126 @@
+(* Tests for Schemes.Pqid_scheme — pids exchanged over the simulated
+   network, with and without the R(sender) transit mapping. *)
+
+module R = Netaddr.Registry
+module Ps = Schemes.Pqid_scheme
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+
+let topology = [ ("net1", [ ("m1", 2); ("m2", 1) ]); ("net2", [ ("m3", 1) ]) ]
+
+let fixture () =
+  let engine = Dsim.Engine.create () in
+  let rng = Dsim.Rng.create 42L in
+  let t = Ps.build ~topology ~engine ~rng () in
+  (engine, t)
+
+let test_build () =
+  let _, t = fixture () in
+  check i "processes" 4 (List.length (Ps.processes t));
+  check i "registry agrees" 4 (List.length (R.all_processes (Ps.registry t)));
+  check i "nodes = machines" 3 (List.length (Dsim.Network.nodes (Ps.network t)))
+
+let test_actor_of_unknown () =
+  let _, t = fixture () in
+  (* a process handle from a LARGER world is unknown to [t] *)
+  let engine2 = Dsim.Engine.create () in
+  let t2 =
+    Ps.build ~topology:[ ("n", [ ("m", 6) ]) ] ~engine:engine2
+      ~rng:(Dsim.Rng.create 1L) ()
+  in
+  let foreign = List.nth (Ps.processes t2) 5 in
+  match Ps.actor_of t foreign with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown process accepted"
+
+let procs4 t =
+  match Ps.processes t with
+  | [ a; b; c; d ] -> (a, b, c, d)
+  | _ -> Alcotest.fail "expected 4 processes"
+
+let test_mapped_send_resolves () =
+  let engine, t = fixture () in
+  let p11, p12, p21, p31 = procs4 t in
+  (* p11 (m1) tells p31 (other network) about p12 (p11's machine-mate):
+     without mapping the pid (0,0,2) is meaningless at p31. *)
+  Ps.send_pid t ~from:p11 ~to_:p31 ~target:p12 ~mapped:true;
+  ignore (Dsim.Engine.run engine);
+  (match Ps.deliveries t with
+  | [ (receiver, msg) ] ->
+      check b "receiver is p31" true (receiver = p31);
+      check b "mapped pid correct" true (Ps.resolution_correct t (receiver, msg));
+      check b "fully qualified across networks" true
+        (Netaddr.Pqid.qualification msg.Ps.pid = Netaddr.Pqid.Fully_qualified)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  ignore (p21 : R.proc)
+
+let test_unmapped_send_misresolves () =
+  let engine, t = fixture () in
+  let p11, p12, p21, _ = procs4 t in
+  (* p11 tells p21 (same network, other machine) about p12 using the raw
+     machine-local pid (0,0,2): at p21 it denotes nothing (m2 has one
+     process) or the wrong process. *)
+  Ps.send_pid t ~from:p11 ~to_:p21 ~target:p12 ~mapped:false;
+  ignore (Dsim.Engine.run engine);
+  (match Ps.deliveries t with
+  | [ (receiver, msg) ] ->
+      check b "unmapped pid misresolves" false
+        (Ps.resolution_correct t (receiver, msg))
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l))
+
+let test_unmapped_within_machine_is_fine () =
+  let engine, t = fixture () in
+  let p11, p12, _, _ = procs4 t in
+  (* machine-mates share enough context that no mapping is needed for a
+     machine-local pid (a SELF pid would still need it). *)
+  Ps.send_pid t ~from:p11 ~to_:p12 ~target:p12 ~mapped:false;
+  ignore (Dsim.Engine.run engine);
+  match Ps.deliveries t with
+  | [ (receiver, msg) ] ->
+      check b "correct without mapping" true
+        (Ps.resolution_correct t (receiver, msg))
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+let test_connections () =
+  let _, t = fixture () in
+  let p11, p12, _, p31 = procs4 t in
+  let c_part = Ps.connect t ~holder:p11 ~target:p12 ~qualification:`Partial in
+  let c_full = Ps.connect t ~holder:p11 ~target:p12 ~qualification:`Full in
+  check b "both valid initially" true
+    (Ps.connection_valid t c_part && Ps.connection_valid t c_full);
+  (* renumber the machine hosting p11/p12 *)
+  let reg = Ps.registry t in
+  R.renumber_machine reg (R.machine_of_proc reg p11) 55;
+  check b "partial survives" true (Ps.connection_valid t c_part);
+  check b "full breaks" false (Ps.connection_valid t c_full);
+  ignore (p31 : R.proc)
+
+let test_mapped_send_after_renumbering () =
+  let engine, t = fixture () in
+  let p11, p12, p21, _ = procs4 t in
+  let reg = Ps.registry t in
+  R.renumber_machine reg (R.machine_of_proc reg p21) 99;
+  Ps.send_pid t ~from:p11 ~to_:p21 ~target:p12 ~mapped:true;
+  ignore (Dsim.Engine.run engine);
+  match Ps.deliveries t with
+  | [ (receiver, msg) ] ->
+      check b "mapping uses current addressing" true
+        (Ps.resolution_correct t (receiver, msg))
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "build" `Quick test_build;
+    Alcotest.test_case "actor_of unknown" `Quick test_actor_of_unknown;
+    Alcotest.test_case "mapped send resolves" `Quick test_mapped_send_resolves;
+    Alcotest.test_case "unmapped send misresolves" `Quick
+      test_unmapped_send_misresolves;
+    Alcotest.test_case "unmapped within machine ok" `Quick
+      test_unmapped_within_machine_is_fine;
+    Alcotest.test_case "connections under renumbering" `Quick
+      test_connections;
+    Alcotest.test_case "mapped send after renumbering" `Quick
+      test_mapped_send_after_renumbering;
+  ]

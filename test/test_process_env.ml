@@ -1,0 +1,112 @@
+(* Tests for Schemes.Process_env — per-activity naming environments. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Pe = Schemes.Process_env
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let fs = Vfs.Fs.create st in
+  Vfs.Fs.populate fs [ "bin/ls"; "home/alice/f"; "tmp/" ];
+  (st, fs, Pe.create st)
+
+let test_spawn_bindings () =
+  let _, fs, env = fixture () in
+  let root = Vfs.Fs.root fs in
+  let tmp = Vfs.Fs.lookup fs "/tmp" in
+  let a = Pe.spawn ~label:"a" ~root ~cwd:tmp ~extra:[ ("x", tmp) ] env in
+  check entity "root" root (Pe.root_of env a);
+  check entity "cwd" tmp (Pe.cwd_of env a);
+  check entity "extra binding" tmp
+    (Naming.Context.lookup (Pe.context env a) (N.atom "x"));
+  check b "in activities list" true (List.mem a (Pe.activities env))
+
+let test_spawn_cwd_defaults_to_root () =
+  let _, fs, env = fixture () in
+  let root = Vfs.Fs.root fs in
+  let a = Pe.spawn ~root env in
+  check entity "cwd = root" root (Pe.cwd_of env a)
+
+let test_resolution_absolute_and_relative () =
+  let _, fs, env = fixture () in
+  let root = Vfs.Fs.root fs in
+  let home = Vfs.Fs.lookup fs "/home/alice" in
+  let a = Pe.spawn ~root ~cwd:home env in
+  check entity "absolute" (Vfs.Fs.lookup fs "/bin/ls")
+    (Pe.resolve_str env ~as_:a "/bin/ls");
+  check entity "relative through cwd" (Vfs.Fs.lookup fs "/home/alice/f")
+    (Pe.resolve_str env ~as_:a "f");
+  check entity "dotdot" (Vfs.Fs.lookup fs "/home")
+    (Pe.resolve_str env ~as_:a "..")
+
+let test_chdir_chroot () =
+  let _, fs, env = fixture () in
+  let root = Vfs.Fs.root fs in
+  let a = Pe.spawn ~root env in
+  Pe.set_cwd env a (Vfs.Fs.lookup fs "/home/alice");
+  check entity "after chdir" (Vfs.Fs.lookup fs "/home/alice/f")
+    (Pe.resolve_str env ~as_:a "f");
+  Pe.set_root env a (Vfs.Fs.lookup fs "/home");
+  check entity "after chroot, / is /home" (Vfs.Fs.lookup fs "/home/alice")
+    (Pe.resolve_str env ~as_:a "/alice")
+
+let test_fork_inherits_then_diverges () =
+  let _, fs, env = fixture () in
+  let root = Vfs.Fs.root fs in
+  let parent = Pe.spawn ~label:"parent" ~root ~cwd:(Vfs.Fs.lookup fs "/tmp") env in
+  let child = Pe.fork ~label:"child" env ~parent in
+  (* Paper: "a parent and a child have coherence for all names until one
+     of them modifies its context". *)
+  check b "contexts equal at fork" true
+    (Naming.Context.equal (Pe.context env parent) (Pe.context env child));
+  Pe.set_cwd env child (Vfs.Fs.lookup fs "/home");
+  check entity "parent unchanged" (Vfs.Fs.lookup fs "/tmp")
+    (Pe.cwd_of env parent);
+  check entity "child changed" (Vfs.Fs.lookup fs "/home") (Pe.cwd_of env child)
+
+let test_fork_unmanaged_parent () =
+  let st, _, env = fixture () in
+  let stranger = S.create_activity st in
+  match Pe.fork env ~parent:stranger with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fork of unmanaged parent accepted"
+
+let test_bindings_mutation () =
+  let _, fs, env = fixture () in
+  let a = Pe.spawn ~root:(Vfs.Fs.root fs) env in
+  Pe.set_binding env a "vice" (Vfs.Fs.lookup fs "/tmp");
+  (* the attachment lives in the process context itself: it is reached by
+     the bare name, ahead of the working directory *)
+  check entity "mounted" (Vfs.Fs.lookup fs "/tmp")
+    (Pe.resolve_str env ~as_:a "vice");
+  Pe.remove_binding env a "vice";
+  check entity "unmounted" E.undefined (Pe.resolve_str env ~as_:a "vice")
+
+let test_rule_is_activity_rule () =
+  let _, fs, env = fixture () in
+  let a1 = Pe.spawn ~root:(Vfs.Fs.root fs) env in
+  let rule = Pe.rule env in
+  check entity "rule resolves in subject ctx" (Vfs.Fs.lookup fs "/bin/ls")
+    (Naming.Rule.resolve rule (Pe.store env) (Naming.Occurrence.generated a1)
+       (N.of_string "/bin/ls"))
+
+let suite =
+  [
+    Alcotest.test_case "spawn bindings" `Quick test_spawn_bindings;
+    Alcotest.test_case "cwd defaults to root" `Quick
+      test_spawn_cwd_defaults_to_root;
+    Alcotest.test_case "absolute and relative resolution" `Quick
+      test_resolution_absolute_and_relative;
+    Alcotest.test_case "chdir/chroot" `Quick test_chdir_chroot;
+    Alcotest.test_case "fork inherits then diverges" `Quick
+      test_fork_inherits_then_diverges;
+    Alcotest.test_case "fork unmanaged parent" `Quick
+      test_fork_unmanaged_parent;
+    Alcotest.test_case "binding mutation" `Quick test_bindings_mutation;
+    Alcotest.test_case "rule" `Quick test_rule_is_activity_rule;
+  ]

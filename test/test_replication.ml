@@ -1,0 +1,129 @@
+(* Tests for Naming.Replication — weak coherence support (section 5). *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module Rep = Naming.Replication
+
+let check = Alcotest.check
+let b = Alcotest.bool
+
+let objs st n = List.init n (fun _ -> S.create_object ~state:(S.Data "x") st)
+
+let test_declare_and_groups () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let g1 = objs st 3 in
+  let g2 = objs st 2 in
+  Rep.declare t g1;
+  Rep.declare t g2;
+  check Alcotest.int "two groups" 2 (List.length (Rep.groups t));
+  check b "same group" true (Rep.group_of t (List.nth g1 0) = Rep.group_of t (List.nth g1 2));
+  check b "different groups" false
+    (Rep.group_of t (List.hd g1) = Rep.group_of t (List.hd g2));
+  check Alcotest.int "replicas_of" 3 (List.length (Rep.replicas_of t (List.hd g1)))
+
+let test_declare_errors () =
+  let st = S.create () in
+  let t = Rep.create () in
+  (match Rep.declare t [ S.create_object st ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "singleton group accepted");
+  let g = objs st 2 in
+  Rep.declare t g;
+  (match Rep.declare t (List.hd g :: objs st 1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double membership accepted");
+  (match Rep.declare t [ S.create_activity st; S.create_activity st ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "activities accepted as replicas")
+
+let test_same_replica () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let g = objs st 2 in
+  Rep.declare t g;
+  let lone = S.create_object st in
+  let g0 = List.nth g 0 and g1 = List.nth g 1 in
+  check b "replicas equivalent" true (Rep.same_replica t g0 g1);
+  check b "reflexive" true (Rep.same_replica t lone lone);
+  check b "lone vs replica" false (Rep.same_replica t lone g0);
+  check b "bottom vs defined" false (Rep.same_replica t E.undefined g0);
+  check b "bottom vs bottom" true (Rep.same_replica t E.undefined E.undefined)
+
+let test_unreplicated_singleton () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let o = S.create_object st in
+  check b "group_of none" true (Rep.group_of t o = None);
+  check Alcotest.int "replicas_of self" 1 (List.length (Rep.replicas_of t o))
+
+let test_states_consistent () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let o1 = S.create_object ~state:(S.Data "same") st in
+  let o2 = S.create_object ~state:(S.Data "same") st in
+  Rep.declare t [ o1; o2 ];
+  check b "consistent" true (Rep.states_consistent t st);
+  S.set_obj_state st o2 (S.Data "drifted");
+  check b "inconsistent after drift" false (Rep.states_consistent t st)
+
+let test_states_consistent_contexts () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let target = S.create_object st in
+  let mk () =
+    S.create_context_object
+      ~ctx:(Naming.Context.of_bindings [ (Naming.Name.atom "x", target) ])
+      st
+  in
+  let d1 = mk () and d2 = mk () in
+  Rep.declare t [ d1; d2 ];
+  check b "context replicas consistent" true (Rep.states_consistent t st);
+  S.unbind st ~dir:d2 (Naming.Name.atom "x");
+  check b "binding drift detected" false (Rep.states_consistent t st)
+
+let test_sync_from () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let o1 = S.create_object ~state:(S.Data "v1") st in
+  let o2 = S.create_object ~state:(S.Data "v1") st in
+  let o3 = S.create_object ~state:(S.Data "v1") st in
+  Rep.declare t [ o1; o2; o3 ];
+  S.set_obj_state st o2 (S.Data "v2");
+  check b "drifted" false (Rep.states_consistent t st);
+  Rep.sync_from t st o2;
+  check b "restored" true (Rep.states_consistent t st);
+  check b "update propagated" true (S.data_of st o1 = Some "v2");
+  (* unreplicated entities: no-op *)
+  let lone = S.create_object ~state:(S.Data "x") st in
+  Rep.sync_from t st lone;
+  check b "no-op" true (S.data_of st lone = Some "x")
+
+let test_sync_all () =
+  let st = S.create () in
+  let t = Rep.create () in
+  let a1 = S.create_object ~state:(S.Data "a") st in
+  let a2 = S.create_object ~state:(S.Data "drift-a") st in
+  let b1 = S.create_object ~state:(S.Data "b") st in
+  let b2 = S.create_object ~state:(S.Data "drift-b") st in
+  Rep.declare t [ a1; a2 ];
+  Rep.declare t [ b1; b2 ];
+  Rep.sync_all t st;
+  check b "all consistent" true (Rep.states_consistent t st);
+  (* first member wins *)
+  check b "first wins a" true (S.data_of st a2 = Some "a");
+  check b "first wins b" true (S.data_of st b2 = Some "b")
+
+let suite =
+  [
+    Alcotest.test_case "declare and groups" `Quick test_declare_and_groups;
+    Alcotest.test_case "declare errors" `Quick test_declare_errors;
+    Alcotest.test_case "same_replica" `Quick test_same_replica;
+    Alcotest.test_case "unreplicated entities" `Quick
+      test_unreplicated_singleton;
+    Alcotest.test_case "states_consistent (data)" `Quick test_states_consistent;
+    Alcotest.test_case "states_consistent (contexts)" `Quick
+      test_states_consistent_contexts;
+    Alcotest.test_case "sync_from" `Quick test_sync_from;
+    Alcotest.test_case "sync_all" `Quick test_sync_all;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for Dsim.Rng (SplitMix64). *)
+
+module R = Dsim.Rng
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+
+let test_determinism () =
+  let r1 = R.create 42L and r2 = R.create 42L in
+  let s1 = List.init 10 (fun _ -> R.next_int64 r1) in
+  let s2 = List.init 10 (fun _ -> R.next_int64 r2) in
+  check b "same seed, same stream" true (s1 = s2);
+  let r3 = R.create 43L in
+  let s3 = List.init 10 (fun _ -> R.next_int64 r3) in
+  check b "different seed, different stream" false (s1 = s3)
+
+let test_copy_and_split () =
+  let r = R.create 1L in
+  ignore (R.next_int64 r);
+  let c = R.copy r in
+  check b "copy continues identically" true (R.next_int64 r = R.next_int64 c);
+  let r' = R.create 1L in
+  let child = R.split r' in
+  check b "split child differs from parent stream" false
+    (R.next_int64 child = R.next_int64 r')
+
+let test_int_bounds () =
+  let r = R.create 5L in
+  for _ = 1 to 1000 do
+    let v = R.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds"
+  done;
+  (match R.int r 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bound accepted");
+  check i "bound 1 is 0" 0 (R.int r 1)
+
+let test_int_in () =
+  let r = R.create 5L in
+  for _ = 1 to 500 do
+    let v = R.int_in r ~min:(-3) ~max:3 in
+    if v < -3 || v > 3 then Alcotest.fail "int_in out of bounds"
+  done;
+  check i "degenerate range" 4 (R.int_in r ~min:4 ~max:4)
+
+let test_float_bounds () =
+  let r = R.create 9L in
+  for _ = 1 to 1000 do
+    let v = R.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_bool_probability () =
+  let r = R.create 11L in
+  let n = 10_000 in
+  let trues = ref 0 in
+  for _ = 1 to n do
+    if R.bool r 0.3 then incr trues
+  done;
+  let freq = float_of_int !trues /. float_of_int n in
+  check b "freq near 0.3" true (freq > 0.25 && freq < 0.35);
+  check b "p=0 never" false (R.bool r 0.0);
+  check b "p=1 always" true (R.bool r 1.0)
+
+let test_pick () =
+  let r = R.create 3L in
+  let l = [ 1; 2; 3 ] in
+  for _ = 1 to 100 do
+    if not (List.mem (R.pick r l) l) then Alcotest.fail "pick outside list"
+  done;
+  (match R.pick r [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pick accepted");
+  check i "pick_array" 9 (R.pick_array r [| 9 |])
+
+let test_shuffle_permutation () =
+  let r = R.create 17L in
+  let l = List.init 20 Fun.id in
+  let s = R.shuffle r l in
+  check (Alcotest.list i) "same multiset" l (List.sort compare s);
+  check i "same length" 20 (List.length s)
+
+let test_sample () =
+  let r = R.create 19L in
+  let l = List.init 10 Fun.id in
+  let s = R.sample r 4 l in
+  check i "k elements" 4 (List.length s);
+  check i "no duplicates" 4 (List.length (List.sort_uniq compare s));
+  check i "k > n gives n" 10 (List.length (R.sample r 99 l))
+
+let test_exponential_positive () =
+  let r = R.create 23L in
+  let total = ref 0.0 in
+  for _ = 1 to 1000 do
+    let v = R.exponential r ~mean:2.0 in
+    if v < 0.0 then Alcotest.fail "negative exponential";
+    total := !total +. v
+  done;
+  let mean = !total /. 1000.0 in
+  check b "mean near 2.0" true (mean > 1.6 && mean < 2.4)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"int covers the whole range" ~count:20
+    QCheck.small_nat (fun seed ->
+      let r = R.create (Int64.of_int (seed + 1)) in
+      let seen = Array.make 5 false in
+      for _ = 1 to 300 do
+        seen.(R.int r 5) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy and split" `Quick test_copy_and_split;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bool probability" `Quick test_bool_probability;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "shuffle is a permutation" `Quick
+      test_shuffle_permutation;
+    Alcotest.test_case "sample" `Quick test_sample;
+    Alcotest.test_case "exponential" `Quick test_exponential_positive;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+  ]

@@ -1,0 +1,151 @@
+(* Tests for Dsim.Rpc — request/response over the simulated network. *)
+
+module En = Dsim.Engine
+module Net = Dsim.Network
+module Rpc = Dsim.Rpc
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+
+let make ?(config = Net.default_config) () =
+  let engine = En.create () in
+  let net = Net.create ~config ~engine ~rng:(Dsim.Rng.create 42L) () in
+  let n1 = Net.add_node net ~label:"server" in
+  let n2 = Net.add_node net ~label:"client" in
+  (engine, net, n1, n2)
+
+let test_call_reply () =
+  let engine, net, n1, n2 = make () in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (x * 2)) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:10.0 21
+    ~on_reply:(fun r -> got := Some r);
+  check i "pending" 1 (Rpc.pending client);
+  ignore (En.run engine);
+  check b "reply" true (!got = Some (Ok 42));
+  check i "none pending" 0 (Rpc.pending client);
+  let s = Rpc.stats client in
+  check i "calls" 1 s.Rpc.calls;
+  check i "replies" 1 s.Rpc.replies;
+  check i "timeouts" 0 s.Rpc.timeouts;
+  check i "server served" 1 (Rpc.stats server).Rpc.served
+
+let test_timeout_on_loss () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with drop_probability = 1.0 } ()
+  in
+  let _server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some x) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call client ~to_:{ Net.node = n1; port = 1 } ~timeout:3.0 1
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  check b "timeout" true (!got = Some (Error `Timeout));
+  check i "timeout counted" 1 (Rpc.stats client).Rpc.timeouts;
+  check b "clock advanced to timeout" true (En.now engine >= 3.0)
+
+let test_handler_drop () =
+  let engine, net, n1, n2 = make () in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun _ -> None) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:3.0 1 ~on_reply:(fun r ->
+      got := Some r);
+  ignore (En.run engine);
+  check b "timed out" true (!got = Some (Error `Timeout));
+  check i "request dropped by handler" 1
+    (Rpc.stats server).Rpc.dropped_requests
+
+let test_no_handler () =
+  let engine, net, n1, n2 = make () in
+  let server : (int, int) Rpc.endpoint = Rpc.create net ~node:n1 ~port:1 () in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:2.0 1
+    ~on_reply:(fun _ -> ());
+  ignore (En.run engine);
+  check i "unserved" 1 (Rpc.stats server).Rpc.dropped_requests;
+  (* a handler installed later serves new calls *)
+  Rpc.set_handler server (fun x -> Some (x + 1));
+  let got = ref None in
+  (* the round trip costs ~2.0-2.4 time units; give it room *)
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:5.0 1 ~on_reply:(fun r ->
+      got := Some r);
+  ignore (En.run engine);
+  check b "served after set_handler" true (!got = Some (Ok 2))
+
+let test_correlation () =
+  let engine, net, n1, n2 = make () in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (x * 10)) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let replies = ref [] in
+  List.iter
+    (fun k ->
+      Rpc.call client ~to_:(Rpc.address server) ~timeout:20.0 k
+        ~on_reply:(fun r -> replies := (k, r) :: !replies))
+    [ 1; 2; 3; 4; 5 ];
+  ignore (En.run engine);
+  check i "all replied" 5 (List.length !replies);
+  List.iter
+    (fun (k, r) ->
+      if r <> Ok (k * 10) then Alcotest.failf "bad correlation for %d" k)
+    !replies
+
+let test_concurrent_clients_one_server () =
+  let engine, net, n1, n2 = make () in
+  let n3 = Net.add_node net ~label:"client2" in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (-x)) ()
+  in
+  let c1 = Rpc.create net ~node:n2 ~port:1 () in
+  let c2 = Rpc.create net ~node:n3 ~port:1 () in
+  let ok = ref 0 in
+  for k = 1 to 10 do
+    Rpc.call c1 ~to_:(Rpc.address server) ~timeout:30.0 k ~on_reply:(fun r ->
+        if r = Ok (-k) then incr ok);
+    Rpc.call c2 ~to_:(Rpc.address server) ~timeout:30.0 (100 + k)
+      ~on_reply:(fun r -> if r = Ok (-(100 + k)) then incr ok)
+  done;
+  ignore (En.run engine);
+  check i "all 20 correct" 20 !ok;
+  check i "server served 20" 20 (Rpc.stats server).Rpc.served
+
+let test_duplicate_response_is_late () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with duplicate_probability = 1.0 } ()
+  in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some x) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let replies = ref 0 in
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:30.0 1
+    ~on_reply:(fun _ -> incr replies);
+  ignore (En.run engine);
+  (* the duplicated request produces two responses, each possibly
+     duplicated; exactly one reaches the callback *)
+  check i "exactly one callback" 1 !replies;
+  check b "surplus counted as late" true
+    ((Rpc.stats client).Rpc.late_replies >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "call/reply" `Quick test_call_reply;
+    Alcotest.test_case "timeout on loss" `Quick test_timeout_on_loss;
+    Alcotest.test_case "handler drop" `Quick test_handler_drop;
+    Alcotest.test_case "no handler / set_handler" `Quick test_no_handler;
+    Alcotest.test_case "correlation" `Quick test_correlation;
+    Alcotest.test_case "two clients, one server" `Quick
+      test_concurrent_clients_one_server;
+    Alcotest.test_case "duplicate responses are late" `Quick
+      test_duplicate_response_is_late;
+  ]

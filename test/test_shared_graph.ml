@@ -1,0 +1,115 @@
+(* Tests for Schemes.Shared_graph — Figure 4 (Andrew-style). *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Sg = Schemes.Shared_graph
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let t = Sg.build ~clients:[ "c1"; "c2" ] st in
+  (st, t)
+
+let test_attachment () =
+  let _, t = fixture () in
+  (* /vice on every client denotes the one shared root. *)
+  let shared_root = Vfs.Fs.root (Sg.shared_fs t) in
+  List.iter
+    (fun c ->
+      check entity (c ^ " /vice") shared_root
+        (Vfs.Fs.lookup (Sg.client_fs t c) "/vice"))
+    (Sg.clients t)
+
+let test_custom_attach_name () =
+  let st = S.create () in
+  let t = Sg.build ~clients:[ "x" ] ~attach_name:"afs" st in
+  check Alcotest.string "attach name" "afs" (Sg.attach_name t);
+  check b "bound" true (E.is_defined (Vfs.Fs.lookup (Sg.client_fs t "x") "/afs"))
+
+let test_shared_vs_local_coherence () =
+  let st, t = fixture () in
+  let p1 = Sg.spawn_on t ~client:"c1" in
+  let p2 = Sg.spawn_on t ~client:"c2" in
+  let rule = Sg.rule t in
+  let occs = [ O.generated p1; O.generated p2 ] in
+  let shared = Coh.measure st rule occs (Sg.shared_probes t ~max_depth:4) in
+  check (Alcotest.float 1e-9) "shared names coherent" 1.0 (Coh.degree shared);
+  let local =
+    Coh.measure st rule occs (Sg.local_probes t ~client:"c1" ~max_depth:4)
+  in
+  check (Alcotest.float 1e-9) "local names incoherent" 0.0 (Coh.degree local)
+
+let test_probe_sets_disjoint () =
+  let _, t = fixture () in
+  let shared = N.Set.of_list (Sg.shared_probes t ~max_depth:4) in
+  let local = N.Set.of_list (Sg.local_probes t ~client:"c1" ~max_depth:4) in
+  check b "disjoint" true (N.Set.is_empty (N.Set.inter shared local));
+  check b "both non-empty" true
+    (not (N.Set.is_empty shared) && not (N.Set.is_empty local))
+
+let test_replication_weak_coherence () =
+  let st, t = fixture () in
+  Sg.replicate_local t ~path:"bin/ls" ~content:"ls-binary";
+  let p1 = Sg.spawn_on t ~client:"c1" in
+  let p2 = Sg.spawn_on t ~client:"c2" in
+  let rule = Sg.rule t in
+  let occs = [ O.generated p1; O.generated p2 ] in
+  let name = N.of_string "/bin/ls" in
+  (* strictly incoherent... *)
+  (match Coh.check st rule occs name with
+  | Coh.Incoherent _ -> ()
+  | v -> Alcotest.failf "expected incoherent, got %a" Coh.pp_verdict v);
+  (* ...but weakly coherent. *)
+  let equiv = Naming.Replication.same_replica (Sg.replication t) in
+  (match Coh.check ~equiv st rule occs name with
+  | Coh.Weakly_coherent _ -> ()
+  | v -> Alcotest.failf "expected weakly coherent, got %a" Coh.pp_verdict v);
+  (* replica states agree — the paper's legal-state invariant. *)
+  check b "replica states equal" true
+    (Naming.Replication.states_consistent (Sg.replication t) st)
+
+let test_remote_exec_shared_only () =
+  let st, t = fixture () in
+  let parent = Sg.spawn_on t ~client:"c1" in
+  let child = Sg.remote_exec t ~parent ~client:"c2" in
+  (* shared names still work *)
+  check entity "shared param"
+    (Sg.resolve t ~as_:parent "/vice/proj/apollo/plan.txt")
+    (Sg.resolve t ~as_:child "/vice/proj/apollo/plan.txt");
+  (* local names break *)
+  check b "local param broken" false
+    (E.equal
+       (Sg.resolve t ~as_:parent "/home/user/notes.txt")
+       (Sg.resolve t ~as_:child "/home/user/notes.txt"));
+  ignore st
+
+let test_build_errors () =
+  let st = S.create () in
+  (match Sg.build ~clients:[] st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no clients accepted");
+  let t = Sg.build ~clients:[ "only" ] st in
+  (* replicate_local on a single client declares no group (needs >= 2) *)
+  Sg.replicate_local t ~path:"bin/x" ~content:"x";
+  check Alcotest.int "no group for single client" 0
+    (List.length (Naming.Replication.groups (Sg.replication t)))
+
+let suite =
+  [
+    Alcotest.test_case "shared tree attachment" `Quick test_attachment;
+    Alcotest.test_case "custom attach name" `Quick test_custom_attach_name;
+    Alcotest.test_case "shared vs local coherence" `Quick
+      test_shared_vs_local_coherence;
+    Alcotest.test_case "probe sets disjoint" `Quick test_probe_sets_disjoint;
+    Alcotest.test_case "replication weak coherence" `Quick
+      test_replication_weak_coherence;
+    Alcotest.test_case "remote exec passes shared names only" `Quick
+      test_remote_exec_shared_only;
+    Alcotest.test_case "build errors / single client" `Quick test_build_errors;
+  ]

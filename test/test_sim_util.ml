@@ -1,0 +1,76 @@
+(* Tests for Dsim.Trace and Dsim.Metrics. *)
+
+module T = Dsim.Trace
+module M = Dsim.Metrics
+
+let check = Alcotest.check
+let i = Alcotest.int
+let f = Alcotest.float 1e-9
+
+let test_trace_basic () =
+  let t = T.create () in
+  T.record t ~time:1.0 ~category:"send" "a -> b";
+  T.recordf t ~time:2.0 ~category:"recv" "b got %d bytes" 5;
+  check i "length" 2 (T.length t);
+  check i "send count" 1 (T.count t ~category:"send");
+  check i "recv count" 1 (T.count t ~category:"recv");
+  check i "missing count" 0 (T.count t ~category:"drop");
+  (match T.entries t with
+  | [ e1; e2 ] ->
+      check f "order" 1.0 e1.T.time;
+      check Alcotest.string "formatted" "b got 5 bytes" e2.T.message
+  | _ -> Alcotest.fail "wrong entries");
+  T.clear t;
+  check i "cleared" 0 (T.length t)
+
+let test_trace_filter () =
+  let t = T.create () in
+  for k = 1 to 5 do
+    T.record t ~time:(float_of_int k)
+      ~category:(if k mod 2 = 0 then "even" else "odd")
+      (string_of_int k)
+  done;
+  check i "filter" 2 (List.length (T.filter t ~category:"even"))
+
+let test_counter () =
+  let c = M.Counter.create () in
+  M.Counter.incr c;
+  M.Counter.add c 4;
+  check i "value" 5 (M.Counter.value c);
+  M.Counter.reset c;
+  check i "reset" 0 (M.Counter.value c)
+
+let test_series () =
+  let s = M.Series.create () in
+  check f "empty mean" 0.0 (M.Series.mean s);
+  List.iter (M.Series.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check i "count" 4 (M.Series.count s);
+  check f "mean" 2.5 (M.Series.mean s);
+  check f "min" 1.0 (M.Series.min s);
+  check f "max" 4.0 (M.Series.max s);
+  check f "sum" 10.0 (M.Series.sum s);
+  check f "median-ish" 3.0 (M.Series.percentile s 0.5);
+  check f "p0" 1.0 (M.Series.percentile s 0.0);
+  check f "p100" 4.0 (M.Series.percentile s 1.0);
+  check (Alcotest.list f) "values in order" [ 1.0; 2.0; 3.0; 4.0 ]
+    (M.Series.values s)
+
+let test_series_percentile_errors () =
+  let s = M.Series.create () in
+  (match M.Series.percentile s 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty percentile accepted");
+  M.Series.observe s 1.0;
+  (match M.Series.percentile s 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range p accepted")
+
+let suite =
+  [
+    Alcotest.test_case "trace basic" `Quick test_trace_basic;
+    Alcotest.test_case "trace filter" `Quick test_trace_filter;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "series percentile errors" `Quick
+      test_series_percentile_errors;
+  ]

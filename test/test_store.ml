@@ -1,0 +1,121 @@
+(* Tests for Naming.Store: entity allocation, states, snapshot/restore. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module C = Naming.Context
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let entity = Alcotest.testable E.pp E.equal
+
+let test_allocation_kinds () =
+  let st = S.create () in
+  let o = S.create_object st in
+  let d = S.create_context_object st in
+  let a = S.create_activity st in
+  check b "object" true (E.is_object o);
+  check b "ctxobj is object" true (E.is_object d);
+  check b "activity" true (E.is_activity a);
+  check i "cardinal" 3 (S.cardinal st);
+  check b "distinct ids" true (not (E.equal o d))
+
+let test_states () =
+  let st = S.create () in
+  let f = S.create_object ~state:(S.Data "hello") st in
+  check b "data" true (S.data_of st f = Some "hello");
+  check b "not ctx" true (S.context_of st f = None);
+  check b "not ctxobj" false (S.is_context_object st f);
+  let d = S.create_context_object st in
+  check b "ctxobj" true (S.is_context_object st d);
+  check b "no data" true (S.data_of st d = None);
+  S.set_obj_state st f (S.Data "bye");
+  check b "updated" true (S.data_of st f = Some "bye")
+
+let test_activity_has_no_obj_state () =
+  let st = S.create () in
+  let a = S.create_activity st in
+  check b "no state" true (S.obj_state st a = None);
+  (match S.set_obj_state st a (S.Data "x") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "activity state set")
+
+let test_bind_lookup_unbind () =
+  let st = S.create () in
+  let d = S.create_context_object st in
+  let f = S.create_object st in
+  S.bind st ~dir:d (N.atom "f") f;
+  check entity "bound" f (S.lookup st ~dir:d (N.atom "f"));
+  S.unbind st ~dir:d (N.atom "f");
+  check entity "unbound" E.undefined (S.lookup st ~dir:d (N.atom "f"));
+  (match S.bind st ~dir:f (N.atom "x") d with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "bind in a data object");
+  check entity "lookup in non-context is bottom" E.undefined
+    (S.lookup st ~dir:f (N.atom "x"))
+
+let test_labels () =
+  let st = S.create () in
+  let o = S.create_object ~label:"passwd" st in
+  check b "label" true (S.label st o = Some "passwd");
+  S.set_label st o "shadow";
+  check b "relabel" true (S.label st o = Some "shadow");
+  let anon = S.create_object st in
+  check b "anonymous" true (S.label st anon = None)
+
+let test_enumerations () =
+  let st = S.create () in
+  let a1 = S.create_activity st in
+  let o1 = S.create_object st in
+  let d1 = S.create_context_object st in
+  let a2 = S.create_activity st in
+  check (Alcotest.list entity) "activities in order" [ a1; a2 ]
+    (S.activities st);
+  check (Alcotest.list entity) "objects in order" [ o1; d1 ] (S.objects st);
+  check (Alcotest.list entity) "context objects" [ d1 ] (S.context_objects st)
+
+let test_exists () =
+  let st = S.create () in
+  let o = S.create_object st in
+  let a = S.create_activity st in
+  check b "object exists" true (S.exists st o);
+  check b "activity exists" true (S.exists st a);
+  check b "foreign object" false (S.exists st (E.Object 999));
+  check b "undefined" false (S.exists st E.undefined)
+
+let test_snapshot_restore () =
+  let st = S.create () in
+  let d = S.create_context_object st in
+  let f = S.create_object ~state:(S.Data "v1") st in
+  S.bind st ~dir:d (N.atom "f") f;
+  let snap = S.snapshot st in
+  (* Mutate everything. *)
+  S.set_obj_state st f (S.Data "v2");
+  S.unbind st ~dir:d (N.atom "f");
+  let g = S.create_object ~state:(S.Data "new") st in
+  S.restore st snap;
+  check b "data restored" true (S.data_of st f = Some "v1");
+  check entity "binding restored" f (S.lookup st ~dir:d (N.atom "f"));
+  check b "post-snapshot entity untouched" true (S.data_of st g = Some "new")
+
+let test_set_context () =
+  let st = S.create () in
+  let d = S.create_context_object st in
+  let o = S.create_object st in
+  S.set_context st d (C.of_bindings [ (N.atom "o", o) ]);
+  check entity "context replaced" o (S.lookup st ~dir:d (N.atom "o"))
+
+let suite =
+  [
+    Alcotest.test_case "allocation kinds" `Quick test_allocation_kinds;
+    Alcotest.test_case "object states" `Quick test_states;
+    Alcotest.test_case "activities have no object state" `Quick
+      test_activity_has_no_obj_state;
+    Alcotest.test_case "bind/lookup/unbind" `Quick test_bind_lookup_unbind;
+    Alcotest.test_case "labels" `Quick test_labels;
+    Alcotest.test_case "enumerations" `Quick test_enumerations;
+    Alcotest.test_case "exists" `Quick test_exists;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "set_context" `Quick test_set_context;
+  ]

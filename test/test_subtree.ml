@@ -1,0 +1,158 @@
+(* Tests for Vfs.Subtree: members, copy, relocate, attach. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module Fs = Vfs.Fs
+module Sub = Vfs.Subtree
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let entity = Alcotest.testable E.pp E.equal
+
+let project_fixture () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  Fs.populate fs [ "proj/lib/c0"; "proj/lib/c1"; "proj/src/s0"; "other/x" ];
+  (st, fs, Fs.lookup fs "/proj")
+
+let test_members () =
+  let _, fs, proj = project_fixture () in
+  (* proj, lib, c0, c1, src, s0 *)
+  check i "member count" 6 (E.Set.cardinal (Sub.members fs proj));
+  check i "size agrees" 6 (Sub.size fs proj);
+  check b "excludes outside" false
+    (E.Set.mem (Fs.lookup fs "/other/x") (Sub.members fs proj))
+
+let test_copy_fresh_entities () =
+  let st, fs, proj = project_fixture () in
+  let clone = Sub.copy fs proj in
+  check b "fresh root" false (E.equal clone proj);
+  check i "same size" 6 (Sub.size fs clone);
+  let orig_c0 = Fs.lookup fs "/proj/lib/c0" in
+  let copy_c0 = Fs.resolve_from fs ~dir:clone (N.of_string "lib/c0") in
+  check b "fresh leaf" false (E.equal orig_c0 copy_c0);
+  check b "same content" true (S.data_of st copy_c0 = S.data_of st orig_c0)
+
+let test_copy_rewires_dots () =
+  let _, fs, proj = project_fixture () in
+  let clone = Sub.copy fs proj in
+  check entity "clone/. is clone" clone
+    (Fs.resolve_from fs ~dir:clone (N.of_string "."));
+  check entity "clone/.. is clone until attached" clone
+    (Fs.resolve_from fs ~dir:clone (N.of_string ".."));
+  let clone_lib = Fs.resolve_from fs ~dir:clone (N.of_string "lib") in
+  check entity "inner .. points inside the copy" clone
+    (Fs.resolve_from fs ~dir:clone_lib (N.of_string ".."))
+
+let test_copy_keeps_external_edges () =
+  let _, fs, proj = project_fixture () in
+  (* proj cross-links a directory of another part of the environment; its
+     '..' points elsewhere, so it is not a tree child and must stay
+     shared under copying (Figure 5 cross-links). *)
+  let outside_dir = Fs.lookup fs "/other" in
+  Fs.link fs ~dir:proj "ext" outside_dir;
+  check b "not a member" false (E.Set.mem outside_dir (Sub.members fs proj));
+  let clone = Sub.copy fs proj in
+  check entity "external directory kept (not copied)" outside_dir
+    (Fs.resolve_from fs ~dir:clone (N.of_string "ext"))
+
+let test_copy_preserves_sharing () =
+  let st = S.create () in
+  let fs = Fs.create st in
+  Fs.populate fs [ "p/shared-file" ];
+  let p = Fs.lookup fs "/p" in
+  let f = Fs.lookup fs "/p/shared-file" in
+  let d = Fs.mkdir fs ~under:p "d" in
+  Fs.link fs ~dir:d "alias" f;
+  let clone = Sub.copy fs p in
+  let via_direct = Fs.resolve_from fs ~dir:clone (N.of_string "shared-file") in
+  let via_alias = Fs.resolve_from fs ~dir:clone (N.of_string "d/alias") in
+  check entity "internal sharing preserved" via_direct via_alias;
+  check b "and it is a copy" false (E.equal via_direct f)
+
+let test_relocate () =
+  let _, fs, proj = project_fixture () in
+  let root = Fs.root fs in
+  let dst = Fs.mkdir_path fs "/mnt" in
+  Sub.relocate fs ~src:root ~name:"proj" ~dst ();
+  check entity "gone from old place" E.undefined (Fs.lookup fs "/proj");
+  check entity "at new place" proj (Fs.lookup fs "/mnt/proj");
+  check entity "'..' updated" dst
+    (Fs.resolve_from fs ~dir:proj (N.of_string ".."))
+
+let test_relocate_rename () =
+  let _, fs, proj = project_fixture () in
+  let root = Fs.root fs in
+  let dst = Fs.mkdir_path fs "/mnt" in
+  Sub.relocate fs ~src:root ~name:"proj" ~dst ~new_name:"tool" ();
+  check entity "renamed" proj (Fs.lookup fs "/mnt/tool")
+
+let test_relocate_errors () =
+  let _, fs, _ = project_fixture () in
+  let root = Fs.root fs in
+  let dst = Fs.mkdir_path fs "/mnt" in
+  (match Sub.relocate fs ~src:root ~name:"nope" ~dst () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "missing binding accepted");
+  let file = Fs.lookup fs "/other/x" in
+  (match Sub.relocate fs ~src:root ~name:"proj" ~dst:file () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "file destination accepted")
+
+let test_attach_detach () =
+  let _, fs, proj = project_fixture () in
+  let mnt = Fs.mkdir_path fs "/mnt" in
+  Sub.attach fs ~dir:mnt ~name:"alias" proj;
+  check entity "attached" proj (Fs.lookup fs "/mnt/alias");
+  check entity "still at original place" proj (Fs.lookup fs "/proj");
+  (* '..' untouched: primary parent remains the root. *)
+  check entity "primary parent kept" (Fs.root fs)
+    (Fs.resolve_from fs ~dir:proj (N.of_string ".."));
+  Sub.detach fs ~dir:mnt ~name:"alias";
+  check entity "detached" E.undefined (Fs.lookup fs "/mnt/alias")
+
+(* property: copying a randomly generated project preserves size and the
+   multiset of file contents. *)
+let prop_copy_preserves_shape =
+  QCheck.Test.make ~name:"copy preserves size and contents" ~count:30
+    QCheck.small_nat (fun seed ->
+      let st = S.create () in
+      let fs = Fs.create st in
+      let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+      let project =
+        Workload.Docgen.build fs ~at:"p" ~rng
+          ~spec:
+            {
+              Workload.Docgen.n_components = 1 + (seed mod 4);
+              n_sources = 1 + (seed mod 5);
+              refs_per_source = 1 + (seed mod 3);
+              nested = seed mod 2 = 0;
+            }
+      in
+      let contents root =
+        List.sort compare
+          (List.filter_map
+             (fun e -> S.data_of st e)
+             (E.Set.elements (Sub.members fs root)))
+      in
+      let before = contents project in
+      let clone = Sub.copy fs project in
+      Sub.size fs clone = Sub.size fs project && contents clone = before)
+
+let suite =
+  [
+    Alcotest.test_case "members" `Quick test_members;
+    Alcotest.test_case "copy: fresh entities" `Quick test_copy_fresh_entities;
+    Alcotest.test_case "copy: dots rewired" `Quick test_copy_rewires_dots;
+    Alcotest.test_case "copy: external edges kept" `Quick
+      test_copy_keeps_external_edges;
+    Alcotest.test_case "copy: internal sharing preserved" `Quick
+      test_copy_preserves_sharing;
+    Alcotest.test_case "relocate" `Quick test_relocate;
+    Alcotest.test_case "relocate with rename" `Quick test_relocate_rename;
+    Alcotest.test_case "relocate errors" `Quick test_relocate_errors;
+    Alcotest.test_case "attach/detach" `Quick test_attach_detach;
+    QCheck_alcotest.to_alcotest prop_copy_preserves_shape;
+  ]

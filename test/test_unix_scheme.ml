@@ -1,0 +1,128 @@
+(* Tests for Schemes.Unix_scheme — the single naming graph approach. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module U = Schemes.Unix_scheme
+module O = Naming.Occurrence
+module Coh = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let entity = Alcotest.testable E.pp E.equal
+
+let test_build_default_tree () =
+  let st = S.create () in
+  let t = U.build st in
+  check b "bin/ls exists" true
+    (E.is_defined (Vfs.Fs.lookup (U.fs t) "/bin/ls"));
+  check b "root is tree" true
+    (Naming.Graph.is_tree st ~root:(U.root t) ~ignore:(fun a ->
+         N.atom_equal a N.self_atom || N.atom_equal a N.parent_atom))
+
+let test_shared_root_coherence () =
+  let st = S.create () in
+  let t = U.build st in
+  let a1 = U.spawn t and a2 = U.spawn ~cwd:"/home/alice" t in
+  let occs = [ O.generated a1; O.generated a2 ] in
+  let report =
+    Coh.measure st (U.rule t) occs (U.absolute_probes t ~max_depth:4)
+  in
+  check (Alcotest.float 1e-9) "full coherence for '/'-names" 1.0
+    (Coh.degree report)
+
+let test_cwd_gives_flexibility () =
+  let st = S.create () in
+  let t = U.build st in
+  let a1 = U.spawn ~cwd:"/home/alice" t in
+  let a2 = U.spawn ~cwd:"/home/bob" t in
+  (* The same relative name denotes different entities — that is the
+     useful flexibility the paper notes. *)
+  let r1 = U.resolve t ~as_:a1 "notes.txt" in
+  ignore st;
+  check b "a1 finds its file" true (E.is_defined r1);
+  check b "a2 does not" true (E.is_undefined (U.resolve t ~as_:a2 "notes.txt"))
+
+let test_chroot_breaks_coherence () =
+  let st = S.create () in
+  let t = U.build st in
+  let a1 = U.spawn t in
+  let a3 = U.spawn_chrooted ~root_path:"/usr" t in
+  check entity "chrooted sees /usr as /" (Vfs.Fs.lookup (U.fs t) "/usr/bin/cc")
+    (U.resolve t ~as_:a3 "/bin/cc");
+  let occs = [ O.generated a1; O.generated a3 ] in
+  check b "not coherent for /bin/ls" false
+    (Coh.is_coherent st (U.rule t) occs (N.of_string "/bin/ls"))
+
+let test_spawn_errors () =
+  let st = S.create () in
+  let t = U.build st in
+  (match U.spawn ~cwd:"/bin/ls" t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "file cwd accepted");
+  (match U.spawn_chrooted ~root_path:"/bin/ls" t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "file root accepted")
+
+let test_chdir () =
+  let st = S.create () in
+  let t = U.build st in
+  let a = U.spawn t in
+  U.chdir t a "/home/alice";
+  check b "relative now works" true
+    (E.is_defined (U.resolve t ~as_:a "notes.txt"));
+  (match U.chdir t a "/etc/passwd" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "chdir to file accepted");
+  ignore st
+
+let test_fork_coherence () =
+  let st = S.create () in
+  let t = U.build st in
+  let parent = U.spawn ~cwd:"/home/alice" t in
+  let child = U.fork t ~parent in
+  (* Any file name the parent can pass resolves identically for the
+     child. *)
+  let probes = U.absolute_probes t ~max_depth:4 in
+  let occs = [ O.generated parent; O.generated child ] in
+  let report = Coh.measure st (U.rule t) occs probes in
+  check (Alcotest.float 1e-9) "parent-child coherence" 1.0 (Coh.degree report);
+  check entity "even relative names"
+    (U.resolve t ~as_:parent "notes.txt")
+    (U.resolve t ~as_:child "notes.txt")
+
+let test_distributed_single_tree () =
+  let st = S.create () in
+  let t = U.build_distributed ~machines:[ "m1"; "m2" ] st in
+  let a1 = U.spawn ~cwd:"/m1" t and a2 = U.spawn ~cwd:"/m2" t in
+  (* Locus/V: all roots bound to the single tree root. *)
+  let occs = [ O.generated a1; O.generated a2 ] in
+  let report =
+    Coh.measure st (U.rule t) occs (U.absolute_probes t ~max_depth:4)
+  in
+  check (Alcotest.float 1e-9) "global coherence" 1.0 (Coh.degree report);
+  check b "m2's files visible to a1" true
+    (E.is_defined (U.resolve t ~as_:a1 "/m2/bin/ls"))
+
+let test_custom_tree () =
+  let st = S.create () in
+  let t = U.build ~tree:[ "only/file" ] st in
+  check b "custom tree" true (E.is_defined (Vfs.Fs.lookup (U.fs t) "/only/file"));
+  check b "no default content" true
+    (E.is_undefined (Vfs.Fs.lookup (U.fs t) "/bin/ls"))
+
+let suite =
+  [
+    Alcotest.test_case "build default tree" `Quick test_build_default_tree;
+    Alcotest.test_case "shared-root coherence" `Quick
+      test_shared_root_coherence;
+    Alcotest.test_case "cwd flexibility" `Quick test_cwd_gives_flexibility;
+    Alcotest.test_case "chroot breaks coherence" `Quick
+      test_chroot_breaks_coherence;
+    Alcotest.test_case "spawn errors" `Quick test_spawn_errors;
+    Alcotest.test_case "chdir" `Quick test_chdir;
+    Alcotest.test_case "fork coherence" `Quick test_fork_coherence;
+    Alcotest.test_case "distributed single tree" `Quick
+      test_distributed_single_tree;
+    Alcotest.test_case "custom tree" `Quick test_custom_tree;
+  ]
