@@ -4,8 +4,11 @@
      list               list the reproduced experiments
      exp <id|all>       run one experiment (e1..e10, a1..a4) or all of them
      report             run everything, emit a markdown report
-     dump <scheme>      serialise a sample world (Naming.Codec v1)
-     lint <scheme>      well-formedness report for a sample world
+     dump <scheme|all>  serialise a sample world (Naming.Codec v1)
+     lint <scheme|all>  well-formedness report for a sample world
+     analyze <scheme|all>
+                        multi-pass static analysis of a sample world
+                        (--json, --min-severity, nonzero exit on errors)
      coherence <scheme> <name>
                         per-activity resolution and coherence verdict
      diff <scheme>      bucketed namespace diff of two activities
@@ -14,110 +17,15 @@
                         resolve a name in a sample world and print the
                         resolution path *)
 
-let sample_schemes = [ "unix"; "newcastle"; "andrew"; "dce"; "crosslink"; "perprocess"; "federation" ]
+let sample_schemes = Harness.Sample.schemes
 
-type world = {
-  store : Naming.Store.t;
-  ctx : Naming.Context.t;  (* a representative activity's context *)
-  rule : Naming.Rule.t;
-  activities : Naming.Entity.t list;
-}
-
-(* Builds a small world (two activities in the positions the scheme makes
-   interesting) for [dot], [dump], [trace] and [coherence]. *)
+(* A small world (two activities in the positions the scheme makes
+   interesting) for [dot], [dump], [trace], [coherence] and [analyze]. *)
 let sample_world scheme =
-  let store = Naming.Store.create () in
-  let of_env env ps =
-    match ps with
-    | p :: _ ->
-        {
-          store;
-          ctx = Schemes.Process_env.context env p;
-          rule = Schemes.Process_env.rule env;
-          activities = ps;
-        }
-    | [] -> assert false
-  in
-  match scheme with
-  | "unix" ->
-      let t = Schemes.Unix_scheme.build store in
-      of_env (Schemes.Unix_scheme.env t)
-        [
-          Schemes.Unix_scheme.spawn ~label:"p0" t;
-          Schemes.Unix_scheme.spawn_chrooted ~label:"p1" ~root_path:"/usr" t;
-        ]
-  | "newcastle" ->
-      let t = Schemes.Newcastle.build ~machines:[ "unix1"; "unix2" ] store in
-      of_env (Schemes.Newcastle.env t)
-        [
-          Schemes.Newcastle.spawn_on ~label:"p0" t ~machine:"unix1";
-          Schemes.Newcastle.spawn_on ~label:"p1" t ~machine:"unix2";
-        ]
-  | "andrew" ->
-      let t = Schemes.Shared_graph.build ~clients:[ "c1"; "c2" ] store in
-      of_env (Schemes.Shared_graph.env t)
-        [
-          Schemes.Shared_graph.spawn_on ~label:"p0" t ~client:"c1";
-          Schemes.Shared_graph.spawn_on ~label:"p1" t ~client:"c2";
-        ]
-  | "dce" ->
-      let t =
-        Schemes.Dce.build ~cells:[ ("cellA", [ "m1" ]); ("cellB", [ "m2" ]) ]
-          store
-      in
-      of_env (Schemes.Dce.env t)
-        [
-          Schemes.Dce.spawn_on ~label:"p0" t ~machine:"m1";
-          Schemes.Dce.spawn_on ~label:"p1" t ~machine:"m2";
-        ]
-  | "crosslink" ->
-      let tree = Schemes.Unix_scheme.default_tree in
-      let t =
-        Schemes.Crosslink.build ~systems:[ ("sysa", tree); ("sysb", tree) ]
-          store
-      in
-      Schemes.Crosslink.add_crosslink t ~from_system:"sysa" ~name:"sysb"
-        ~to_system:"sysb" ();
-      of_env (Schemes.Crosslink.env t)
-        [
-          Schemes.Crosslink.spawn_on ~label:"p0" t ~system:"sysa";
-          Schemes.Crosslink.spawn_on ~label:"p1" t ~system:"sysb";
-        ]
-  | "perprocess" ->
-      let tree = Schemes.Unix_scheme.default_tree in
-      let t =
-        Schemes.Per_process.build
-          ~subsystems:[ ("port1", tree); ("port2", tree) ]
-          store
-      in
-      let attach = [ ("fs1", "port1"); ("fs2", "port2") ] in
-      of_env (Schemes.Per_process.env t)
-        [
-          Schemes.Per_process.spawn ~label:"p0" ~attach t;
-          Schemes.Per_process.spawn ~label:"p1" ~attach t;
-        ]
-  | "federation" ->
-      let t =
-        Schemes.Federation.build
-          ~orgs:
-            [
-              ( "org1",
-                Schemes.Federation.default_org_tree ~users:[ "alice" ]
-                  ~services:[ "print" ] );
-              ( "org2",
-                Schemes.Federation.default_org_tree ~users:[ "bob" ]
-                  ~services:[ "auth" ] );
-            ]
-          store
-      in
-      Schemes.Federation.federate t ~from:"org1" ~to_:"org2";
-      of_env (Schemes.Federation.env t)
-        [
-          Schemes.Federation.spawn_in ~label:"p0" t ~org:"org1";
-          Schemes.Federation.spawn_in ~label:"p1" t ~org:"org2";
-        ]
-  | other ->
-      Printf.eprintf "unknown scheme %S (expected one of: %s)\n" other
+  match Harness.Sample.world scheme with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown scheme %S (expected one of: %s)\n" scheme
         (String.concat ", " sample_schemes);
       exit 2
 
@@ -153,16 +61,25 @@ let cmd_report () =
   print_string (Harness.Report.generate ());
   0
 
+(* Runs [f] on one scheme, or on every sample scheme when [arg] is
+   "all"; the combined exit code is the max of the per-scheme codes. *)
+let on_schemes arg f =
+  if String.equal (String.lowercase_ascii arg) "all" then
+    List.fold_left (fun acc s -> max acc (f s)) 0 sample_schemes
+  else f arg
+
 let cmd_dump scheme =
-  let w = sample_world scheme in
-  print_string (Naming.Codec.to_string w.store);
-  0
+  on_schemes scheme (fun scheme ->
+      let w = sample_world scheme in
+      print_string (Naming.Codec.to_string w.store);
+      0)
 
 let cmd_lint scheme =
-  let w = sample_world scheme in
-  let report = Naming.Lint.check w.store in
-  Format.printf "%a@." (Naming.Lint.pp_report w.store) report;
-  if report.Naming.Lint.violations = [] then 0 else 1
+  on_schemes scheme (fun scheme ->
+      let w = sample_world scheme in
+      let report = Naming.Lint.check w.store in
+      Format.printf "%s: %a@." scheme (Naming.Lint.pp_report w.store) report;
+      if report.Naming.Lint.violations = [] then 0 else 1)
 
 let cmd_trace scheme name =
   let w = sample_world scheme in
@@ -177,18 +94,7 @@ let cmd_trace scheme name =
         result;
       if Naming.Entity.is_undefined result then 1 else 0
 
-let probes_of_world (w : world) =
-  (* generic probe set: absolute names resolvable by the first activity *)
-  match
-    Naming.Context.lookup w.ctx Naming.Name.root_atom |> fun root ->
-    Naming.Store.context_of w.store root
-  with
-  | None -> []
-  | Some root_ctx ->
-      Naming.Name.singleton Naming.Name.root_atom
-      :: List.map
-           (fun (n, _e) -> Naming.Name.cons Naming.Name.root_atom n)
-           (Naming.Graph.all_names w.store root_ctx ~max_depth:3 ())
+let probes_of_world = Harness.Sample.probes
 
 let cmd_diff scheme =
   let w = sample_world scheme in
@@ -228,6 +134,55 @@ let cmd_coherence scheme name =
       | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ -> 0
       | Naming.Coherence.Incoherent _ | Naming.Coherence.Vacuous -> 1)
 
+let cmd_analyze scheme json min_severity =
+  match Analysis.Diagnostic.severity_of_string min_severity with
+  | None ->
+      Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
+        min_severity;
+      2
+  | Some min_severity ->
+      let config = { Analysis.Engine.default_config with min_severity } in
+      let schemes =
+        if String.equal (String.lowercase_ascii scheme) "all" then
+          sample_schemes
+        else [ scheme ]
+      in
+      let analyzed =
+        List.map
+          (fun scheme ->
+            let w = sample_world scheme in
+            let subject =
+              Analysis.Subject.v ~probes:(probes_of_world w) ~rule:w.rule
+                ~activities:w.activities w.store
+            in
+            (w.store, Analysis.Engine.analyze ~config ~label:scheme subject))
+          schemes
+      in
+      if json then
+        match analyzed with
+        | [ (store, r) ] ->
+            print_endline
+              (Analysis.Json.to_string_pretty
+                 (Analysis.Engine.to_json store r))
+        | _ ->
+            print_endline
+              (Analysis.Json.to_string_pretty
+                 (Analysis.Json.Obj
+                    [
+                      ( "schemes",
+                        Analysis.Json.List
+                          (List.map
+                             (fun (store, r) ->
+                               Analysis.Engine.to_json store r)
+                             analyzed) );
+                    ]))
+      else
+        List.iter
+          (fun (store, r) ->
+            Format.printf "%a@." (Analysis.Engine.pp store) r)
+          analyzed;
+      Analysis.Engine.exit_code (List.map snd analyzed)
+
 open Cmdliner
 
 let list_cmd =
@@ -245,6 +200,11 @@ let scheme_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEME"
          ~doc:(Printf.sprintf "One of: %s" (String.concat ", " sample_schemes)))
 
+let scheme_or_all_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEME"
+         ~doc:(Printf.sprintf "One of: %s; or 'all'"
+                 (String.concat ", " sample_schemes)))
+
 let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Print a sample world's naming graph (graphviz)")
@@ -253,7 +213,23 @@ let dot_cmd =
 let dump_cmd =
   Cmd.v
     (Cmd.info "dump" ~doc:"Serialise a sample world's store (Codec v1 format)")
-    Term.(const cmd_dump $ scheme_arg)
+    Term.(const cmd_dump $ scheme_or_all_arg)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON")
+  in
+  let min_severity =
+    Arg.(value & opt string "info"
+         & info [ "min-severity" ] ~docv:"SEV"
+             ~doc:"Report only diagnostics at least this severe: info, \
+                   warning or error. The exit code always reflects errors.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Multi-pass static analysis of a sample world's naming graph; \
+             exits nonzero when any error-severity diagnostic fires")
+    Term.(const cmd_analyze $ scheme_or_all_arg $ json $ min_severity)
 
 let report_cmd =
   Cmd.v
@@ -264,7 +240,7 @@ let report_cmd =
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc:"Check a sample world's well-formedness")
-    Term.(const cmd_lint $ scheme_arg)
+    Term.(const cmd_lint $ scheme_or_all_arg)
 
 let name_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME"
@@ -296,8 +272,8 @@ inspection tool"
   in
   Cmd.group info
     [
-      list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd; trace_cmd;
-      coherence_cmd; diff_cmd;
+      list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
+      analyze_cmd; trace_cmd; coherence_cmd; diff_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,103 @@
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string;
+  message : string;
+  entities : Naming.Entity.t list;
+  name : Naming.Name.t option;
+  trace : Naming.Resolver.trace;
+}
+
+let make ~code ~severity ~pass ?(entities = []) ?name ?(trace = []) message =
+  { code; severity; pass; message; entities; name; trace }
+
+let compare d1 d2 =
+  let c = Int.compare (severity_rank d2.severity) (severity_rank d1.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare d1.code d2.code in
+    if c <> 0 then c else String.compare d1.message d2.message
+
+let catalogue =
+  [
+    ("NG001", Error, "a directory whose '.' binding is not itself");
+    ("NG002", Error, "a '..' binding to a non-directory");
+    ("NG003", Error, "a '..' naming a directory that does not link back");
+    ("NG004", Error, "a binding to an entity the store does not know");
+    ("NG005", Warning, "an object unreachable from every activity root");
+    ("NG006", Info, "a cross-link: an edge into a directory from outside \
+                     its parent tree");
+    ("NG007", Error, "a dangling cross-link: its target's own tree has \
+                      lost it");
+    ("NG008", Warning, "a directed cycle through non-dot edges");
+    ("NG009", Info, "an entity denoted by several non-dot names (alias)");
+    ("NG010", Warning, "a probe name that is provably incoherent across \
+                        the activities");
+    ("NG011", Info, "a probe name the static predictor could not decide \
+                     within its budget");
+  ]
+
+let entity_str store e =
+  match Naming.Store.label store e with
+  | Some l -> Printf.sprintf "%s(%s)" (Naming.Entity.to_string e) l
+  | None -> Naming.Entity.to_string e
+
+let pp store ppf d =
+  Format.fprintf ppf "%s %-7s %s" d.code (severity_to_string d.severity)
+    d.message;
+  (match d.name with
+  | Some n -> Format.fprintf ppf "@\n    name: %s" (Naming.Name.to_string n)
+  | None -> ());
+  if d.trace <> [] then
+    Format.fprintf ppf "@\n    trace: %a" (Naming.Resolver.pp_trace store)
+      d.trace
+
+let entity_json store e =
+  let fields =
+    [ ("entity", Json.String (Naming.Entity.to_string e)) ]
+    @
+    match Naming.Store.label store e with
+    | Some l -> [ ("label", Json.String l) ]
+    | None -> []
+  in
+  Json.Obj fields
+
+let step_json store (s : Naming.Resolver.step) =
+  Json.Obj
+    [
+      ("at", Json.String (entity_str store s.Naming.Resolver.at));
+      ("atom", Json.String (Naming.Name.atom_to_string s.Naming.Resolver.atom));
+      ("target", Json.String (entity_str store s.Naming.Resolver.target));
+    ]
+
+let to_json store d =
+  Json.Obj
+    ([
+       ("code", Json.String d.code);
+       ("severity", Json.String (severity_to_string d.severity));
+       ("pass", Json.String d.pass);
+       ("message", Json.String d.message);
+       ("entities", Json.List (List.map (entity_json store) d.entities));
+     ]
+    @ (match d.name with
+      | Some n -> [ ("name", Json.String (Naming.Name.to_string n)) ]
+      | None -> [])
+    @
+    if d.trace = [] then []
+    else [ ("trace", Json.List (List.map (step_json store) d.trace)) ])

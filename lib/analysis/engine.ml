@@ -1,0 +1,141 @@
+type config = {
+  min_severity : Diagnostic.severity;
+  passes : string list option;
+  fuel : int;
+  alias_depth : int;
+}
+
+let default_config =
+  {
+    min_severity = Diagnostic.Info;
+    passes = None;
+    fuel = Predict.default_fuel;
+    alias_depth = 4;
+  }
+
+type pass = {
+  id : string;
+  doc : string;
+  run : config -> Subject.t -> Diagnostic.t list;
+}
+
+let all_passes =
+  [
+    {
+      id = "structure";
+      doc = "dot and foreign-binding conventions (NG001-NG004)";
+      run = (fun _cfg t -> Passes.structure t);
+    };
+    {
+      id = "reachability";
+      doc = "objects unreachable from every activity root (NG005)";
+      run = (fun _cfg t -> Passes.reachability t);
+    };
+    {
+      id = "crosslinks";
+      doc = "cross-tree links and dangling cross-links (NG006-NG007)";
+      run = (fun _cfg t -> Passes.crosslinks t);
+    };
+    {
+      id = "cycles";
+      doc = "directed cycles through non-dot edges (NG008)";
+      run = (fun _cfg t -> Passes.cycles t);
+    };
+    {
+      id = "aliases";
+      doc = "entities with several non-dot names (NG009)";
+      run = (fun cfg t -> Passes.aliases ~max_depth:cfg.alias_depth t);
+    };
+    {
+      id = "coherence";
+      doc = "static coherence prediction over the probe names (NG010-NG011)";
+      run = (fun cfg t -> Passes.coherence ~fuel:cfg.fuel t);
+    };
+  ]
+
+type report = {
+  label : string;
+  activities : int;
+  objects : int;
+  context_objects : int;
+  probes : int;
+  passes_run : string list;
+  diagnostics : Diagnostic.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let selected_passes cfg =
+  match cfg.passes with
+  | None -> all_passes
+  | Some ids ->
+      List.map
+        (fun id ->
+          match List.find_opt (fun p -> String.equal p.id id) all_passes with
+          | Some p -> p
+          | None ->
+              invalid_arg (Printf.sprintf "Engine.analyze: unknown pass %S" id))
+        ids
+
+let analyze ?(config = default_config) ~label (t : Subject.t) =
+  let passes = selected_passes config in
+  let diagnostics =
+    List.concat_map (fun p -> p.run config t) passes
+    |> List.sort Diagnostic.compare
+  in
+  let count sev =
+    List.length
+      (List.filter (fun d -> d.Diagnostic.severity = sev) diagnostics)
+  in
+  let min_rank = Diagnostic.severity_rank config.min_severity in
+  let store = t.Subject.store in
+  {
+    label;
+    activities = List.length t.Subject.activities;
+    objects = List.length (Naming.Store.objects store);
+    context_objects = List.length (Naming.Store.context_objects store);
+    probes = List.length t.Subject.probes;
+    passes_run = List.map (fun p -> p.id) passes;
+    diagnostics =
+      List.filter
+        (fun d -> Diagnostic.severity_rank d.Diagnostic.severity >= min_rank)
+        diagnostics;
+    errors = count Diagnostic.Error;
+    warnings = count Diagnostic.Warning;
+    infos = count Diagnostic.Info;
+  }
+
+let has_errors r = r.errors > 0
+let exit_code reports = if List.exists has_errors reports then 1 else 0
+
+let pp store ppf r =
+  Format.fprintf ppf
+    "analyze %s: %d activities, %d objects (%d contexts), %d probes@\n"
+    r.label r.activities r.objects r.context_objects r.probes;
+  Format.fprintf ppf "passes: %s@\n" (String.concat " " r.passes_run);
+  List.iter
+    (fun d -> Format.fprintf ppf "  %a@\n" (Diagnostic.pp store) d)
+    r.diagnostics;
+  Format.fprintf ppf "summary: %d error(s), %d warning(s), %d info(s)"
+    r.errors r.warnings r.infos
+
+let to_json store r =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ("activities", Json.Int r.activities);
+      ("objects", Json.Int r.objects);
+      ("context_objects", Json.Int r.context_objects);
+      ("probes", Json.Int r.probes);
+      ("passes", Json.List (List.map (fun p -> Json.String p) r.passes_run));
+      ( "counts",
+        Json.Obj
+          [
+            ("error", Json.Int r.errors);
+            ("warning", Json.Int r.warnings);
+            ("info", Json.Int r.infos);
+          ] );
+      ( "diagnostics",
+        Json.List (List.map (Diagnostic.to_json store) r.diagnostics) );
+    ]

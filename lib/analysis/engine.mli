@@ -1,0 +1,54 @@
+(** The multi-pass analyzer driver.
+
+    Runs a configurable set of {!Passes} over a {!Subject}, collects the
+    diagnostics into a deterministic report (severity descending, then
+    code, then message), and renders it as text or JSON. Exit-code
+    policy for CI: {!has_errors} reflects the {e unfiltered} error
+    count, so gating is independent of the display filter. *)
+
+type config = {
+  min_severity : Diagnostic.severity;
+      (** Diagnostics below this are dropped from the report (the
+          severity counters still see them). *)
+  passes : string list option;  (** pass ids to run; [None] = all *)
+  fuel : int;  (** budget of the coherence predictor *)
+  alias_depth : int;  (** name-enumeration depth of the alias pass *)
+}
+
+val default_config : config
+(** [min_severity = Info], all passes, [fuel = Predict.default_fuel],
+    [alias_depth = 4]. *)
+
+type pass = {
+  id : string;
+  doc : string;
+  run : config -> Subject.t -> Diagnostic.t list;
+}
+
+val all_passes : pass list
+(** In execution order: structure, reachability, crosslinks, cycles,
+    aliases, coherence. *)
+
+type report = {
+  label : string;  (** what was analyzed, e.g. the scheme name *)
+  activities : int;
+  objects : int;
+  context_objects : int;
+  probes : int;
+  passes_run : string list;
+  diagnostics : Diagnostic.t list;  (** sorted, filtered by severity *)
+  errors : int;  (** unfiltered count *)
+  warnings : int;  (** unfiltered count *)
+  infos : int;  (** unfiltered count *)
+}
+
+val analyze : ?config:config -> label:string -> Subject.t -> report
+(** @raise Invalid_argument when [config.passes] names an unknown
+    pass. *)
+
+val has_errors : report -> bool
+val exit_code : report list -> int
+(** 1 when any report has errors, 0 otherwise. *)
+
+val pp : Naming.Store.t -> Format.formatter -> report -> unit
+val to_json : Naming.Store.t -> report -> Json.t

@@ -1,0 +1,26 @@
+(** A minimal JSON tree and printer.
+
+    The analyzer emits machine-readable reports (for CI and tooling)
+    without pulling in a JSON dependency: this module covers exactly the
+    subset we produce — objects, arrays, strings, numbers, booleans and
+    null — with RFC 8259 string escaping. There is deliberately no
+    parser; consumers are external tools. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, deterministic (fields print in the
+    order given), suitable for golden tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering onto a formatter. *)

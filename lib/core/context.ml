@@ -52,3 +52,4 @@ let pp ppf c =
 
 let fold = Name.Atom_map.fold
 let iter = Name.Atom_map.iter
+let exists = Name.Atom_map.exists

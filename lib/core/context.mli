@@ -48,3 +48,7 @@ val pp : Format.formatter -> t -> unit
 
 val fold : (Name.atom -> Entity.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Name.atom -> Entity.t -> unit) -> t -> unit
+
+val exists : (Name.atom -> Entity.t -> bool) -> t -> bool
+(** [exists p c] is true iff some defined binding satisfies [p].
+    Short-circuits on the first hit. *)

@@ -14,9 +14,9 @@ let links_back store ~parent ~child =
   match Store.context_of store parent with
   | None -> false
   | Some ctx ->
-      Context.fold
-        (fun a e acc -> acc || ((not (is_dot a)) && Entity.equal e child))
-        ctx false
+      Context.exists
+        (fun a e -> (not (is_dot a)) && Entity.equal e child)
+        ctx
 
 let check_dir store dir acc =
   match Store.context_of store dir with

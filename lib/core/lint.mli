@@ -23,6 +23,13 @@ type report = { checked : int; violations : violation list }
 val check : Store.t -> report
 (** Checks every context object of the store. *)
 
+val is_dot : Name.atom -> bool
+(** True on ["."] and [".."]. *)
+
+val links_back : Store.t -> parent:Entity.t -> child:Entity.t -> bool
+(** Does [parent] bind [child] under some non-dot atom? Short-circuits on
+    the first hit. *)
+
 val is_clean : Store.t -> bool
 val pp_violation : Store.t -> Format.formatter -> violation -> unit
 val pp_report : Store.t -> Format.formatter -> report -> unit

@@ -1,0 +1,26 @@
+(** Canonical sample worlds, one per naming scheme.
+
+    Small two-activity worlds placed in the positions each scheme makes
+    interesting (a chrooted process, two machines, two cells, a
+    cross-linked pair, …). They back [namingctl]'s inspection
+    subcommands ([dot], [dump], [lint], [trace], [coherence],
+    [analyze]) and the analyzer's cross-validation tests, which must
+    agree on what "the unix world" means. *)
+
+type world = {
+  store : Naming.Store.t;
+  ctx : Naming.Context.t;  (** a representative activity's context *)
+  rule : Naming.Rule.t;
+  activities : Naming.Entity.t list;
+}
+
+val schemes : string list
+(** The known scheme names: unix, newcastle, andrew, dce, crosslink,
+    perprocess, federation. *)
+
+val world : string -> world option
+(** [None] on an unknown scheme name. *)
+
+val probes : world -> Naming.Name.t list
+(** The generic probe set: ["/"] plus every absolute name of length ≤ 3
+    resolvable by the first activity. *)

@@ -1,0 +1,411 @@
+(* A deliberately broken naming world for analyzer tests.
+
+   Built deterministically so the diagnostic codes — and the JSON golden
+   output — are stable:
+
+   - [/selfbad]           its "." binding denotes the root      -> NG001
+   - [/pbad]              its ".." binding denotes a file       -> NG002
+   - [/det] (unlinked)    ".." names root, root lost it         -> NG003, NG005
+   - [/etc ghost]         binding to an unallocated entity      -> NG004
+   - [lost] + [/usr archive -> lost]
+                          cross-link into a subtree whose own
+                          parent no longer links it             -> NG003, NG007
+   - [orphan]/[stray]     a context object + file nothing
+                          reaches at all                        -> NG005 (x2)
+   - [/cyc_a/cyc_b loop -> /cyc_a]
+                          a non-dot cycle (and a benign
+                          cross-link, and aliases)              -> NG008, NG006, NG009
+   - [/etc tools -> /usr/bin]
+                          a benign cross-link (and aliases)     -> NG006, NG009
+   - activity p1 chrooted to /usr
+                          probes "/" and "/etc/passwd" are
+                          provably incoherent                   -> NG010 (x2)
+   - probe "/usr/bin/cc" with [fuel = 3]                        -> NG011 *)
+
+module S = Naming.Store
+module N = Naming.Name
+module E = Naming.Entity
+
+let probes =
+  List.map Naming.Name.of_string [ "/"; "/etc/passwd"; "/usr/bin/cc" ]
+
+(* The fuel that leaves the 4-atom probe undecided. *)
+let fuel = 3
+
+let build () =
+  let st = S.create () in
+  let fs = Vfs.Fs.create st in
+  Vfs.Fs.populate fs [ "etc/passwd"; "usr/bin/" ];
+  let root = Vfs.Fs.root fs in
+  let etc = Vfs.Fs.lookup fs "/etc" in
+  let passwd = Vfs.Fs.lookup fs "/etc/passwd" in
+  let usr = Vfs.Fs.lookup fs "/usr" in
+  let bin = Vfs.Fs.lookup fs "/usr/bin" in
+  (* NG001: "." that is not itself *)
+  let selfbad = Vfs.Fs.mkdir_path fs "/selfbad" in
+  S.bind st ~dir:selfbad N.self_atom root;
+  (* NG002: ".." to a non-directory *)
+  let pbad = Vfs.Fs.mkdir_path fs "/pbad" in
+  S.bind st ~dir:pbad N.parent_atom passwd;
+  (* NG003 + NG005: a directory whose parent forgot it *)
+  let det = Vfs.Fs.mkdir_path fs "/det" in
+  Vfs.Fs.unlink fs ~dir:root "det";
+  ignore det;
+  (* NG004: binding to an entity the store never allocated *)
+  S.bind st ~dir:etc (N.atom "ghost") (E.Object 9999);
+  (* NG003 + NG007: a subtree only a cross-link keeps alive *)
+  let oldp = S.create_context_object ~label:"oldp" st in
+  let lost = S.create_context_object ~label:"lost" st in
+  S.bind st ~dir:lost N.self_atom lost;
+  S.bind st ~dir:lost N.parent_atom oldp;
+  S.bind st ~dir:usr (N.atom "archive") lost;
+  (* NG005: a fully unreachable subtree *)
+  let orphan = S.create_context_object ~label:"orphan" st in
+  let stray = S.create_object ~label:"stray" st in
+  S.bind st ~dir:orphan (N.atom "stray") stray;
+  (* NG008 (+ NG006, NG009): a non-dot cycle *)
+  let cyc_a = Vfs.Fs.mkdir_path fs "/cyc_a" in
+  let cyc_b = Vfs.Fs.mkdir_path fs "/cyc_a/cyc_b" in
+  S.bind st ~dir:cyc_b (N.atom "loop") cyc_a;
+  (* NG006 + NG009: a benign cross-link *)
+  S.bind st ~dir:etc (N.atom "tools") bin;
+  (* NG009: a plain alias *)
+  S.bind st ~dir:etc (N.atom "pw2") passwd;
+  (* Two activities, the second chrooted to /usr -> NG010 on "/" and
+     "/etc/passwd". *)
+  let env = Schemes.Process_env.create st in
+  let p0 = Schemes.Process_env.spawn ~label:"p0" ~root env in
+  let p1 = Schemes.Process_env.spawn ~label:"p1" ~root:usr env in
+  Analysis.Subject.v ~probes ~rule:(Schemes.Process_env.rule env)
+    ~activities:[ p0; p1 ] st
+
+(* The full pretty-JSON report (fuel = 3, label "broken"), kept as a
+   golden string: object numbering is deterministic, so any drift in
+   renderers, pass order or diagnostic text shows up here. *)
+let expected_json =
+  {golden|{
+  "label": "broken",
+  "activities": 2,
+  "objects": 16,
+  "context_objects": 14,
+  "probes": 3,
+  "passes": [
+    "structure",
+    "reachability",
+    "crosslinks",
+    "cycles",
+    "aliases",
+    "coherence"
+  ],
+  "counts": {
+    "error": 6,
+    "warning": 6,
+    "info": 7
+  },
+  "diagnostics": [
+    {
+      "code": "NG001",
+      "severity": "error",
+      "pass": "structure",
+      "message": "selfbad(o5): '.' does not denote itself",
+      "entities": [
+        {
+          "entity": "o5",
+          "label": "selfbad"
+        }
+      ]
+    },
+    {
+      "code": "NG002",
+      "severity": "error",
+      "pass": "structure",
+      "message": "pbad(o6): '..' denotes non-directory passwd(o2)",
+      "entities": [
+        {
+          "entity": "o6",
+          "label": "pbad"
+        },
+        {
+          "entity": "o2",
+          "label": "passwd"
+        }
+      ]
+    },
+    {
+      "code": "NG003",
+      "severity": "error",
+      "pass": "structure",
+      "message": "det(o7): parent /(o0) does not link back",
+      "entities": [
+        {
+          "entity": "o7",
+          "label": "det"
+        },
+        {
+          "entity": "o0",
+          "label": "/"
+        }
+      ]
+    },
+    {
+      "code": "NG003",
+      "severity": "error",
+      "pass": "structure",
+      "message": "lost(o9): parent oldp(o8) does not link back",
+      "entities": [
+        {
+          "entity": "o9",
+          "label": "lost"
+        },
+        {
+          "entity": "o8",
+          "label": "oldp"
+        }
+      ]
+    },
+    {
+      "code": "NG004",
+      "severity": "error",
+      "pass": "structure",
+      "message": "etc(o1): binding ghost -> unknown entity o9999",
+      "entities": [
+        {
+          "entity": "o1",
+          "label": "etc"
+        },
+        {
+          "entity": "o9999"
+        }
+      ]
+    },
+    {
+      "code": "NG007",
+      "severity": "error",
+      "pass": "crosslinks",
+      "message": "dangling cross-link usr(o3) -[archive]-> lost(o9): the target's own tree has lost it",
+      "entities": [
+        {
+          "entity": "o3",
+          "label": "usr"
+        },
+        {
+          "entity": "o9",
+          "label": "lost"
+        }
+      ]
+    },
+    {
+      "code": "NG005",
+      "severity": "warning",
+      "pass": "reachability",
+      "message": "det(o7) is unreachable from every activity root",
+      "entities": [
+        {
+          "entity": "o7",
+          "label": "det"
+        }
+      ]
+    },
+    {
+      "code": "NG005",
+      "severity": "warning",
+      "pass": "reachability",
+      "message": "orphan(o10) is unreachable from every activity root",
+      "entities": [
+        {
+          "entity": "o10",
+          "label": "orphan"
+        }
+      ]
+    },
+    {
+      "code": "NG005",
+      "severity": "warning",
+      "pass": "reachability",
+      "message": "stray(o11) is unreachable from every activity root",
+      "entities": [
+        {
+          "entity": "o11",
+          "label": "stray"
+        }
+      ]
+    },
+    {
+      "code": "NG008",
+      "severity": "warning",
+      "pass": "cycles",
+      "message": "non-dot cycle: cyc_a(o12) -> cyc_b(o13) -> cyc_a(o12)",
+      "entities": [
+        {
+          "entity": "o12",
+          "label": "cyc_a"
+        },
+        {
+          "entity": "o13",
+          "label": "cyc_b"
+        }
+      ]
+    },
+    {
+      "code": "NG010",
+      "severity": "warning",
+      "pass": "coherence",
+      "message": "probe / is provably incoherent: generated(by=a14) -> /(o0), generated(by=a16) -> usr(o3)",
+      "entities": [
+        {
+          "entity": "o0",
+          "label": "/"
+        },
+        {
+          "entity": "o3",
+          "label": "usr"
+        }
+      ],
+      "name": "/",
+      "trace": [
+        {
+          "at": "⊥",
+          "atom": "/",
+          "target": "o3(usr)"
+        }
+      ]
+    },
+    {
+      "code": "NG010",
+      "severity": "warning",
+      "pass": "coherence",
+      "message": "probe /etc/passwd is provably incoherent: generated(by=a14) -> passwd(o2), generated(by=a16) -> ⊥",
+      "entities": [
+        {
+          "entity": "o2",
+          "label": "passwd"
+        }
+      ],
+      "name": "/etc/passwd",
+      "trace": [
+        {
+          "at": "⊥",
+          "atom": "/",
+          "target": "o3(usr)"
+        },
+        {
+          "at": "o3(usr)",
+          "atom": "etc",
+          "target": "⊥"
+        }
+      ]
+    },
+    {
+      "code": "NG006",
+      "severity": "info",
+      "pass": "crosslinks",
+      "message": "cross-link cyc_b(o13) -[loop]-> cyc_a(o12) (enters a tree from outside)",
+      "entities": [
+        {
+          "entity": "o13",
+          "label": "cyc_b"
+        },
+        {
+          "entity": "o12",
+          "label": "cyc_a"
+        }
+      ]
+    },
+    {
+      "code": "NG006",
+      "severity": "info",
+      "pass": "crosslinks",
+      "message": "cross-link etc(o1) -[tools]-> bin(o4) (enters a tree from outside)",
+      "entities": [
+        {
+          "entity": "o1",
+          "label": "etc"
+        },
+        {
+          "entity": "o4",
+          "label": "bin"
+        }
+      ]
+    },
+    {
+      "code": "NG009",
+      "severity": "info",
+      "pass": "aliases",
+      "message": "bin(o4) has 2 non-dot names from p0(a14)'s root: etc/tools, usr/bin",
+      "entities": [
+        {
+          "entity": "o4",
+          "label": "bin"
+        },
+        {
+          "entity": "a14",
+          "label": "p0"
+        }
+      ]
+    },
+    {
+      "code": "NG009",
+      "severity": "info",
+      "pass": "aliases",
+      "message": "cyc_a(o12) has 2 non-dot names from p0(a14)'s root: cyc_a, cyc_a/cyc_b/loop",
+      "entities": [
+        {
+          "entity": "o12",
+          "label": "cyc_a"
+        },
+        {
+          "entity": "a14",
+          "label": "p0"
+        }
+      ]
+    },
+    {
+      "code": "NG009",
+      "severity": "info",
+      "pass": "aliases",
+      "message": "cyc_b(o13) has 2 non-dot names from p0(a14)'s root: cyc_a/cyc_b, cyc_a/cyc_b/loop/cyc_b",
+      "entities": [
+        {
+          "entity": "o13",
+          "label": "cyc_b"
+        },
+        {
+          "entity": "a14",
+          "label": "p0"
+        }
+      ]
+    },
+    {
+      "code": "NG009",
+      "severity": "info",
+      "pass": "aliases",
+      "message": "passwd(o2) has 2 non-dot names from p0(a14)'s root: etc/passwd, etc/pw2",
+      "entities": [
+        {
+          "entity": "o2",
+          "label": "passwd"
+        },
+        {
+          "entity": "a14",
+          "label": "p0"
+        }
+      ]
+    },
+    {
+      "code": "NG011",
+      "severity": "info",
+      "pass": "coherence",
+      "message": "probe /usr/bin/cc undecided: name has 4 atoms, analysis budget is 3",
+      "entities": [],
+      "name": "/usr/bin/cc"
+    }
+  ]
+}|golden}
+
+(* Every code the fixture is expected to trip, in report order. *)
+let expected_codes =
+  [
+    "NG001"; "NG002"; "NG003"; "NG003"; "NG004"; "NG007";
+    "NG005"; "NG005"; "NG005"; "NG008"; "NG010"; "NG010";
+    "NG006"; "NG006"; "NG009"; "NG009"; "NG009"; "NG009"; "NG011";
+  ]

@@ -33,6 +33,13 @@ let test_bind_undefined_unbinds () =
   check b "binding to bottom removes" false (C.mem c (a "f"));
   check i "cardinal 0" 0 (C.cardinal c)
 
+let test_exists () =
+  let c = C.of_bindings [ (a "x", E.Object 1); (a "y", E.Object 2) ] in
+  check b "finds a binding" true
+    (C.exists (fun _ e -> E.equal e (E.Object 2)) c);
+  check b "no match" false (C.exists (fun _ e -> E.equal e (E.Object 3)) c);
+  check b "empty" false (C.exists (fun _ _ -> true) C.empty)
+
 let test_unbind () =
   let c = C.of_bindings [ (a "x", E.Object 1); (a "y", E.Object 2) ] in
   let c = C.unbind c (a "x") in
@@ -106,6 +113,7 @@ let suite =
     Alcotest.test_case "empty is total" `Quick test_empty_total;
     Alcotest.test_case "bind/lookup" `Quick test_bind_lookup;
     Alcotest.test_case "bind bottom = unbind" `Quick test_bind_undefined_unbinds;
+    Alcotest.test_case "exists short-circuits" `Quick test_exists;
     Alcotest.test_case "unbind" `Quick test_unbind;
     Alcotest.test_case "of_bindings last wins" `Quick test_of_bindings_last_wins;
     Alcotest.test_case "union prefer" `Quick test_union_prefer;

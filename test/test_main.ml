@@ -42,4 +42,5 @@ let () =
       ("script", Test_script.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
+      ("analysis", Test_analysis.suite);
     ]
