@@ -104,6 +104,22 @@ module Fixtures = struct
 
   let jade_user =
     Schemes.Jade.new_user jade ~mounts:[ ("sw", [ "local"; "campus" ]) ]
+
+  (* name-flow analysis: the sample plans, and generated plans for the
+     size sweep (ops interleaved with a probing flow) *)
+  let flow_plans = List.filter_map Harness.Sample.script Harness.Sample.scripts
+
+  let flow_plan_of_size n =
+    let rng = Dsim.Rng.create (Int64.of_int (n + 11)) in
+    let w = Workload.Script.new_world (Naming.Store.create ()) in
+    let probe = Naming.Name.of_string "/a/b" in
+    List.concat_map
+      (fun op ->
+        [
+          Analysis.Flow.Op op;
+          Analysis.Flow.Flow (Analysis.Flow.Use { proc = 0; name = probe });
+        ])
+      (Workload.Script.random_ops w ~rng ~n)
 end
 
 let micro_tests =
@@ -189,6 +205,11 @@ let micro_tests =
            ignore
              (Naming.Cache.resolve_in Fixtures.cache Fixtures.unix_root
                 Fixtures.hot_name)));
+    Test.make ~name:"b12: flow analysis (all sample plans)"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun plan -> ignore (Analysis.Flow.analyze plan))
+             Fixtures.flow_plans));
   ]
 
 let experiment_tests =
@@ -258,7 +279,14 @@ let scaling_tests =
         Staged.stage (fun () ->
             ignore (Naming.Coherence.measure store rule occs probes)))
   in
-  [ depth_test; matrix_test ]
+  let flow_test =
+    Test.make_indexed ~name:"s3: flow analysis by plan size"
+      ~args:[ 16; 64; 256 ]
+      (fun n ->
+        let plan = Fixtures.flow_plan_of_size n in
+        Staged.stage (fun () -> ignore (Analysis.Flow.analyze plan)))
+  in
+  [ depth_test; matrix_test; flow_test ]
 
 let run_bechamel ~name tests =
   let open Bechamel in

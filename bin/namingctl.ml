@@ -8,7 +8,12 @@
      lint <scheme|all>  well-formedness report for a sample world
      analyze <scheme|all>
                         multi-pass static analysis of a sample world
-                        (--json, --min-severity, nonzero exit on errors)
+                        (--json, --sarif, --min-severity, nonzero exit on
+                        errors)
+     check-script <file|sample|all>
+                        static name-flow analysis of a script/flow plan
+                        (--json, --sarif, --min-severity, --received-rule,
+                        --embedded-rule; nonzero exit on errors)
      coherence <scheme> <name>
                         per-activity resolution and coherence verdict
      diff <scheme>      bucketed namespace diff of two activities
@@ -134,7 +139,7 @@ let cmd_coherence scheme name =
       | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ -> 0
       | Naming.Coherence.Incoherent _ | Naming.Coherence.Vacuous -> 1)
 
-let cmd_analyze scheme json min_severity =
+let cmd_analyze scheme json sarif min_severity =
   match Analysis.Diagnostic.severity_of_string min_severity with
   | None ->
       Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
@@ -158,7 +163,14 @@ let cmd_analyze scheme json min_severity =
             (w.store, Analysis.Engine.analyze ~config ~label:scheme subject))
           schemes
       in
-      if json then
+      if sarif then
+        print_endline
+          (Analysis.Json.to_string_pretty
+             (Analysis.Sarif.render
+                (List.map
+                   (fun (_store, r) -> Analysis.Sarif.of_report r)
+                   analyzed)))
+      else if json then
         match analyzed with
         | [ (store, r) ] ->
             print_endline
@@ -182,6 +194,119 @@ let cmd_analyze scheme json min_severity =
             Format.printf "%a@." (Analysis.Engine.pp store) r)
           analyzed;
       Analysis.Engine.exit_code (List.map snd analyzed)
+
+(* A check-script target: a script file (takes precedence), a sample
+   plan name, or 'all' (every sample plan). *)
+let script_targets arg =
+  if Sys.file_exists arg then begin
+    let ic = open_in_bin arg in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Analysis.Flow.parse text with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" arg msg;
+        Error 2
+    | Ok (plan, lines) ->
+        let line_of i =
+          if i >= 0 && i < Array.length lines then Some lines.(i) else None
+        in
+        Ok [ (Filename.basename arg, plan, Some arg, line_of) ]
+  end
+  else
+    let sample name =
+      match Harness.Sample.script name with
+      | Some plan -> Ok [ (name, plan, None, fun _ -> None) ]
+      | None ->
+          Printf.eprintf
+            "unknown script %S (expected a file, one of: %s; or 'all')\n" name
+            (String.concat ", " Harness.Sample.scripts);
+          Error 2
+    in
+    if String.equal (String.lowercase_ascii arg) "all" then
+      List.fold_left
+        (fun acc name ->
+          Result.bind acc (fun ts -> Result.map (( @ ) ts) (sample name)))
+        (Ok []) Harness.Sample.scripts
+    else sample arg
+
+let cmd_check_script target json sarif min_severity received embedded =
+  let severity = Analysis.Diagnostic.severity_of_string min_severity in
+  let received_rule =
+    match received with
+    | "receiver" -> Some `Receiver
+    | "sender" -> Some `Sender
+    | _ -> None
+  in
+  let embedded_rule =
+    match embedded with
+    | "reader" -> Some `Reader
+    | "source" -> Some `Source
+    | _ -> None
+  in
+  match (severity, received_rule, embedded_rule) with
+  | None, _, _ ->
+      Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
+        min_severity;
+      2
+  | _, None, _ ->
+      Printf.eprintf
+        "invalid received-rule %S (expected receiver or sender)\n" received;
+      2
+  | _, _, None ->
+      Printf.eprintf "invalid embedded-rule %S (expected reader or source)\n"
+        embedded;
+      2
+  | Some min_severity, Some received_rule, Some embedded_rule -> (
+      match script_targets target with
+      | Error code -> code
+      | Ok targets ->
+          let config =
+            { Analysis.Flow.default_config with received_rule; embedded_rule }
+          in
+          let checked =
+            List.map
+              (fun (label, plan, uri, line_of) ->
+                let _result, report =
+                  Analysis.Flowpasses.report ~min_severity ~config ~label plan
+                in
+                (uri, line_of, report))
+              targets
+          in
+          (* Flow diagnostics carry no store entities; any store renders
+             them. *)
+          let store = Naming.Store.create () in
+          if sarif then
+            print_endline
+              (Analysis.Json.to_string_pretty
+                 (Analysis.Sarif.render
+                    (List.map
+                       (fun (uri, line_of, r) ->
+                         Analysis.Sarif.of_report ?uri ~line_of r)
+                       checked)))
+          else if json then (
+            match checked with
+            | [ (_, _, r) ] ->
+                print_endline
+                  (Analysis.Json.to_string_pretty
+                     (Analysis.Engine.to_json store r))
+            | _ ->
+                print_endline
+                  (Analysis.Json.to_string_pretty
+                     (Analysis.Json.Obj
+                        [
+                          ( "scripts",
+                            Analysis.Json.List
+                              (List.map
+                                 (fun (_, _, r) ->
+                                   Analysis.Engine.to_json store r)
+                                 checked) );
+                        ])))
+          else
+            List.iter
+              (fun (_, _, r) ->
+                Format.printf "%a@." (Analysis.Engine.pp store) r)
+              checked;
+          Analysis.Engine.exit_code (List.map (fun (_, _, r) -> r) checked))
 
 open Cmdliner
 
@@ -215,21 +340,56 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Serialise a sample world's store (Codec v1 format)")
     Term.(const cmd_dump $ scheme_or_all_arg)
 
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON")
+
+let sarif_flag =
+  Arg.(value & flag
+       & info [ "sarif" ]
+           ~doc:"Emit the report as SARIF 2.1.0 (for code scanning); \
+                 takes precedence over --json")
+
+let min_severity_opt =
+  Arg.(value & opt string "info"
+       & info [ "min-severity" ] ~docv:"SEV"
+           ~doc:"Report only diagnostics at least this severe: info, \
+                 warning or error. The exit code always reflects errors.")
+
 let analyze_cmd =
-  let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON")
-  in
-  let min_severity =
-    Arg.(value & opt string "info"
-         & info [ "min-severity" ] ~docv:"SEV"
-             ~doc:"Report only diagnostics at least this severe: info, \
-                   warning or error. The exit code always reflects errors.")
-  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Multi-pass static analysis of a sample world's naming graph; \
              exits nonzero when any error-severity diagnostic fires")
-    Term.(const cmd_analyze $ scheme_or_all_arg $ json $ min_severity)
+    Term.(const cmd_analyze $ scheme_or_all_arg $ json_flag $ sarif_flag
+          $ min_severity_opt)
+
+let check_script_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT"
+           ~doc:(Printf.sprintf
+                   "A script file, or one of the sample plans: %s; or 'all'"
+                   (String.concat ", " Harness.Sample.scripts)))
+  in
+  let received_rule =
+    Arg.(value & opt string "receiver"
+         & info [ "received-rule" ] ~docv:"RULE"
+             ~doc:"Context for received names: 'receiver' (the common OS \
+                   closure) or 'sender' (remap with the message).")
+  in
+  let embedded_rule =
+    Arg.(value & opt string "reader"
+         & info [ "embedded-rule" ] ~docv:"RULE"
+             ~doc:"Context for embedded names: 'reader' or 'source' (the \
+                   object's own scope).")
+  in
+  Cmd.v
+    (Cmd.info "check-script"
+       ~doc:"Static name-flow analysis of a script: classify every \
+             use/send/read flow as coherent, incoherent or unknown \
+             without running it; exits nonzero when any flow is provably \
+             incoherent")
+    Term.(const cmd_check_script $ target $ json_flag $ sarif_flag
+          $ min_severity_opt $ received_rule $ embedded_rule)
 
 let report_cmd =
   Cmd.v
@@ -273,7 +433,7 @@ inspection tool"
   Cmd.group info
     [
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
-      analyze_cmd; trace_cmd; coherence_cmd; diff_cmd;
+      analyze_cmd; check_script_cmd; trace_cmd; coherence_cmd; diff_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -22,10 +22,12 @@ type t = {
   entities : Naming.Entity.t list;
   name : Naming.Name.t option;
   trace : Naming.Resolver.trace;
+  loc : int option;
 }
 
-let make ~code ~severity ~pass ?(entities = []) ?name ?(trace = []) message =
-  { code; severity; pass; message; entities; name; trace }
+let make ~code ~severity ~pass ?(entities = []) ?name ?(trace = []) ?loc
+    message =
+  { code; severity; pass; message; entities; name; trace; loc }
 
 let compare d1 d2 =
   let c = Int.compare (severity_rank d2.severity) (severity_rank d1.severity) in
@@ -51,6 +53,18 @@ let catalogue =
                         the activities");
     ("NG011", Info, "a probe name the static predictor could not decide \
                      within its budget");
+    ("NG101", Error, "a sent name resolved under R(receiver) to a \
+                      different entity than the sender's");
+    ("NG102", Error, "an embedded name whose denotation for the reader \
+                      differs from its source scope");
+    ("NG103", Warning, "a name resolved through a binding that was \
+                        explicitly unbound earlier");
+    ("NG104", Warning, "a fork divergence: parent and child resolve the \
+                        same name to different entities");
+    ("NG105", Warning, "a silently-skipped op, or a flow using the result \
+                        of one");
+    ("NG106", Info, "a flow the analyzer could not decide within its \
+                     budget");
   ]
 
 let entity_str store e =
@@ -61,6 +75,9 @@ let entity_str store e =
 let pp store ppf d =
   Format.fprintf ppf "%s %-7s %s" d.code (severity_to_string d.severity)
     d.message;
+  (match d.loc with
+  | Some i -> Format.fprintf ppf "@\n    step: %d" i
+  | None -> ());
   (match d.name with
   | Some n -> Format.fprintf ppf "@\n    name: %s" (Naming.Name.to_string n)
   | None -> ());
@@ -95,6 +112,9 @@ let to_json store d =
        ("message", Json.String d.message);
        ("entities", Json.List (List.map (entity_json store) d.entities));
      ]
+    @ (match d.loc with
+      | Some i -> [ ("step", Json.Int i) ]
+      | None -> [])
     @ (match d.name with
       | Some n -> [ ("name", Json.String (Naming.Name.to_string n)) ]
       | None -> [])

@@ -23,6 +23,10 @@ type t = {
   entities : Naming.Entity.t list;  (** witness entities, most specific first *)
   name : Naming.Name.t option;  (** the name under analysis, if any *)
   trace : Naming.Resolver.trace;  (** witness resolution path (may be empty) *)
+  loc : int option;
+      (** position of the witness in the analyzed input — for flow
+          analysis, the plan step index (and, via the CLI, the script
+          line) *)
 }
 
 val make :
@@ -32,6 +36,7 @@ val make :
   ?entities:Naming.Entity.t list ->
   ?name:Naming.Name.t ->
   ?trace:Naming.Resolver.trace ->
+  ?loc:int ->
   string ->
   t
 (** [make ~code ~severity ~pass msg] builds a diagnostic. *)

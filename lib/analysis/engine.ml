@@ -78,25 +78,21 @@ let selected_passes cfg =
               invalid_arg (Printf.sprintf "Engine.analyze: unknown pass %S" id))
         ids
 
-let analyze ?(config = default_config) ~label (t : Subject.t) =
-  let passes = selected_passes config in
-  let diagnostics =
-    List.concat_map (fun p -> p.run config t) passes
-    |> List.sort Diagnostic.compare
-  in
+let assemble ?(min_severity = Diagnostic.Info) ~label ~activities ~objects
+    ~context_objects ~probes ~passes_run diagnostics =
+  let diagnostics = List.sort Diagnostic.compare diagnostics in
   let count sev =
     List.length
       (List.filter (fun d -> d.Diagnostic.severity = sev) diagnostics)
   in
-  let min_rank = Diagnostic.severity_rank config.min_severity in
-  let store = t.Subject.store in
+  let min_rank = Diagnostic.severity_rank min_severity in
   {
     label;
-    activities = List.length t.Subject.activities;
-    objects = List.length (Naming.Store.objects store);
-    context_objects = List.length (Naming.Store.context_objects store);
-    probes = List.length t.Subject.probes;
-    passes_run = List.map (fun p -> p.id) passes;
+    activities;
+    objects;
+    context_objects;
+    probes;
+    passes_run;
     diagnostics =
       List.filter
         (fun d -> Diagnostic.severity_rank d.Diagnostic.severity >= min_rank)
@@ -105,6 +101,18 @@ let analyze ?(config = default_config) ~label (t : Subject.t) =
     warnings = count Diagnostic.Warning;
     infos = count Diagnostic.Info;
   }
+
+let analyze ?(config = default_config) ~label (t : Subject.t) =
+  let passes = selected_passes config in
+  let diagnostics = List.concat_map (fun p -> p.run config t) passes in
+  let store = t.Subject.store in
+  assemble ~min_severity:config.min_severity ~label
+    ~activities:(List.length t.Subject.activities)
+    ~objects:(List.length (Naming.Store.objects store))
+    ~context_objects:(List.length (Naming.Store.context_objects store))
+    ~probes:(List.length t.Subject.probes)
+    ~passes_run:(List.map (fun p -> p.id) passes)
+    diagnostics
 
 let has_errors r = r.errors > 0
 let exit_code reports = if List.exists has_errors reports then 1 else 0

@@ -46,6 +46,21 @@ val analyze : ?config:config -> label:string -> Subject.t -> report
 (** @raise Invalid_argument when [config.passes] names an unknown
     pass. *)
 
+val assemble :
+  ?min_severity:Diagnostic.severity ->
+  label:string ->
+  activities:int ->
+  objects:int ->
+  context_objects:int ->
+  probes:int ->
+  passes_run:string list ->
+  Diagnostic.t list ->
+  report
+(** Builds a report from raw counts and diagnostics, applying the same
+    sorting, counting and display-filter policy as {!analyze} — the
+    entry point for analyses that are not world passes (e.g.
+    {!Flowpasses}). *)
+
 val has_errors : report -> bool
 val exit_code : report list -> int
 (** 1 when any report has errors, 0 otherwise. *)

@@ -1,0 +1,86 @@
+module D = Diagnostic
+module F = Flow
+
+let flow_pass = "name-flow"
+let skip_pass = "skips"
+
+let flow_name = function
+  | F.Use { name; _ } | F.Send { name; _ } | F.Read { name; _ } -> name
+
+let side_str (s : F.side) =
+  if String.equal s.trace "" then Printf.sprintf "%s → %s" s.role s.rendered
+  else Printf.sprintf "%s → %s via [%s]" s.role s.rendered s.trace
+
+let of_verdict (v : F.verdict) =
+  let fl_s = F.flow_to_string v.flow in
+  let name = flow_name v.flow in
+  let mk ~code ~severity msg =
+    D.make ~code ~severity ~pass:flow_pass ~name ~loc:v.index msg
+  in
+  let sides_str () = String.concat "; " (List.map side_str v.sides) in
+  let base =
+    match (v.outcome, v.flow) with
+    | F.Incoherent, F.Send _ ->
+        [
+          mk ~code:"NG101" ~severity:D.Error
+            (Printf.sprintf "%s: %s" fl_s (sides_str ()));
+        ]
+    | F.Incoherent, F.Read _ ->
+        [
+          mk ~code:"NG102" ~severity:D.Error
+            (Printf.sprintf "%s: %s" fl_s (sides_str ()));
+        ]
+    | F.Incoherent, F.Use _ -> []
+    | F.Unknown F.Fuel, _ ->
+        [
+          mk ~code:"NG106" ~severity:D.Info
+            (Printf.sprintf "%s: not decided within the fuel budget" fl_s);
+        ]
+    | F.Unknown (F.Missing_ref reason), _ ->
+        [
+          mk ~code:"NG105" ~severity:D.Warning
+            (Printf.sprintf "%s: %s" fl_s reason);
+        ]
+    | (F.Coherent | F.Vacuous), _ -> []
+  in
+  let stales =
+    List.filter_map
+      (fun (s : F.side) ->
+        Option.map (fun st -> (st, s.F.role)) s.F.stale)
+      v.sides
+    |> List.sort_uniq (fun ((a : Absstate.stale), _) (b, _) ->
+           compare (a.Absstate.binding, a.Absstate.unbound_at)
+             (b.Absstate.binding, b.Absstate.unbound_at))
+    |> List.map (fun ((st : Absstate.stale), role) ->
+           mk ~code:"NG103" ~severity:D.Warning
+             (Printf.sprintf "%s: %s resolves through %S, unbound at op %d"
+                fl_s role st.Absstate.binding st.Absstate.unbound_at))
+  in
+  let divs =
+    match v.divergence with
+    | Some { F.parent; parent_rendered; own_rendered } ->
+        [
+          mk ~code:"NG104" ~severity:D.Warning
+            (Printf.sprintf "%s: resolves %s but fork parent %d resolves %s"
+               fl_s own_rendered parent parent_rendered);
+        ]
+    | None -> []
+  in
+  base @ stales @ divs
+
+let of_skip (plan_idx, (sk : Workload.Script.skip)) =
+  D.make ~code:"NG105" ~severity:D.Warning ~pass:skip_pass ~loc:plan_idx
+    (Format.asprintf "%a" Workload.Script.pp_skip sk)
+
+let diagnostics (r : F.result) =
+  List.concat_map of_verdict r.F.verdicts @ List.map of_skip r.F.skips
+
+let report ?min_severity ?config ~label plan =
+  let r = F.analyze ?config plan in
+  let rep =
+    Engine.assemble ?min_severity ~label ~activities:r.F.procs
+      ~objects:r.F.nodes ~context_objects:r.F.dirs ~probes:r.F.flows
+      ~passes_run:[ flow_pass; skip_pass ]
+      (diagnostics r)
+  in
+  (r, rep)

@@ -1,0 +1,32 @@
+(** From flow verdicts to diagnostics.
+
+    Maps a {!Flow.result} onto the NG1xx series, through the same
+    {!Diagnostic}/{!Engine} machinery as the world passes:
+
+    - [NG101] (error): an incoherent send — the name resolves to
+      different entities for sender and receiver;
+    - [NG102] (error): an incoherent read — the embedded name's
+      denotation for the reader differs from its source scope;
+    - [NG103] (warning): a flow resolving through a binding that an
+      earlier op explicitly unbound;
+    - [NG104] (warning): a [use] on which a process and its fork parent
+      disagree;
+    - [NG105] (warning): a silently-skipped op, or a flow referencing a
+      process/object that does not exist (typically the result of one);
+    - [NG106] (info): a flow the analyzer declined to decide (fuel).
+
+    Coherent and vacuous flows are silent. Every diagnostic's [loc] is
+    the plan step index of its witness. *)
+
+val diagnostics : Flow.result -> Diagnostic.t list
+(** In emission order (the report sorts). *)
+
+val report :
+  ?min_severity:Diagnostic.severity ->
+  ?config:Flow.config ->
+  label:string ->
+  Flow.plan ->
+  Flow.result * Engine.report
+(** Runs {!Flow.analyze} and assembles an {!Engine.report}: activities
+    are the abstract processes, objects the abstract nodes, probes the
+    flows. *)

@@ -1,0 +1,108 @@
+type source = {
+  report : Engine.report;
+  uri : string option;
+  line_of : int -> int option;
+}
+
+let of_report ?uri ?(line_of = fun _ -> None) report = { report; uri; line_of }
+
+let level_of = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let rule (code, severity, summary) =
+  Json.Obj
+    [
+      ("id", Json.String code);
+      ("shortDescription", Json.Obj [ ("text", Json.String summary) ]);
+      ( "defaultConfiguration",
+        Json.Obj [ ("level", Json.String (level_of severity)) ] );
+    ]
+
+let location src (d : Diagnostic.t) =
+  match src.uri with
+  | Some uri ->
+      let region =
+        match Option.bind d.loc src.line_of with
+        | Some line -> [ ("region", Json.Obj [ ("startLine", Json.Int line) ]) ]
+        | None -> []
+      in
+      [
+        ( "locations",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ( "physicalLocation",
+                    Json.Obj
+                      (("artifactLocation",
+                        Json.Obj [ ("uri", Json.String uri) ])
+                      :: region) );
+                ];
+            ] );
+      ]
+  | None ->
+      [
+        ( "locations",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ( "logicalLocations",
+                    Json.List
+                      [
+                        Json.Obj
+                          [
+                            ( "name",
+                              Json.String src.report.Engine.label );
+                          ];
+                      ] );
+                ];
+            ] );
+      ]
+
+let result src (d : Diagnostic.t) =
+  Json.Obj
+    ([
+       ("ruleId", Json.String d.code);
+       ("level", Json.String (level_of d.severity));
+       ("message", Json.Obj [ ("text", Json.String d.message) ]);
+       ( "properties",
+         Json.Obj
+           [
+             ("pass", Json.String d.pass);
+             ("label", Json.String src.report.Engine.label);
+           ] );
+     ]
+    @ location src d)
+
+let render sources =
+  let results =
+    List.concat_map
+      (fun src -> List.map (result src) src.report.Engine.diagnostics)
+      sources
+  in
+  let driver =
+    Json.Obj
+      [
+        ("name", Json.String "namingctl");
+        ("rules", Json.List (List.map rule Diagnostic.catalogue));
+      ]
+  in
+  let run =
+    Json.Obj
+      [
+        ("tool", Json.Obj [ ("driver", driver) ]);
+        ("results", Json.List results);
+      ]
+  in
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", Json.String "2.1.0");
+      ("runs", Json.List [ run ]);
+    ]

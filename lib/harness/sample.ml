@@ -114,3 +114,63 @@ let probes w =
       :: List.map
            (fun (n, _e) -> Naming.Name.cons Naming.Name.root_atom n)
            (Naming.Graph.all_names w.store root_ctx ~max_depth:3 ())
+
+let script_sources =
+  [
+    ( "exchange",
+      {script|# two processes of one machine exchange absolute names
+mkdir /srv/data
+add-file /srv/data/log "l0"
+spawn client
+spawn server
+send 0 1 /srv/data/log
+use 0 /srv/data
+|script}
+    );
+    ( "fork",
+      {script|# a fork, then the child changes its working directory
+mkdir /work
+mkdir /tmp
+spawn main
+fork 0
+chdir 1 /tmp
+use 0 work
+use 1 work
+|script}
+    );
+    ( "chroot",
+      {script|# a jailed child reads an embedded name from inside the jail
+mkdir /jail/etc
+add-file /jail/etc/conf "see passwd"
+add-file /jail/etc/passwd "root"
+spawn init
+fork 0
+chroot 1 /jail
+chdir 1 /jail/etc
+read 1 /jail/etc/conf passwd
+use 1 /etc/passwd
+|script}
+    );
+    ( "skips",
+      {script|# ops that cannot apply are skipped; later uses inherit the gap
+spawn p0
+mkdir /a
+chdir 0 /a/b
+bind 0 mnt /a
+unbind 0 mnt
+use 0 mnt/f
+use 0 /a
+|script}
+    );
+  ]
+
+let scripts = List.map fst script_sources
+let script_text name = List.assoc_opt name script_sources
+
+let script name =
+  Option.map
+    (fun text ->
+      match Analysis.Flow.parse text with
+      | Ok (plan, _lines) -> plan
+      | Error msg -> invalid_arg (Printf.sprintf "Sample.script %s: %s" name msg))
+    (script_text name)

@@ -24,3 +24,14 @@ val world : string -> world option
 val probes : world -> Naming.Name.t list
 (** The generic probe set: ["/"] plus every absolute name of length ≤ 3
     resolvable by the first activity. *)
+
+val scripts : string list
+(** The known sample flow plans: exchange, fork, chroot, skips — each
+    clean of error-severity flow diagnostics by design (the broken
+    fixture lives in the test suite). *)
+
+val script : string -> Analysis.Flow.plan option
+(** [None] on an unknown plan name. *)
+
+val script_text : string -> string option
+(** The plan in [Analysis.Flow.parse] file syntax. *)

@@ -36,24 +36,39 @@ let dir_at w path =
   let e = Vfs.Fs.lookup w.fs path in
   if S.is_context_object (Vfs.Fs.store w.fs) e then Some e else None
 
-let apply w op =
+let no_proc idx = Error (Printf.sprintf "no process %d" idx)
+let no_dir path = Error (Printf.sprintf "%s is not a directory" path)
+
+let dir_at_checked w path =
+  match dir_at w path with
+  | Some d -> Ok d
+  | None -> no_dir path
+  | exception N.Invalid msg -> Error msg
+
+let apply_checked w op =
   match op with
   | Mkdir path -> (
       match Vfs.Fs.mkdir_path w.fs path with
-      | (_ : E.t) -> ()
-      | exception Invalid_argument _ -> ())
+      | (_ : E.t) -> Ok ()
+      | exception Invalid_argument msg -> Error msg
+      | exception N.Invalid msg -> Error msg)
   | Add_file (path, content) -> (
       match Vfs.Fs.add_file w.fs path ~content with
-      | (_ : E.t) -> ()
-      | exception Invalid_argument _ -> ())
+      | (_ : E.t) -> Ok ()
+      | exception Invalid_argument msg -> Error msg
+      | exception N.Invalid msg -> Error msg)
   | Write (path, content) -> (
-      let e = Vfs.Fs.lookup w.fs path in
-      match Vfs.Fs.write w.fs e content with
-      | () -> ()
-      | exception Invalid_argument _ -> ())
+      match
+        let e = Vfs.Fs.lookup w.fs path in
+        Vfs.Fs.write w.fs e content
+      with
+      | () -> Ok ()
+      | exception Invalid_argument _ ->
+          Error (Printf.sprintf "%s is not a file" path)
+      | exception N.Invalid msg -> Error msg)
   | Unlink path -> (
       match N.of_string path with
-      | exception N.Invalid _ -> ()
+      | exception N.Invalid msg -> Error msg
       | n -> (
           match N.parent n with
           | Some parent_name -> (
@@ -63,44 +78,77 @@ let apply w op =
                 else dir_at w (N.to_string parent_name)
               in
               match parent with
-              | Some dir -> Vfs.Fs.unlink w.fs ~dir (N.atom_to_string (N.last n))
-              | None -> ())
-          | None -> ()))
+              | Some dir ->
+                  Vfs.Fs.unlink w.fs ~dir (N.atom_to_string (N.last n));
+                  Ok ()
+              | None -> no_dir (N.to_string parent_name))
+          | None -> Error (Printf.sprintf "%s has no parent" path)))
   | Spawn label ->
       let p =
         Schemes.Process_env.spawn ~label ~root:(Vfs.Fs.root w.fs) w.env
       in
-      w.rev_procs <- p :: w.rev_procs
+      w.rev_procs <- p :: w.rev_procs;
+      Ok ()
   | Fork idx -> (
       match proc w idx with
       | Some parent ->
           let child = Schemes.Process_env.fork w.env ~parent in
-          w.rev_procs <- child :: w.rev_procs
-      | None -> ())
+          w.rev_procs <- child :: w.rev_procs;
+          Ok ()
+      | None -> no_proc idx)
   | Chdir (idx, path) -> (
-      match (proc w idx, dir_at w path) with
-      | Some p, Some d -> Schemes.Process_env.set_cwd w.env p d
-      | _ -> ())
+      match proc w idx with
+      | None -> no_proc idx
+      | Some p ->
+          Result.map
+            (fun d -> Schemes.Process_env.set_cwd w.env p d)
+            (dir_at_checked w path))
   | Chroot (idx, path) -> (
-      match (proc w idx, dir_at w path) with
-      | Some p, Some d -> Schemes.Process_env.set_root w.env p d
-      | _ -> ())
+      match proc w idx with
+      | None -> no_proc idx
+      | Some p ->
+          Result.map
+            (fun d -> Schemes.Process_env.set_root w.env p d)
+            (dir_at_checked w path))
   | Bind (idx, name, path) -> (
-      match (proc w idx, dir_at w path) with
-      | Some p, Some d -> (
-          match Schemes.Process_env.set_binding w.env p name d with
-          | () -> ()
-          | exception N.Invalid _ -> ())
-      | _ -> ())
+      match proc w idx with
+      | None -> no_proc idx
+      | Some p ->
+          Result.bind (dir_at_checked w path) (fun d ->
+              match Schemes.Process_env.set_binding w.env p name d with
+              | () -> Ok ()
+              | exception N.Invalid msg -> Error msg))
   | Unbind (idx, name) -> (
       match proc w idx with
       | Some p -> (
           match Schemes.Process_env.remove_binding w.env p name with
-          | () -> ()
-          | exception N.Invalid _ -> ())
-      | None -> ())
+          | () -> Ok ()
+          | exception N.Invalid msg -> Error msg)
+      | None -> no_proc idx)
 
-let run w ops = List.iter (apply w) ops
+let apply w op = ignore (apply_checked w op : (unit, string) result)
+
+type skip = { index : int; op : op; reason : string }
+
+exception Skipped of skip
+
+let run ?(strict = false) w ops =
+  List.iteri
+    (fun index op ->
+      match apply_checked w op with
+      | Ok () -> ()
+      | Error reason -> if strict then raise (Skipped { index; op; reason }))
+    ops
+
+let run_report w ops =
+  let rev_skips = ref [] in
+  List.iteri
+    (fun index op ->
+      match apply_checked w op with
+      | Ok () -> ()
+      | Error reason -> rev_skips := { index; op; reason } :: !rev_skips)
+    ops;
+  List.rev !rev_skips
 
 let paths = [| "/a"; "/a/b"; "/a/b/c"; "/d"; "/d/e"; "/f" |]
 let binding_names = [| "mnt"; "vice"; "x" |]
@@ -147,3 +195,32 @@ let pp_op ppf = function
   | Chroot (i, p) -> Format.fprintf ppf "chroot %d %s" i p
   | Bind (i, n, p) -> Format.fprintf ppf "bind %d %s %s" i n p
   | Unbind (i, n) -> Format.fprintf ppf "unbind %d %s" i n
+
+let op_to_string op = Format.asprintf "%a" pp_op op
+
+let op_of_string line =
+  let line = String.trim line in
+  let fail () = Error (Printf.sprintf "unparseable op: %S" line) in
+  let scan fmt k =
+    match Scanf.sscanf line fmt k with
+    | op -> Ok op
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> fail ()
+  in
+  match String.index_opt line ' ' with
+  | None -> fail ()
+  | Some i -> (
+      match String.sub line 0 i with
+      | "mkdir" -> scan "mkdir %s%!" (fun p -> Mkdir p)
+      | "add-file" -> scan "add-file %s %S%!" (fun p c -> Add_file (p, c))
+      | "write" -> scan "write %s %S%!" (fun p c -> Write (p, c))
+      | "unlink" -> scan "unlink %s%!" (fun p -> Unlink p)
+      | "spawn" -> scan "spawn %s%!" (fun l -> Spawn l)
+      | "fork" -> scan "fork %d%!" (fun i -> Fork i)
+      | "chdir" -> scan "chdir %d %s%!" (fun i p -> Chdir (i, p))
+      | "chroot" -> scan "chroot %d %s%!" (fun i p -> Chroot (i, p))
+      | "bind" -> scan "bind %d %s %s%!" (fun i n p -> Bind (i, n, p))
+      | "unbind" -> scan "unbind %d %s%!" (fun i n -> Unbind (i, n))
+      | _ -> fail ())
+
+let pp_skip ppf { index; op; reason } =
+  Format.fprintf ppf "op %d (%a) skipped: %s" index pp_op op reason

@@ -1,0 +1,150 @@
+(* A deliberately broken name-flow plan for analyzer tests.
+
+   Written in the [check-script] file syntax (so the parser is on the
+   path too) and built deterministically so the diagnostic codes — and
+   the JSON golden output — are stable. With [fuel = 3]:
+
+   - [send 0 1 /srv/data] after [chroot 1 /srv]: the receiver resolves
+     the sender's absolute name inside the jail, where it denotes
+     nothing                                                 -> NG101
+   - [read 1 /srv/data/log log]: "log" denotes the file in its source
+     scope [/srv/data] but nothing in the chrooted reader's
+     context                                                 -> NG102
+   - [bind 0 mnt /srv/data; unbind 0 mnt; use 0 mnt/log]: a use
+     through an explicitly retired binding                   -> NG103
+   - [fork 0; chdir 2 /tmp; use 2 srv]: the child and its fork parent
+     resolve "srv" to different entities                     -> NG104
+   - [chdir 0 /nope]: silently skipped, the op-skip report   -> NG105
+   - [use 9 /srv]: a flow referencing a process that does
+     not exist                                               -> NG105
+   - [use 0 /srv/data/log]: 4 atoms against a budget of 3    -> NG106 *)
+
+let text =
+  {script|# A deliberately broken plan: trips every NG10x diagnostic.
+mkdir /srv
+mkdir /srv/data
+add-file /srv/data/log "secret"
+mkdir /tmp
+spawn sender
+spawn receiver
+chroot 1 /srv
+send 0 1 /srv/data
+read 1 /srv/data/log log
+bind 0 mnt /srv/data
+unbind 0 mnt
+use 0 mnt/log
+fork 0
+chdir 2 /tmp
+use 2 srv
+chdir 0 /nope
+use 9 /srv
+use 0 /srv/data/log
+|script}
+
+(* The fuel that leaves the 4-atom name undecided. *)
+let fuel = 3
+
+let config = { Analysis.Flow.default_config with Analysis.Flow.fuel }
+
+let parsed =
+  lazy
+    (match Analysis.Flow.parse text with
+    | Ok pl -> pl
+    | Error msg -> invalid_arg ("Broken_script.parsed: " ^ msg))
+
+let plan () = fst (Lazy.force parsed)
+let lines () = snd (Lazy.force parsed)
+
+let report () =
+  Analysis.Flowpasses.report ~config ~label:"broken" (plan ())
+
+(* Every code the fixture is expected to trip, in report order
+   (severity descending, then code, then message). *)
+let expected_codes =
+  [
+    "NG101"; "NG102"; "NG103"; "NG104"; "NG105"; "NG105"; "NG106";
+  ]
+
+(* The full pretty-JSON report, kept as a golden string: abstract node
+   numbering is deterministic, so any drift in the shadow interpreter,
+   the verdict renderer or the diagnostic text shows up here. *)
+let expected_json = {golden|{
+  "label": "broken",
+  "activities": 3,
+  "objects": 5,
+  "context_objects": 4,
+  "probes": 6,
+  "passes": [
+    "name-flow",
+    "skips"
+  ],
+  "counts": {
+    "error": 2,
+    "warning": 4,
+    "info": 1
+  },
+  "diagnostics": [
+    {
+      "code": "NG101",
+      "severity": "error",
+      "pass": "name-flow",
+      "message": "send 0 1 /srv/data: proc 0:sender (sender) → n2:data via [/ → n0:/; n0:/.srv → n1:srv; n1:srv.data → n2:data]; proc 1:receiver (receiver) → ⊥ via [/ → n1:srv; n1:srv.srv → ⊥]",
+      "entities": [],
+      "step": 7,
+      "name": "/srv/data"
+    },
+    {
+      "code": "NG102",
+      "severity": "error",
+      "pass": "name-flow",
+      "message": "read 1 /srv/data/log log: scope of /srv/data/log → n3:log via [log → n3:log]; proc 1:receiver (reader) → ⊥ via [. → n0:/; n0:/.log → ⊥]",
+      "entities": [],
+      "step": 8,
+      "name": "log"
+    },
+    {
+      "code": "NG103",
+      "severity": "warning",
+      "pass": "name-flow",
+      "message": "use 0 mnt/log: proc 0:sender (use) resolves through \"mnt\", unbound at op 8",
+      "entities": [],
+      "step": 11,
+      "name": "mnt/log"
+    },
+    {
+      "code": "NG104",
+      "severity": "warning",
+      "pass": "name-flow",
+      "message": "use 2 srv: resolves ⊥ but fork parent 0 resolves n1:srv",
+      "entities": [],
+      "step": 14,
+      "name": "srv"
+    },
+    {
+      "code": "NG105",
+      "severity": "warning",
+      "pass": "skips",
+      "message": "op 11 (chdir 0 /nope) skipped: /nope is not a directory",
+      "entities": [],
+      "step": 15
+    },
+    {
+      "code": "NG105",
+      "severity": "warning",
+      "pass": "name-flow",
+      "message": "use 9 /srv: no process 9 (proc)",
+      "entities": [],
+      "step": 16,
+      "name": "/srv"
+    },
+    {
+      "code": "NG106",
+      "severity": "info",
+      "pass": "name-flow",
+      "message": "use 0 /srv/data/log: not decided within the fuel budget",
+      "entities": [],
+      "step": 17,
+      "name": "/srv/data/log"
+    }
+  ]
+}|golden}

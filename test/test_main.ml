@@ -43,4 +43,5 @@ let () =
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
+      ("flow", Test_flow.suite);
     ]
