@@ -6,13 +6,42 @@
      bench/main.exe e3         — run one experiment (e1..e10, a1, a2)
      bench/main.exe exps       — experiments only
      bench/main.exe micro      — micro-benchmarks only
-     bench/main.exe scaling    — cost-vs-size series (depth, #activities)
+     bench/main.exe scaling    — cost-vs-size series (depth, #activities,
+                                 store size)
 
-   One Bechamel test per reproduced artefact: e1..e10/a1/a2 measure the
-   cost of the measurement behind the corresponding figure/claim; b1..b7
+   Flags (anywhere on the command line):
+     --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
+                  runs are reproducible by default, never self-seeded
+     --json     — also write results to BENCH_<date>.json in the cwd
+
+   One Bechamel test per reproduced artefact: e1..e10/a1..a4 measure the
+   cost of the measurement behind the corresponding figure/claim; b1..b13
    measure the primitive operations of the library. *)
 
-let () = Random.self_init ()
+let flags, positional =
+  let rec go fl pos = function
+    | [] -> (fl, List.rev pos)
+    | "--seed" :: v :: rest -> go (("seed", v) :: fl) pos rest
+    | "--json" :: rest -> go (("json", "") :: fl) pos rest
+    | x :: rest -> go fl (x :: pos) rest
+  in
+  go [] [] (List.tl (Array.to_list Sys.argv))
+
+let seed =
+  match List.assoc_opt "seed" flags with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "--seed expects an integer, got %S\n" v;
+          exit 2)
+  | None -> (
+      match Option.map int_of_string_opt (Sys.getenv_opt "BENCH_SEED") with
+      | Some (Some s) -> s
+      | Some None | None -> 42)
+
+let json_mode = List.mem_assoc "json" flags
+let () = Random.init seed
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark fixtures (built once, outside the timed regions).   *)
@@ -120,7 +149,58 @@ module Fixtures = struct
           Analysis.Flow.Flow (Analysis.Flow.Use { proc = 0; name = probe });
         ])
       (Workload.Script.random_ops w ~rng ~n)
+
+  (* b13: one mutation in /tmp per nine cached resolutions of hot paths
+     elsewhere — the workload fine-grained invalidation exists for. *)
+  let b13_store = Naming.Store.create ()
+  let b13_fs = Vfs.Fs.create b13_store
+  let () = Vfs.Fs.populate b13_fs Schemes.Unix_scheme.default_tree
+  let b13_root = Vfs.Fs.root b13_fs
+  let b13_cache = Naming.Cache.create b13_store
+
+  let b13_names =
+    List.map Naming.Name.of_string
+      [ "usr/bin/cc"; "bin/ls"; "etc/passwd"; "usr/lib/libc"; "bin" ]
+
+  let b13_rng = Dsim.Rng.create 42L
+  let b13_k = ref 0
 end
+
+(* The b13 workload at report scale: a fresh world, [ops] operations,
+   returning the cache counters. Also the source of the hit-rate figure
+   in the JSON report. *)
+let cache_workload ~ops =
+  let st = Naming.Store.create () in
+  let fs = Vfs.Fs.create st in
+  Vfs.Fs.populate fs Schemes.Unix_scheme.default_tree;
+  let root = Vfs.Fs.root fs in
+  let cache = Naming.Cache.create st in
+  let names =
+    List.map Naming.Name.of_string
+      [ "usr/bin/cc"; "bin/ls"; "etc/passwd"; "usr/lib/libc"; "bin" ]
+  in
+  let rng = Dsim.Rng.create (Int64.of_int seed) in
+  for k = 0 to ops - 1 do
+    if k mod 10 = 0 then
+      ignore
+        (Vfs.Fs.add_file fs (Printf.sprintf "/tmp/f%d" (k mod 64)) ~content:"x")
+    else ignore (Naming.Cache.resolve_in cache root (Dsim.Rng.pick rng names))
+  done;
+  Naming.Cache.stats cache
+
+let workload_stats : (int * Naming.Cache.stats) option ref = ref None
+
+let report_cache_workload () =
+  let ops = 100_000 in
+  let s = cache_workload ~ops in
+  workload_stats := Some (ops, s);
+  let total = s.Naming.Cache.hits + s.Naming.Cache.misses in
+  Printf.printf
+    "\nb13 workload (%d ops, seed %d): hits=%d misses=%d invalidations=%d \
+     evictions=%d hit_rate=%.4f\n"
+    ops seed s.Naming.Cache.hits s.Naming.Cache.misses
+    s.Naming.Cache.invalidations s.Naming.Cache.evictions
+    (float_of_int s.Naming.Cache.hits /. float_of_int (max 1 total))
 
 let micro_tests =
   let open Bechamel in
@@ -210,6 +290,19 @@ let micro_tests =
            List.iter
              (fun plan -> ignore (Analysis.Flow.analyze plan))
              Fixtures.flow_plans));
+    Test.make ~name:"b13: cached resolve under mixed mutate/resolve"
+      (Staged.stage (fun () ->
+           let k = !Fixtures.b13_k in
+           Fixtures.b13_k := k + 1;
+           if k mod 10 = 0 then
+             ignore
+               (Vfs.Fs.add_file Fixtures.b13_fs
+                  (Printf.sprintf "/tmp/f%d" (k mod 64))
+                  ~content:"x")
+           else
+             ignore
+               (Naming.Cache.resolve_in Fixtures.b13_cache Fixtures.b13_root
+                  (Dsim.Rng.pick Fixtures.b13_rng Fixtures.b13_names))));
   ]
 
 let experiment_tests =
@@ -286,7 +379,39 @@ let scaling_tests =
         let plan = Fixtures.flow_plan_of_size n in
         Staged.stage (fun () -> ignore (Analysis.Flow.analyze plan)))
   in
-  [ depth_test; matrix_test; flow_test ]
+  (* s4: a fixed probe path in stores of growing size — resolution cost
+     should depend on path depth, not store population, and the cached
+     walk should be flat in both. *)
+  let s4_world n =
+    let st = Naming.Store.create () in
+    let fs = Vfs.Fs.create st in
+    ignore (Vfs.Fs.mkdir_path fs "/a/b/c/d");
+    for i = 1 to n do
+      ignore (Vfs.Fs.add_file fs (Printf.sprintf "/a/f%d" i) ~content:"x")
+    done;
+    let root = Vfs.Fs.root fs in
+    let name = Naming.Name.of_string "a/b/c/d" in
+    let cache = Naming.Cache.create st in
+    ignore (Naming.Cache.resolve_in cache root name);
+    (st, root, name, cache)
+  in
+  let store_sizes = [ 64; 256; 1024; 4096 ] in
+  let size_plain =
+    Test.make_indexed ~name:"s4a: resolve by store size, plain"
+      ~args:store_sizes (fun n ->
+        let st, root, name, _cache = s4_world n in
+        Staged.stage (fun () -> ignore (Naming.Resolver.resolve_in st root name)))
+  in
+  let size_cached =
+    Test.make_indexed ~name:"s4b: resolve by store size, cached"
+      ~args:store_sizes (fun n ->
+        let _st, root, name, cache = s4_world n in
+        Staged.stage (fun () -> ignore (Naming.Cache.resolve_in cache root name)))
+  in
+  [ depth_test; matrix_test; flow_test; size_plain; size_cached ]
+
+(* Every run_bechamel call appends its rows here; --json dumps them. *)
+let collected : (string * float option * float option) list ref = ref []
 
 let run_bechamel ~name tests =
   let open Bechamel in
@@ -299,42 +424,105 @@ let run_bechamel ~name tests =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows =
+    List.map
+      (fun (name, est) ->
+        let time =
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Some t
+          | Some _ | None -> None
+        in
+        (name, time, Analyze.OLS.r_square est))
+      rows
+  in
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows in
+  collected := !collected @ rows;
   Printf.printf "%-60s  %16s  %8s\n" "benchmark" "ns/run" "r^2";
   Printf.printf "%s\n" (String.make 88 '-');
   List.iter
-    (fun (name, est) ->
+    (fun (name, time, r2) ->
       let time =
-        match Analyze.OLS.estimates est with
-        | Some [ t ] -> Printf.sprintf "%16.1f" t
-        | Some _ | None -> "             n/a"
+        match time with
+        | Some t -> Printf.sprintf "%16.1f" t
+        | None -> "             n/a"
       in
       let r2 =
-        match Analyze.OLS.r_square est with
-        | Some r -> Printf.sprintf "%8.4f" r
-        | None -> "     n/a"
+        match r2 with Some r -> Printf.sprintf "%8.4f" r | None -> "     n/a"
       in
       Printf.printf "%-60s  %s  %s\n" name time r2)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable results, one file per day.                 *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let write_json () =
+  let path = Printf.sprintf "BENCH_%s.json" (today ()) in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"date\": \"%s\",\n  \"seed\": %d,\n" (today ()) seed;
+  (match !workload_stats with
+  | None -> ()
+  | Some (ops, s) ->
+      let total = max 1 (s.Naming.Cache.hits + s.Naming.Cache.misses) in
+      out
+        "  \"cache_workload\": {\"ops\": %d, \"hits\": %d, \"misses\": %d, \
+         \"invalidations\": %d, \"evictions\": %d, \"hit_rate\": %.4f},\n"
+        ops s.Naming.Cache.hits s.Naming.Cache.misses
+        s.Naming.Cache.invalidations s.Naming.Cache.evictions
+        (float_of_int s.Naming.Cache.hits /. float_of_int total));
+  out "  \"results\": [";
+  List.iteri
+    (fun i (name, time, r2) ->
+      let num = function Some f -> Printf.sprintf "%.1f" f | None -> "null" in
+      out "%s\n    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape name) (num time)
+        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "null"))
+    !collected;
+  out "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let run_experiments ppf = Harness.Experiments.run_all ppf
 
 let () =
   let ppf = Format.std_formatter in
-  match Array.to_list Sys.argv with
-  | _ :: "micro" :: _ -> run_bechamel ~name:"micro" micro_tests
-  | _ :: "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
-  | _ :: "exps" :: _ -> run_experiments ppf
-  | _ :: id :: _ when Harness.Experiments.find id <> None ->
-      (match Harness.Experiments.find id with
+  (match positional with
+  | "micro" :: _ ->
+      run_bechamel ~name:"micro" micro_tests;
+      report_cache_workload ()
+  | "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
+  | "exps" :: _ -> run_experiments ppf
+  | id :: _ when Harness.Experiments.find id <> None -> (
+      match Harness.Experiments.find id with
       | Some e -> Harness.Experiments.run_one ppf e
       | None -> assert false)
-  | _ :: [] | [] ->
+  | [] ->
       run_experiments ppf;
       Format.fprintf ppf "@\n%s@\nBechamel benchmarks (one per reproduced artefact + primitives)@\n%s@\n@."
         (String.make 72 '=') (String.make 72 '=');
-      run_bechamel ~name:"bench" (micro_tests @ experiment_tests)
-  | _ :: unknown :: _ ->
+      run_bechamel ~name:"bench" (micro_tests @ experiment_tests);
+      report_cache_workload ()
+  | unknown :: _ ->
       Printf.eprintf
-        "unknown argument %S (expected: micro | scaling | exps | e1..e10 | a1 | a2)\n"
+        "unknown argument %S (expected: micro | scaling | exps | e1..e10 | \
+         a1..a4)\n"
         unknown;
-      exit 2
+      exit 2);
+  if json_mode then write_json ()

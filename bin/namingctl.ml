@@ -16,6 +16,9 @@
                         --embedded-rule; nonzero exit on errors)
      coherence <scheme> <name>
                         per-activity resolution and coherence verdict
+     cache-stats <scheme|all>
+                        run a representative cached workload over a sample
+                        world and print the memoising resolver's counters
      diff <scheme>      bucketed namespace diff of two activities
      dot <scheme>       print the naming graph of a sample world (graphviz)
      trace <scheme> <name>
@@ -138,6 +141,38 @@ let cmd_coherence scheme name =
       (match verdict with
       | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ -> 0
       | Naming.Coherence.Incoherent _ | Naming.Coherence.Vacuous -> 1)
+
+(* Three coherence sweeps (every probe from every activity) through one
+   shared cache, with a mutation burst between the second and third: the
+   workload every batch entry point runs, at observable scale. *)
+let cmd_cache_stats scheme =
+  on_schemes scheme (fun scheme ->
+      let w = sample_world scheme in
+      let cache = Naming.Cache.create w.store in
+      let occs = List.map Naming.Occurrence.generated w.activities in
+      let probes = probes_of_world w in
+      ignore (Naming.Coherence.measure ~cache w.store w.rule occs probes);
+      ignore (Naming.Coherence.measure ~cache w.store w.rule occs probes);
+      let scratch =
+        Naming.Store.create_context_object ~label:"scratch" w.store
+      in
+      (match List.rev (Naming.Store.context_objects w.store) with
+      | dir :: _ ->
+          Naming.Store.bind w.store ~dir (Naming.Name.atom "scratch") scratch
+      | [] -> ());
+      ignore (Naming.Coherence.measure ~cache w.store w.rule occs probes);
+      let s = Naming.Cache.stats cache in
+      let total = max 1 (s.Naming.Cache.hits + s.Naming.Cache.misses) in
+      Printf.printf
+        "%s: %d probes x %d activities, 3 sweeps, 1 mutation in between\n"
+        scheme (List.length probes) (List.length w.activities);
+      Printf.printf
+        "  hits=%d misses=%d invalidations=%d evictions=%d entries=%d \
+         hit_rate=%.4f\n"
+        s.Naming.Cache.hits s.Naming.Cache.misses s.Naming.Cache.invalidations
+        s.Naming.Cache.evictions s.Naming.Cache.entries
+        (float_of_int s.Naming.Cache.hits /. float_of_int total);
+      0)
 
 let cmd_analyze scheme json sarif min_severity =
   match Analysis.Diagnostic.severity_of_string min_severity with
@@ -423,6 +458,13 @@ let coherence_cmd =
        ~doc:"Check a name's coherence across a sample world's activities")
     Term.(const cmd_coherence $ scheme_arg $ name_arg)
 
+let cache_stats_cmd =
+  Cmd.v
+    (Cmd.info "cache-stats"
+       ~doc:"Run a representative cached workload over a sample world and \
+             print the memoising resolver's hit/miss/invalidation counters")
+    Term.(const cmd_cache_stats $ scheme_or_all_arg)
+
 let main =
   let info =
     Cmd.info "namingctl" ~version:"1.0.0"
@@ -434,6 +476,7 @@ inspection tool"
     [
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
       analyze_cmd; check_script_cmd; trace_cmd; coherence_cmd; diff_cmd;
+      cache_stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -267,12 +267,16 @@ let replay ?(config = default_config) (plan : plan) =
   let env = Sc.env w in
   let fs = Sc.fs w in
   let asg = Schemes.Process_env.assignment env in
+  (* One memoising resolver for the whole replay. Script ops mutate the
+     store between flows; dependency-tracked invalidation means only the
+     resolutions that actually cross a mutated context re-walk. *)
+  let cache = Naming.Cache.create store in
   let parents : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let proc i =
     let ps = Sc.processes w in
     if i >= 0 && i < List.length ps then Some (List.nth ps i) else None
   in
-  let resolve p name = Schemes.Process_env.resolve env ~as_:p name in
+  let resolve p name = Schemes.Process_env.resolve ~cache env ~as_:p name in
   let judge_dyn index fl =
     let unknown reason =
       { dyn_index = index; dyn_outcome = Unknown reason; dyn_diverged = false }
@@ -320,7 +324,7 @@ let replay ?(config = default_config) (plan : plan) =
                         (Naming.Rule.of_activity asg)
                 in
                 outcome_of_coherence
-                  (Naming.Coherence.check store rule occs name)
+                  (Naming.Coherence.check ~cache store rule occs name)
               else
                 let ea = resolve ps name in
                 let eb =

@@ -6,7 +6,10 @@ type t = {
   rule : Naming.Rule.t;
   activities : E.t list;
   probes : N.t list;
+  cache : Naming.Cache.t;
 }
+
+let cache t = t.cache
 
 let occurrences t = List.map Naming.Occurrence.generated t.activities
 
@@ -40,10 +43,19 @@ let default_probes ?(max_depth = 3) t =
             (fun (n, _e) -> add (N.cons N.root_atom n))
             (Naming.Graph.all_names t.store root_ctx ~max_depth ()))
     (contexts t);
-  List.rev !out
+  let probes = List.rev !out in
+  (* Resolve every discovered probe from every vantage point once, so the
+     subject's cache is warm before any coherence sweep over it runs. *)
+  List.iter
+    (fun (_a, ctx) ->
+      List.iter (fun n -> ignore (Naming.Cache.resolve t.cache ctx n)) probes)
+    (contexts t);
+  probes
 
 let v ?probes ~rule ~activities store =
   if activities = [] then invalid_arg "Subject.v: no activities";
-  let t = { store; rule; activities; probes = [] } in
+  let t =
+    { store; rule; activities; probes = []; cache = Naming.Cache.create store }
+  in
   let probes = match probes with Some p -> p | None -> default_probes t in
   { t with probes }

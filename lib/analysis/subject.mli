@@ -12,6 +12,9 @@ type t = private {
   rule : Naming.Rule.t;
   activities : Naming.Entity.t list;
   probes : Naming.Name.t list;
+  cache : Naming.Cache.t;
+      (** A memoising resolver over [store], shared by analyses of this
+          subject; {!default_probes} warms it. *)
 }
 
 val v :
@@ -22,6 +25,9 @@ val v :
   t
 (** When [probes] is omitted, {!default_probes} is used.
     @raise Invalid_argument on an empty activity list. *)
+
+val cache : t -> Naming.Cache.t
+(** The subject's shared memoising resolver (same as the [cache] field). *)
 
 val occurrences : t -> Naming.Occurrence.t list
 (** One [Generated] occurrence per activity, in order. *)

@@ -4,24 +4,33 @@ module Key_tbl = Hashtbl.Make (struct
   type t = key
 
   let equal (e1, n1) (e2, n2) = Entity.equal e1 e2 && Name.equal n1 n2
-
-  let hash (e, n) =
-    List.fold_left
-      (fun acc a -> (acc * 65599) + Hashtbl.hash (Name.atom_to_string a))
-      (Entity.hash e) (Name.atoms n)
+  let hash (e, n) = (Entity.hash e * 65599) + Name.hash n
 end)
+
+(* An entry remembers the generations of the context objects on its
+   resolution path. It is valid while every one of them is unchanged: a
+   mutation elsewhere in the store (a bind in /tmp while /bin/cc is
+   cached) leaves the entry alone. *)
+type entry = { result : Entity.t; deps : (Entity.t * int) array }
 
 type t = {
   store : Store.t;
   capacity : int;
-  entries : Entity.t Key_tbl.t;
-  mutable valid_at : int;  (* store version the entries are valid for *)
+  entries : entry Key_tbl.t;
+  order : key Queue.t;  (* insertion order; may hold stale keys *)
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable evictions : int;
 }
 
-type stats = { hits : int; misses : int; invalidations : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  entries : int;
+}
 
 let create ?(capacity = 4096) store =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
@@ -29,32 +38,81 @@ let create ?(capacity = 4096) store =
     store;
     capacity;
     entries = Key_tbl.create 256;
-    valid_at = Store.version store;
+    order = Queue.create ();
     hits = 0;
     misses = 0;
     invalidations = 0;
+    evictions = 0;
   }
 
-let clear t = Key_tbl.reset t.entries
+let clear (t : t) =
+  Key_tbl.reset t.entries;
+  Queue.clear t.order
 
-let resolve_in t ctxobj name =
-  let now = Store.version t.store in
-  if now <> t.valid_at then begin
-    clear t;
-    t.valid_at <- now;
-    t.invalidations <- t.invalidations + 1
-  end;
+let entry_valid (t : t) entry =
+  let n = Array.length entry.deps in
+  let rec ok i =
+    if i >= n then true
+    else
+      let e, g = entry.deps.(i) in
+      Store.generation t.store e = g && ok (i + 1)
+  in
+  ok 0
+
+(* Drop one arbitrary (oldest-inserted) live entry. The queue may hold
+   keys that were invalidated or replaced since insertion; skip those. *)
+let evict_one (t : t) =
+  let rec go () =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some key ->
+        if Key_tbl.mem t.entries key then begin
+          Key_tbl.remove t.entries key;
+          t.evictions <- t.evictions + 1
+        end
+        else go ()
+  in
+  go ()
+
+let miss (t : t) key =
+  let ctxobj, name = key in
+  t.misses <- t.misses + 1;
+  let result, dep_list = Resolver.resolve_deps t.store ctxobj name in
+  let deps =
+    Array.of_list
+      (List.map (fun e -> (e, Store.generation t.store e)) dep_list)
+  in
+  if Key_tbl.length t.entries >= t.capacity then evict_one t;
+  Key_tbl.replace t.entries key { result; deps };
+  Queue.push key t.order;
+  result
+
+let resolve_in (t : t) ctxobj name =
   let key = (ctxobj, name) in
   match Key_tbl.find_opt t.entries key with
-  | Some e ->
+  | Some entry when entry_valid t entry ->
       t.hits <- t.hits + 1;
-      e
-  | None ->
-      t.misses <- t.misses + 1;
-      let e = Resolver.resolve_in t.store ctxobj name in
-      if Key_tbl.length t.entries >= t.capacity then clear t;
-      Key_tbl.replace t.entries key e;
-      e
+      entry.result
+  | Some _stale ->
+      t.invalidations <- t.invalidations + 1;
+      Key_tbl.remove t.entries key;
+      miss t key
+  | None -> miss t key
+
+let resolve (t : t) ctx name =
+  let a = Name.head name in
+  let e = Context.lookup ctx a in
+  match Name.tail name with
+  | None -> e
+  | Some rest ->
+      if Store.is_context_object t.store e then resolve_in t e rest
+      else Entity.undefined
 
 let stats (t : t) : stats =
-  { hits = t.hits; misses = t.misses; invalidations = t.invalidations }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    evictions = t.evictions;
+    entries = Key_tbl.length t.entries;
+  }

@@ -1,27 +1,45 @@
-(** A memoising resolver with store-version invalidation.
+(** A memoising resolver with dependency-tracked invalidation.
 
     Resolution walks the naming graph on every call; workloads that
     resolve the same names repeatedly (command lookup, library paths —
     exactly the replicated objects of section 5) benefit from a cache.
-    Correctness matters more than hit rate: entries are keyed to
-    {!Store.version}, so {e any} mutation of the store invalidates the
-    whole cache — resolution through a cache is always equal to
-    resolution without it (a property test holds us to this).
+    Correctness matters more than hit rate: every entry records the
+    {!Store.generation} of each context object on its resolution path
+    (see {!Resolver.resolve_deps}), and is served only while all of them
+    are unchanged. A mutation invalidates exactly the entries whose path
+    it touches — a [bind] in [/tmp] no longer evicts [/bin/cc] — so
+    resolution through a cache is always equal to resolution without it
+    (a property test holds us to this), and reconfiguration-heavy
+    workloads keep their hit rate.
 
     The cache memoises {!Naming.Resolver.resolve_in} — resolution relative
     to a context {e object} — because context objects have stable
-    identity. Resolution in a context {e value} has no usable cache key. *)
+    identity. {!resolve} handles a context {e value} by performing the
+    first step against the value and memoising the remainder. *)
 
 type t
 
 val create : ?capacity:int -> Store.t -> t
 (** [capacity] bounds the number of entries (default 4096); at capacity
-    the cache clears (cheap, correctness-neutral). *)
+    a single arbitrary entry is evicted per insertion. *)
 
 val resolve_in : t -> Entity.t -> Name.t -> Entity.t
 (** Same result as {!Resolver.resolve_in}, memoised. *)
 
-type stats = { hits : int; misses : int; invalidations : int }
+val resolve : t -> Context.t -> Name.t -> Entity.t
+(** Same result as {!Resolver.resolve}: the first atom is looked up in
+    the given context value (not cached — values have no identity), the
+    remaining atoms via {!resolve_in} on the entity it denotes. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+      (** entries found stale (a dependency's generation moved) and
+          re-resolved — counted per entry, not per store mutation *)
+  evictions : int;  (** entries dropped by the capacity bound *)
+  entries : int;  (** entries currently live *)
+}
 
 val stats : t -> stats
 val clear : t -> unit

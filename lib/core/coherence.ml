@@ -4,11 +4,21 @@ type verdict =
   | Incoherent of (Occurrence.t * Entity.t) * (Occurrence.t * Entity.t)
   | Vacuous
 
-let check ?(equiv = Entity.equal) store rule occs name =
+(* Rule.resolve, optionally through a shared cache: the rule selects the
+   context, the cache memoises the walk. *)
+let resolve_via ?cache store rule occ name =
+  match Rule.select rule store occ with
+  | None -> Entity.undefined
+  | Some ctx -> (
+      match cache with
+      | Some c -> Cache.resolve c ctx name
+      | None -> Resolver.resolve store ctx name)
+
+let check ?(equiv = Entity.equal) ?cache store rule occs name =
   match occs with
   | [] -> invalid_arg "Coherence.check: no occurrences"
   | first :: rest ->
-      let resolve occ = (occ, Rule.resolve rule store occ name) in
+      let resolve occ = (occ, resolve_via ?cache store rule occ name) in
       let results = resolve first :: List.map resolve rest in
       let defined = List.filter (fun (_, e) -> Entity.is_defined e) results in
       (match defined with
@@ -26,8 +36,8 @@ let check ?(equiv = Entity.equal) store rule occs name =
                     Coherent d
                   else Weakly_coherent (List.map snd results))))
 
-let is_coherent ?equiv store rule occs name =
-  match check ?equiv store rule occs name with
+let is_coherent ?equiv ?cache store rule occs name =
+  match check ?equiv ?cache store rule occs name with
   | Coherent _ | Weakly_coherent _ -> true
   | Incoherent _ | Vacuous -> false
 
@@ -49,30 +59,39 @@ let strict_degree r =
   if meaningful <= 0 then 1.0
   else float_of_int r.coherent /. float_of_int meaningful
 
-let measure ?equiv store rule occs probes =
+(* Batch entry points share one cache across every (occurrence, probe)
+   pair: probes that share a path prefix walk it once. *)
+let batch_cache ?cache store =
+  match cache with Some c -> c | None -> Cache.create store
+
+let measure ?equiv ?cache store rule occs probes =
+  let cache = batch_cache ?cache store in
   let init =
     { probes = 0; coherent = 0; weakly_coherent = 0; incoherent = 0; vacuous = 0 }
   in
   List.fold_left
     (fun acc name ->
       let acc = { acc with probes = acc.probes + 1 } in
-      match check ?equiv store rule occs name with
+      match check ?equiv ~cache store rule occs name with
       | Coherent _ -> { acc with coherent = acc.coherent + 1 }
       | Weakly_coherent _ -> { acc with weakly_coherent = acc.weakly_coherent + 1 }
       | Incoherent _ -> { acc with incoherent = acc.incoherent + 1 }
       | Vacuous -> { acc with vacuous = acc.vacuous + 1 })
     init probes
 
-let classify ?equiv store rule occs probes =
-  List.map (fun n -> (n, check ?equiv store rule occs n)) probes
+let classify ?equiv ?cache store rule occs probes =
+  let cache = batch_cache ?cache store in
+  List.map (fun n -> (n, check ?equiv ~cache store rule occs n)) probes
 
-let coherent_names ?equiv store rule occs probes =
-  List.filter (fun n -> is_coherent ?equiv store rule occs n) probes
+let coherent_names ?equiv ?cache store rule occs probes =
+  let cache = batch_cache ?cache store in
+  List.filter (fun n -> is_coherent ?equiv ~cache store rule occs n) probes
 
-let incoherent_names ?equiv store rule occs probes =
+let incoherent_names ?equiv ?cache store rule occs probes =
+  let cache = batch_cache ?cache store in
   List.filter
     (fun n ->
-      match check ?equiv store rule occs n with
+      match check ?equiv ~cache store rule occs n with
       | Incoherent _ -> true
       | Coherent _ | Weakly_coherent _ | Vacuous -> false)
     probes

@@ -21,6 +21,7 @@ type verdict =
 
 val check :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -28,11 +29,14 @@ val check :
   verdict
 (** [check store rule occs n] resolves [n] under every occurrence and
     classifies the outcome. With [equiv], resolutions that are equivalent
-    but unequal yield [Weakly_coherent].
+    but unequal yield [Weakly_coherent]. With [cache], resolutions go
+    through the given memoising resolver (same results, shared work); the
+    batch entry points below create one internally when none is given.
     @raise Invalid_argument on an empty occurrence list. *)
 
 val is_coherent :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -58,6 +62,7 @@ val strict_degree : report -> float
 
 val measure :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -66,6 +71,7 @@ val measure :
 
 val classify :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -75,6 +81,7 @@ val classify :
 
 val coherent_names :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -83,6 +90,7 @@ val coherent_names :
 
 val incoherent_names :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->

@@ -47,7 +47,10 @@ val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 
 val fold : (Name.atom -> Entity.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** In increasing atom (string) order, like {!bindings}. *)
+
 val iter : (Name.atom -> Entity.t -> unit) -> t -> unit
+(** In increasing atom (string) order, like {!bindings}. *)
 
 val exists : (Name.atom -> Entity.t -> bool) -> t -> bool
 (** [exists p c] is true iff some defined binding satisfies [p].

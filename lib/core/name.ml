@@ -1,20 +1,58 @@
-type atom = string
-type t = atom list
+(* Atoms are interned: every distinct atom string is assigned a small
+   integer id in a global symbol table, so atom equality is integer
+   equality and context lookup can be keyed by id instead of hashing
+   strings. [atom_compare] still orders atoms by their string, so every
+   ordering observable through the API (Name.compare, Context.bindings,
+   Map/Set iteration) is unchanged by interning. *)
+
+type atom = int
 
 exception Invalid of string
 
 let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
 
+(* The global symbol table: id -> string and string -> id. Grows
+   monotonically for the lifetime of the process; never shrinks. *)
+module Symtab = struct
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+  let mutable_strings = ref (Array.make 1024 "")
+  let count = ref 0
+
+  let string_of id =
+    if id < 0 || id >= !count then
+      invalid_arg (Printf.sprintf "Name: unknown atom id %d" id)
+    else !mutable_strings.(id)
+
+  let intern s =
+    match Hashtbl.find_opt ids s with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        let cap = Array.length !mutable_strings in
+        if id >= cap then begin
+          let bigger = Array.make (2 * cap) "" in
+          Array.blit !mutable_strings 0 bigger 0 cap;
+          mutable_strings := bigger
+        end;
+        !mutable_strings.(id) <- s;
+        incr count;
+        Hashtbl.replace ids s id;
+        id
+end
+
 let atom s =
-  if String.equal s "/" then s
+  if String.equal s "/" then Symtab.intern s
   else if String.equal s "" then invalid "empty atom"
   else if String.contains s '/' then invalid "atom %S contains '/'" s
-  else s
+  else Symtab.intern s
 
-let atom_to_string s = s
-let root_atom = "/"
-let self_atom = "."
-let parent_atom = ".."
+let atom_to_string = Symtab.string_of
+let atom_id a = a
+let root_atom = atom "/"
+let self_atom = atom "."
+let parent_atom = atom ".."
+
+type t = atom list
 
 let of_atoms = function
   | [] -> invalid "empty compound name"
@@ -35,11 +73,20 @@ let of_string s =
   | false, [] -> invalid "name %S has no components" s
   | false, l -> l
 
+let atom_equal : atom -> atom -> bool = Int.equal
+
+let atom_compare a b =
+  if Int.equal a b then 0
+  else String.compare (atom_to_string a) (atom_to_string b)
+
+let atom_hash (a : atom) = a
+
 let to_string = function
   | [] -> assert false
-  | [ a ] when String.equal a root_atom -> "/"
-  | a :: rest when String.equal a root_atom -> "/" ^ String.concat "/" rest
-  | l -> String.concat "/" l
+  | [ a ] when atom_equal a root_atom -> "/"
+  | a :: rest when atom_equal a root_atom ->
+      "/" ^ String.concat "/" (List.map atom_to_string rest)
+  | l -> String.concat "/" (List.map atom_to_string l)
 
 let atoms n = n
 let length = List.length
@@ -57,7 +104,7 @@ let append a b = a @ b
 let snoc n a = n @ [ a ]
 let cons a n = a :: n
 
-let is_absolute = function a :: _ -> String.equal a root_atom | [] -> false
+let is_absolute = function a :: _ -> atom_equal a root_atom | [] -> false
 
 let prepend_root n = if is_absolute n then n else root_atom :: n
 
@@ -65,7 +112,7 @@ let rec is_prefix ~prefix n =
   match (prefix, n) with
   | [], _ -> true
   | _ :: _, [] -> false
-  | p :: ps, a :: rest -> String.equal p a && is_prefix ~prefix:ps rest
+  | p :: ps, a :: rest -> atom_equal p a && is_prefix ~prefix:ps rest
 
 let drop_prefix ~prefix n =
   let rec go prefix n =
@@ -73,7 +120,7 @@ let drop_prefix ~prefix n =
     | [], [] -> None
     | [], rest -> Some rest
     | _ :: _, [] -> None
-    | p :: ps, a :: rest -> if String.equal p a then go ps rest else None
+    | p :: ps, a :: rest -> if atom_equal p a then go ps rest else None
   in
   go prefix n
 
@@ -87,12 +134,11 @@ let normalize n =
   let absolute = is_absolute n in
   let comps = if absolute then List.tl n else n in
   let step acc a =
-    if String.equal a self_atom then acc
-    else if String.equal a parent_atom then
+    if atom_equal a self_atom then acc
+    else if atom_equal a parent_atom then
       match acc with
       | [] -> if absolute then [] else [ a ]
-      | top :: rest ->
-          if String.equal top parent_atom then a :: acc else rest
+      | top :: rest -> if atom_equal top parent_atom then a :: acc else rest
     else a :: acc
   in
   let rev = List.fold_left step [] comps in
@@ -108,23 +154,35 @@ let relative_to ~base n =
   let strip l = if is_absolute l then List.tl l else l in
   let rec strip_common b m =
     match (b, m) with
-    | a :: bs, c :: ms when String.equal a c -> strip_common bs ms
+    | a :: bs, c :: ms when atom_equal a c -> strip_common bs ms
     | _ -> (b, m)
   in
-  let b, m =
-    strip_common (strip (normalize base)) (strip (normalize n))
-  in
+  let b, m = strip_common (strip (normalize base)) (strip (normalize n)) in
   let ups = List.map (fun _ -> parent_atom) b in
   match ups @ m with [] -> [ self_atom ] | l -> l
 
-let atom_equal = String.equal
-let atom_compare = String.compare
-let equal a b = List.equal String.equal a b
-let compare a b = List.compare String.compare a b
-let pp ppf n = Format.pp_print_string ppf (to_string n)
-let pp_atom ppf a = Format.pp_print_string ppf a
+let equal a b = List.equal atom_equal a b
+let compare a b = List.compare atom_compare a b
 
-module Atom_map = Stdlib.Map.Make (String)
+let hash n =
+  List.fold_left (fun acc a -> (acc * 65599) + a) 0 n land max_int
+
+let pp ppf n = Format.pp_print_string ppf (to_string n)
+let pp_atom ppf a = Format.pp_print_string ppf (atom_to_string a)
+
+module Atom_ord = struct
+  type t = atom
+
+  let compare = atom_compare
+end
+
+module Atom_map = Stdlib.Map.Make (Atom_ord)
+
+(* Ordered by id, not by string: O(1) integer comparisons on the
+   resolution hot path. Iteration order is interning order — callers that
+   need the documented string order (Context.bindings and friends) sort
+   with [atom_compare]. *)
+module Atom_id_map = Stdlib.Map.Make (Int)
 
 module Map = Stdlib.Map.Make (struct
   type nonrec t = t

@@ -8,9 +8,17 @@
     not contain ['/'], with one exception: the distinguished atom ["/"],
     which naming schemes conventionally bind to a root directory in each
     activity's context. Atoms ["."] and [".."] are ordinary atoms; schemes
-    that want Unix-like behaviour bind them inside directory contexts. *)
+    that want Unix-like behaviour bind them inside directory contexts.
 
-type atom = private string
+    Atoms are {e interned}: each distinct atom string is mapped once to an
+    integer symbol id in a process-global symbol table, so {!atom_equal}
+    is integer equality and contexts can be keyed by id. {!atom_compare}
+    (and therefore {!compare} and all Map/Set orderings) still orders
+    atoms by their underlying string, so interning is observationally
+    neutral. The symbol table grows monotonically and is not
+    thread-safe. *)
+
+type atom
 
 type t = private atom list
 (** A compound name: a non-empty sequence of atoms. *)
@@ -23,6 +31,13 @@ val atom : string -> atom
     @raise Invalid if [s] is empty or contains ['/'] (except [s = "/"]). *)
 
 val atom_to_string : atom -> string
+
+val atom_id : atom -> int
+(** The interned symbol id: a small non-negative integer, distinct for
+    distinct atom strings, stable for the lifetime of the process. *)
+
+val atom_hash : atom -> int
+(** A hash consistent with {!atom_equal} (the symbol id itself). *)
 
 val root_atom : atom
 (** The distinguished atom ["/"]. *)
@@ -97,12 +112,30 @@ val normalize : t -> t
     [".."] through real directory bindings must not use it. *)
 
 val equal : t -> t -> bool
+(** Integer comparison per atom — no string hashing. *)
+
 val compare : t -> t -> int
+(** Lexicographic over {!atom_compare}: the same ordering as before
+    interning (atoms ordered by their strings). *)
+
+val hash : t -> int
+(** A hash consistent with {!equal}, computed from symbol ids. *)
+
 val atom_equal : atom -> atom -> bool
 val atom_compare : atom -> atom -> int
+(** Orders atoms by their underlying string. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_atom : Format.formatter -> atom -> unit
 
 module Atom_map : Stdlib.Map.S with type key = atom
+(** Ordered by {!atom_compare} (string order). *)
+
+module Atom_id_map : Stdlib.Map.S with type key = atom
+(** Ordered by symbol id: constant-time integer comparisons, for hot
+    lookup structures. Iteration order is interning order, {e not} string
+    order — callers that expose an ordering must sort with
+    {!atom_compare}. *)
+
 module Map : Stdlib.Map.S with type key = t
 module Set : Stdlib.Set.S with type elt = t

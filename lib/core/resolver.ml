@@ -1,28 +1,94 @@
 type step = { at : Entity.t; atom : Name.atom; target : Entity.t }
 type trace = step list
 
-let resolve_trace store ctx name =
-  let rec go at ctx atoms rev_trace =
+(* A reusable trace buffer: callers that resolve many names (coherence
+   sweeps, the static analyzers) push steps into one growable array
+   instead of consing a fresh list per resolution. *)
+type buffer = { mutable steps : step array; mutable len : int }
+
+let dummy_step =
+  { at = Entity.undefined; atom = Name.root_atom; target = Entity.undefined }
+
+let create_buffer () = { steps = Array.make 16 dummy_step; len = 0 }
+let buffer_clear b = b.len <- 0
+let buffer_length b = b.len
+
+let buffer_push b s =
+  let cap = Array.length b.steps in
+  if b.len >= cap then begin
+    let bigger = Array.make (2 * cap) dummy_step in
+    Array.blit b.steps 0 bigger 0 cap;
+    b.steps <- bigger
+  end;
+  b.steps.(b.len) <- s;
+  b.len <- b.len + 1
+
+let buffer_trace b = Array.to_list (Array.sub b.steps 0 b.len)
+
+(* The success path allocates nothing: it walks the atom list, looking
+   each atom up in the current context and stepping through the store. *)
+let resolve store ctx name =
+  let rec go ctx atoms =
+    match atoms with
+    | [] -> assert false
+    | [ a ] -> Context.lookup ctx a
+    | a :: rest -> (
+        let e = Context.lookup ctx a in
+        match Store.context_of store e with
+        | Some next_ctx -> go next_ctx rest
+        | None -> Entity.undefined)
+  in
+  go ctx (Name.atoms name)
+
+let resolve_trace_into buf store ctx name =
+  buffer_clear buf;
+  let rec go at ctx atoms =
     match atoms with
     | [] -> assert false
     | [ a ] ->
         let e = Context.lookup ctx a in
-        (e, List.rev ({ at; atom = a; target = e } :: rev_trace))
-    | a :: rest ->
+        buffer_push buf { at; atom = a; target = e };
+        e
+    | a :: rest -> (
         let e = Context.lookup ctx a in
-        let rev_trace = { at; atom = a; target = e } :: rev_trace in
-        (match Store.context_of store e with
-        | Some next_ctx -> go e next_ctx rest rev_trace
-        | None -> (Entity.undefined, List.rev rev_trace))
+        buffer_push buf { at; atom = a; target = e };
+        match Store.context_of store e with
+        | Some next_ctx -> go e next_ctx rest
+        | None -> Entity.undefined)
   in
-  go Entity.undefined ctx (Name.atoms name) []
+  go Entity.undefined ctx (Name.atoms name)
 
-let resolve store ctx name = fst (resolve_trace store ctx name)
+let resolve_trace store ctx name =
+  let buf = create_buffer () in
+  let e = resolve_trace_into buf store ctx name in
+  (e, buffer_trace buf)
 
 let resolve_in store o name =
   match Store.context_of store o with
   | Some c -> resolve store c name
   | None -> Entity.undefined
+
+(* Like [resolve_in], also returning every entity whose state the walk
+   consulted (the starting context object, each intermediate entity we
+   asked for a context — including the one that failed to be a context on
+   the failure path). The result is a function of exactly these entities'
+   states: if none of their generations change, the result stands. The
+   final entity of a successful walk is looked up but not consulted, so
+   it is not a dependency. *)
+let resolve_deps store o name =
+  let rec go ctx atoms rev_deps =
+    match atoms with
+    | [] -> assert false
+    | [ a ] -> (Context.lookup ctx a, List.rev rev_deps)
+    | a :: rest -> (
+        let e' = Context.lookup ctx a in
+        match Store.context_of store e' with
+        | Some next_ctx -> go next_ctx rest (e' :: rev_deps)
+        | None -> (Entity.undefined, List.rev (e' :: rev_deps)))
+  in
+  match Store.context_of store o with
+  | Some c -> go c (Name.atoms name) [ o ]
+  | None -> (Entity.undefined, [ o ])
 
 let resolve_str store ctx s = resolve store ctx (Name.of_string s)
 

@@ -24,15 +24,43 @@ type trace = step list
 val resolve : Store.t -> Context.t -> Name.t -> Entity.t
 (** [resolve store c n] is the entity denoted by [n] in context [c], or
     {!Entity.undefined} when resolution fails at any step (unbound atom, or
-    an intermediate entity that is not a context object). *)
+    an intermediate entity that is not a context object). An iterative
+    walk that allocates nothing on the success path. *)
 
 val resolve_trace : Store.t -> Context.t -> Name.t -> Entity.t * trace
 (** Like {!resolve} but also returns the resolution path. On failure the
     trace stops at the failing step. *)
 
+(** {1 Reusable trace buffers}
+
+    Callers that trace many resolutions (coherence sweeps, the static
+    analyzers) can reuse one buffer across calls instead of allocating a
+    step list per resolution. *)
+
+type buffer
+
+val create_buffer : unit -> buffer
+val buffer_clear : buffer -> unit
+val buffer_length : buffer -> int
+
+val buffer_trace : buffer -> trace
+(** Snapshot the buffered steps as a list (allocates). *)
+
+val resolve_trace_into : buffer -> Store.t -> Context.t -> Name.t -> Entity.t
+(** Like {!resolve_trace}, writing the steps into [buffer] (cleared
+    first) instead of building a list. *)
+
 val resolve_in : Store.t -> Entity.t -> Name.t -> Entity.t
 (** [resolve_in store o n] resolves [n] in the context that is the state of
     context object [o]; ⊥ when [o] is not a context object. *)
+
+val resolve_deps : Store.t -> Entity.t -> Name.t -> Entity.t * Entity.t list
+(** [resolve_deps store o n] is {!resolve_in} plus the entities whose
+    states the walk consulted, in walk order, starting with [o] itself.
+    The result of the resolution is a function of exactly these entities'
+    states: while none of their {!Store.generation}s change, the result
+    (defined or ⊥) cannot change. Dependency-tracked caches key their
+    entries to this list. *)
 
 val resolve_str : Store.t -> Context.t -> string -> Entity.t
 (** Convenience: parses with {!Name.of_string} first. *)

@@ -1,9 +1,24 @@
 type obj_state = Context of Context.t | Data of string
 
+(* Mutations are tracked at entity granularity: a monotonic global [tick]
+   plus, per entity, the tick of its last state change. Caches key their
+   entries to the generations of the entities on their resolution path,
+   so a mutation invalidates only the entries whose path it touches. A
+   bounded journal of recent (tick, entity) changes backs
+   [touched_since]; when asked about ticks older than the journal covers,
+   we fall back to scanning the generation table. *)
+
+let journal_cap = 8192
+let journal_keep = 2048
+
 type t = {
-  mutable version : int;
+  mutable tick : int;
   mutable next_id : int;
   objs : obj_state Entity.Tbl.t;
+  gens : int Entity.Tbl.t;
+  mutable journal : (int * Entity.t) list;  (* newest first *)
+  mutable journal_len : int;
+  mutable journal_floor : int;  (* ticks <= floor may be missing *)
   labels : string Entity.Tbl.t;
   mutable rev_activities : Entity.t list;
   mutable rev_objects : Entity.t list;
@@ -11,23 +26,76 @@ type t = {
 
 let create () =
   {
-    version = 0;
+    tick = 0;
     next_id = 0;
     objs = Entity.Tbl.create 64;
+    gens = Entity.Tbl.create 64;
+    journal = [];
+    journal_len = 0;
+    journal_floor = 0;
     labels = Entity.Tbl.create 64;
     rev_activities = [];
     rev_objects = [];
   }
 
+let version t = t.tick
+let tick = version
+
+let generation t e =
+  match Entity.Tbl.find_opt t.gens e with None -> 0 | Some g -> g
+
+let rec take_journal k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | entry :: rest -> entry :: take_journal (k - 1) rest
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  Entity.Tbl.replace t.gens e t.tick;
+  t.journal <- (t.tick, e) :: t.journal;
+  t.journal_len <- t.journal_len + 1;
+  if t.journal_len > journal_cap then begin
+    t.journal <- take_journal journal_keep t.journal;
+    t.journal_len <- journal_keep;
+    (match List.rev t.journal with
+    | (oldest, _) :: _ -> t.journal_floor <- oldest - 1
+    | [] -> t.journal_floor <- t.tick)
+  end
+
+let touched_since t since =
+  if since >= t.tick then []
+  else if since >= t.journal_floor then begin
+    let seen = Entity.Tbl.create 16 in
+    let rec go acc = function
+      | (tk, e) :: rest when tk > since ->
+          if Entity.Tbl.mem seen e then go acc rest
+          else begin
+            Entity.Tbl.replace seen e ();
+            go (e :: acc) rest
+          end
+      | _ -> acc
+    in
+    (* journal is newest-first; accumulate to oldest-first order *)
+    go [] t.journal
+  end
+  else
+    Entity.Tbl.fold
+      (fun e g acc -> if g > since then e :: acc else acc)
+      t.gens []
+
 let fresh_id t =
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.version <- t.version + 1;
+  t.tick <- t.tick + 1;
   id
 
 let create_object ?label ?(state = Data "") t =
   let e = Entity.Object (fresh_id t) in
   Entity.Tbl.replace t.objs e state;
+  (* Allocation is a state change for the new entity: a cache entry that
+     concluded "not a context object" about this id (e.g. one recorded
+     against a foreign store) must not survive its birth here. *)
+  touch t e;
   (match label with None -> () | Some l -> Entity.Tbl.replace t.labels e l);
   t.rev_objects <- e :: t.rev_objects;
   e
@@ -49,13 +117,16 @@ let exists t e =
 
 let obj_state t e =
   match e with
-  | Entity.Object _ -> Entity.Tbl.find_opt t.objs e
+  | Entity.Object _ -> (
+      match Entity.Tbl.find t.objs e with
+      | s -> Some s
+      | exception Not_found -> None)
   | Entity.Undefined | Entity.Activity _ -> None
 
 let set_obj_state t e state =
   match e with
   | Entity.Object _ when Entity.Tbl.mem t.objs e ->
-      t.version <- t.version + 1;
+      touch t e;
       Entity.Tbl.replace t.objs e state
   | _ ->
       invalid_arg
@@ -98,8 +169,6 @@ let lookup t ~dir a =
   | Some c -> Context.lookup c a
   | None -> Entity.undefined
 
-let version t = t.version
-
 let label t e = Entity.Tbl.find_opt t.labels e
 let set_label t e l = Entity.Tbl.replace t.labels e l
 
@@ -125,8 +194,11 @@ let snapshot t =
     (objects t)
 
 let restore t saved =
-  t.version <- t.version + 1;
-  List.iter (fun (e, s) -> Entity.Tbl.replace t.objs e s) saved
+  List.iter
+    (fun (e, s) ->
+      touch t e;
+      Entity.Tbl.replace t.objs e s)
+    saved
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>store: %d entities@," (cardinal t);

@@ -71,8 +71,24 @@ val cardinal : t -> int
 val version : t -> int
 (** A counter bumped by every object-state mutation ({!set_obj_state},
     {!bind}, {!unbind}, {!set_context}, {!restore}) and by entity
-    allocation. Caches key their entries to it: if the version is
-    unchanged, every past resolution still holds. *)
+    allocation. If the version is unchanged, every past resolution still
+    holds. For finer-grained dependency tracking use {!generation}. *)
+
+val tick : t -> int
+(** Alias of {!version}: the monotonic global mutation clock. *)
+
+val generation : t -> Entity.t -> int
+(** The global tick at which this entity's state last changed (object
+    allocation counts as a change), or [0] if it never has. A resolution
+    that read only entities whose generations are unchanged is still
+    valid — the invariant dependency-tracked caches rely on. *)
+
+val touched_since : t -> int -> Entity.t list
+(** [touched_since t since] lists the entities whose state changed after
+    global tick [since] (each entity once, most recent changes last).
+    Backed by a bounded journal of recent changes; asking about a tick
+    older than the journal covers falls back to a scan of the generation
+    table, which is complete but unordered. *)
 
 val snapshot : t -> (Entity.t * obj_state) list
 (** The states of all objects, for later {!restore}. *)

@@ -15,23 +15,32 @@ type row = {
   embedded_deg : float option;
 }
 
-let generated_degree w =
+(* Every measurement over the same world shares one cache: the three
+   degrees resolve the same probes over the same paths, so the second and
+   third row entries run almost entirely on hits. *)
+let world_cache w = Naming.Cache.create w.store
+
+let generated_degree ?cache w =
+  let cache = match cache with Some c -> c | None -> world_cache w in
   let occs = List.map Naming.Occurrence.generated w.activities in
   let report =
-    Naming.Coherence.measure ?equiv:w.equiv w.store w.rule occs w.probes
+    Naming.Coherence.measure ?equiv:w.equiv ~cache w.store w.rule occs w.probes
   in
   Naming.Coherence.degree report
 
-let received_degree w =
+let received_degree ?cache w =
+  let cache = match cache with Some c -> c | None -> world_cache w in
   let events =
     Workload.Exchange.all_pairs ~activities:w.activities ~probes:w.probes
   in
-  Workload.Exchange.coherent_fraction ?equiv:w.equiv w.store w.rule events
+  Workload.Exchange.coherent_fraction ?equiv:w.equiv ~cache w.store w.rule
+    events
 
-let embedded_degree w =
+let embedded_degree ?cache w =
   match w.embedded with
   | [] -> None
   | sources ->
+      let cache = match cache with Some c -> c | None -> world_cache w in
       let coherent = ref 0 and meaningful = ref 0 in
       List.iter
         (fun (source, names) ->
@@ -43,7 +52,8 @@ let embedded_degree w =
           List.iter
             (fun name ->
               match
-                Naming.Coherence.check ?equiv:w.equiv w.store w.rule occs name
+                Naming.Coherence.check ?equiv:w.equiv ~cache w.store w.rule
+                  occs name
               with
               | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _
                 ->
@@ -57,11 +67,12 @@ let embedded_degree w =
       else Some (float_of_int !coherent /. float_of_int !meaningful)
 
 let measure w =
+  let cache = world_cache w in
   {
     world = w.label;
-    generated = generated_degree w;
-    received = received_degree w;
-    embedded_deg = embedded_degree w;
+    generated = generated_degree ~cache w;
+    received = received_degree ~cache w;
+    embedded_deg = embedded_degree ~cache w;
   }
 
 let render_rows rows =

@@ -25,14 +25,14 @@ type row = {
   embedded_deg : float option;  (** [None] when the world embeds nothing *)
 }
 
-val generated_degree : world -> float
+val generated_degree : ?cache:Naming.Cache.t -> world -> float
 (** Coherence across all activities for names each generates itself. *)
 
-val received_degree : world -> float
+val received_degree : ?cache:Naming.Cache.t -> world -> float
 (** Mean coherence over all ordered (sender, receiver) pairs for all
     probes sent from one to the other. *)
 
-val embedded_degree : world -> float option
+val embedded_degree : ?cache:Naming.Cache.t -> world -> float option
 (** Coherence across all activities reading each embedded source. *)
 
 val measure : world -> row

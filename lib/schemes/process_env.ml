@@ -69,7 +69,7 @@ let cwd_of t a = C.lookup (context t a) N.self_atom
 let activities t = List.rev t.rev_activities
 let rule t = Naming.Rule.of_activity t.asg
 
-let resolve t ~as_ name =
+let resolve ?cache t ~as_ name =
   let ctx = context t as_ in
   (* Absolute names go through the "/" binding; relative names whose head
      is bound directly in the activity's context (a per-process
@@ -79,6 +79,8 @@ let resolve t ~as_ name =
     else if C.mem ctx (N.head name) then name
     else N.cons N.self_atom name
   in
-  Naming.Resolver.resolve t.store ctx name
+  match cache with
+  | Some c -> Naming.Cache.resolve_in c (context_object t as_) name
+  | None -> Naming.Resolver.resolve t.store ctx name
 
-let resolve_str t ~as_ s = resolve t ~as_ (N.of_string s)
+let resolve_str ?cache t ~as_ s = resolve ?cache t ~as_ (N.of_string s)

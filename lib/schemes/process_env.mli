@@ -68,11 +68,22 @@ val rule : t -> Naming.Rule.t
     operating-system closure mechanism. *)
 
 val resolve :
-  t -> as_:Naming.Entity.t -> Naming.Name.t -> Naming.Entity.t
+  ?cache:Naming.Cache.t ->
+  t ->
+  as_:Naming.Entity.t ->
+  Naming.Name.t ->
+  Naming.Entity.t
 (** Resolves a name generated internally by [as_], under {!rule}.
     Absolute names resolve through the ["/"] binding; a relative name
     whose head is bound directly in the activity's context (a
     per-process attachment) resolves there; any other relative name is
-    resolved from the working directory (the ["."] binding). *)
+    resolved from the working directory (the ["."] binding). With
+    [cache], the walk is memoised against the activity's context object
+    — same result, shared work across repeated resolutions. *)
 
-val resolve_str : t -> as_:Naming.Entity.t -> string -> Naming.Entity.t
+val resolve_str :
+  ?cache:Naming.Cache.t ->
+  t ->
+  as_:Naming.Entity.t ->
+  string ->
+  Naming.Entity.t

@@ -32,11 +32,19 @@ let occurrences ev =
     Naming.Occurrence.received ~sender:ev.sender ~receiver:ev.receiver;
   ]
 
-let coherent_fraction ?equiv store rule events =
+let coherent_fraction ?equiv ?cache store rule events =
+  (* one cache for the whole event batch: most events share probes and
+     path prefixes *)
+  let cache =
+    match cache with Some c -> c | None -> Naming.Cache.create store
+  in
   let coherent = ref 0 and meaningful = ref 0 in
   List.iter
     (fun ev ->
-      match Naming.Coherence.check ?equiv store rule (occurrences ev) ev.name with
+      match
+        Naming.Coherence.check ?equiv ~cache store rule (occurrences ev)
+          ev.name
+      with
       | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ ->
           incr coherent;
           incr meaningful

@@ -32,11 +32,14 @@ val occurrences : event -> Naming.Occurrence.t list
 
 val coherent_fraction :
   ?equiv:(Naming.Entity.t -> Naming.Entity.t -> bool) ->
+  ?cache:Naming.Cache.t ->
   Naming.Store.t ->
   Naming.Rule.t ->
   event list ->
   float
-(** Fraction of non-vacuous events that are coherent under the rule. *)
+(** Fraction of non-vacuous events that are coherent under the rule.
+    Resolutions share one memoising resolver (pass [cache] to share it
+    with other measurements over the same store). *)
 
 val run_over_network :
   engine:Dsim.Engine.t ->

@@ -71,6 +71,51 @@ let test_create_errors () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero capacity accepted"
 
+(* The point of dependency tracking: a mutation outside a cached entry's
+   resolution path must not disturb the entry. *)
+let test_unrelated_mutation_keeps_entry () =
+  let st, fs, root = fixture () in
+  let cache = Ca.create st in
+  let n = N.of_string "usr/bin/cc" in
+  let before = Ca.resolve_in cache root n in
+  check b "resolves" true (E.is_defined before);
+  (* a bind in /tmp: not on the /usr/bin/cc path *)
+  ignore (Vfs.Fs.add_file fs "/tmp/scratch" ~content:"x");
+  let after = Ca.resolve_in cache root n in
+  check entity "same result" before after;
+  let s = Ca.stats cache in
+  check i "served from cache" 1 s.Ca.hits;
+  check i "not invalidated" 0 s.Ca.invalidations
+
+(* ... while a mutation on the path still invalidates exactly that
+   entry. *)
+let test_on_path_mutation_invalidates () =
+  let st, fs, root = fixture () in
+  let cache = Ca.create st in
+  let on_path = N.of_string "usr/bin/cc" in
+  let off_path = N.of_string "etc/passwd" in
+  ignore (Ca.resolve_in cache root on_path);
+  ignore (Ca.resolve_in cache root off_path);
+  ignore (Vfs.Fs.add_file fs "/usr/bin/new" ~content:"x");
+  ignore (Ca.resolve_in cache root on_path);
+  ignore (Ca.resolve_in cache root off_path);
+  let s = Ca.stats cache in
+  check i "only the touched path invalidated" 1 s.Ca.invalidations;
+  check i "the untouched entry still hits" 1 s.Ca.hits
+
+let test_single_entry_eviction () =
+  let st, _, root = fixture () in
+  let cache = Ca.create ~capacity:2 st in
+  List.iter
+    (fun p -> ignore (Ca.resolve_in cache root (N.of_string p)))
+    [ "bin"; "etc"; "usr" ];
+  let s = Ca.stats cache in
+  check i "one eviction past capacity" 1 s.Ca.evictions;
+  check i "table stays at capacity" 2 s.Ca.entries;
+  (* the survivors are still served as hits *)
+  ignore (Ca.resolve_in cache root (N.of_string "usr"));
+  check i "newest entry survived" 1 (Ca.stats cache).Ca.hits
+
 (* property: under random interleavings of resolutions and mutations, the
    cache always agrees with the plain resolver. *)
 let prop_cache_transparent =
@@ -115,5 +160,11 @@ let suite =
     Alcotest.test_case "negative caching" `Quick test_negative_caching;
     Alcotest.test_case "capacity reset" `Quick test_capacity_reset;
     Alcotest.test_case "create errors" `Quick test_create_errors;
+    Alcotest.test_case "unrelated mutation keeps entry" `Quick
+      test_unrelated_mutation_keeps_entry;
+    Alcotest.test_case "on-path mutation invalidates" `Quick
+      test_on_path_mutation_invalidates;
+    Alcotest.test_case "single-entry eviction" `Quick
+      test_single_entry_eviction;
     QCheck_alcotest.to_alcotest prop_cache_transparent;
   ]

@@ -172,6 +172,34 @@ let prop_monotone_in_activities =
           small >= large || small = 1 (* vacuous can become incoherent *)
       | _ -> false)
 
+(* Batching through a shared cache is an optimisation, not a semantics
+   change: every verdict must match the uncached path. *)
+let test_cached_measure_parity () =
+  let st, rule, acts, _ = fixture () in
+  let probes =
+    List.map N.of_string [ "shared"; "local"; "only1"; "ghost" ]
+  in
+  let cache = Naming.Cache.create st in
+  let cached = Coh.classify ~cache st rule (occs acts) probes in
+  List.iter
+    (fun (n, cached_verdict) ->
+      let plain = Coh.check st rule (occs acts) n in
+      let same =
+        match (cached_verdict, plain) with
+        | Coh.Coherent e1, Coh.Coherent e2 -> E.equal e1 e2
+        | Coh.Incoherent _, Coh.Incoherent _ -> true
+        | Coh.Vacuous, Coh.Vacuous -> true
+        | Coh.Weakly_coherent _, Coh.Weakly_coherent _ -> true
+        | _, _ -> false
+      in
+      if not same then
+        Alcotest.failf "%s: cached %a vs plain %a" (N.to_string n)
+          Coh.pp_verdict cached_verdict Coh.pp_verdict plain)
+    cached;
+  let r_cached = Coh.measure ~cache st rule (occs acts) probes in
+  let r_plain = Coh.measure st rule (occs acts) probes in
+  check f "same degree" (Coh.degree r_plain) (Coh.degree r_cached)
+
 let suite =
   [
     Alcotest.test_case "coherent" `Quick test_coherent;
@@ -188,6 +216,8 @@ let suite =
     Alcotest.test_case "measure and degrees" `Quick test_measure_and_degrees;
     Alcotest.test_case "all-vacuous degree" `Quick test_degree_all_vacuous;
     Alcotest.test_case "classify and filters" `Quick test_classify_and_filters;
+    Alcotest.test_case "cached measure parity" `Quick
+      test_cached_measure_parity;
     QCheck_alcotest.to_alcotest prop_order_invariant;
     QCheck_alcotest.to_alcotest prop_monotone_in_activities;
   ]

@@ -166,6 +166,39 @@ let prop_is_prefix_of_append =
     (QCheck.pair arbitrary_name arbitrary_name) (fun (a, b) ->
       N.is_prefix ~prefix:a (N.append a b))
 
+let arbitrary_atom_string = QCheck.make ~print:Fun.id atom_gen
+
+(* Atoms are interned symbols; the string form must survive the round
+   trip and re-interning must yield the same symbol. *)
+let prop_atom_intern_roundtrip =
+  QCheck.Test.make ~name:"atom interning round-trips of_string/to_string"
+    ~count:500 arbitrary_atom_string (fun s ->
+      let a = N.atom s in
+      String.equal (N.atom_to_string a) s
+      && N.atom_equal a (N.atom (N.atom_to_string a))
+      && N.atom_id a = N.atom_id (N.atom s))
+
+let sign c = compare c 0
+
+(* Interning must not change any observable ordering: atom comparison is
+   still string comparison of the spelt-out forms... *)
+let prop_atom_compare_is_string_compare =
+  QCheck.Test.make ~name:"atom_compare = String.compare on string forms"
+    ~count:500
+    (QCheck.pair arbitrary_atom_string arbitrary_atom_string)
+    (fun (s1, s2) ->
+      sign (N.atom_compare (N.atom s1) (N.atom s2))
+      = sign (String.compare s1 s2))
+
+(* ... and name comparison is still lexicographic over those forms. *)
+let prop_name_compare_is_string_order =
+  QCheck.Test.make ~name:"Name.compare = lexicographic string comparison"
+    ~count:500
+    (QCheck.pair arbitrary_name arbitrary_name)
+    (fun (a, b) ->
+      let strs n = List.map N.atom_to_string (N.atoms n) in
+      sign (N.compare a b) = sign (List.compare String.compare (strs a) (strs b)))
+
 let suite =
   [
     Alcotest.test_case "atom validation" `Quick test_atom_validation;
@@ -189,4 +222,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_drop_prefix_inverse;
     QCheck_alcotest.to_alcotest prop_is_prefix_of_append;
     QCheck_alcotest.to_alcotest prop_relative_to_rebuilds;
+    QCheck_alcotest.to_alcotest prop_atom_intern_roundtrip;
+    QCheck_alcotest.to_alcotest prop_atom_compare_is_string_compare;
+    QCheck_alcotest.to_alcotest prop_name_compare_is_string_order;
   ]

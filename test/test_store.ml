@@ -106,6 +106,32 @@ let test_set_context () =
   S.set_context st d (C.of_bindings [ (N.atom "o", o) ]);
   check entity "context replaced" o (S.lookup st ~dir:d (N.atom "o"))
 
+let test_generations () =
+  let st = S.create () in
+  let d = S.create_context_object st in
+  let o = S.create_object ~state:(S.Data "v") st in
+  let gd = S.generation st d and go = S.generation st o in
+  check b "fresh objects have a generation" true (gd > 0 && go > 0);
+  S.bind st ~dir:d (N.atom "o") o;
+  check b "bind bumps the dir's generation" true (S.generation st d > gd);
+  check i "the bound target is untouched" go (S.generation st o);
+  check b "tick covers every generation" true (S.tick st >= S.generation st d)
+
+let test_touched_since () =
+  let st = S.create () in
+  let d = S.create_context_object st in
+  let o = S.create_object ~state:(S.Data "v") st in
+  let t0 = S.tick st in
+  check (Alcotest.list entity) "nothing since now" [] (S.touched_since st t0);
+  S.bind st ~dir:d (N.atom "o") o;
+  check (Alcotest.list entity) "the mutated dir" [ d ] (S.touched_since st t0);
+  S.set_obj_state st o (S.Data "v2");
+  S.set_obj_state st o (S.Data "v3");
+  (* deduplicated, oldest change first *)
+  check (Alcotest.list entity) "both, deduped" [ d; o ] (S.touched_since st t0);
+  check (Alcotest.list entity) "empty at the tip" []
+    (S.touched_since st (S.tick st))
+
 let suite =
   [
     Alcotest.test_case "allocation kinds" `Quick test_allocation_kinds;
@@ -118,4 +144,6 @@ let suite =
     Alcotest.test_case "exists" `Quick test_exists;
     Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
     Alcotest.test_case "set_context" `Quick test_set_context;
+    Alcotest.test_case "generations" `Quick test_generations;
+    Alcotest.test_case "touched_since" `Quick test_touched_since;
   ]
