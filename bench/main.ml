@@ -12,17 +12,28 @@
    Flags (anywhere on the command line):
      --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
                   runs are reproducible by default, never self-seeded
-     --json     — also write results to BENCH_<date>.json in the cwd
+     --json     — also write results to BENCH_<date>[_<tag>].json in the cwd
+     --tag S    — suffix for the JSON filename (so two runs of the same
+                  day, e.g. --jobs 1 and --jobs 4, do not clobber each
+                  other)
+     --jobs N   — domain count for the sweep-shaped series (b4, b12, b14)
+                  and the batch entry points behind them; default
+                  $NAMING_JOBS, else 1 (fully sequential)
 
    One Bechamel test per reproduced artefact: e1..e10/a1..a4 measure the
-   cost of the measurement behind the corresponding figure/claim; b1..b13
-   measure the primitive operations of the library. *)
+   cost of the measurement behind the corresponding figure/claim; b1..b14
+   measure the primitive operations of the library. Every series runs a
+   discarded warmup pass first and a stabilised measured pass with a
+   minimum batch size, so the OLS fit has honest support (see
+   doc/PERF.md). *)
 
 let flags, positional =
   let rec go fl pos = function
     | [] -> (fl, List.rev pos)
     | "--seed" :: v :: rest -> go (("seed", v) :: fl) pos rest
     | "--json" :: rest -> go (("json", "") :: fl) pos rest
+    | "--tag" :: v :: rest -> go (("tag", v) :: fl) pos rest
+    | "--jobs" :: v :: rest -> go (("jobs", v) :: fl) pos rest
     | x :: rest -> go fl (x :: pos) rest
   in
   go [] [] (List.tl (Array.to_list Sys.argv))
@@ -41,6 +52,18 @@ let seed =
       | Some None | None -> 42)
 
 let json_mode = List.mem_assoc "json" flags
+let tag = List.assoc_opt "tag" flags
+
+let jobs =
+  match List.assoc_opt "jobs" flags with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+          exit 2)
+  | None -> Naming.Pool.default_jobs ()
+
 let () = Random.init seed
 
 (* ------------------------------------------------------------------ *)
@@ -164,6 +187,10 @@ module Fixtures = struct
 
   let b13_rng = Dsim.Rng.create 42L
   let b13_k = ref 0
+
+  (* b14: the E10 scheme-matrix worlds, built once; the bench times the
+     sweep itself (one row per world, three degrees per row). *)
+  let matrix_worlds = Harness.Exp_matrix.worlds ()
 end
 
 (* The b13 workload at report scale: a fresh world, [ops] operations,
@@ -235,7 +262,7 @@ let micro_tests =
              List.map Naming.Occurrence.generated Fixtures.newcastle_procs
            in
            ignore
-             (Naming.Coherence.measure Fixtures.newcastle_store
+             (Naming.Coherence.measure ~jobs Fixtures.newcastle_store
                 (Schemes.Newcastle.rule Fixtures.newcastle)
                 occs Fixtures.newcastle_probes)));
     Test.make ~name:"b5: pqid map_for_transit"
@@ -267,6 +294,9 @@ let micro_tests =
     Test.make ~name:"b8: codec roundtrip (newcastle world)"
       (Staged.stage (fun () ->
            ignore (Naming.Codec.of_string Fixtures.codec_text)));
+    Test.make ~name:"b8b: codec to_string (newcastle world)"
+      (Staged.stage (fun () ->
+           ignore (Naming.Codec.to_string Fixtures.newcastle_store)));
     Test.make ~name:"b9: jade union resolution (miss then hit)"
       (Staged.stage (fun () ->
            ignore
@@ -287,22 +317,28 @@ let micro_tests =
                 Fixtures.hot_name)));
     Test.make ~name:"b12: flow analysis (all sample plans)"
       (Staged.stage (fun () ->
-           List.iter
-             (fun plan -> ignore (Analysis.Flow.analyze plan))
-             Fixtures.flow_plans));
-    Test.make ~name:"b13: cached resolve under mixed mutate/resolve"
+           ignore (Analysis.Flow.analyze_many ~jobs Fixtures.flow_plans)));
+    (* A fixed 1-mutation + 9-resolves bundle per run: the 10% mutation
+       mix of the report workload, with every run identical in
+       composition so the per-run cost is stationary and the OLS fit
+       meaningful (a stateful every-10th-run-mutates thunk is bimodal
+       and fits a line badly no matter the sample count). *)
+    Test.make ~name:"b13: cached resolve, 10-op mutate/resolve bundle"
       (Staged.stage (fun () ->
            let k = !Fixtures.b13_k in
            Fixtures.b13_k := k + 1;
-           if k mod 10 = 0 then
-             ignore
-               (Vfs.Fs.add_file Fixtures.b13_fs
-                  (Printf.sprintf "/tmp/f%d" (k mod 64))
-                  ~content:"x")
-           else
+           ignore
+             (Vfs.Fs.add_file Fixtures.b13_fs
+                (Printf.sprintf "/tmp/f%d" (k mod 64))
+                ~content:"x");
+           for _ = 1 to 9 do
              ignore
                (Naming.Cache.resolve_in Fixtures.b13_cache Fixtures.b13_root
-                  (Dsim.Rng.pick Fixtures.b13_rng Fixtures.b13_names))));
+                  (Dsim.Rng.pick Fixtures.b13_rng Fixtures.b13_names))
+           done));
+    Test.make ~name:"b14: scheme matrix sweep (all E10 worlds)"
+      (Staged.stage (fun () ->
+           ignore (Harness.Matrix.measure_all ~jobs Fixtures.matrix_worlds)));
   ]
 
 let experiment_tests =
@@ -413,28 +449,71 @@ let scaling_tests =
 (* Every run_bechamel call appends its rows here; --json dumps them. *)
 let collected : (string * float option * float option) list ref = ref []
 
+(* Measurement methodology (doc/PERF.md):
+   1. a discarded warmup pass faults in the fixtures and warms caches;
+   2. the measured pass stabilises the GC before each sample and grows
+      batches geometrically from a minimum of 100 runs — single-run
+      samples are dominated by clock granularity on the sub-microsecond
+      series and used to drive their OLS r² negative;
+   3. a series whose fit still has r² < 0.8 (scheduler noise on a busy
+      machine) is re-measured with a doubled time budget, keeping the
+      best fit per series, up to [max_attempts] passes. *)
+let r2_target = 0.8
+let max_attempts = 3
+
 let run_bechamel ~name tests =
   let open Bechamel in
   let grouped = Test.make_grouped ~name tests in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
-  let raw = Benchmark.all cfg instances grouped in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  let warmup_cfg =
+    Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false ()
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  let rows =
-    List.map
-      (fun (name, est) ->
+  ignore (Benchmark.all warmup_cfg instances grouped);
+  let measure_once ~quota =
+    let cfg =
+      Benchmark.cfg ~limit:1500 ~quota:(Time.second quota) ~stabilize:true
+        ~sampling:(`Geometric 1.25) ~start:100 ()
+    in
+    let raw = Benchmark.all cfg instances grouped in
+    let ols =
+      Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.fold
+      (fun name est acc ->
         let time =
           match Analyze.OLS.estimates est with
           | Some [ t ] -> Some t
           | Some _ | None -> None
         in
-        (name, time, Analyze.OLS.r_square est))
+        (name, time, Analyze.OLS.r_square est) :: acc)
+      results []
+  in
+  let better (_, _, r2) (_, _, r2') =
+    match (r2, r2') with
+    | Some a, Some b -> a >= b
+    | Some _, None -> true
+    | None, _ -> false
+  in
+  let merge best rows =
+    List.map
+      (fun ((n, _, _) as row) ->
+        match List.find_opt (fun (n', _, _) -> String.equal n n') best with
+        | Some old when better old row -> old
+        | Some _ | None -> row)
       rows
   in
+  let all_fit rows =
+    List.for_all
+      (fun (_, _, r2) -> match r2 with Some r -> r >= r2_target | None -> false)
+      rows
+  in
+  let rec attempt n quota best =
+    let rows = merge best (measure_once ~quota) in
+    if all_fit rows || n >= max_attempts then rows
+    else attempt (n + 1) (quota *. 2.0) rows
+  in
+  let rows = attempt 1 1.0 [] in
   let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows in
   collected := !collected @ rows;
   Printf.printf "%-60s  %16s  %8s\n" "benchmark" "ns/run" "r^2";
@@ -472,10 +551,15 @@ let today () =
     tm.Unix.tm_mday
 
 let write_json () =
-  let path = Printf.sprintf "BENCH_%s.json" (today ()) in
+  let path =
+    match tag with
+    | None -> Printf.sprintf "BENCH_%s.json" (today ())
+    | Some t -> Printf.sprintf "BENCH_%s_%s.json" (today ()) t
+  in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"date\": \"%s\",\n  \"seed\": %d,\n" (today ()) seed;
+  out "{\n  \"date\": \"%s\",\n  \"seed\": %d,\n  \"jobs\": %d,\n" (today ())
+    seed jobs;
   (match !workload_stats with
   | None -> ()
   | Some (ops, s) ->

@@ -23,7 +23,11 @@
      dot <scheme>       print the naming graph of a sample world (graphviz)
      trace <scheme> <name>
                         resolve a name in a sample world and print the
-                        resolution path *)
+                        resolution path
+
+   analyze, check-script and cache-stats take --jobs N (default from
+   NAMING_JOBS, else 1) to fan their sweeps across N domains; output is
+   printed sequentially in input order regardless of jobs. *)
 
 let sample_schemes = Harness.Sample.schemes
 
@@ -145,14 +149,14 @@ let cmd_coherence scheme name =
 (* Three coherence sweeps (every probe from every activity) through one
    shared cache, with a mutation burst between the second and third: the
    workload every batch entry point runs, at observable scale. *)
-let cmd_cache_stats scheme =
+let cmd_cache_stats scheme jobs =
   on_schemes scheme (fun scheme ->
       let w = sample_world scheme in
       let cache = Naming.Cache.create w.store in
       let occs = List.map Naming.Occurrence.generated w.activities in
       let probes = probes_of_world w in
-      ignore (Naming.Coherence.measure ~cache w.store w.rule occs probes);
-      ignore (Naming.Coherence.measure ~cache w.store w.rule occs probes);
+      ignore (Naming.Coherence.measure ~cache ~jobs w.store w.rule occs probes);
+      ignore (Naming.Coherence.measure ~cache ~jobs w.store w.rule occs probes);
       let scratch =
         Naming.Store.create_context_object ~label:"scratch" w.store
       in
@@ -160,7 +164,7 @@ let cmd_cache_stats scheme =
       | dir :: _ ->
           Naming.Store.bind w.store ~dir (Naming.Name.atom "scratch") scratch
       | [] -> ());
-      ignore (Naming.Coherence.measure ~cache w.store w.rule occs probes);
+      ignore (Naming.Coherence.measure ~cache ~jobs w.store w.rule occs probes);
       let s = Naming.Cache.stats cache in
       let total = max 1 (s.Naming.Cache.hits + s.Naming.Cache.misses) in
       Printf.printf
@@ -174,7 +178,7 @@ let cmd_cache_stats scheme =
         (float_of_int s.Naming.Cache.hits /. float_of_int total);
       0)
 
-let cmd_analyze scheme json sarif min_severity =
+let cmd_analyze scheme json sarif min_severity jobs =
   match Analysis.Diagnostic.severity_of_string min_severity with
   | None ->
       Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
@@ -187,7 +191,7 @@ let cmd_analyze scheme json sarif min_severity =
           sample_schemes
         else [ scheme ]
       in
-      let analyzed =
+      let subjects =
         List.map
           (fun scheme ->
             let w = sample_world scheme in
@@ -195,8 +199,15 @@ let cmd_analyze scheme json sarif min_severity =
               Analysis.Subject.v ~probes:(probes_of_world w) ~rule:w.rule
                 ~activities:w.activities w.store
             in
-            (w.store, Analysis.Engine.analyze ~config ~label:scheme subject))
+            (scheme, w.store, subject))
           schemes
+      in
+      let reports =
+        Analysis.Engine.analyze_many ~config ~jobs
+          (List.map (fun (label, _, subject) -> (label, subject)) subjects)
+      in
+      let analyzed =
+        List.map2 (fun (_, store, _) r -> (store, r)) subjects reports
       in
       if sarif then
         print_endline
@@ -264,7 +275,7 @@ let script_targets arg =
         (Ok []) Harness.Sample.scripts
     else sample arg
 
-let cmd_check_script target json sarif min_severity received embedded =
+let cmd_check_script target json sarif min_severity received embedded jobs =
   let severity = Analysis.Diagnostic.severity_of_string min_severity in
   let received_rule =
     match received with
@@ -298,14 +309,15 @@ let cmd_check_script target json sarif min_severity received embedded =
           let config =
             { Analysis.Flow.default_config with received_rule; embedded_rule }
           in
+          let results =
+            Analysis.Flowpasses.report_many ~min_severity ~config ~jobs
+              (List.map (fun (label, plan, _, _) -> (label, plan)) targets)
+          in
           let checked =
-            List.map
-              (fun (label, plan, uri, line_of) ->
-                let _result, report =
-                  Analysis.Flowpasses.report ~min_severity ~config ~label plan
-                in
+            List.map2
+              (fun (_, _, uri, line_of) (_result, report) ->
                 (uri, line_of, report))
-              targets
+              targets results
           in
           (* Flow diagnostics carry no store entities; any store renders
              them. *)
@@ -390,13 +402,20 @@ let min_severity_opt =
            ~doc:"Report only diagnostics at least this severe: info, \
                  warning or error. The exit code always reflects errors.")
 
+let jobs_opt =
+  Arg.(value & opt int (Naming.Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Evaluate the sweeps on $(docv) domains (defaults to \
+                 NAMING_JOBS when set, else 1 = fully sequential). \
+                 Results and output order do not depend on $(docv).")
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Multi-pass static analysis of a sample world's naming graph; \
              exits nonzero when any error-severity diagnostic fires")
     Term.(const cmd_analyze $ scheme_or_all_arg $ json_flag $ sarif_flag
-          $ min_severity_opt)
+          $ min_severity_opt $ jobs_opt)
 
 let check_script_cmd =
   let target =
@@ -424,7 +443,7 @@ let check_script_cmd =
              without running it; exits nonzero when any flow is provably \
              incoherent")
     Term.(const cmd_check_script $ target $ json_flag $ sarif_flag
-          $ min_severity_opt $ received_rule $ embedded_rule)
+          $ min_severity_opt $ received_rule $ embedded_rule $ jobs_opt)
 
 let report_cmd =
   Cmd.v
@@ -463,7 +482,7 @@ let cache_stats_cmd =
     (Cmd.info "cache-stats"
        ~doc:"Run a representative cached workload over a sample world and \
              print the memoising resolver's hit/miss/invalidation counters")
-    Term.(const cmd_cache_stats $ scheme_or_all_arg)
+    Term.(const cmd_cache_stats $ scheme_or_all_arg $ jobs_opt)
 
 let main =
   let info =

@@ -46,6 +46,16 @@ val analyze : ?config:config -> label:string -> Subject.t -> report
 (** @raise Invalid_argument when [config.passes] names an unknown
     pass. *)
 
+val analyze_many :
+  ?config:config -> ?jobs:int -> (string * Subject.t) list -> report list
+(** Analyze several labelled subjects, reports in input order. Subjects
+    are independent (each has its own store), so with [jobs > 1] the
+    analyses fan out one task per subject on the shared domain pool,
+    each subject's store frozen for the duration. Reports are
+    structurally identical to the sequential ones.
+    @raise Invalid_argument when [config.passes] names an unknown pass
+    (raised on the caller's stack before any task is scheduled). *)
+
 val assemble :
   ?min_severity:Diagnostic.severity ->
   label:string ->

@@ -97,6 +97,12 @@ type result = {
 
 val analyze : ?config:config -> plan -> result
 
+val analyze_many : ?config:config -> ?jobs:int -> plan list -> result list
+(** [analyze] over several plans, results in input order. Each analysis
+    builds its own abstract state from its plan, so with [jobs > 1] the
+    plans fan out one task per plan on the shared domain pool; results
+    are structurally identical to the sequential ones. *)
+
 (** {1 Dynamic cross-validation} *)
 
 type dyn = { dyn_index : int; dyn_outcome : outcome; dyn_diverged : bool }

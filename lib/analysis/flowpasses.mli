@@ -30,3 +30,14 @@ val report :
 (** Runs {!Flow.analyze} and assembles an {!Engine.report}: activities
     are the abstract processes, objects the abstract nodes, probes the
     flows. *)
+
+val report_many :
+  ?min_severity:Diagnostic.severity ->
+  ?config:Flow.config ->
+  ?jobs:int ->
+  (string * Flow.plan) list ->
+  (Flow.result * Engine.report) list
+(** [report] over several labelled plans, results in input order. Each
+    analysis builds its own abstract store from its plan, so with
+    [jobs > 1] the plans fan out one task per plan on the shared domain
+    pool; results are structurally identical to the sequential ones. *)

@@ -49,6 +49,27 @@ let clear (t : t) =
   Key_tbl.reset t.entries;
   Queue.clear t.order
 
+(* A worker domain's shard: same store, same capacity, a private copy of
+   the entries (so a warmed shared cache seeds every shard) and zeroed
+   counters (so per-shard work can be merged with [absorb]). *)
+let copy (t : t) =
+  {
+    store = t.store;
+    capacity = t.capacity;
+    entries = Key_tbl.copy t.entries;
+    order = Queue.copy t.order;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let absorb (t : t) (s : stats) =
+  t.hits <- t.hits + s.hits;
+  t.misses <- t.misses + s.misses;
+  t.invalidations <- t.invalidations + s.invalidations;
+  t.evictions <- t.evictions + s.evictions
+
 let entry_valid (t : t) entry =
   let n = Array.length entry.deps in
   let rec ok i =

@@ -43,3 +43,16 @@ type stats = {
 
 val stats : t -> stats
 val clear : t -> unit
+
+val copy : t -> t
+(** An independent cache over the same store, seeded with the current
+    entries and with zeroed counters. This is the per-domain shard of
+    the parallel sweeps: entries key on per-entity generations that only
+    mutate on the coordinating domain, so a worker may {e read} the
+    copied entries freely but must never share one live cache with
+    another domain. Entries added to the copy are not propagated back. *)
+
+val absorb : t -> stats -> unit
+(** [absorb t s] adds the counters of [s] into [t]'s — how a parallel
+    batch merges its shards' statistics into the caller's cache on
+    join ([entries] is not a counter and is ignored). *)

@@ -11,29 +11,104 @@ let entity_ref e =
   | Entity.Activity i -> Printf.sprintf "a%d" i
   | Entity.Object i -> Printf.sprintf "o%d" i
 
+let add_entity_ref buf e =
+  match e with
+  | Entity.Undefined -> Buffer.add_char buf '!'
+  | Entity.Activity i ->
+      Buffer.add_char buf 'a';
+      Buffer.add_string buf (string_of_int i)
+  | Entity.Object i ->
+      Buffer.add_char buf 'o';
+      Buffer.add_string buf (string_of_int i)
+
+(* %S-compatible quoting, chunked: runs of characters that need no
+   escape are blitted with one [add_substring] instead of a char-by-char
+   walk. The escape set and forms must match [String.escaped] exactly —
+   the parser reads these back with Scanf [%S], and golden dumps must
+   not change. *)
+let add_quoted buf s =
+  Buffer.add_char buf '"';
+  let n = String.length s in
+  let flush start stop =
+    if stop > start then Buffer.add_substring buf s start (stop - start)
+  in
+  let rec go start i =
+    if i = n then flush start i
+    else
+      let c = s.[i] in
+      if c >= ' ' && c <= '~' && c <> '"' && c <> '\\' then go start (i + 1)
+      else begin
+        flush start i;
+        (match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | c ->
+            Buffer.add_char buf '\\';
+            Buffer.add_string buf (Printf.sprintf "%03d" (Char.code c)));
+        go (i + 1) (i + 1)
+      end
+  in
+  go 0 0;
+  Buffer.add_char buf '"'
+
+(* One pass over the entities to size the buffer: a close upper bound on
+   the unescaped output (escapes may add a few percent, absorbed by one
+   final doubling at worst; the common case allocates exactly once). *)
+let size_estimate store all =
+  List.fold_left
+    (fun acc e ->
+      let acc =
+        acc + 16
+        + (match Store.label store e with
+          | Some l -> String.length l + 16
+          | None -> 0)
+      in
+      match Store.obj_state store e with
+      | Some (Store.Data d) -> acc + String.length d
+      | Some (Store.Context ctx) -> acc + (24 * Context.cardinal ctx)
+      | None -> acc)
+    (String.length header + 1)
+    all
+
 let to_string store =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf header;
-  Buffer.add_char buf '\n';
   (* Entities in allocation (id) order. *)
   let all =
     List.sort
       (fun e1 e2 -> Int.compare (Entity.id e1) (Entity.id e2))
       (Store.activities store @ Store.objects store)
   in
+  let buf = Buffer.create (size_estimate store all) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
   List.iter
     (fun e ->
       (match Store.obj_state store e with
-      | None -> Buffer.add_string buf (Printf.sprintf "activity %d\n" (Entity.id e))
+      | None ->
+          Buffer.add_string buf "activity ";
+          Buffer.add_string buf (string_of_int (Entity.id e));
+          Buffer.add_char buf '\n'
       | Some (Store.Data d) ->
-          Buffer.add_string buf (Printf.sprintf "file %d %S\n" (Entity.id e) d)
+          Buffer.add_string buf "file ";
+          Buffer.add_string buf (string_of_int (Entity.id e));
+          Buffer.add_char buf ' ';
+          add_quoted buf d;
+          Buffer.add_char buf '\n'
       | Some (Store.Context _) ->
-          Buffer.add_string buf (Printf.sprintf "dir %d\n" (Entity.id e)));
+          Buffer.add_string buf "dir ";
+          Buffer.add_string buf (string_of_int (Entity.id e));
+          Buffer.add_char buf '\n');
       match Store.label store e with
       | None -> ()
       | Some l ->
-          Buffer.add_string buf
-            (Printf.sprintf "label %s %S\n" (entity_ref e) l))
+          Buffer.add_string buf "label ";
+          add_entity_ref buf e;
+          Buffer.add_char buf ' ';
+          add_quoted buf l;
+          Buffer.add_char buf '\n')
     all;
   (* Bindings, after every entity exists. *)
   List.iter
@@ -42,14 +117,25 @@ let to_string store =
       | Some (Store.Context ctx) ->
           List.iter
             (fun (atom, target) ->
-              Buffer.add_string buf
-                (Printf.sprintf "bind %d %S %s\n" (Entity.id e)
-                   (Name.atom_to_string atom)
-                   (entity_ref target)))
+              Buffer.add_string buf "bind ";
+              Buffer.add_string buf (string_of_int (Entity.id e));
+              Buffer.add_char buf ' ';
+              add_quoted buf (Name.atom_to_string atom);
+              Buffer.add_char buf ' ';
+              add_entity_ref buf target;
+              Buffer.add_char buf '\n')
             (Context.bindings ctx)
       | Some (Store.Data _) | None -> ())
     all;
   Buffer.contents buf
+
+let to_string_many ?jobs stores =
+  match Pool.get ?jobs () with
+  | None -> List.map to_string stores
+  | Some pool ->
+      Pool.map pool
+        (fun store -> Store.read_only store (fun () -> to_string store))
+        stores
 
 type pre_entity = Pre_activity | Pre_file of string | Pre_dir
 

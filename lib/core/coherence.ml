@@ -64,37 +64,66 @@ let strict_degree r =
 let batch_cache ?cache store =
   match cache with Some c -> c | None -> Cache.create store
 
-let measure ?equiv ?cache store rule occs probes =
-  let cache = batch_cache ?cache store in
+(* The parallel fan-out behind [?jobs]: one verdict per probe, computed
+   across domains with the store frozen (a mutation mid-sweep raises
+   instead of racing) and a cache shard per worker, each seeded from the
+   caller's cache. Shard counters are merged back on join so a shared
+   cache's statistics still account for the whole sweep; shard entries
+   are private and dropped. Verdicts come back in probe order, so every
+   derived quantity equals the sequential path's. *)
+let classify_parallel ?equiv ?cache pool store rule occs probes =
+  Store.read_only store (fun () ->
+      let verdicts, shards =
+        Pool.map_local pool
+          ~local:(fun () -> batch_cache ?cache store |> Cache.copy)
+          (fun shard name -> check ?equiv ~cache:shard store rule occs name)
+          probes
+      in
+      (match cache with
+      | None -> ()
+      | Some c -> List.iter (fun s -> Cache.absorb c (Cache.stats s)) shards);
+      verdicts)
+
+let verdicts_of ?equiv ?cache ?jobs store rule occs probes =
+  match Pool.get ?jobs () with
+  | Some pool -> classify_parallel ?equiv ?cache pool store rule occs probes
+  | None ->
+      let cache = batch_cache ?cache store in
+      List.map (fun n -> check ?equiv ~cache store rule occs n) probes
+
+let measure ?equiv ?cache ?jobs store rule occs probes =
   let init =
     { probes = 0; coherent = 0; weakly_coherent = 0; incoherent = 0; vacuous = 0 }
   in
   List.fold_left
-    (fun acc name ->
+    (fun acc verdict ->
       let acc = { acc with probes = acc.probes + 1 } in
-      match check ?equiv ~cache store rule occs name with
+      match verdict with
       | Coherent _ -> { acc with coherent = acc.coherent + 1 }
       | Weakly_coherent _ -> { acc with weakly_coherent = acc.weakly_coherent + 1 }
       | Incoherent _ -> { acc with incoherent = acc.incoherent + 1 }
       | Vacuous -> { acc with vacuous = acc.vacuous + 1 })
-    init probes
+    init
+    (verdicts_of ?equiv ?cache ?jobs store rule occs probes)
 
-let classify ?equiv ?cache store rule occs probes =
-  let cache = batch_cache ?cache store in
-  List.map (fun n -> (n, check ?equiv ~cache store rule occs n)) probes
+let classify ?equiv ?cache ?jobs store rule occs probes =
+  List.combine probes (verdicts_of ?equiv ?cache ?jobs store rule occs probes)
 
-let coherent_names ?equiv ?cache store rule occs probes =
-  let cache = batch_cache ?cache store in
-  List.filter (fun n -> is_coherent ?equiv ~cache store rule occs n) probes
+let coherent_names ?equiv ?cache ?jobs store rule occs probes =
+  List.filter_map
+    (fun (n, v) ->
+      match v with
+      | Coherent _ | Weakly_coherent _ -> Some n
+      | Incoherent _ | Vacuous -> None)
+    (classify ?equiv ?cache ?jobs store rule occs probes)
 
-let incoherent_names ?equiv ?cache store rule occs probes =
-  let cache = batch_cache ?cache store in
-  List.filter
-    (fun n ->
-      match check ?equiv ~cache store rule occs n with
-      | Incoherent _ -> true
-      | Coherent _ | Weakly_coherent _ | Vacuous -> false)
-    probes
+let incoherent_names ?equiv ?cache ?jobs store rule occs probes =
+  List.filter_map
+    (fun (n, v) ->
+      match v with
+      | Incoherent _ -> Some n
+      | Coherent _ | Weakly_coherent _ | Vacuous -> None)
+    (classify ?equiv ?cache ?jobs store rule occs probes)
 
 let pp_verdict ppf = function
   | Coherent e -> Format.fprintf ppf "coherent(%a)" Entity.pp e

@@ -63,15 +63,24 @@ val strict_degree : report -> float
 val measure :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?jobs:int ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
   Name.t list ->
   report
+(** Every batch entry point takes [?jobs]: with [jobs > 1] the probes
+    are swept in parallel on a {!Pool} of that many domains — the store
+    frozen ({!Store.read_only}) for the duration, one {!Cache.copy}
+    shard per worker seeded from [?cache], shard counters merged back
+    into [?cache] on join. Results are returned in probe order and are
+    structurally equal to the sequential ones; [jobs = 1] (or omitting
+    it) runs today's sequential path unchanged. *)
 
 val classify :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?jobs:int ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -82,6 +91,7 @@ val classify :
 val coherent_names :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?jobs:int ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -91,6 +101,7 @@ val coherent_names :
 val incoherent_names :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?jobs:int ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->

@@ -12,32 +12,51 @@ exception Invalid of string
 let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
 
 (* The global symbol table: id -> string and string -> id. Grows
-   monotonically for the lifetime of the process; never shrinks. *)
+   monotonically for the lifetime of the process; never shrinks.
+
+   Domain-safety: interning (the only writer) holds [lock], so the
+   string->id table is consulted and extended atomically. Reads of the
+   frozen prefix ([string_of]) are lock-free: an id is published by the
+   [Atomic.incr count] that follows the slot write, and the strings
+   array is swapped (grow-by-copy) before any slot of the new region is
+   written — so a reader that observed [id < count] finds the slot
+   filled in whichever array version it then loads. *)
 module Symtab = struct
+  let lock = Mutex.create ()
   let ids : (string, int) Hashtbl.t = Hashtbl.create 1024
-  let mutable_strings = ref (Array.make 1024 "")
-  let count = ref 0
+  let strings = Atomic.make (Array.make 1024 "")
+  let count = Atomic.make 0
 
   let string_of id =
-    if id < 0 || id >= !count then
+    if id < 0 || id >= Atomic.get count then
       invalid_arg (Printf.sprintf "Name: unknown atom id %d" id)
-    else !mutable_strings.(id)
+    else (Atomic.get strings).(id)
 
   let intern s =
-    match Hashtbl.find_opt ids s with
-    | Some id -> id
-    | None ->
-        let id = !count in
-        let cap = Array.length !mutable_strings in
-        if id >= cap then begin
-          let bigger = Array.make (2 * cap) "" in
-          Array.blit !mutable_strings 0 bigger 0 cap;
-          mutable_strings := bigger
-        end;
-        !mutable_strings.(id) <- s;
-        incr count;
-        Hashtbl.replace ids s id;
-        id
+    Mutex.lock lock;
+    let id =
+      match Hashtbl.find_opt ids s with
+      | Some id -> id
+      | None ->
+          let id = Atomic.get count in
+          let arr = Atomic.get strings in
+          let cap = Array.length arr in
+          let arr =
+            if id >= cap then begin
+              let bigger = Array.make (2 * cap) "" in
+              Array.blit arr 0 bigger 0 cap;
+              Atomic.set strings bigger;
+              bigger
+            end
+            else arr
+          in
+          arr.(id) <- s;
+          Atomic.incr count;
+          Hashtbl.replace ids s id;
+          id
+    in
+    Mutex.unlock lock;
+    id
 end
 
 let atom s =

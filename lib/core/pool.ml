@@ -1,0 +1,192 @@
+(* A reusable fixed-size domain pool. Workers block on [work] between
+   batches and execute opaque thunks; batches are built by [map_local],
+   which farms indexed tasks out of a shared atomic counter so results
+   land in task order regardless of scheduling.
+
+   The calling domain always participates in its own batch. This is
+   what makes nested or concurrent use safe: even if every worker is
+   busy (or the helper thunks a batch enqueued are picked up late), the
+   caller alone drains the batch, so joining a batch can never wait on
+   work that nobody is running. Helper thunks that arrive after their
+   batch has drained find the counter exhausted and return without
+   creating participant state. *)
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled on enqueue and on shutdown *)
+  pending : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  mutable size : int;  (* total parallelism, callers included *)
+}
+
+let jobs t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec await () =
+    if t.stopping then None
+    else
+      match Queue.take_opt t.pending with
+      | Some job -> Some job
+      | None ->
+          Condition.wait t.work t.lock;
+          await ()
+  in
+  let job = await () in
+  Mutex.unlock t.lock;
+  match job with
+  | None -> ()
+  | Some job ->
+      (* batch thunks handle their own exceptions; a raise here would
+         kill the worker, so treat any escape as a bug but survive it *)
+      (try job () with _ -> ());
+      worker_loop t
+
+let spawn_workers t n =
+  let fresh = List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+  t.workers <- fresh @ t.workers
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      pending = Queue.create ();
+      stopping = false;
+      workers = [];
+      size = jobs;
+    }
+  in
+  spawn_workers t (jobs - 1);
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  let ws = t.workers in
+  t.workers <- [];
+  t.size <- 1;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ws
+
+(* Grow the pool to at least [jobs] total parallelism. *)
+let grow t ~jobs =
+  Mutex.lock t.lock;
+  let missing = jobs - t.size in
+  if missing > 0 && not t.stopping then begin
+    t.size <- jobs;
+    spawn_workers t missing
+  end;
+  Mutex.unlock t.lock
+
+let available_parallelism () = Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match Sys.getenv_opt "NAMING_JOBS" with
+  | None -> 1
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 1)
+
+(* The shared pool behind [?jobs] on the batch APIs: created on first
+   parallel request, grown on demand, joined at exit so the process
+   does not leave domains blocked on the condition variable. *)
+let shared : t option ref = ref None
+let shared_lock = Mutex.create ()
+
+let get ?jobs () =
+  match (match jobs with None -> default_jobs () | Some j -> j) with
+  | j when j <= 1 -> None
+  | j ->
+      Mutex.lock shared_lock;
+      let t =
+        match !shared with
+        | Some t -> t
+        | None ->
+            let t = create ~jobs:j in
+            shared := Some t;
+            at_exit (fun () -> shutdown t);
+            t
+      in
+      Mutex.unlock shared_lock;
+      if t.size < j then grow t ~jobs:j;
+      Some t
+
+let map_local ?jobs:requested t ~local f xs =
+  match xs with
+  | [] -> ([], [])
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let p =
+        let cap = match requested with None -> t.size | Some j -> min j t.size in
+        max 1 (min cap n)
+      in
+      if p = 1 then
+        let w = local () in
+        (List.map (f w) xs, [ w ])
+      else begin
+        let results = Array.make n None in
+        let next = Atomic.make 0 in
+        (* batch-completion latch and failure slot, both under [bl] *)
+        let bl = Mutex.create () in
+        let drained = Condition.create () in
+        let completed = ref 0 in
+        let failure = ref None in
+        let locals = ref [] in
+        let participant () =
+          if Atomic.get next < n then begin
+            let w = local () in
+            Mutex.lock bl;
+            locals := w :: !locals;
+            Mutex.unlock bl;
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                (match f w arr.(i) with
+                | v -> results.(i) <- Some v
+                | exception e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    Mutex.lock bl;
+                    (match !failure with
+                    | Some (j, _, _) when j <= i -> ()
+                    | Some _ | None -> failure := Some (i, e, bt));
+                    Mutex.unlock bl);
+                Mutex.lock bl;
+                incr completed;
+                if !completed = n then Condition.broadcast drained;
+                Mutex.unlock bl;
+                loop ()
+              end
+            in
+            loop ()
+          end
+        in
+        Mutex.lock t.lock;
+        for _ = 2 to p do
+          Queue.push participant t.pending
+        done;
+        Condition.broadcast t.work;
+        Mutex.unlock t.lock;
+        participant ();
+        Mutex.lock bl;
+        while !completed < n do
+          Condition.wait drained bl
+        done;
+        let fail = !failure and ws = !locals in
+        Mutex.unlock bl;
+        (match fail with
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        ( List.map
+            (function Some v -> v | None -> assert false)
+            (Array.to_list results),
+          ws )
+      end
+
+let map ?jobs t f xs =
+  fst (map_local ?jobs t ~local:(fun () -> ()) (fun () x -> f x) xs)

@@ -14,6 +14,7 @@ let journal_keep = 2048
 type t = {
   mutable tick : int;
   mutable next_id : int;
+  mutable frozen : int;  (* depth of read-only (parallel) sections *)
   objs : obj_state Entity.Tbl.t;
   gens : int Entity.Tbl.t;
   mutable journal : (int * Entity.t) list;  (* newest first *)
@@ -28,6 +29,7 @@ let create () =
   {
     tick = 0;
     next_id = 0;
+    frozen = 0;
     objs = Entity.Tbl.create 64;
     gens = Entity.Tbl.create 64;
     journal = [];
@@ -41,6 +43,24 @@ let create () =
 let version t = t.tick
 let tick = version
 
+(* The write barrier of parallel sweeps. Worker domains treat every
+   store as read-only; the batch entry points freeze the store around
+   the fan-out so that any mutation attempted while workers may be
+   reading it — from a worker or from the coordinating domain — fails
+   loudly instead of racing. Every mutation funnels through [touch],
+   [fresh_id] or [set_label], so checking there covers them all. *)
+let check_writable t =
+  if t.frozen > 0 then
+    invalid_arg
+      "Store: mutation inside a read-only section (a parallel sweep is \
+       reading this store)"
+
+let is_read_only t = t.frozen > 0
+
+let read_only t f =
+  t.frozen <- t.frozen + 1;
+  Fun.protect ~finally:(fun () -> t.frozen <- t.frozen - 1) f
+
 let generation t e =
   match Entity.Tbl.find_opt t.gens e with None -> 0 | Some g -> g
 
@@ -50,6 +70,7 @@ let rec take_journal k = function
   | entry :: rest -> entry :: take_journal (k - 1) rest
 
 let touch t e =
+  check_writable t;
   t.tick <- t.tick + 1;
   Entity.Tbl.replace t.gens e t.tick;
   t.journal <- (t.tick, e) :: t.journal;
@@ -84,6 +105,7 @@ let touched_since t since =
       t.gens []
 
 let fresh_id t =
+  check_writable t;
   let id = t.next_id in
   t.next_id <- id + 1;
   t.tick <- t.tick + 1;
@@ -170,7 +192,10 @@ let lookup t ~dir a =
   | None -> Entity.undefined
 
 let label t e = Entity.Tbl.find_opt t.labels e
-let set_label t e l = Entity.Tbl.replace t.labels e l
+
+let set_label t e l =
+  check_writable t;
+  Entity.Tbl.replace t.labels e l
 
 let pp_entity t ppf e =
   match label t e with

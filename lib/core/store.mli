@@ -90,6 +90,18 @@ val touched_since : t -> int -> Entity.t list
     older than the journal covers falls back to a scan of the generation
     table, which is complete but unordered. *)
 
+val read_only : t -> (unit -> 'a) -> 'a
+(** [read_only t f] runs [f] with the store frozen: any mutation
+    ({!bind}, {!set_obj_state}, {!set_label}, entity allocation,
+    {!restore}) raises [Invalid_argument] until [f] returns. This is the
+    write barrier of the parallel sweeps: {!Pool} batches freeze every
+    store their tasks read, so a task (or the coordinating domain) that
+    tries to mutate shared state mid-sweep fails loudly instead of
+    racing. Sections nest; the barrier is always enforced. *)
+
+val is_read_only : t -> bool
+(** True inside a {!read_only} section. *)
+
 val snapshot : t -> (Entity.t * obj_state) list
 (** The states of all objects, for later {!restore}. *)
 

@@ -20,60 +20,105 @@ type row = {
    third row entries run almost entirely on hits. *)
 let world_cache w = Naming.Cache.create w.store
 
-let generated_degree ?cache w =
+let generated_degree ?cache ?jobs w =
   let cache = match cache with Some c -> c | None -> world_cache w in
   let occs = List.map Naming.Occurrence.generated w.activities in
   let report =
-    Naming.Coherence.measure ?equiv:w.equiv ~cache w.store w.rule occs w.probes
+    Naming.Coherence.measure ?equiv:w.equiv ~cache ?jobs w.store w.rule occs
+      w.probes
   in
   Naming.Coherence.degree report
 
-let received_degree ?cache w =
+let received_degree ?cache ?jobs w =
   let cache = match cache with Some c -> c | None -> world_cache w in
   let events =
     Workload.Exchange.all_pairs ~activities:w.activities ~probes:w.probes
   in
-  Workload.Exchange.coherent_fraction ?equiv:w.equiv ~cache w.store w.rule
-    events
+  Workload.Exchange.coherent_fraction ?equiv:w.equiv ~cache ?jobs w.store
+    w.rule events
 
-let embedded_degree ?cache w =
+(* One embedded check per (source document, embedded name): the sweep
+   unit of the parallel path, classified across all reading activities. *)
+let embedded_units w =
+  List.concat_map
+    (fun (source, names) ->
+      let occs =
+        List.map
+          (fun reader -> Naming.Occurrence.embedded ~reader ~source)
+          w.activities
+      in
+      List.map (fun name -> (occs, name)) names)
+    w.embedded
+
+let embedded_degree ?cache ?jobs w =
   match w.embedded with
   | [] -> None
-  | sources ->
-      let cache = match cache with Some c -> c | None -> world_cache w in
+  | _ ->
+      let units = embedded_units w in
+      let verdicts =
+        match Naming.Pool.get ?jobs () with
+        | None ->
+            let cache =
+              match cache with Some c -> c | None -> world_cache w
+            in
+            List.map
+              (fun (occs, name) ->
+                Naming.Coherence.check ?equiv:w.equiv ~cache w.store w.rule
+                  occs name)
+              units
+        | Some pool ->
+            Naming.Store.read_only w.store (fun () ->
+                let verdicts, shards =
+                  Naming.Pool.map_local pool
+                    ~local:(fun () ->
+                      match cache with
+                      | Some c -> Naming.Cache.copy c
+                      | None -> Naming.Cache.create w.store)
+                    (fun shard (occs, name) ->
+                      Naming.Coherence.check ?equiv:w.equiv ~cache:shard
+                        w.store w.rule occs name)
+                    units
+                in
+                (match cache with
+                | None -> ()
+                | Some c ->
+                    List.iter
+                      (fun s -> Naming.Cache.absorb c (Naming.Cache.stats s))
+                      shards);
+                verdicts)
+      in
       let coherent = ref 0 and meaningful = ref 0 in
       List.iter
-        (fun (source, names) ->
-          let occs =
-            List.map
-              (fun reader -> Naming.Occurrence.embedded ~reader ~source)
-              w.activities
-          in
-          List.iter
-            (fun name ->
-              match
-                Naming.Coherence.check ?equiv:w.equiv ~cache w.store w.rule
-                  occs name
-              with
-              | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _
-                ->
-                  incr coherent;
-                  incr meaningful
-              | Naming.Coherence.Incoherent _ -> incr meaningful
-              | Naming.Coherence.Vacuous -> ())
-            names)
-        sources;
+        (fun v ->
+          match v with
+          | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ ->
+              incr coherent;
+              incr meaningful
+          | Naming.Coherence.Incoherent _ -> incr meaningful
+          | Naming.Coherence.Vacuous -> ())
+        verdicts;
       if !meaningful = 0 then Some 1.0
       else Some (float_of_int !coherent /. float_of_int !meaningful)
 
-let measure w =
+let measure ?jobs w =
   let cache = world_cache w in
   {
     world = w.label;
-    generated = generated_degree ~cache w;
-    received = received_degree ~cache w;
-    embedded_deg = embedded_degree ~cache w;
+    generated = generated_degree ~cache ?jobs w;
+    received = received_degree ~cache ?jobs w;
+    embedded_deg = embedded_degree ~cache ?jobs w;
   }
+
+(* Worlds are independent (each has its own store), so the coarser
+   world-level fan-out is used when measuring many: one task per world,
+   each sweeping its rows sequentially with the store frozen. *)
+let measure_all ?jobs worlds =
+  match Naming.Pool.get ?jobs () with
+  | None -> List.map (fun w -> measure w) worlds
+  | Some pool ->
+      Naming.Pool.map pool
+        (fun w -> Naming.Store.read_only w.store (fun () -> measure w))
+        worlds
 
 let render_rows rows =
   Table.render

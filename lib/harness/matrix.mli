@@ -25,15 +25,26 @@ type row = {
   embedded_deg : float option;  (** [None] when the world embeds nothing *)
 }
 
-val generated_degree : ?cache:Naming.Cache.t -> world -> float
+val generated_degree : ?cache:Naming.Cache.t -> ?jobs:int -> world -> float
 (** Coherence across all activities for names each generates itself. *)
 
-val received_degree : ?cache:Naming.Cache.t -> world -> float
+val received_degree : ?cache:Naming.Cache.t -> ?jobs:int -> world -> float
 (** Mean coherence over all ordered (sender, receiver) pairs for all
     probes sent from one to the other. *)
 
-val embedded_degree : ?cache:Naming.Cache.t -> world -> float option
+val embedded_degree :
+  ?cache:Naming.Cache.t -> ?jobs:int -> world -> float option
 (** Coherence across all activities reading each embedded source. *)
 
-val measure : world -> row
+val measure : ?jobs:int -> world -> row
+(** Measure all three degrees of one world. With [jobs > 1] each degree's
+    sweep fans its probe/event units across the shared domain pool (store
+    frozen for the duration); the row is structurally identical to the
+    sequential one. *)
+
+val measure_all : ?jobs:int -> world list -> row list
+(** Measure several worlds, in order. Worlds are independent (each has
+    its own store), so with [jobs > 1] the fan-out is one task per world
+    — coarser and cheaper than parallelising inside each world. *)
+
 val render_rows : row list -> string

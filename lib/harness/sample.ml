@@ -5,103 +5,120 @@ type world = {
   activities : Naming.Entity.t list;
 }
 
-let schemes =
-  [ "unix"; "newcastle"; "andrew"; "dce"; "crosslink"; "perprocess";
-    "federation" ]
+(* Each builder assembles its scheme into the given fresh store and
+   returns the process environment plus the activities to measure. The
+   scheme registry below is derived from this list, so adding a scheme
+   here is the single registration step: [schemes], [world], and every
+   "all schemes" CLI sweep pick it up automatically, in this order. *)
+let builders :
+    (string * (Naming.Store.t -> Schemes.Process_env.t * Naming.Entity.t list))
+    list =
+  [
+    ( "unix",
+      fun store ->
+        let t = Schemes.Unix_scheme.build store in
+        ( Schemes.Unix_scheme.env t,
+          [
+            Schemes.Unix_scheme.spawn ~label:"p0" t;
+            Schemes.Unix_scheme.spawn_chrooted ~label:"p1" ~root_path:"/usr" t;
+          ] ) );
+    ( "newcastle",
+      fun store ->
+        let t = Schemes.Newcastle.build ~machines:[ "unix1"; "unix2" ] store in
+        ( Schemes.Newcastle.env t,
+          [
+            Schemes.Newcastle.spawn_on ~label:"p0" t ~machine:"unix1";
+            Schemes.Newcastle.spawn_on ~label:"p1" t ~machine:"unix2";
+          ] ) );
+    ( "andrew",
+      fun store ->
+        let t = Schemes.Shared_graph.build ~clients:[ "c1"; "c2" ] store in
+        ( Schemes.Shared_graph.env t,
+          [
+            Schemes.Shared_graph.spawn_on ~label:"p0" t ~client:"c1";
+            Schemes.Shared_graph.spawn_on ~label:"p1" t ~client:"c2";
+          ] ) );
+    ( "dce",
+      fun store ->
+        let t =
+          Schemes.Dce.build
+            ~cells:[ ("cellA", [ "m1" ]); ("cellB", [ "m2" ]) ]
+            store
+        in
+        ( Schemes.Dce.env t,
+          [
+            Schemes.Dce.spawn_on ~label:"p0" t ~machine:"m1";
+            Schemes.Dce.spawn_on ~label:"p1" t ~machine:"m2";
+          ] ) );
+    ( "crosslink",
+      fun store ->
+        let tree = Schemes.Unix_scheme.default_tree in
+        let t =
+          Schemes.Crosslink.build ~systems:[ ("sysa", tree); ("sysb", tree) ]
+            store
+        in
+        Schemes.Crosslink.add_crosslink t ~from_system:"sysa" ~name:"sysb"
+          ~to_system:"sysb" ();
+        ( Schemes.Crosslink.env t,
+          [
+            Schemes.Crosslink.spawn_on ~label:"p0" t ~system:"sysa";
+            Schemes.Crosslink.spawn_on ~label:"p1" t ~system:"sysb";
+          ] ) );
+    ( "perprocess",
+      fun store ->
+        let tree = Schemes.Unix_scheme.default_tree in
+        let t =
+          Schemes.Per_process.build
+            ~subsystems:[ ("port1", tree); ("port2", tree) ]
+            store
+        in
+        let attach = [ ("fs1", "port1"); ("fs2", "port2") ] in
+        ( Schemes.Per_process.env t,
+          [
+            Schemes.Per_process.spawn ~label:"p0" ~attach t;
+            Schemes.Per_process.spawn ~label:"p1" ~attach t;
+          ] ) );
+    ( "federation",
+      fun store ->
+        let t =
+          Schemes.Federation.build
+            ~orgs:
+              [
+                ( "org1",
+                  Schemes.Federation.default_org_tree ~users:[ "alice" ]
+                    ~services:[ "print" ] );
+                ( "org2",
+                  Schemes.Federation.default_org_tree ~users:[ "bob" ]
+                    ~services:[ "auth" ] );
+              ]
+            store
+        in
+        Schemes.Federation.federate t ~from:"org1" ~to_:"org2";
+        ( Schemes.Federation.env t,
+          [
+            Schemes.Federation.spawn_in ~label:"p0" t ~org:"org1";
+            Schemes.Federation.spawn_in ~label:"p1" t ~org:"org2";
+          ] ) );
+  ]
+
+let schemes = List.map fst builders
 
 let world scheme =
-  let store = Naming.Store.create () in
-  let of_env env ps =
-    match ps with
-    | p :: _ ->
-        Some
-          {
-            store;
-            ctx = Schemes.Process_env.context env p;
-            rule = Schemes.Process_env.rule env;
-            activities = ps;
-          }
-    | [] -> assert false
-  in
-  match scheme with
-  | "unix" ->
-      let t = Schemes.Unix_scheme.build store in
-      of_env (Schemes.Unix_scheme.env t)
-        [
-          Schemes.Unix_scheme.spawn ~label:"p0" t;
-          Schemes.Unix_scheme.spawn_chrooted ~label:"p1" ~root_path:"/usr" t;
-        ]
-  | "newcastle" ->
-      let t = Schemes.Newcastle.build ~machines:[ "unix1"; "unix2" ] store in
-      of_env (Schemes.Newcastle.env t)
-        [
-          Schemes.Newcastle.spawn_on ~label:"p0" t ~machine:"unix1";
-          Schemes.Newcastle.spawn_on ~label:"p1" t ~machine:"unix2";
-        ]
-  | "andrew" ->
-      let t = Schemes.Shared_graph.build ~clients:[ "c1"; "c2" ] store in
-      of_env (Schemes.Shared_graph.env t)
-        [
-          Schemes.Shared_graph.spawn_on ~label:"p0" t ~client:"c1";
-          Schemes.Shared_graph.spawn_on ~label:"p1" t ~client:"c2";
-        ]
-  | "dce" ->
-      let t =
-        Schemes.Dce.build ~cells:[ ("cellA", [ "m1" ]); ("cellB", [ "m2" ]) ]
-          store
-      in
-      of_env (Schemes.Dce.env t)
-        [
-          Schemes.Dce.spawn_on ~label:"p0" t ~machine:"m1";
-          Schemes.Dce.spawn_on ~label:"p1" t ~machine:"m2";
-        ]
-  | "crosslink" ->
-      let tree = Schemes.Unix_scheme.default_tree in
-      let t =
-        Schemes.Crosslink.build ~systems:[ ("sysa", tree); ("sysb", tree) ]
-          store
-      in
-      Schemes.Crosslink.add_crosslink t ~from_system:"sysa" ~name:"sysb"
-        ~to_system:"sysb" ();
-      of_env (Schemes.Crosslink.env t)
-        [
-          Schemes.Crosslink.spawn_on ~label:"p0" t ~system:"sysa";
-          Schemes.Crosslink.spawn_on ~label:"p1" t ~system:"sysb";
-        ]
-  | "perprocess" ->
-      let tree = Schemes.Unix_scheme.default_tree in
-      let t =
-        Schemes.Per_process.build
-          ~subsystems:[ ("port1", tree); ("port2", tree) ]
-          store
-      in
-      let attach = [ ("fs1", "port1"); ("fs2", "port2") ] in
-      of_env (Schemes.Per_process.env t)
-        [
-          Schemes.Per_process.spawn ~label:"p0" ~attach t;
-          Schemes.Per_process.spawn ~label:"p1" ~attach t;
-        ]
-  | "federation" ->
-      let t =
-        Schemes.Federation.build
-          ~orgs:
-            [
-              ( "org1",
-                Schemes.Federation.default_org_tree ~users:[ "alice" ]
-                  ~services:[ "print" ] );
-              ( "org2",
-                Schemes.Federation.default_org_tree ~users:[ "bob" ]
-                  ~services:[ "auth" ] );
-            ]
-          store
-      in
-      Schemes.Federation.federate t ~from:"org1" ~to_:"org2";
-      of_env (Schemes.Federation.env t)
-        [
-          Schemes.Federation.spawn_in ~label:"p0" t ~org:"org1";
-          Schemes.Federation.spawn_in ~label:"p1" t ~org:"org2";
-        ]
-  | _ -> None
+  match List.assoc_opt scheme builders with
+  | None -> None
+  | Some build ->
+      let store = Naming.Store.create () in
+      let env, activities = build store in
+      (match activities with
+      | [] -> assert false
+      | p :: _ ->
+          Some
+            {
+              store;
+              ctx = Schemes.Process_env.context env p;
+              rule = Schemes.Process_env.rule env;
+              activities;
+            })
 
 let probes w =
   match

@@ -15,8 +15,11 @@ type world = {
 }
 
 val schemes : string list
-(** The known scheme names: unix, newcastle, andrew, dce, crosslink,
-    perprocess, federation. *)
+(** The registered scheme names, in registration order (currently unix,
+    newcastle, andrew, dce, crosslink, perprocess, federation). Derived
+    from the builder registry: registering a scheme there is the single
+    step that makes it visible here, to {!world}, and to every
+    "all schemes" CLI sweep. *)
 
 val world : string -> world option
 (** [None] on an unknown scheme name. *)

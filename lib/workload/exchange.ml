@@ -32,27 +32,59 @@ let occurrences ev =
     Naming.Occurrence.received ~sender:ev.sender ~receiver:ev.receiver;
   ]
 
-let coherent_fraction ?equiv ?cache store rule events =
-  (* one cache for the whole event batch: most events share probes and
-     path prefixes *)
-  let cache =
-    match cache with Some c -> c | None -> Naming.Cache.create store
-  in
+let fraction_of_verdicts verdicts =
   let coherent = ref 0 and meaningful = ref 0 in
   List.iter
-    (fun ev ->
-      match
-        Naming.Coherence.check ?equiv ~cache store rule (occurrences ev)
-          ev.name
-      with
+    (fun v ->
+      match v with
       | Naming.Coherence.Coherent _ | Naming.Coherence.Weakly_coherent _ ->
           incr coherent;
           incr meaningful
       | Naming.Coherence.Incoherent _ -> incr meaningful
       | Naming.Coherence.Vacuous -> ())
-    events;
+    verdicts;
   if !meaningful = 0 then 1.0
   else float_of_int !coherent /. float_of_int !meaningful
+
+let coherent_fraction ?equiv ?cache ?jobs store rule events =
+  let verdicts =
+    match Naming.Pool.get ?jobs () with
+    | None ->
+        (* one cache for the whole event batch: most events share probes
+           and path prefixes *)
+        let cache =
+          match cache with Some c -> c | None -> Naming.Cache.create store
+        in
+        List.map
+          (fun ev ->
+            Naming.Coherence.check ?equiv ~cache store rule (occurrences ev)
+              ev.name)
+          events
+    | Some pool ->
+        (* fan the (sender, receiver, probe) units across domains: store
+           frozen, one cache shard per worker seeded from [?cache],
+           shard counters merged back on join *)
+        Naming.Store.read_only store (fun () ->
+            let verdicts, shards =
+              Naming.Pool.map_local pool
+                ~local:(fun () ->
+                  match cache with
+                  | Some c -> Naming.Cache.copy c
+                  | None -> Naming.Cache.create store)
+                (fun shard ev ->
+                  Naming.Coherence.check ?equiv ~cache:shard store rule
+                    (occurrences ev) ev.name)
+                events
+            in
+            (match cache with
+            | None -> ()
+            | Some c ->
+                List.iter
+                  (fun s -> Naming.Cache.absorb c (Naming.Cache.stats s))
+                  shards);
+            verdicts)
+  in
+  fraction_of_verdicts verdicts
 
 let run_over_network ~engine ~network ~actor_of events =
   ignore network;

@@ -33,13 +33,17 @@ val occurrences : event -> Naming.Occurrence.t list
 val coherent_fraction :
   ?equiv:(Naming.Entity.t -> Naming.Entity.t -> bool) ->
   ?cache:Naming.Cache.t ->
+  ?jobs:int ->
   Naming.Store.t ->
   Naming.Rule.t ->
   event list ->
   float
 (** Fraction of non-vacuous events that are coherent under the rule.
     Resolutions share one memoising resolver (pass [cache] to share it
-    with other measurements over the same store). *)
+    with other measurements over the same store). With [jobs > 1] the
+    events are checked in parallel — store frozen, per-domain cache
+    shards seeded from [cache], counters merged on join — and the
+    fraction is identical to the sequential one. *)
 
 val run_over_network :
   engine:Dsim.Engine.t ->

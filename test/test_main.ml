@@ -44,4 +44,5 @@ let () =
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("flow", Test_flow.suite);
+      ("pool", Test_pool.suite);
     ]
