@@ -8,6 +8,9 @@
      bench/main.exe micro      — micro-benchmarks only
      bench/main.exe scaling    — cost-vs-size series (depth, #activities,
                                  store size)
+     bench/main.exe chaos      — b15: full chaos runs (fault-injected
+                                 replicated name service) at three fault
+                                 levels
 
    Flags (anywhere on the command line):
      --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
@@ -191,6 +194,40 @@ module Fixtures = struct
   (* b14: the E10 scheme-matrix worlds, built once; the bench times the
      sweep itself (one row per world, three degrees per row). *)
   let matrix_worlds = Harness.Exp_matrix.worlds ()
+
+  (* b15: the chaos harness — a complete fault-injection run over a
+     small replicated name service per bench iteration. The spec and a
+     shortened schedule are fixed; each run rebuilds its own cluster, so
+     iterations are identical and the OLS fit honest. *)
+  let chaos_spec =
+    {
+      Dsim.Nameserver.dirs =
+        [ Naming.Name.of_string "/a"; Naming.Name.of_string "/a/b" ];
+      leaves = [ ("k1", "one"); ("k2", "two") ];
+      links =
+        [
+          (Naming.Name.of_string "/a/x", "k1");
+          (Naming.Name.of_string "/a/b/y", "k2");
+        ];
+    }
+
+  let chaos_probes =
+    chaos_spec.Dsim.Nameserver.dirs
+    @ List.map fst chaos_spec.Dsim.Nameserver.links
+
+  let chaos_config ~drop ~partition_for =
+    {
+      Dsim.Chaos.default with
+      Dsim.Chaos.drop;
+      duplicate = drop;
+      partition_for;
+      partition_at = 5.0;
+      crash_at = 8.0;
+      crash_for = (if partition_for > 0.0 then 6.0 else 0.0);
+      writes = 16;
+      write_window = 15.0;
+      duration = 40.0;
+    }
 end
 
 (* The b13 workload at report scale: a fresh world, [ops] operations,
@@ -339,6 +376,26 @@ let micro_tests =
     Test.make ~name:"b14: scheme matrix sweep (all E10 worlds)"
       (Staged.stage (fun () ->
            ignore (Harness.Matrix.measure_all ~jobs Fixtures.matrix_worlds)));
+  ]
+
+(* The b15 series: one full chaos run per iteration, at three fault
+   levels — the cost of measuring coherence under failure. Shares the
+   `chaos` positional selector with BENCH_<date>_chaos.json. *)
+let chaos_tests =
+  let open Bechamel in
+  let run ~drop ~partition_for () =
+    ignore
+      (Dsim.Chaos.run ~jobs
+         ~config:(Fixtures.chaos_config ~drop ~partition_for)
+         ~spec:Fixtures.chaos_spec ~probes:Fixtures.chaos_probes ())
+  in
+  [
+    Test.make ~name:"b15a: chaos run, fault-free"
+      (Staged.stage (run ~drop:0.0 ~partition_for:0.0));
+    Test.make ~name:"b15b: chaos run, 5% loss + partition + crash"
+      (Staged.stage (run ~drop:0.05 ~partition_for:10.0));
+    Test.make ~name:"b15c: chaos run, 20% loss + partition + crash"
+      (Staged.stage (run ~drop:0.2 ~partition_for:10.0));
   ]
 
 let experiment_tests =
@@ -592,6 +649,7 @@ let () =
       run_bechamel ~name:"micro" micro_tests;
       report_cache_workload ()
   | "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
+  | "chaos" :: _ -> run_bechamel ~name:"chaos" chaos_tests
   | "exps" :: _ -> run_experiments ppf
   | id :: _ when Harness.Experiments.find id <> None -> (
       match Harness.Experiments.find id with
@@ -605,8 +663,8 @@ let () =
       report_cache_workload ()
   | unknown :: _ ->
       Printf.eprintf
-        "unknown argument %S (expected: micro | scaling | exps | e1..e10 | \
-         a1..a4)\n"
+        "unknown argument %S (expected: micro | scaling | chaos | exps | \
+         e1..e10 | a1..a4)\n"
         unknown;
       exit 2);
   if json_mode then write_json ()

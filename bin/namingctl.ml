@@ -24,6 +24,12 @@
      trace <scheme> <name>
                         resolve a name in a sample world and print the
                         resolution path
+     chaos <scheme|all>
+                        run a replicated name service built from a sample
+                        world through a fault schedule and report coherence
+                        under failure (--seed, --drop, --partition,
+                        --replicas, --json; nonzero exit when the replicas
+                        fail to reconverge)
 
    analyze, check-script and cache-stats take --jobs N (default from
    NAMING_JOBS, else 1) to fan their sweeps across N domains; output is
@@ -177,6 +183,53 @@ let cmd_cache_stats scheme jobs =
         s.Naming.Cache.evictions s.Naming.Cache.entries
         (float_of_int s.Naming.Cache.hits /. float_of_int total);
       0)
+
+(* Builds a replicated name service from a sample world's tree, runs one
+   chaos schedule over it and reports coherence under failure. Exit code
+   1 when the replicas fail to reconverge after the faults heal. *)
+let cmd_chaos scheme seed drop partition replicas json jobs =
+  let schemes =
+    if String.equal (String.lowercase_ascii scheme) "all" then sample_schemes
+    else [ scheme ]
+  in
+  let results =
+    List.map
+      (fun scheme ->
+        let w = sample_world scheme in
+        let spec = Dsim.Nameserver.spec_of_context w.store w.ctx in
+        let probes =
+          spec.Dsim.Nameserver.dirs
+          @ List.map fst spec.Dsim.Nameserver.links
+        in
+        let config =
+          {
+            Dsim.Chaos.default with
+            Dsim.Chaos.seed;
+            drop;
+            duplicate = drop;
+            partition_for = partition;
+            replicas;
+          }
+        in
+        (scheme, Dsim.Chaos.run ~jobs ~config ~spec ~probes ()))
+      schemes
+  in
+  (match (json, results) with
+  | true, [ (scheme, r) ] -> print_endline (Dsim.Chaos.to_json ~scheme r)
+  | true, _ ->
+      print_string "{\"schemes\": [\n";
+      List.iteri
+        (fun i (scheme, r) ->
+          if i > 0 then print_string ",\n";
+          print_string (Dsim.Chaos.to_json ~scheme r))
+        results;
+      print_endline "\n]}"
+  | false, _ ->
+      List.iter
+        (fun (scheme, r) ->
+          Format.printf "%a@." (Dsim.Chaos.pp_summary ~scheme) r)
+        results);
+  if List.for_all (fun (_, r) -> r.Dsim.Chaos.converged) results then 0 else 1
 
 let cmd_analyze scheme json sarif min_severity jobs =
   match Analysis.Diagnostic.severity_of_string min_severity with
@@ -409,6 +462,37 @@ let jobs_opt =
                  NAMING_JOBS when set, else 1 = fully sequential). \
                  Results and output order do not depend on $(docv).")
 
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Chaos run seed. The same seed reproduces the run \
+                   sample for sample (and byte for byte with --json).")
+  in
+  let drop =
+    Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.drop
+         & info [ "drop" ] ~docv:"P"
+             ~doc:"Per-message loss (and duplication) probability.")
+  in
+  let partition =
+    Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.partition_for
+         & info [ "partition" ] ~docv:"SECONDS"
+             ~doc:"Length of the network partition window (0 disables \
+                   the partition).")
+  in
+  let replicas =
+    Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.replicas
+         & info [ "replicas" ] ~docv:"N" ~doc:"Name-server replicas.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a replicated name service built from a sample world \
+             through a fault schedule (message loss, a partition window, \
+             a replica crash/restart) and report coherence over time; \
+             exits nonzero when the replicas fail to reconverge")
+    Term.(const cmd_chaos $ scheme_or_all_arg $ seed $ drop $ partition
+          $ replicas $ json_flag $ jobs_opt)
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
@@ -495,7 +579,7 @@ inspection tool"
     [
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
       analyze_cmd; check_script_cmd; trace_cmd; coherence_cmd; diff_cmd;
-      cache_stats_cmd;
+      cache_stats_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

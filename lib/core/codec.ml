@@ -1,7 +1,14 @@
 exception Parse_error of string
 
+type error = { line : int; message : string }
+
+(* Internal: carries the structured position until it reaches the public
+   surface (either [Error] from [of_string_result] or a rendered
+   [Parse_error] from [of_string]). *)
+exception Err of error
+
 let parse_error line fmt =
-  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+  Format.kasprintf (fun message -> raise (Err { line; message })) fmt
 
 let header = "coherent-naming-store v1"
 
@@ -152,12 +159,12 @@ let parse_entity_ref lineno s =
     | 'o' -> Entity.Object (num ())
     | _ -> parse_error lineno "bad entity reference %S" s
 
-let of_string text =
+let parse text =
   let lines = String.split_on_char '\n' text in
   (match lines with
   | first :: _ when String.equal first header -> ()
-  | first :: _ -> raise (Parse_error (Printf.sprintf "bad header %S" first))
-  | [] -> raise (Parse_error "empty input"));
+  | first :: _ -> parse_error 1 "bad header %S" first
+  | [] -> parse_error 1 "empty input");
   let entities = Hashtbl.create 64 in
   let labels = ref [] in
   let binds = ref [] in
@@ -202,7 +209,7 @@ let of_string text =
   let created = Hashtbl.create count in
   for id = 0 to count - 1 do
     match Hashtbl.find_opt entities id with
-    | None -> raise (Parse_error (Printf.sprintf "entity ids not dense: %d missing" id))
+    | None -> parse_error 0 "entity ids not dense: %d missing" id
     | Some Pre_activity ->
         Hashtbl.replace created id (Store.create_activity store)
     | Some (Pre_file data) ->
@@ -234,6 +241,22 @@ let of_string text =
       | exception Name.Invalid msg -> parse_error lineno "bad atom: %s" msg)
     (List.rev !binds);
   store
+
+(* Total: any input — random bytes, truncated dumps, mutated valid dumps
+   — yields [Error] rather than an exception. The catch-all guards
+   against escapes from library calls the per-line checks don't cover;
+   it reports line 0 (no better position is known). *)
+let of_string_result text =
+  match parse text with
+  | store -> Ok store
+  | exception Err e -> Error e
+  | exception exn -> Error { line = 0; message = Printexc.to_string exn }
+
+let of_string text =
+  match of_string_result text with
+  | Ok store -> store
+  | Error { line; message } ->
+      raise (Parse_error (Printf.sprintf "line %d: %s" line message))
 
 let roundtrip_equal s1 s2 =
   let entities st =

@@ -21,8 +21,19 @@ val to_string_many : ?jobs:int -> Store.t list -> string list
 exception Parse_error of string
 (** Carries a line number and message. *)
 
+type error = { line : int; message : string }
+(** A parse failure with its position: [line] is 1-based; line 0 means
+    the failure is not attributable to a single line (e.g. an entity id
+    missing from the whole dump). *)
+
+val of_string_result : string -> (Store.t, error) result
+(** Total decoder: never raises, whatever the input — random bytes,
+    truncated dumps, or corrupted valid dumps all return [Error] with
+    the position of the first problem. *)
+
 val of_string : string -> Store.t
-(** @raise Parse_error on malformed input, unknown version, or dangling
+(** [of_string_result] with the error rendered into an exception.
+    @raise Parse_error on malformed input, unknown version, or dangling
     entity references. *)
 
 val roundtrip_equal : Store.t -> Store.t -> bool

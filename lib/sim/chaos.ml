@@ -1,0 +1,352 @@
+module N = Naming.Name
+module Co = Naming.Coherence
+
+type config = {
+  seed : int;
+  replicas : int;
+  drop : float;
+  duplicate : float;
+  partition_at : float;
+  partition_for : float;
+  crash_at : float;
+  crash_for : float;
+  writes : int;
+  write_window : float;
+  call_timeout : float;
+  call_attempts : int;
+  ae_period : float;
+  ae_timeout : float;
+  ae_attempts : int;
+  sample_every : float;
+  duration : float;
+}
+
+let default =
+  {
+    seed = 42;
+    replicas = 3;
+    drop = 0.05;
+    duplicate = 0.05;
+    partition_at = 10.0;
+    partition_for = 20.0;
+    crash_at = 15.0;
+    crash_for = 10.0;
+    writes = 32;
+    write_window = 30.0;
+    call_timeout = 2.0;
+    call_attempts = 6;
+    ae_period = 2.0;
+    ae_timeout = 2.0;
+    ae_attempts = 3;
+    sample_every = 2.0;
+    duration = 80.0;
+  }
+
+type sample = { time : float; report : Co.report; converged : bool }
+
+type result = {
+  config : config;
+  samples : sample list;
+  final_report : Co.report;
+  converged : bool;
+  heal_at : float;
+  converge_time : float option;
+  rounds_to_converge : int option;
+  writes_sent : int;
+  writes_acked : int;
+  writes_nacked : int;
+  writes_lost : int;
+  net : Network.stats;
+  server_rpc : Rpc.stats;
+  client_rpc : Rpc.stats;
+  ns : Nameserver.stats;
+  events : int;
+}
+
+let sum_rpc (stats : Rpc.stats list) =
+  List.fold_left
+    (fun (a : Rpc.stats) (s : Rpc.stats) ->
+      {
+        Rpc.calls = a.Rpc.calls + s.Rpc.calls;
+        replies = a.Rpc.replies + s.Rpc.replies;
+        timeouts = a.Rpc.timeouts + s.Rpc.timeouts;
+        retries = a.Rpc.retries + s.Rpc.retries;
+        exhausted = a.Rpc.exhausted + s.Rpc.exhausted;
+        served = a.Rpc.served + s.Rpc.served;
+        dedup_hits = a.Rpc.dedup_hits + s.Rpc.dedup_hits;
+        dropped_requests = a.Rpc.dropped_requests + s.Rpc.dropped_requests;
+        late_replies = a.Rpc.late_replies + s.Rpc.late_replies;
+      })
+    {
+      Rpc.calls = 0;
+      replies = 0;
+      timeouts = 0;
+      retries = 0;
+      exhausted = 0;
+      served = 0;
+      dedup_hits = 0;
+      dropped_requests = 0;
+      late_replies = 0;
+    }
+    stats
+
+(* The write workload: rebinds and unbinds of the spec's leaf binding
+   sites, so probe names actually change meaning mid-run. Everything is
+   drawn from [wrng] up front, so the schedule is a pure function of the
+   seed. *)
+let plan_writes cfg (spec : Nameserver.spec) wrng =
+  let sites =
+    List.map (fun (path, _) -> path) spec.links
+    |> List.map (fun path ->
+           let atoms = N.atoms (N.prepend_root path) in
+           match List.rev atoms with
+           | last :: (_ :: _ as rev_parent) ->
+               (N.of_atoms (List.rev rev_parent), last)
+           | _ -> (N.singleton N.root_atom, N.root_atom))
+  in
+  let keys = List.map fst spec.leaves in
+  if sites = [] || keys = [] then []
+  else
+    List.init cfg.writes (fun k ->
+        let time = Rng.float wrng cfg.write_window in
+        let client = Rng.int wrng cfg.replicas in
+        let path, atom = Rng.pick wrng sites in
+        let target =
+          if Rng.bool wrng 0.25 then None else Some (Rng.pick wrng keys)
+        in
+        ignore k;
+        (time, client, Nameserver.Write { path; atom; target }))
+
+let run ?jobs ~config:cfg ~spec ~probes () =
+  let engine = Engine.create () in
+  let rng = Rng.create (Int64.of_int cfg.seed) in
+  let net_rng = Rng.split rng in
+  let cluster_rng = Rng.split rng in
+  let write_rng = Rng.split rng in
+  let net_config =
+    {
+      Network.default_config with
+      drop_probability = cfg.drop;
+      duplicate_probability = cfg.duplicate;
+    }
+  in
+  let network = Network.create ~config:net_config ~engine ~rng:net_rng () in
+  let cluster =
+    Nameserver.create ~network ~rng:cluster_rng ~replicas:cfg.replicas spec
+  in
+  (* One client per replica, on its own machine, partitioned together
+     with its home replica. *)
+  let clients =
+    Array.init cfg.replicas (fun i ->
+        let node = Network.add_node network ~label:(Printf.sprintf "c%d" i) in
+        (node, Rpc.create network ~node ~port:9 (), Rng.split rng))
+  in
+  (* Fault schedule. *)
+  let heal_at = ref 0.0 in
+  if cfg.partition_for > 0.0 && cfg.replicas >= 2 then begin
+    let half = max 1 (cfg.replicas / 2) in
+    let side p =
+      List.concat
+        (List.init cfg.replicas (fun i ->
+             if p i then
+               let cnode, _, _ = clients.(i) in
+               [ Nameserver.replica_node cluster i; cnode ]
+             else []))
+    in
+    let g1 = side (fun i -> i < half) and g2 = side (fun i -> i >= half) in
+    ignore
+      (Engine.schedule engine ~delay:cfg.partition_at (fun () ->
+           Network.partition network g1 g2));
+    let ends = cfg.partition_at +. cfg.partition_for in
+    ignore
+      (Engine.schedule engine ~delay:ends (fun () -> Network.heal network));
+    if ends > !heal_at then heal_at := ends
+  end;
+  if cfg.crash_for > 0.0 then begin
+    let victim = Nameserver.replica_node cluster (cfg.replicas - 1) in
+    ignore
+      (Engine.schedule engine ~delay:cfg.crash_at (fun () ->
+           Network.set_node_up network victim false));
+    let ends = cfg.crash_at +. cfg.crash_for in
+    ignore
+      (Engine.schedule engine ~delay:ends (fun () ->
+           Network.set_node_up network victim true));
+    if ends > !heal_at then heal_at := ends
+  end;
+  (* Write workload over retrying RPC. *)
+  let writes_sent = ref 0
+  and writes_acked = ref 0
+  and writes_nacked = ref 0
+  and writes_lost = ref 0 in
+  List.iter
+    (fun (time, client, req) ->
+      ignore
+        (Engine.schedule engine ~delay:time (fun () ->
+             let _, ep, crng = clients.(client) in
+             incr writes_sent;
+             Rpc.call_retry ep
+               ~to_:(Nameserver.replica_address cluster client)
+               ~timeout:cfg.call_timeout ~rng:crng
+               ~attempts:cfg.call_attempts req
+               ~on_reply:(function
+                 | Ok (Nameserver.Ack _) -> incr writes_acked
+                 | Ok (Nameserver.Nack _) -> incr writes_nacked
+                 | Ok (Nameserver.Resolved _ | Nameserver.Ops _) -> ()
+                 | Error `Timeout -> incr writes_lost))))
+    (plan_writes cfg spec write_rng);
+  (* Coherence sampling. *)
+  let samples = ref [] in
+  let rec schedule_sample k =
+    let time = float_of_int k *. cfg.sample_every in
+    if time <= cfg.duration then begin
+      ignore
+        (Engine.schedule engine
+           ~delay:time
+           (fun () ->
+             let report = Nameserver.measure ?jobs cluster probes in
+             let converged = Nameserver.converged cluster in
+             samples := { time; report; converged } :: !samples));
+      schedule_sample (k + 1)
+    end
+  in
+  schedule_sample 1;
+  Nameserver.start_anti_entropy ~period:cfg.ae_period ~timeout:cfg.ae_timeout
+    ~attempts:cfg.ae_attempts cluster;
+  let events = Engine.run ~until:cfg.duration engine in
+  Nameserver.stop_anti_entropy cluster;
+  let samples = List.rev !samples in
+  let final_report = Nameserver.measure ?jobs cluster probes in
+  let full (r : Co.report) = r.Co.incoherent = 0 in
+  let converged = Nameserver.converged cluster && full final_report in
+  let converge_time =
+    List.find_map
+      (fun s ->
+        if s.time >= !heal_at && s.converged && full s.report then Some s.time
+        else None)
+      samples
+  in
+  let rounds_to_converge =
+    Option.map
+      (fun tc ->
+        int_of_float (Float.ceil ((tc -. !heal_at) /. cfg.ae_period)))
+      converge_time
+  in
+  {
+    config = cfg;
+    samples;
+    final_report;
+    converged;
+    heal_at = !heal_at;
+    converge_time;
+    rounds_to_converge;
+    writes_sent = !writes_sent;
+    writes_acked = !writes_acked;
+    writes_nacked = !writes_nacked;
+    writes_lost = !writes_lost;
+    net = Network.stats network;
+    server_rpc =
+      sum_rpc
+        (List.init cfg.replicas (fun i ->
+             Rpc.stats (Nameserver.endpoint cluster i)));
+    client_rpc =
+      sum_rpc
+        (Array.to_list (Array.map (fun (_, ep, _) -> Rpc.stats ep) clients));
+    ns = Nameserver.stats cluster;
+    events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let degree (r : Co.report) = Co.degree r
+
+let json_rpc b (s : Rpc.stats) =
+  Printf.bprintf b
+    "{\"calls\": %d, \"replies\": %d, \"timeouts\": %d, \"retries\": %d, \
+     \"exhausted\": %d, \"served\": %d, \"dedup_hits\": %d, \
+     \"dropped_requests\": %d, \"late_replies\": %d}"
+    s.Rpc.calls s.Rpc.replies s.Rpc.timeouts s.Rpc.retries s.Rpc.exhausted
+    s.Rpc.served s.Rpc.dedup_hits s.Rpc.dropped_requests s.Rpc.late_replies
+
+let to_json ~scheme r =
+  let b = Buffer.create 4096 in
+  let cfg = r.config in
+  Printf.bprintf b "{\n  \"scheme\": \"%s\",\n  \"seed\": %d,\n" scheme
+    cfg.seed;
+  Printf.bprintf b
+    "  \"config\": {\"replicas\": %d, \"drop\": %.4f, \"duplicate\": %.4f, \
+     \"partition_at\": %.3f, \"partition_for\": %.3f, \"crash_at\": %.3f, \
+     \"crash_for\": %.3f, \"writes\": %d, \"ae_period\": %.3f, \
+     \"duration\": %.3f},\n"
+    cfg.replicas cfg.drop cfg.duplicate cfg.partition_at cfg.partition_for
+    cfg.crash_at cfg.crash_for cfg.writes cfg.ae_period cfg.duration;
+  Printf.bprintf b "  \"converged\": %b,\n  \"heal_at\": %.3f,\n" r.converged
+    r.heal_at;
+  (match r.converge_time with
+  | Some t -> Printf.bprintf b "  \"converge_time\": %.3f,\n" t
+  | None -> Buffer.add_string b "  \"converge_time\": null,\n");
+  (match r.rounds_to_converge with
+  | Some n -> Printf.bprintf b "  \"rounds_to_converge\": %d,\n" n
+  | None -> Buffer.add_string b "  \"rounds_to_converge\": null,\n");
+  Printf.bprintf b
+    "  \"writes\": {\"sent\": %d, \"acked\": %d, \"nacked\": %d, \"lost\": \
+     %d},\n"
+    r.writes_sent r.writes_acked r.writes_nacked r.writes_lost;
+  let j (rep : Co.report) =
+    Printf.sprintf
+      "{\"probes\": %d, \"coherent\": %d, \"weakly_coherent\": %d, \
+       \"incoherent\": %d, \"vacuous\": %d, \"degree\": %.4f}"
+      rep.Co.probes rep.Co.coherent rep.Co.weakly_coherent rep.Co.incoherent
+      rep.Co.vacuous (degree rep)
+  in
+  Buffer.add_string b "  \"samples\": [";
+  List.iteri
+    (fun i s ->
+      Printf.bprintf b "%s\n    {\"time\": %.3f, \"converged\": %b, \
+                        \"coherence\": %s}"
+        (if i = 0 then "" else ",")
+        s.time s.converged (j s.report))
+    r.samples;
+  Buffer.add_string b "\n  ],\n";
+  Printf.bprintf b "  \"final\": %s,\n" (j r.final_report);
+  Printf.bprintf b
+    "  \"net\": {\"sent\": %d, \"delivered\": %d, \"dropped\": %d, \"cut\": \
+     %d, \"node_down\": %d, \"undeliverable\": %d, \"duplicated\": %d},\n"
+    r.net.Network.sent r.net.Network.delivered r.net.Network.dropped
+    r.net.Network.cut r.net.Network.node_down r.net.Network.undeliverable
+    r.net.Network.duplicated;
+  Buffer.add_string b "  \"server_rpc\": ";
+  json_rpc b r.server_rpc;
+  Buffer.add_string b ",\n  \"client_rpc\": ";
+  json_rpc b r.client_rpc;
+  Printf.bprintf b
+    ",\n  \"nameserver\": {\"writes_accepted\": %d, \"ops_applied\": %d, \
+     \"lww_losses\": %d, \"pulls\": %d, \"pull_failures\": %d},\n"
+    r.ns.Nameserver.writes_accepted r.ns.Nameserver.ops_applied
+    r.ns.Nameserver.lww_losses r.ns.Nameserver.pulls
+    r.ns.Nameserver.pull_failures;
+  Printf.bprintf b "  \"events\": %d\n}" r.events;
+  Buffer.contents b
+
+let pp_summary ~scheme ppf r =
+  Format.fprintf ppf "@[<v>%s: %s@," scheme
+    (if r.converged then "replicas reconverged" else
+       "REPLICAS FAILED TO RECONVERGE");
+  Format.fprintf ppf
+    "  writes: %d sent, %d acked, %d lost; heal at %.1f; converged %s@,"
+    r.writes_sent r.writes_acked r.writes_lost r.heal_at
+    (match (r.converge_time, r.rounds_to_converge) with
+    | Some t, Some n ->
+        Printf.sprintf "at t=%.1f (%d anti-entropy rounds after heal)" t n
+    | _ -> "never");
+  Format.fprintf ppf "  net: %a@,  server rpc: %a@,  clients: %a@,  ns: %a@,"
+    Network.pp_stats r.net Rpc.pp_stats r.server_rpc Rpc.pp_stats r.client_rpc
+    Nameserver.pp_stats r.ns;
+  Format.fprintf ppf "  coherence degree over time:@,";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "    t=%6.1f  degree=%.4f  incoherent=%3d%s@,"
+        s.time (degree s.report) s.report.Co.incoherent
+        (if s.converged then "  [converged]" else ""))
+    r.samples;
+  Format.fprintf ppf "  final: %a@]" Co.pp_report r.final_report

@@ -1,0 +1,84 @@
+(** Chaos harness: coherence of the replicated name service under
+    injected failure.
+
+    A chaos run builds a {!Nameserver} cluster over a faulty {!Network}
+    (message loss, duplication, a partition window, a crash/restart
+    cycle), drives a randomised write workload through {!Rpc.call_retry}
+    clients, and samples {!Naming.Coherence.measure} over simulated
+    time. The interesting outputs are the coherence-degree time series —
+    full, degraded while replicas diverge, full again — and the time it
+    takes anti-entropy to reconverge the replicas after the last fault
+    heals. Everything is driven by one seed: the same seed produces the
+    same run, sample for sample and byte for byte in {!to_json}. *)
+
+type config = {
+  seed : int;
+  replicas : int;
+  drop : float;  (** per-message loss probability *)
+  duplicate : float;  (** per-message duplication probability *)
+  partition_at : float;
+  partition_for : float;  (** window length; [0.] disables the partition *)
+  crash_at : float;
+  crash_for : float;  (** downtime of the crashed replica; [0.] disables *)
+  writes : int;  (** client write operations *)
+  write_window : float;  (** writes are issued in [\[0; write_window)] *)
+  call_timeout : float;  (** client per-attempt timeout *)
+  call_attempts : int;
+  ae_period : float;  (** anti-entropy period *)
+  ae_timeout : float;
+  ae_attempts : int;
+  sample_every : float;  (** coherence sampling period *)
+  duration : float;  (** total simulated time *)
+}
+
+val default : config
+(** 3 replicas, 5% drop, 5% duplication, partition over [\[10; 30)],
+    replica crash over [\[15; 25)], 32 writes in [\[0; 30)], anti-entropy
+    every 2.0, sampling every 2.0, duration 80, seed 42. *)
+
+type sample = {
+  time : float;
+  report : Naming.Coherence.report;
+  converged : bool;  (** version vectors equal at sample time *)
+}
+
+type result = {
+  config : config;
+  samples : sample list;  (** in time order *)
+  final_report : Naming.Coherence.report;
+  converged : bool;  (** the run's verdict: replicas reconverged *)
+  heal_at : float;  (** when the last scheduled fault healed *)
+  converge_time : float option;
+      (** first sample time ≥ [heal_at] with converged vectors and full
+          coherence degree *)
+  rounds_to_converge : int option;
+      (** [converge_time - heal_at] in anti-entropy periods (ceiling) *)
+  writes_sent : int;
+  writes_acked : int;
+  writes_nacked : int;
+  writes_lost : int;  (** retry budgets exhausted *)
+  net : Network.stats;
+  server_rpc : Rpc.stats;  (** summed over the replica endpoints *)
+  client_rpc : Rpc.stats;  (** summed over the client endpoints *)
+  ns : Nameserver.stats;
+  events : int;  (** engine events executed *)
+}
+
+val run :
+  ?jobs:int ->
+  config:config ->
+  spec:Nameserver.spec ->
+  probes:Naming.Name.t list ->
+  unit ->
+  result
+(** Runs one chaos schedule against a cluster built from [spec],
+    sampling coherence over [probes]. [jobs] fans each coherence sample
+    over the {!Naming.Pool} (identical results at any job count). *)
+
+val to_json : scheme:string -> result -> string
+(** A self-contained JSON document; byte-identical across runs of the
+    same seed and spec, at any [jobs]. *)
+
+val pp_summary : scheme:string -> Format.formatter -> result -> unit
+(** Human-readable run summary: the coherence time series and the
+    convergence verdict. *)

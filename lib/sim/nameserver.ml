@@ -1,0 +1,435 @@
+module N = Naming.Name
+module E = Naming.Entity
+module S = Naming.Store
+module C = Naming.Context
+
+type spec = {
+  dirs : N.t list;
+  leaves : (string * string) list;
+  links : (N.t * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Extracting a spec from an existing world.                           *)
+
+let atom_is a b = Int.equal (N.atom_id a) (N.atom_id b)
+
+let skip_atom a =
+  atom_is a N.self_atom || atom_is a N.parent_atom || atom_is a N.root_atom
+
+let spec_of_context ?(max_depth = 4) ?(max_nodes = 512) store ctx =
+  let dirs = ref [] and leaves = ref [] and links = ref [] in
+  let leaf_keys : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let nodes = ref 0 in
+  let leaf_key e =
+    match Hashtbl.find_opt leaf_keys (E.id e) with
+    | Some k -> k
+    | None ->
+        let k = Printf.sprintf "k%d" (E.id e) in
+        let label =
+          match S.label store e with Some l -> l | None -> k
+        in
+        Hashtbl.replace leaf_keys (E.id e) k;
+        leaves := (k, label) :: !leaves;
+        k
+  in
+  let rec walk path depth ctx =
+    if depth < max_depth then
+      List.iter
+        (fun (atom, target) ->
+          if (not (skip_atom atom)) && !nodes < max_nodes then
+            match S.obj_state store target with
+            | Some (S.Context sub) ->
+                if not (Hashtbl.mem visited (E.id target)) then begin
+                  Hashtbl.replace visited (E.id target) ();
+                  incr nodes;
+                  let p = N.snoc path atom in
+                  dirs := p :: !dirs;
+                  walk p (depth + 1) sub
+                end
+            | Some (S.Data _) ->
+                incr nodes;
+                links := (N.snoc path atom, leaf_key target) :: !links
+            | None -> ())
+        (C.bindings ctx)
+  in
+  (* Start from the tree behind the context's "/" binding when there is
+     one (an activity context names the root directory rather than being
+     it); otherwise the context is the root itself. Marking the root
+     visited also breaks the root's customary "/" self-binding. *)
+  let start =
+    if C.mem ctx N.root_atom then
+      let root = C.lookup ctx N.root_atom in
+      match S.obj_state store root with
+      | Some (S.Context root_ctx) ->
+          Hashtbl.replace visited (E.id root) ();
+          root_ctx
+      | _ -> ctx
+    else ctx
+  in
+  walk (N.singleton N.root_atom) 0 start;
+  {
+    dirs = List.rev !dirs;
+    leaves = List.rev !leaves;
+    links = List.rev !links;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The wire protocol.                                                  *)
+
+type request =
+  | Resolve of N.t
+  | Write of { path : N.t; atom : N.atom; target : string option }
+  | Pull of int array
+
+type op = {
+  origin : int;
+  seq : int;
+  stamp : int;
+  path : N.t;
+  atom : N.atom;
+  target : string option;
+}
+
+type response =
+  | Resolved of E.t
+  | Ack of { stamp : int }
+  | Ops of op list
+  | Nack of string
+
+(* ------------------------------------------------------------------ *)
+(* Replicas and clusters.                                              *)
+
+type replica = {
+  id : int;
+  node : Network.node_id;
+  root : E.t;
+  dirs : (string, E.t) Hashtbl.t;  (** logical path → this mirror's dir *)
+  mutable log : op list;  (** newest first *)
+  vec : int array;
+  lww : (string * string, int * int) Hashtbl.t;
+  mutable clock : int;
+  rng : Rng.t;
+  mutable endpoint : (request, response) Rpc.endpoint option;
+}
+
+type t = {
+  network : (request, response) Rpc.message Network.t;
+  store : S.t;
+  leaves : (string, E.t) Hashtbl.t;
+  members : replica array;
+  repl : Naming.Replication.t;
+  rule : Naming.Rule.t;
+  probes : E.t array;  (** one probe activity per replica *)
+  mutable ae_gen : int;  (** bumped by start/stop; stale ticks die *)
+  mutable writes_accepted : int;
+  mutable ops_applied : int;
+  mutable lww_losses : int;
+  mutable pulls : int;
+  mutable pull_failures : int;
+}
+
+let port = 1
+let path_key path = N.to_string (N.prepend_root path)
+
+let split_last path =
+  match List.rev (N.atoms path) with
+  | last :: (_ :: _ as rev_parent) -> (N.of_atoms (List.rev rev_parent), last)
+  | [ only ] -> (N.singleton N.root_atom, only)
+  | [] -> invalid_arg "Nameserver: empty path"
+
+let get_endpoint r =
+  match r.endpoint with Some e -> e | None -> assert false
+
+(* Applies one op at one replica: record it (in per-origin order), then
+   let last-writer-wins on (stamp, origin) decide whether it touches the
+   mirror. The comparison is a total order, so any two replicas that
+   have applied the same set of ops hold identical mirrors. *)
+let apply t r op =
+  if op.stamp > r.clock then r.clock <- op.stamp;
+  let have = r.vec.(op.origin) in
+  if op.seq = have + 1 then begin
+    r.vec.(op.origin) <- op.seq;
+    r.log <- op :: r.log;
+    t.ops_applied <- t.ops_applied + 1;
+    let key = (path_key op.path, N.atom_to_string op.atom) in
+    let newer =
+      match Hashtbl.find_opt r.lww key with
+      | None -> true
+      | Some (stamp, origin) ->
+          op.stamp > stamp || (op.stamp = stamp && op.origin > origin)
+    in
+    if newer then begin
+      Hashtbl.replace r.lww key (op.stamp, op.origin);
+      match Hashtbl.find_opt r.dirs (fst key) with
+      | None -> ()
+      | Some dir -> (
+          match op.target with
+          | Some leaf_key -> (
+              match Hashtbl.find_opt t.leaves leaf_key with
+              | Some leaf -> S.bind t.store ~dir op.atom leaf
+              | None -> ())
+          | None -> S.unbind t.store ~dir op.atom)
+    end
+    else t.lww_losses <- t.lww_losses + 1
+  end
+(* op.seq <= have: a duplicate, already applied. A gap (op.seq > have+1)
+   cannot arise from the pull protocol, which ships per-origin deltas in
+   sequence order; if it somehow does, the op is dropped and a later
+   pull re-fetches the origin's suffix in order. *)
+
+let handle t r req =
+  match req with
+  | Resolve name -> Resolved (Naming.Resolver.resolve_in t.store r.root name)
+  | Write { path; atom; target } -> (
+      let key = path_key path in
+      match Hashtbl.find_opt r.dirs key with
+      | None -> Nack (Printf.sprintf "unknown directory %s" key)
+      | Some _ -> (
+          match target with
+          | Some leaf_key when not (Hashtbl.mem t.leaves leaf_key) ->
+              Nack (Printf.sprintf "unknown leaf %s" leaf_key)
+          | _ ->
+              r.clock <- r.clock + 1;
+              let op =
+                {
+                  origin = r.id;
+                  seq = r.vec.(r.id) + 1;
+                  stamp = r.clock;
+                  path = N.prepend_root path;
+                  atom;
+                  target;
+                }
+              in
+              apply t r op;
+              t.writes_accepted <- t.writes_accepted + 1;
+              Ack { stamp = op.stamp }))
+  | Pull vec ->
+      let have origin seq =
+        origin < Array.length vec && seq <= vec.(origin)
+      in
+      let missing =
+        List.filter (fun op -> not (have op.origin op.seq)) r.log
+      in
+      let sorted =
+        List.sort
+          (fun a b ->
+            match Int.compare a.origin b.origin with
+            | 0 -> Int.compare a.seq b.seq
+            | c -> c)
+          missing
+      in
+      Ops sorted
+
+let create ~network ~rng ~replicas:n (spec : spec) =
+  if n < 2 then invalid_arg "Nameserver.create: need at least 2 replicas";
+  let store = S.create () in
+  let leaves = Hashtbl.create 32 in
+  List.iter
+    (fun (key, label) ->
+      if not (Hashtbl.mem leaves key) then
+        Hashtbl.replace leaves key (S.create_object ~label store))
+    spec.leaves;
+  let repl = Naming.Replication.create () in
+  let asg = Naming.Rule.Assignment.create () in
+  let members =
+    Array.init n (fun id ->
+        let node =
+          Network.add_node network ~label:(Printf.sprintf "ns%d" id)
+        in
+        let root =
+          S.create_context_object ~label:(Printf.sprintf "ns%d:/" id) store
+        in
+        S.bind store ~dir:root N.root_atom root;
+        let dirs = Hashtbl.create 64 in
+        Hashtbl.replace dirs (path_key (N.singleton N.root_atom)) root;
+        {
+          id;
+          node;
+          root;
+          dirs;
+          log = [];
+          vec = Array.make n 0;
+          lww = Hashtbl.create 64;
+          clock = 0;
+          rng = Rng.split rng;
+          endpoint = None;
+        })
+  in
+  (* Mirror directories, and one replica group per logical path. *)
+  let mirror_group path =
+    Array.to_list
+      (Array.map
+         (fun r ->
+           let dir =
+             S.create_context_object
+               ~label:(Printf.sprintf "ns%d:%s" r.id (path_key path))
+               store
+           in
+           Hashtbl.replace r.dirs (path_key path) dir;
+           dir)
+         members)
+  in
+  Naming.Replication.declare repl
+    (Array.to_list (Array.map (fun r -> r.root) members));
+  List.iter
+    (fun path ->
+      let path = N.prepend_root path in
+      let group = mirror_group path in
+      Naming.Replication.declare repl group;
+      let parent, atom = split_last path in
+      Array.iteri
+        (fun i r ->
+          match Hashtbl.find_opt r.dirs (path_key parent) with
+          | Some dir -> S.bind store ~dir atom (List.nth group i)
+          | None -> ())
+        members)
+    spec.dirs;
+  List.iter
+    (fun (path, key) ->
+      match Hashtbl.find_opt leaves key with
+      | None -> ()
+      | Some leaf ->
+          let parent, atom = split_last (N.prepend_root path) in
+          Array.iter
+            (fun r ->
+              match Hashtbl.find_opt r.dirs (path_key parent) with
+              | Some dir -> S.bind store ~dir atom leaf
+              | None -> ())
+            members)
+    spec.links;
+  let probes =
+    Array.map
+      (fun r ->
+        let a =
+          S.create_activity ~label:(Printf.sprintf "client%d" r.id) store
+        in
+        Naming.Rule.Assignment.set asg a r.root;
+        a)
+      members
+  in
+  let t =
+    {
+      network;
+      store;
+      leaves;
+      members;
+      repl;
+      rule = Naming.Rule.of_activity asg;
+      probes;
+      ae_gen = 0;
+      writes_accepted = 0;
+      ops_applied = 0;
+      lww_losses = 0;
+      pulls = 0;
+      pull_failures = 0;
+    }
+  in
+  Array.iter
+    (fun r ->
+      r.endpoint <-
+        Some
+          (Rpc.create network ~node:r.node ~port
+             ~handler:(fun req -> Some (handle t r req))
+             ~dedup:true ()))
+    members;
+  t
+
+let store t = t.store
+let replicas t = Array.length t.members
+
+let member t i =
+  if i < 0 || i >= Array.length t.members then
+    invalid_arg (Printf.sprintf "Nameserver: unknown replica %d" i);
+  t.members.(i)
+
+let replica_node t i = (member t i).node
+let replica_address t i = { Network.node = (member t i).node; port }
+let replica_root t i = (member t i).root
+let endpoint t i = get_endpoint (member t i)
+let leaf t key = Hashtbl.find_opt t.leaves key
+
+let resolve_at t i name =
+  Naming.Resolver.resolve_in t.store (member t i).root name
+
+let write_local t i req = handle t (member t i) req
+
+let rule t = t.rule
+
+let occurrences t =
+  Array.to_list (Array.map Naming.Occurrence.generated t.probes)
+
+let equiv t a b = Naming.Replication.same_replica t.repl a b
+
+let measure ?jobs t names =
+  Naming.Coherence.measure ~equiv:(equiv t) ?jobs t.store t.rule
+    (occurrences t) names
+
+let converged t =
+  let reference = t.members.(0).vec in
+  Array.for_all
+    (fun r ->
+      let ok = ref true in
+      Array.iteri (fun i v -> if v <> reference.(i) then ok := false) r.vec;
+      !ok)
+    t.members
+
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy.                                                       *)
+
+let start_anti_entropy ?(period = 5.0) ?(timeout = 2.0) ?(attempts = 3) t =
+  t.ae_gen <- t.ae_gen + 1;
+  let gen = t.ae_gen in
+  let engine = Network.engine t.network in
+  let n = Array.length t.members in
+  let rec tick r () =
+    if t.ae_gen = gen then begin
+      if Network.node_is_up t.network r.node then begin
+        let peer =
+          let k = Rng.int r.rng (n - 1) in
+          t.members.(if k >= r.id then k + 1 else k)
+        in
+        t.pulls <- t.pulls + 1;
+        Rpc.call_retry (get_endpoint r)
+          ~to_:{ Network.node = peer.node; port }
+          ~timeout ~rng:r.rng ~attempts (Pull (Array.copy r.vec))
+          ~on_reply:(function
+            | Ok (Ops ops) -> List.iter (apply t r) ops
+            | Ok (Resolved _ | Ack _ | Nack _) -> ()
+            | Error `Timeout -> t.pull_failures <- t.pull_failures + 1)
+      end;
+      ignore (Engine.schedule engine ~delay:period (tick r))
+    end
+  in
+  Array.iter
+    (fun r ->
+      (* stagger the first ticks so replica order never depends on how
+         simultaneous events happen to interleave *)
+      let delay = period *. (1.0 +. (float_of_int r.id /. float_of_int n)) in
+      ignore (Engine.schedule engine ~delay (tick r)))
+    t.members
+
+let stop_anti_entropy t = t.ae_gen <- t.ae_gen + 1
+
+type stats = {
+  writes_accepted : int;
+  ops_applied : int;
+  lww_losses : int;
+  pulls : int;
+  pull_failures : int;
+}
+
+let stats (t : t) =
+  {
+    writes_accepted = t.writes_accepted;
+    ops_applied = t.ops_applied;
+    lww_losses = t.lww_losses;
+    pulls = t.pulls;
+    pull_failures = t.pull_failures;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "writes=%d applied=%d lww_losses=%d pulls=%d pull_failures=%d"
+    s.writes_accepted s.ops_applied s.lww_losses s.pulls s.pull_failures

@@ -1,0 +1,156 @@
+(** A replicated, fault-tolerant name service over the simulated network.
+
+    Each replica serves resolve/bind/unbind over {!Rpc} from its own
+    mirror of a common directory tree, all mirrors living in one shared
+    {!Naming.Store} so the repo's coherence machinery applies unchanged:
+    the mirror directories of one logical path form a replica group
+    ({!Naming.Replication}), and {!measure} runs {!Naming.Coherence}
+    with replica equivalence — a live implementation of the paper's §5
+    weak coherence. Leaf objects are shared between mirrors, so a name
+    that denotes a file is {e strictly} coherent when the replicas
+    agree, while a name that denotes a directory is only ever {e weakly}
+    coherent (each replica answers with its own mirror).
+
+    Writes are versioned update records: every accepted write becomes an
+    op stamped with a Lamport clock and a per-origin sequence number.
+    Replicas exchange ops by periodic anti-entropy pulls (version-vector
+    deltas over {!Rpc.call_retry}) and apply them with last-writer-wins
+    ordering on [(stamp, origin)] — a total order, so replicas that have
+    seen the same ops hold identical states regardless of delivery
+    order, and partitions reconverge after healing. *)
+
+(** {1 Tree specifications} *)
+
+type spec = {
+  dirs : Naming.Name.t list;
+      (** absolute directory paths to create under the root, parents
+          before children (the root itself is implicit) *)
+  leaves : (string * string) list;  (** leaf key → diagnostic label *)
+  links : (Naming.Name.t * string) list;
+      (** absolute leaf path → leaf key; several paths may share one
+          key (hard links) *)
+}
+
+val spec_of_context :
+  ?max_depth:int ->
+  ?max_nodes:int ->
+  Naming.Store.t ->
+  Naming.Context.t ->
+  spec
+(** Extracts a tree specification from an existing naming world by
+    walking the given root context: context objects become [dirs], other
+    objects become shared leaves (deduplicated by identity, so hard
+    links survive). Self links ("." ".." "/") are skipped, revisited
+    directories (cross-links, cycles) are pruned to keep the result a
+    tree. Defaults: [max_depth = 4], [max_nodes = 512]. *)
+
+(** {1 The wire protocol} *)
+
+type request =
+  | Resolve of Naming.Name.t
+  | Write of {
+      path : Naming.Name.t;  (** absolute directory path; [/] for the root *)
+      atom : Naming.Name.atom;
+      target : string option;  (** leaf key to bind, [None] to unbind *)
+    }
+  | Pull of int array
+      (** caller's version vector: [vec.(o)] = highest sequence number
+          from origin [o] the caller has applied *)
+
+type op = {
+  origin : int;  (** replica that accepted the write *)
+  seq : int;  (** per-origin sequence number, from 1 *)
+  stamp : int;  (** Lamport clock at acceptance *)
+  path : Naming.Name.t;
+  atom : Naming.Name.atom;
+  target : string option;
+}
+
+type response =
+  | Resolved of Naming.Entity.t
+  | Ack of { stamp : int }
+  | Ops of op list  (** delta, sorted by (origin, seq) *)
+  | Nack of string  (** malformed write: unknown path or leaf key *)
+
+(** {1 Clusters} *)
+
+type t
+
+val create :
+  network:(request, response) Rpc.message Network.t ->
+  rng:Rng.t ->
+  replicas:int ->
+  spec ->
+  t
+(** Builds the shared world and [replicas] server endpoints, one per
+    fresh network node (port {!port}), each with request deduplication
+    on. [rng] seeds the replicas' independent anti-entropy streams.
+    @raise Invalid_argument when [replicas < 2]. *)
+
+val port : int
+(** The well-known port replicas listen on (1). *)
+
+val store : t -> Naming.Store.t
+val replicas : t -> int
+val replica_node : t -> int -> Network.node_id
+val replica_address : t -> int -> Network.address
+val replica_root : t -> int -> Naming.Entity.t
+val endpoint : t -> int -> (request, response) Rpc.endpoint
+
+val leaf : t -> string -> Naming.Entity.t option
+(** The shared leaf object for a spec leaf key. *)
+
+val resolve_at : t -> int -> Naming.Name.t -> Naming.Entity.t
+(** Resolve directly against one replica's current mirror (no network). *)
+
+val write_local : t -> int -> request -> response
+(** Apply a request at a replica as if it had arrived over RPC (no
+    network, no faults) — for tests and for seeding worlds. *)
+
+(** {1 Coherence} *)
+
+val rule : t -> Naming.Rule.t
+(** R(a) over one probe activity per replica, each assigned its
+    replica's mirror root. *)
+
+val occurrences : t -> Naming.Occurrence.t list
+val equiv : t -> Naming.Entity.t -> Naming.Entity.t -> bool
+(** Replica equivalence: mirror directories of the same logical path. *)
+
+val measure : ?jobs:int -> t -> Naming.Name.t list -> Naming.Coherence.report
+(** {!Naming.Coherence.measure} across the replicas' mirrors under
+    {!equiv}: strict coherence for leaf-valued probes, weak coherence
+    for directory-valued probes, incoherence while replicas diverge. *)
+
+val converged : t -> bool
+(** All replicas have applied the same set of ops (version vectors
+    equal) — with last-writer-wins ordering this implies identical
+    mirror states. *)
+
+(** {1 Anti-entropy} *)
+
+val start_anti_entropy :
+  ?period:float ->
+  ?timeout:float ->
+  ?attempts:int ->
+  t ->
+  unit
+(** Schedules a recurring pull per replica: every [period] (default
+    5.0) each live replica asks one peer (chosen from its seeded rng)
+    for the ops it lacks, over {!Rpc.call_retry} ([timeout] default 2.0,
+    [attempts] default 3). Replicas whose node is down skip their tick;
+    ticks are staggered so simultaneous events stay deterministic. *)
+
+val stop_anti_entropy : t -> unit
+(** Stops scheduling new ticks (already-scheduled ones still fire). *)
+
+type stats = {
+  writes_accepted : int;
+  ops_applied : int;  (** op applications across all replicas (incl. origin) *)
+  lww_losses : int;  (** ops superseded by a later writer on arrival *)
+  pulls : int;  (** anti-entropy rounds initiated *)
+  pull_failures : int;  (** rounds whose call exhausted its retries *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -4,44 +4,91 @@ type ('req, 'resp) message =
 
 type ('req, 'resp) pending_call = {
   on_reply : ('resp, [ `Timeout ]) result -> unit;
-  timeout_handle : Engine.handle;
+  mutable timeout_handle : Engine.handle;
 }
 
 type stats = {
   calls : int;
   replies : int;
   timeouts : int;
+  retries : int;
+  exhausted : int;
   served : int;
+  dedup_hits : int;
   dropped_requests : int;
   late_replies : int;
 }
+
+(* Dedup memory: one answered-request table per caller address, keyed by
+   the caller's request id. Ids are never reused by an endpoint, so an
+   entry stays valid for the whole run. *)
+module Caller_tbl = Hashtbl.Make (struct
+  type t = Network.address
+
+  let equal (a : Network.address) b =
+    Int.equal a.Network.node b.Network.node
+    && Int.equal a.Network.port b.Network.port
+
+  let hash (a : Network.address) = (a.Network.node * 65599) + a.Network.port
+end)
 
 type ('req, 'resp) endpoint = {
   network : ('req, 'resp) message Network.t;
   address : Network.address;
   mutable handler : ('req -> 'resp option) option;
+  dedup : bool;
+  answered : (int, 'resp) Hashtbl.t Caller_tbl.t;
   pending_calls : (int, ('req, 'resp) pending_call) Hashtbl.t;
   mutable next_id : int;
   mutable calls : int;
   mutable replies : int;
   mutable timeouts : int;
+  mutable retries : int;
+  mutable exhausted : int;
   mutable served : int;
+  mutable dedup_hits : int;
   mutable dropped_requests : int;
   mutable late_replies : int;
 }
 
+let respond t ~to_ ~id payload =
+  Network.send t.network ~src:t.address ~dst:to_ (Response { id; payload })
+
 let receive t envelope =
   match envelope.Network.payload with
   | Request { id; payload } -> (
-      match t.handler with
-      | None -> t.dropped_requests <- t.dropped_requests + 1
-      | Some handler -> (
-          match handler payload with
+      let src = envelope.Network.src in
+      let remembered =
+        if t.dedup then
+          match Caller_tbl.find_opt t.answered src with
+          | Some per_caller -> Hashtbl.find_opt per_caller id
+          | None -> None
+        else None
+      in
+      match remembered with
+      | Some response ->
+          t.dedup_hits <- t.dedup_hits + 1;
+          respond t ~to_:src ~id response
+      | None -> (
+          match t.handler with
           | None -> t.dropped_requests <- t.dropped_requests + 1
-          | Some response ->
-              t.served <- t.served + 1;
-              Network.send t.network ~src:t.address ~dst:envelope.Network.src
-                (Response { id; payload = response })))
+          | Some handler -> (
+              match handler payload with
+              | None -> t.dropped_requests <- t.dropped_requests + 1
+              | Some response ->
+                  t.served <- t.served + 1;
+                  if t.dedup then begin
+                    let per_caller =
+                      match Caller_tbl.find_opt t.answered src with
+                      | Some tbl -> tbl
+                      | None ->
+                          let tbl = Hashtbl.create 16 in
+                          Caller_tbl.replace t.answered src tbl;
+                          tbl
+                    in
+                    Hashtbl.replace per_caller id response
+                  end;
+                  respond t ~to_:src ~id response)))
   | Response { id; payload } -> (
       match Hashtbl.find_opt t.pending_calls id with
       | None -> t.late_replies <- t.late_replies + 1
@@ -51,18 +98,23 @@ let receive t envelope =
           t.replies <- t.replies + 1;
           call.on_reply (Ok payload))
 
-let create network ~node ~port ?handler () =
+let create network ~node ~port ?handler ?(dedup = false) () =
   let t =
     {
       network;
       address = { Network.node; port };
       handler;
+      dedup;
+      answered = Caller_tbl.create 4;
       pending_calls = Hashtbl.create 16;
       next_id = 0;
       calls = 0;
       replies = 0;
       timeouts = 0;
+      retries = 0;
+      exhausted = 0;
       served = 0;
+      dedup_hits = 0;
       dropped_requests = 0;
       late_replies = 0;
     }
@@ -88,6 +140,51 @@ let call t ~to_ ~timeout payload ~on_reply =
   Hashtbl.replace t.pending_calls id { on_reply; timeout_handle };
   Network.send t.network ~src:t.address ~dst:to_ (Request { id; payload })
 
+let call_retry t ~to_ ~timeout ?(backoff = 2.0) ?max_timeout ?(jitter = 0.1)
+    ~rng ~attempts payload ~on_reply =
+  if attempts < 1 then invalid_arg "Rpc.call_retry: attempts < 1";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.calls <- t.calls + 1;
+  let engine = Network.engine t.network in
+  let send_request () =
+    Network.send t.network ~src:t.address ~dst:to_ (Request { id; payload })
+  in
+  (* One pending entry for the whole logical call; each expired attempt
+     swaps in the next attempt's timeout handle. The same request id is
+     reused on every retransmission so a deduplicating server applies
+     the request at most once no matter how many copies arrive. *)
+  let rec arm call attempt =
+    let wait = timeout *. (backoff ** float_of_int attempt) in
+    let wait =
+      match max_timeout with Some m -> Float.min wait m | None -> wait
+    in
+    let wait = wait +. Rng.float rng (jitter *. wait) in
+    call.timeout_handle <-
+      Engine.schedule engine ~delay:wait (fun () ->
+          if Hashtbl.mem t.pending_calls id then begin
+            t.timeouts <- t.timeouts + 1;
+            if attempt + 1 < attempts then begin
+              t.retries <- t.retries + 1;
+              send_request ();
+              arm call (attempt + 1)
+            end
+            else begin
+              Hashtbl.remove t.pending_calls id;
+              t.exhausted <- t.exhausted + 1;
+              on_reply (Error `Timeout)
+            end
+          end)
+  in
+  let call =
+    (* placeholder handle, replaced by [arm] before the engine runs *)
+    { on_reply; timeout_handle = Engine.schedule engine ~delay:0.0 (fun () -> ()) }
+  in
+  Engine.cancel engine call.timeout_handle;
+  Hashtbl.replace t.pending_calls id call;
+  send_request ();
+  arm call 0
+
 let pending t = Hashtbl.length t.pending_calls
 
 let stats t =
@@ -95,12 +192,17 @@ let stats t =
     calls = t.calls;
     replies = t.replies;
     timeouts = t.timeouts;
+    retries = t.retries;
+    exhausted = t.exhausted;
     served = t.served;
+    dedup_hits = t.dedup_hits;
     dropped_requests = t.dropped_requests;
     late_replies = t.late_replies;
   }
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "calls=%d replies=%d timeouts=%d served=%d dropped=%d late=%d" s.calls
-    s.replies s.timeouts s.served s.dropped_requests s.late_replies
+    "calls=%d replies=%d timeouts=%d retries=%d exhausted=%d served=%d \
+     dedup=%d dropped=%d late=%d"
+    s.calls s.replies s.timeouts s.retries s.exhausted s.served s.dedup_hits
+    s.dropped_requests s.late_replies

@@ -3,8 +3,11 @@
     The paper's name-exchange scenarios are client/server interactions
     ("process identifiers are exchanged between client and server
     processes in the Waterloo Port system"). This module provides the
-    request/response plumbing: correlation of replies to calls, and
-    timeouts for requests whose reply was lost. *)
+    request/response plumbing: correlation of replies to calls, timeouts
+    for requests whose reply was lost, retries with exponential backoff
+    for surviving a faulty network, and server-side request
+    deduplication so a retried or duplicated request is applied at most
+    once. *)
 
 type ('req, 'resp) message
 (** The wire type: carry it as the network payload. *)
@@ -16,12 +19,22 @@ val create :
   node:Network.node_id ->
   port:int ->
   ?handler:('req -> 'resp option) ->
+  ?dedup:bool ->
   unit ->
   ('req, 'resp) endpoint
 (** Binds an endpoint. [handler] serves incoming requests (return [None]
     to drop a request silently — simulating a server-side failure);
     endpoints without a handler are pure clients, and count unserved
-    requests. *)
+    requests.
+
+    With [dedup] (default false), the endpoint remembers every request
+    id it has answered, per caller: a duplicate of an already-served
+    request — a network duplicate or a client retry whose original
+    answer was lost — is answered by resending the remembered response
+    {e without} invoking the handler again. This is what makes
+    non-idempotent requests (binds, unbinds) safe to retry. Declined
+    requests ([handler _ = None]) are not remembered, so a retry of a
+    declined request is offered to the handler again. *)
 
 val address : ('req, 'resp) endpoint -> Network.address
 val set_handler : ('req, 'resp) endpoint -> ('req -> 'resp option) -> unit
@@ -35,16 +48,51 @@ val call :
   unit
 (** Sends a request; [on_reply] fires exactly once — with the response,
     or with [Error `Timeout] after [timeout] simulated time units. A
-    response arriving after the timeout is discarded. *)
+    response arriving after the timeout is counted in
+    [stats.late_replies] and discarded. *)
+
+val call_retry :
+  ('req, 'resp) endpoint ->
+  to_:Network.address ->
+  timeout:float ->
+  ?backoff:float ->
+  ?max_timeout:float ->
+  ?jitter:float ->
+  rng:Rng.t ->
+  attempts:int ->
+  'req ->
+  on_reply:(('resp, [ `Timeout ]) result -> unit) ->
+  unit
+(** Like {!call}, but the request is retransmitted (with the {e same}
+    request id, so a deduplicating server applies it at most once) each
+    time an attempt times out, up to [attempts] total attempts. Attempt
+    [k] (counting from 0) waits [timeout * backoff^k] time units, capped
+    at [max_timeout] when given, plus a uniform random extra in
+    [0; jitter * wait) drawn from [rng] — fully deterministic for a
+    seeded generator. Defaults: [backoff = 2.0], [jitter = 0.1].
+
+    [on_reply] fires exactly once: [Ok] on the first response to any
+    attempt, [Error `Timeout] when the budget is exhausted (counted in
+    [stats.exhausted]; every expired attempt is also counted in
+    [stats.timeouts], every retransmission in [stats.retries]). A
+    response arriving after exhaustion counts as a late reply.
+    @raise Invalid_argument when [attempts < 1]. *)
 
 val pending : ('req, 'resp) endpoint -> int
-(** Calls still awaiting a reply or timeout. *)
+(** Calls still awaiting a reply or timeout. Retries do not create new
+    pending entries: one logical call is one entry until it is answered
+    or exhausted. *)
 
 type stats = {
-  calls : int;
+  calls : int;  (** logical calls ({!call} / {!call_retry} invocations) *)
   replies : int;
-  timeouts : int;
+  timeouts : int;  (** expired attempts (including ones that were retried) *)
+  retries : int;  (** retransmissions sent by {!call_retry} *)
+  exhausted : int;  (** {!call_retry} budgets that ran out *)
   served : int;  (** requests this endpoint's handler answered *)
+  dedup_hits : int;
+      (** duplicate requests answered from the dedup memory without
+          re-invoking the handler *)
   dropped_requests : int;  (** requests the handler declined or had no handler *)
   late_replies : int;  (** responses discarded after their timeout *)
 }

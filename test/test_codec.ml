@@ -90,6 +90,56 @@ let prop_roundtrip_random =
       done;
       Cd.roundtrip_equal st (Cd.of_string (Cd.to_string st)))
 
+let test_error_positions () =
+  (match Cd.of_string_result "not a store" with
+  | Error { Cd.line = 1; _ } -> ()
+  | _ -> Alcotest.fail "bad header not reported on line 1");
+  (match Cd.of_string_result "coherent-naming-store v1\ndir 0\ngarbage" with
+  | Error { Cd.line = 3; _ } -> ()
+  | _ -> Alcotest.fail "garbage not reported on line 3");
+  match Cd.of_string_result (Cd.to_string (sample_store ())) with
+  | Ok st' -> check b "ok on valid dump" true (Cd.roundtrip_equal (sample_store ()) st')
+  | Error _ -> Alcotest.fail "valid dump rejected"
+
+(* property: the decoder is total — arbitrary bytes produce a value,
+   never an exception. *)
+let prop_decode_never_raises =
+  QCheck.Test.make ~name:"of_string_result is total on random bytes"
+    ~count:500
+    QCheck.(string_gen Gen.char)
+    (fun s ->
+      match Cd.of_string_result s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) s)
+
+(* property: ditto for corrupted valid dumps — truncations and byte
+   flips of a real serialisation, the adversarial neighbourhood random
+   bytes never reach. *)
+let prop_decode_total_on_mutated_dumps =
+  let base = Cd.to_string (sample_store ()) in
+  QCheck.Test.make ~name:"of_string_result is total on mutated dumps"
+    ~count:500
+    QCheck.(triple small_nat small_nat (QCheck.char))
+    (fun (pos, cut, c) ->
+      let mutate s =
+        if String.length s = 0 then s
+        else begin
+          let bytes = Bytes.of_string s in
+          Bytes.set bytes (pos mod Bytes.length bytes) c;
+          Bytes.to_string bytes
+        end
+      in
+      let truncate s = String.sub s 0 (cut mod (String.length s + 1)) in
+      List.for_all
+        (fun s ->
+          match Cd.of_string_result s with
+          | Ok _ | Error _ -> true
+          | exception e ->
+              QCheck.Test.fail_reportf "raised %s on %S"
+                (Printexc.to_string e) s)
+        [ mutate base; truncate base; mutate (truncate base) ])
+
 let suite =
   [
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
@@ -101,4 +151,7 @@ let suite =
     Alcotest.test_case "binding to an activity" `Quick
       test_binding_to_activity;
     QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
+    QCheck_alcotest.to_alcotest prop_decode_never_raises;
+    QCheck_alcotest.to_alcotest prop_decode_total_on_mutated_dumps;
   ]

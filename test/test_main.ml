@@ -20,6 +20,8 @@ let () =
       ("engine", Test_engine.suite);
       ("network", Test_network.suite);
       ("rpc", Test_rpc.suite);
+      ("nameserver", Test_nameserver.suite);
+      ("chaos", Test_chaos.suite);
       ("sim-util", Test_sim_util.suite);
       ("fs", Test_fs.suite);
       ("subtree", Test_subtree.suite);

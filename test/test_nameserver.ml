@@ -1,0 +1,206 @@
+(* Tests for Dsim.Nameserver — the replicated name service: mirror
+   trees, versioned writes, anti-entropy reconvergence, and the paper's
+   §5 weak coherence measured live across replicas. *)
+
+module En = Dsim.Engine
+module Net = Dsim.Network
+module Rpc = Dsim.Rpc
+module Ns = Dsim.Nameserver
+module N = Naming.Name
+module E = Naming.Entity
+module Co = Naming.Coherence
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+
+(* /a, /a/b; two shared leaves; /a/x -> k1, /a/b/y -> k2. *)
+let small_spec =
+  {
+    Ns.dirs = [ N.of_string "/a"; N.of_string "/a/b" ];
+    leaves = [ ("k1", "one"); ("k2", "two") ];
+    links = [ (N.of_string "/a/x", "k1"); (N.of_string "/a/b/y", "k2") ];
+  }
+
+let probes =
+  small_spec.Ns.dirs @ List.map fst small_spec.Ns.links
+
+let make ?(config = Net.default_config) ?(replicas = 3) () =
+  let engine = En.create () in
+  let net =
+    Net.create ~config ~engine ~rng:(Dsim.Rng.create 42L) ()
+  in
+  let cluster =
+    Ns.create ~network:net ~rng:(Dsim.Rng.create 7L) ~replicas small_spec
+  in
+  (engine, net, cluster)
+
+let test_mirrors_agree_initially () =
+  let _, _, cluster = make () in
+  (* every replica resolves the links to the SAME shared leaves *)
+  let leaf1 = Ns.resolve_at cluster 0 (N.of_string "/a/x") in
+  check b "leaf is defined" false (E.is_undefined leaf1);
+  for r = 1 to Ns.replicas cluster - 1 do
+    check b "same leaf everywhere" true
+      (E.equal leaf1 (Ns.resolve_at cluster r (N.of_string "/a/x")))
+  done;
+  (* directories are per-replica mirrors: equal only up to replica
+     equivalence *)
+  let d0 = Ns.resolve_at cluster 0 (N.of_string "/a") in
+  let d1 = Ns.resolve_at cluster 1 (N.of_string "/a") in
+  check b "distinct mirror dirs" false (E.equal d0 d1);
+  check b "but replica-equivalent" true (Ns.equiv cluster d0 d1);
+  let report = Ns.measure cluster probes in
+  check i "leaf probes strictly coherent" 2 report.Co.coherent;
+  check i "dir probes weakly coherent" 2 report.Co.weakly_coherent;
+  check i "nothing incoherent" 0 report.Co.incoherent;
+  check b "fresh cluster converged" true (Ns.converged cluster)
+
+let test_local_write_then_anti_entropy () =
+  let engine, _, cluster = make () in
+  (match
+     Ns.write_local cluster 0
+       (Ns.Write
+          { path = N.of_string "/a"; atom = N.atom "z"; target = Some "k2" })
+   with
+  | Ns.Ack _ -> ()
+  | _ -> Alcotest.fail "write not acked");
+  (* applied at the origin only: other replicas do not see it yet *)
+  check b "replica 1 lags" true
+    (E.is_undefined (Ns.resolve_at cluster 1 (N.of_string "/a/z")));
+  check b "diverged" false (Ns.converged cluster);
+  Ns.start_anti_entropy ~period:2.0 cluster;
+  ignore (En.run ~until:30.0 engine);
+  Ns.stop_anti_entropy cluster;
+  check b "converged" true (Ns.converged cluster);
+  let expected = Option.get (Ns.leaf cluster "k2") in
+  for r = 0 to Ns.replicas cluster - 1 do
+    check b "write visible everywhere" true
+      (E.equal expected (Ns.resolve_at cluster r (N.of_string "/a/z")))
+  done
+
+let test_nack_on_unknown_path_and_leaf () =
+  let _, _, cluster = make () in
+  (match
+     Ns.write_local cluster 0
+       (Ns.Write
+          { path = N.of_string "/nope"; atom = N.atom "z"; target = None })
+   with
+  | Ns.Nack _ -> ()
+  | _ -> Alcotest.fail "unknown path accepted");
+  match
+    Ns.write_local cluster 0
+      (Ns.Write
+         { path = N.of_string "/a"; atom = N.atom "z"; target = Some "k9" })
+  with
+  | Ns.Nack _ -> ()
+  | _ -> Alcotest.fail "unknown leaf accepted"
+
+(* The acceptance demo: partition the cluster, make conflicting writes
+   on both sides, watch the probe become incoherent, heal, and verify
+   the replicas reconverge (same LWW winner everywhere) within a bounded
+   number of anti-entropy rounds. *)
+let test_partition_diverge_heal_reconverge () =
+  let engine, net, cluster = make () in
+  Net.partition net
+    [ Ns.replica_node cluster 0 ]
+    [ Ns.replica_node cluster 1; Ns.replica_node cluster 2 ];
+  (* conflicting writes for the same binding site on the two sides:
+     replica 0 rebinds /a/x to k2, replica 1 unbinds it. Both carry
+     Lamport stamp 1, so last-writer-wins breaks the tie on origin and
+     the unbind (origin 1 > origin 0) must win everywhere. *)
+  ignore
+    (Ns.write_local cluster 0
+       (Ns.Write
+          { path = N.of_string "/a"; atom = N.atom "x"; target = Some "k2" }));
+  ignore
+    (Ns.write_local cluster 1
+       (Ns.Write { path = N.of_string "/a"; atom = N.atom "x"; target = None }));
+  let report = Ns.measure cluster probes in
+  check b "diverged: some probe incoherent" true (report.Co.incoherent > 0);
+  check b "not converged while partitioned" false (Ns.converged cluster);
+  (* anti-entropy cannot cross the partition: replicas 1 and 2 agree
+     with each other but the cluster as a whole stays split *)
+  Ns.start_anti_entropy ~period:2.0 ~timeout:1.0 ~attempts:2 cluster;
+  ignore (En.run ~until:20.0 engine);
+  check b "still split" false (Ns.converged cluster);
+  (* heal, then a bounded number of rounds reconverges: 10 periods is
+     far more than the diameter of a 3-replica gossip graph needs *)
+  Net.heal net;
+  ignore (En.run ~until:40.0 engine);
+  Ns.stop_anti_entropy cluster;
+  check b "reconverged after heal" true (Ns.converged cluster);
+  let final = Ns.measure cluster probes in
+  check i "coherence restored" 0 final.Co.incoherent;
+  (* the LWW winner (the unbind) took effect on every replica *)
+  for r = 0 to Ns.replicas cluster - 1 do
+    check b "unbind won everywhere" true
+      (E.is_undefined (Ns.resolve_at cluster r (N.of_string "/a/x")))
+  done;
+  check b "losing write counted" true ((Ns.stats cluster).Ns.lww_losses >= 1)
+
+let test_resolve_over_rpc () =
+  let engine, net, cluster = make () in
+  let cnode = Net.add_node net ~label:"client" in
+  let client = Rpc.create net ~node:cnode ~port:9 () in
+  let got = ref None in
+  Rpc.call_retry client
+    ~to_:(Ns.replica_address cluster 0)
+    ~timeout:2.0 ~rng:(Dsim.Rng.create 5L) ~attempts:4
+    (Ns.Resolve (N.of_string "/a/b/y"))
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  match !got with
+  | Some (Ok (Ns.Resolved e)) ->
+      check b "resolved to the shared leaf" true
+        (E.equal e (Option.get (Ns.leaf cluster "k2")))
+  | _ -> Alcotest.fail "no resolution over rpc"
+
+let test_spec_of_context_extracts_sample_world () =
+  match Harness.Sample.world "unix" with
+  | None -> Alcotest.fail "no unix sample world"
+  | Some w ->
+      let spec = Ns.spec_of_context w.Harness.Sample.store w.Harness.Sample.ctx in
+      check b "found directories" true (List.length spec.Ns.dirs > 0);
+      check b "found leaves" true (List.length spec.Ns.leaves > 0);
+      check b "found links" true (List.length spec.Ns.links > 0);
+      (* the extracted tree must be buildable and coherent as a cluster *)
+      let engine = En.create () in
+      let net =
+        Net.create ~config:Net.default_config ~engine
+          ~rng:(Dsim.Rng.create 42L) ()
+      in
+      let cluster =
+        Ns.create ~network:net ~rng:(Dsim.Rng.create 7L) ~replicas:2 spec
+      in
+      let probes = spec.Ns.dirs @ List.map fst spec.Ns.links in
+      let report = Ns.measure cluster probes in
+      check i "extracted world starts coherent" 0 report.Co.incoherent;
+      check b "has strict and weak probes" true
+        (report.Co.coherent > 0 && report.Co.weakly_coherent > 0)
+
+let test_rejects_single_replica () =
+  let engine = En.create () in
+  let net =
+    Net.create ~config:Net.default_config ~engine ~rng:(Dsim.Rng.create 1L) ()
+  in
+  match Ns.create ~network:net ~rng:(Dsim.Rng.create 1L) ~replicas:1 small_spec with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted a 1-replica cluster"
+
+let suite =
+  [
+    Alcotest.test_case "mirrors agree initially" `Quick
+      test_mirrors_agree_initially;
+    Alcotest.test_case "local write + anti-entropy" `Quick
+      test_local_write_then_anti_entropy;
+    Alcotest.test_case "nack on unknown path/leaf" `Quick
+      test_nack_on_unknown_path_and_leaf;
+    Alcotest.test_case "partition/diverge/heal/reconverge" `Quick
+      test_partition_diverge_heal_reconverge;
+    Alcotest.test_case "resolve over rpc" `Quick test_resolve_over_rpc;
+    Alcotest.test_case "spec_of_context on a sample world" `Quick
+      test_spec_of_context_extracts_sample_world;
+    Alcotest.test_case "rejects single replica" `Quick
+      test_rejects_single_replica;
+  ]

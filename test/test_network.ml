@@ -194,6 +194,67 @@ let test_many_messages_all_arrive () =
   check i "all arrived" 100 (Act.inbox_length c);
   check i "delivered stat" 100 (Net.stats net).Net.delivered
 
+(* A crash/restart window driven from inside the simulation: sends
+   before and after the window arrive, sends into it are lost, and the
+   port binding (the "naming state" of the node) survives the restart. *)
+let test_scheduled_crash_window () =
+  let engine, net = make () in
+  let n1 = Net.add_node net ~label:"m1" in
+  let n2 = Net.add_node net ~label:"m2" in
+  let a = Act.create net ~node:n1 ~port:1 in
+  let c = Act.create net ~node:n2 ~port:1 in
+  ignore
+    (En.schedule engine ~delay:5.0 (fun () -> Net.set_node_up net n2 false));
+  ignore
+    (En.schedule engine ~delay:10.0 (fun () -> Net.set_node_up net n2 true));
+  let send_at t payload =
+    ignore (En.schedule engine ~delay:t (fun () -> Act.send a ~to_:c payload))
+  in
+  send_at 1.0 "before";
+  send_at 6.0 "during";
+  send_at 12.0 "after";
+  ignore (En.run engine);
+  let payloads = List.map (fun e -> e.Net.payload) (Act.drain c) in
+  check (Alcotest.list Alcotest.string) "window loss only"
+    [ "before"; "after" ] payloads;
+  check i "down loss counted" 1 (Net.stats net).Net.node_down
+
+(* The message is in flight when the destination dies: it was accepted
+   by the network but must not be delivered. *)
+let test_crash_loses_in_flight () =
+  let engine, net = make () in
+  let n1 = Net.add_node net ~label:"m1" in
+  let n2 = Net.add_node net ~label:"m2" in
+  let a = Act.create net ~node:n1 ~port:1 in
+  let c = Act.create net ~node:n2 ~port:1 in
+  Act.send a ~to_:c "doomed";
+  (* the crash fires at time 0, before any delivery latency elapses *)
+  ignore (En.schedule engine ~delay:0.0 (fun () -> Net.set_node_up net n2 false));
+  ignore (En.run engine);
+  check i "nothing delivered" 0 (Act.inbox_length c);
+  check i "in-flight loss counted" 1 (Net.stats net).Net.node_down
+
+let test_scheduled_partition_window () =
+  let engine, net = make () in
+  let n1 = Net.add_node net ~label:"m1" in
+  let n2 = Net.add_node net ~label:"m2" in
+  let a = Act.create net ~node:n1 ~port:1 in
+  let c = Act.create net ~node:n2 ~port:1 in
+  ignore
+    (En.schedule engine ~delay:2.0 (fun () -> Net.partition net [ n1 ] [ n2 ]));
+  ignore (En.schedule engine ~delay:4.0 (fun () -> Net.heal net));
+  let send_at t payload =
+    ignore (En.schedule engine ~delay:t (fun () -> Act.send a ~to_:c payload))
+  in
+  send_at 1.0 "pre";
+  send_at 3.0 "cut";
+  send_at 5.0 "post";
+  ignore (En.run engine);
+  let payloads = List.map (fun e -> e.Net.payload) (Act.drain c) in
+  check (Alcotest.list Alcotest.string) "cut window only" [ "pre"; "post" ]
+    payloads;
+  check i "cut counted" 1 (Net.stats net).Net.cut
+
 let suite =
   [
     Alcotest.test_case "nodes" `Quick test_nodes;
@@ -209,4 +270,10 @@ let suite =
     Alcotest.test_case "port collision" `Quick test_port_collision;
     Alcotest.test_case "drain order" `Quick test_drain_order;
     Alcotest.test_case "100 messages" `Quick test_many_messages_all_arrive;
+    Alcotest.test_case "scheduled crash window" `Quick
+      test_scheduled_crash_window;
+    Alcotest.test_case "crash loses in-flight message" `Quick
+      test_crash_loses_in_flight;
+    Alcotest.test_case "scheduled partition window" `Quick
+      test_scheduled_partition_window;
   ]

@@ -137,6 +137,170 @@ let test_duplicate_response_is_late () =
   check b "surplus counted as late" true
     ((Rpc.stats client).Rpc.late_replies >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Retries, dedup and fault windows.                                   *)
+
+let test_retry_recovers_loss () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with drop_probability = 0.5 } ()
+  in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (x * 2)) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:2.0
+    ~rng:(Dsim.Rng.create 7L) ~attempts:10 21
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  check b "recovered by retrying" true (!got = Some (Ok 42));
+  let s = Rpc.stats client in
+  check i "one logical call" 1 s.Rpc.calls;
+  check b "at least one retry" true (s.Rpc.retries >= 1);
+  check i "no exhaustion" 0 s.Rpc.exhausted
+
+let test_retry_exhaustion_stats () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with drop_probability = 1.0 } ()
+  in
+  let _server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some x) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call_retry client ~to_:{ Net.node = n1; port = 1 } ~timeout:1.0
+    ~backoff:2.0 ~jitter:0.0 ~rng:(Dsim.Rng.create 7L) ~attempts:3 1
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  check b "exhausted" true (!got = Some (Error `Timeout));
+  let s = Rpc.stats client in
+  check i "calls" 1 s.Rpc.calls;
+  check i "every attempt timed out" 3 s.Rpc.timeouts;
+  check i "two retransmissions" 2 s.Rpc.retries;
+  check i "one budget exhausted" 1 s.Rpc.exhausted;
+  check i "none pending" 0 (Rpc.pending client);
+  (* exponential backoff: 1 + 2 + 4 time units before giving up *)
+  check b "backoff applied" true (En.now engine >= 7.0)
+
+let test_duplicate_invokes_handler_twice_without_dedup () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with duplicate_probability = 1.0 } ()
+  in
+  let invocations = ref 0 in
+  let server =
+    Rpc.create net ~node:n1 ~port:1
+      ~handler:(fun x -> incr invocations; Some x)
+      ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:30.0 1
+    ~on_reply:(fun _ -> ());
+  ignore (En.run engine);
+  check i "duplicate delivery runs the handler twice" 2 !invocations;
+  check i "no dedup hits without dedup" 0 (Rpc.stats server).Rpc.dedup_hits
+
+let test_dedup_applies_once () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with duplicate_probability = 1.0 } ()
+  in
+  let invocations = ref 0 in
+  let server =
+    Rpc.create net ~node:n1 ~port:1
+      ~handler:(fun x -> incr invocations; Some x)
+      ~dedup:true ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call client ~to_:(Rpc.address server) ~timeout:30.0 1
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  check b "still replied" true (!got = Some (Ok 1));
+  check i "handler ran once" 1 !invocations;
+  check b "duplicate answered from memory" true
+    ((Rpc.stats server).Rpc.dedup_hits >= 1)
+
+let test_retry_across_crash_restart () =
+  let engine, net, n1, n2 = make () in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (x + 1)) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  Net.set_node_up net n1 false;
+  ignore
+    (En.schedule engine ~delay:5.0 (fun () -> Net.set_node_up net n1 true));
+  let got = ref None in
+  Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:2.0 ~backoff:1.0
+    ~rng:(Dsim.Rng.create 7L) ~attempts:10 1
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  (* the server's binding survived the crash; a retry after the restart
+     gets through *)
+  check b "served after restart" true (!got = Some (Ok 2));
+  check b "down window cost retries" true ((Rpc.stats client).Rpc.retries >= 1)
+
+let test_retry_across_partition_heal () =
+  let engine, net, n1, n2 = make () in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (x + 1)) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  Net.partition net [ n1 ] [ n2 ];
+  ignore (En.schedule engine ~delay:5.0 (fun () -> Net.heal net));
+  let got = ref None in
+  Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:2.0 ~backoff:1.0
+    ~rng:(Dsim.Rng.create 7L) ~attempts:10 1
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  check b "served after heal" true (!got = Some (Ok 2));
+  check b "messages were cut meanwhile" true ((Net.stats net).Net.cut >= 1)
+
+(* property: with dedup on and a sufficient attempt budget, every
+   logical request is applied exactly once, whatever the loss and
+   duplication rates (below 1) do to the individual messages. *)
+let prop_exactly_once =
+  QCheck.Test.make ~name:"retry+dedup applies exactly once" ~count:25
+    QCheck.(triple small_nat (float_bound_inclusive 0.7)
+              (float_bound_inclusive 0.7))
+    (fun (seed, drop, duplicate) ->
+      let engine = En.create () in
+      let net =
+        Net.create
+          ~config:
+            { Net.default_config with
+              drop_probability = drop;
+              duplicate_probability = duplicate }
+          ~engine
+          ~rng:(Dsim.Rng.create (Int64.of_int (seed + 1)))
+          ()
+      in
+      let n1 = Net.add_node net ~label:"server" in
+      let n2 = Net.add_node net ~label:"client" in
+      let applied = Hashtbl.create 8 in
+      let server =
+        Rpc.create net ~node:n1 ~port:1
+          ~handler:(fun k ->
+            Hashtbl.replace applied k (1 + Option.value ~default:0 (Hashtbl.find_opt applied k));
+            Some k)
+          ~dedup:true ()
+      in
+      let client = Rpc.create net ~node:n2 ~port:1 () in
+      let logical = 5 in
+      let ok = ref 0 in
+      for k = 1 to logical do
+        Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:1.0
+          ~backoff:1.0 ~rng:(Dsim.Rng.create (Int64.of_int (seed + k)))
+          ~attempts:200 k
+          ~on_reply:(function Ok _ -> incr ok | Error `Timeout -> ())
+      done;
+      ignore (En.run engine);
+      (* at-most-once always; with this budget, exactly once *)
+      Hashtbl.iter
+        (fun k n ->
+          if n <> 1 then
+            QCheck.Test.fail_reportf "request %d applied %d times" k n)
+        applied;
+      !ok = logical && Hashtbl.length applied = logical)
+
 let suite =
   [
     Alcotest.test_case "call/reply" `Quick test_call_reply;
@@ -148,4 +312,15 @@ let suite =
       test_concurrent_clients_one_server;
     Alcotest.test_case "duplicate responses are late" `Quick
       test_duplicate_response_is_late;
+    Alcotest.test_case "retry recovers loss" `Quick test_retry_recovers_loss;
+    Alcotest.test_case "retry exhaustion stats" `Quick
+      test_retry_exhaustion_stats;
+    Alcotest.test_case "duplicate runs handler twice (no dedup)" `Quick
+      test_duplicate_invokes_handler_twice_without_dedup;
+    Alcotest.test_case "dedup applies once" `Quick test_dedup_applies_once;
+    Alcotest.test_case "retry across crash/restart" `Quick
+      test_retry_across_crash_restart;
+    Alcotest.test_case "retry across partition/heal" `Quick
+      test_retry_across_partition_heal;
+    QCheck_alcotest.to_alcotest prop_exactly_once;
   ]
