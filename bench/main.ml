@@ -11,6 +11,9 @@
      bench/main.exe chaos      — b15: full chaos runs (fault-injected
                                  replicated name service) at three fault
                                  levels
+     bench/main.exe cluster    — b16: static replication coherence
+                                 analysis (check-cluster) across replica
+                                 counts at one and four domains
 
    Flags (anywhere on the command line):
      --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
@@ -398,6 +401,36 @@ let chaos_tests =
       (Staged.stage (run ~drop:0.2 ~partition_for:10.0));
   ]
 
+(* The b16 series: the static replication coherence analyzer
+   (check-cluster) across replica counts, at one and four domains — the
+   abstract-interpretation counterpart of b15's concrete runs. Eight
+   subjects per iteration so the domain fan-out has real work to
+   spread. Shares the `cluster` positional selector with
+   BENCH_<date>_b16.json. *)
+let cluster_tests =
+  let open Bechamel in
+  let subjects replicas =
+    List.init 8 (fun i ->
+        ( Printf.sprintf "s%d" i,
+          Analysis.Replpasses.subject
+            {
+              (Fixtures.chaos_config ~drop:0.0 ~partition_for:10.0) with
+              Dsim.Chaos.seed = i;
+              replicas;
+            }
+            Fixtures.chaos_spec ))
+  in
+  let indexed ~name ~jobs =
+    Test.make_indexed ~name ~args:[ 2; 4; 8 ] (fun replicas ->
+        let subjects = subjects replicas in
+        Staged.stage (fun () ->
+            ignore (Analysis.Replpasses.report_many ~jobs subjects)))
+  in
+  [
+    indexed ~name:"b16a: check-cluster by replicas, jobs 1" ~jobs:1;
+    indexed ~name:"b16b: check-cluster by replicas, jobs 4" ~jobs:4;
+  ]
+
 let experiment_tests =
   let open Bechamel in
   [
@@ -650,6 +683,7 @@ let () =
       report_cache_workload ()
   | "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
   | "chaos" :: _ -> run_bechamel ~name:"chaos" chaos_tests
+  | "cluster" :: _ -> run_bechamel ~name:"cluster" cluster_tests
   | "exps" :: _ -> run_experiments ppf
   | id :: _ when Harness.Experiments.find id <> None -> (
       match Harness.Experiments.find id with
@@ -663,8 +697,8 @@ let () =
       report_cache_workload ()
   | unknown :: _ ->
       Printf.eprintf
-        "unknown argument %S (expected: micro | scaling | chaos | exps | \
-         e1..e10 | a1..a4)\n"
+        "unknown argument %S (expected: micro | scaling | chaos | cluster | \
+         exps | e1..e10 | a1..a4)\n"
         unknown;
       exit 2);
   if json_mode then write_json ()

@@ -14,6 +14,13 @@
                         static name-flow analysis of a script/flow plan
                         (--json, --sarif, --min-severity, --received-rule,
                         --embedded-rule; nonzero exit on errors)
+     check-cluster <scheme|all>
+                        static replication coherence analysis of a sample
+                        world's cluster deployment: NG2xx diagnostics from
+                        abstract interpretation of the fault schedule, no
+                        simulator execution (--json, --sarif,
+                        --min-severity, --seed, --drop, --partition,
+                        --replicas; nonzero exit on errors)
      coherence <scheme> <name>
                         per-activity resolution and coherence verdict
      cache-stats <scheme|all>
@@ -231,68 +238,82 @@ let cmd_chaos scheme seed drop partition replicas json jobs =
         results);
   if List.for_all (fun (_, r) -> r.Dsim.Chaos.converged) results then 0 else 1
 
-let cmd_analyze scheme json sarif min_severity jobs =
-  match Analysis.Diagnostic.severity_of_string min_severity with
+(* Parses --min-severity, or prints the usage error and exits 2. *)
+let with_min_severity s f =
+  match Analysis.Diagnostic.severity_of_string s with
   | None ->
       Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
-        min_severity;
+        s;
       2
-  | Some min_severity ->
-      let config = { Analysis.Engine.default_config with min_severity } in
-      let schemes =
-        if String.equal (String.lowercase_ascii scheme) "all" then
-          sample_schemes
-        else [ scheme ]
-      in
-      let subjects =
-        List.map
-          (fun scheme ->
-            let w = sample_world scheme in
-            let subject =
-              Analysis.Subject.v ~probes:(probes_of_world w) ~rule:w.rule
-                ~activities:w.activities w.store
-            in
-            (scheme, w.store, subject))
-          schemes
-      in
-      let reports =
-        Analysis.Engine.analyze_many ~config ~jobs
-          (List.map (fun (label, _, subject) -> (label, subject)) subjects)
-      in
-      let analyzed =
-        List.map2 (fun (_, store, _) r -> (store, r)) subjects reports
-      in
-      if sarif then
+  | Some min_severity -> f min_severity
+
+(* The shared --json/--sarif reporting tail of analyze, check-script and
+   check-cluster: renders the analyzed targets — (store, uri, line_of,
+   report), in input order — in the requested format and returns the
+   CI gate exit code (nonzero iff any report has error-severity
+   diagnostics, independent of the display filter). [plural] keys the
+   multi-target JSON document ("schemes", "scripts"). *)
+let emit_reports ~json ~sarif ~plural targets =
+  if sarif then
+    print_endline
+      (Analysis.Json.to_string_pretty
+         (Analysis.Sarif.render
+            (List.map
+               (fun (_store, uri, line_of, r) ->
+                 Analysis.Sarif.of_report ?uri ~line_of r)
+               targets)))
+  else if json then (
+    match targets with
+    | [ (store, _, _, r) ] ->
+        print_endline
+          (Analysis.Json.to_string_pretty (Analysis.Engine.to_json store r))
+    | _ ->
         print_endline
           (Analysis.Json.to_string_pretty
-             (Analysis.Sarif.render
-                (List.map
-                   (fun (_store, r) -> Analysis.Sarif.of_report r)
-                   analyzed)))
-      else if json then
-        match analyzed with
-        | [ (store, r) ] ->
-            print_endline
-              (Analysis.Json.to_string_pretty
-                 (Analysis.Engine.to_json store r))
-        | _ ->
-            print_endline
-              (Analysis.Json.to_string_pretty
-                 (Analysis.Json.Obj
-                    [
-                      ( "schemes",
-                        Analysis.Json.List
-                          (List.map
-                             (fun (store, r) ->
-                               Analysis.Engine.to_json store r)
-                             analyzed) );
-                    ]))
-      else
-        List.iter
-          (fun (store, r) ->
-            Format.printf "%a@." (Analysis.Engine.pp store) r)
-          analyzed;
-      Analysis.Engine.exit_code (List.map snd analyzed)
+             (Analysis.Json.Obj
+                [
+                  ( plural,
+                    Analysis.Json.List
+                      (List.map
+                         (fun (store, _, _, r) ->
+                           Analysis.Engine.to_json store r)
+                         targets) );
+                ])))
+  else
+    List.iter
+      (fun (store, _, _, r) ->
+        Format.printf "%a@." (Analysis.Engine.pp store) r)
+      targets;
+  Analysis.Engine.exit_code (List.map (fun (_, _, _, r) -> r) targets)
+
+let no_line : int -> int option = fun _ -> None
+
+let cmd_analyze scheme json sarif min_severity jobs =
+  with_min_severity min_severity @@ fun min_severity ->
+  let config = { Analysis.Engine.default_config with min_severity } in
+  let schemes =
+    if String.equal (String.lowercase_ascii scheme) "all" then sample_schemes
+    else [ scheme ]
+  in
+  let subjects =
+    List.map
+      (fun scheme ->
+        let w = sample_world scheme in
+        let subject =
+          Analysis.Subject.v ~probes:(probes_of_world w) ~rule:w.rule
+            ~activities:w.activities w.store
+        in
+        (scheme, w.store, subject))
+      schemes
+  in
+  let reports =
+    Analysis.Engine.analyze_many ~config ~jobs
+      (List.map (fun (label, _, subject) -> (label, subject)) subjects)
+  in
+  emit_reports ~json ~sarif ~plural:"schemes"
+    (List.map2
+       (fun (_, store, _) r -> (store, None, no_line, r))
+       subjects reports)
 
 (* A check-script target: a script file (takes precedence), a sample
    plan name, or 'all' (every sample plan). *)
@@ -375,38 +396,48 @@ let cmd_check_script target json sarif min_severity received embedded jobs =
           (* Flow diagnostics carry no store entities; any store renders
              them. *)
           let store = Naming.Store.create () in
-          if sarif then
-            print_endline
-              (Analysis.Json.to_string_pretty
-                 (Analysis.Sarif.render
-                    (List.map
-                       (fun (uri, line_of, r) ->
-                         Analysis.Sarif.of_report ?uri ~line_of r)
-                       checked)))
-          else if json then (
-            match checked with
-            | [ (_, _, r) ] ->
-                print_endline
-                  (Analysis.Json.to_string_pretty
-                     (Analysis.Engine.to_json store r))
-            | _ ->
-                print_endline
-                  (Analysis.Json.to_string_pretty
-                     (Analysis.Json.Obj
-                        [
-                          ( "scripts",
-                            Analysis.Json.List
-                              (List.map
-                                 (fun (_, _, r) ->
-                                   Analysis.Engine.to_json store r)
-                                 checked) );
-                        ])))
-          else
-            List.iter
-              (fun (_, _, r) ->
-                Format.printf "%a@." (Analysis.Engine.pp store) r)
-              checked;
-          Analysis.Engine.exit_code (List.map (fun (_, _, r) -> r) checked))
+          emit_reports ~json ~sarif ~plural:"scripts"
+            (List.map
+               (fun (uri, line_of, r) -> (store, uri, line_of, r))
+               checked))
+
+(* Statically analyzes the replicated deployment of a sample world's
+   tree: same cluster spec and fault schedule as [cmd_chaos], but the
+   NG2xx diagnostics come from abstract interpretation — no simulator
+   execution. Exit code 1 on any error-severity diagnostic, for CI. *)
+let cmd_check_cluster scheme json sarif min_severity seed drop partition
+    replicas jobs =
+  with_min_severity min_severity @@ fun min_severity ->
+  let schemes =
+    if String.equal (String.lowercase_ascii scheme) "all" then sample_schemes
+    else [ scheme ]
+  in
+  let subjects =
+    List.map
+      (fun scheme ->
+        let w = sample_world scheme in
+        let spec = Dsim.Nameserver.spec_of_context w.store w.ctx in
+        let config =
+          {
+            Dsim.Chaos.default with
+            Dsim.Chaos.seed;
+            drop;
+            duplicate = drop;
+            partition_for = partition;
+            replicas;
+          }
+        in
+        (scheme, w.store, Analysis.Replpasses.subject config spec))
+      schemes
+  in
+  let results =
+    Analysis.Replpasses.report_many ~min_severity ~jobs
+      (List.map (fun (label, _, subject) -> (label, subject)) subjects)
+  in
+  emit_reports ~json ~sarif ~plural:"schemes"
+    (List.map2
+       (fun (_, store, _) (_state, r) -> (store, None, no_line, r))
+       subjects results)
 
 open Cmdliner
 
@@ -462,36 +493,38 @@ let jobs_opt =
                  NAMING_JOBS when set, else 1 = fully sequential). \
                  Results and output order do not depend on $(docv).")
 
+(* The fault-schedule knobs, shared between [chaos] (which executes the
+   schedule) and [check-cluster] (which interprets it abstractly). *)
+let seed_opt =
+  Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.seed
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Chaos schedule seed. The same seed reproduces the \
+                 schedule (and the chaos run sample for sample).")
+
+let drop_opt =
+  Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.drop
+       & info [ "drop" ] ~docv:"P"
+           ~doc:"Per-message loss (and duplication) probability.")
+
+let partition_opt =
+  Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.partition_for
+       & info [ "partition" ] ~docv:"SECONDS"
+           ~doc:"Length of the network partition window (0 disables \
+                 the partition).")
+
+let replicas_opt =
+  Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.replicas
+       & info [ "replicas" ] ~docv:"N" ~doc:"Name-server replicas.")
+
 let chaos_cmd =
-  let seed =
-    Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.seed
-         & info [ "seed" ] ~docv:"SEED"
-             ~doc:"Chaos run seed. The same seed reproduces the run \
-                   sample for sample (and byte for byte with --json).")
-  in
-  let drop =
-    Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.drop
-         & info [ "drop" ] ~docv:"P"
-             ~doc:"Per-message loss (and duplication) probability.")
-  in
-  let partition =
-    Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.partition_for
-         & info [ "partition" ] ~docv:"SECONDS"
-             ~doc:"Length of the network partition window (0 disables \
-                   the partition).")
-  in
-  let replicas =
-    Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.replicas
-         & info [ "replicas" ] ~docv:"N" ~doc:"Name-server replicas.")
-  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run a replicated name service built from a sample world \
              through a fault schedule (message loss, a partition window, \
              a replica crash/restart) and report coherence over time; \
              exits nonzero when the replicas fail to reconverge")
-    Term.(const cmd_chaos $ scheme_or_all_arg $ seed $ drop $ partition
-          $ replicas $ json_flag $ jobs_opt)
+    Term.(const cmd_chaos $ scheme_or_all_arg $ seed_opt $ drop_opt
+          $ partition_opt $ replicas_opt $ json_flag $ jobs_opt)
 
 let analyze_cmd =
   Cmd.v
@@ -528,6 +561,18 @@ let check_script_cmd =
              incoherent")
     Term.(const cmd_check_script $ target $ json_flag $ sarif_flag
           $ min_severity_opt $ received_rule $ embedded_rule $ jobs_opt)
+
+let check_cluster_cmd =
+  Cmd.v
+    (Cmd.info "check-cluster"
+       ~doc:"Static replication coherence analysis of a sample world's \
+             cluster deployment: interpret the fault schedule abstractly \
+             and report NG2xx diagnostics (lost-update races, unreachable \
+             replicas, staleness, durability holes) without executing the \
+             simulator; exits nonzero on any error-severity diagnostic")
+    Term.(const cmd_check_cluster $ scheme_or_all_arg $ json_flag
+          $ sarif_flag $ min_severity_opt $ seed_opt $ drop_opt
+          $ partition_opt $ replicas_opt $ jobs_opt)
 
 let report_cmd =
   Cmd.v
@@ -578,8 +623,8 @@ inspection tool"
   Cmd.group info
     [
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
-      analyze_cmd; check_script_cmd; trace_cmd; coherence_cmd; diff_cmd;
-      cache_stats_cmd; chaos_cmd;
+      analyze_cmd; check_script_cmd; check_cluster_cmd; trace_cmd;
+      coherence_cmd; diff_cmd; cache_stats_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

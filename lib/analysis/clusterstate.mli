@@ -1,0 +1,102 @@
+(** Abstract interpretation of the replicated name service.
+
+    Consumes a {!Dsim.Nameserver.spec}, a {!Dsim.Chaos.config} fault
+    schedule and a replicated write workload, and computes — without
+    executing the simulator — three-valued verdicts about every
+    execution of that schedule: per-write acceptance ([Must]/[May]/
+    [Never]) with time bounds, Lamport-stamp intervals, and a
+    may-propagation (happens-before) relation over writes widened
+    across anti-entropy rounds.
+
+    The soundness contract every {!Replpasses} error diagnostic rests
+    on: a [Must] fact holds in {e every} execution of the schedule, a
+    [Never]/impossibility fact rules a behaviour out of every
+    execution. The propagation relation deliberately over-approximates
+    (it ignores the pull-request leg and the random peer choice), so
+    impossibility claims — and hence the error diagnostics — stay
+    conservative. *)
+
+type tri = Must | May | Never
+
+val tri_to_string : tri -> string
+
+type write = {
+  index : int;  (** position in the workload *)
+  time : float;  (** client issue time *)
+  origin : int;  (** client = home replica id *)
+  path : Naming.Name.t;  (** absolute (root-prepended) directory path *)
+  atom : Naming.Name.atom;
+  target : string option;
+  nacked : bool;  (** statically Nack'd: unknown directory or leaf key *)
+  applies : tri;  (** does the home replica accept and apply the op? *)
+  accept : float * float;
+      (** acceptance-instant bounds: for [Must] writes acceptance
+          provably happens inside this interval; for [May] writes the
+          upper bound is the latest possible acceptance *)
+  stamp : int * int;  (** Lamport-stamp bounds at acceptance *)
+  lost_in_crash : bool;
+      (** provably lost: every retransmission lands inside the home
+          replica's crash window and the retry budget exhausts in-run *)
+}
+
+type t = {
+  config : Dsim.Chaos.config;
+  spec : Dsim.Nameserver.spec;
+  writes : write array;
+  sides : (int list * int list) option;  (** partition sides *)
+  partition : (float * float) option;  (** partition window *)
+  crash : (int * float * float) option;  (** victim, crash window *)
+  heal_at : float;
+  samples : float array;  (** coherence sampling instants *)
+  lat : float * float;  (** one-way latency bounds between distinct nodes *)
+  sends : (float * float) array;  (** client attempt send offsets *)
+  exhaust : float * float;  (** client retry-budget exhaustion offsets *)
+  duration : float;
+}
+
+val of_chaos :
+  ?workload:(float * int * Dsim.Nameserver.request) list ->
+  Dsim.Chaos.config ->
+  Dsim.Nameserver.spec ->
+  t
+(** Interprets the schedule. [workload] defaults to
+    {!Dsim.Chaos.planned_writes} — the exact workload a chaos run of
+    this config and spec would issue; non-write requests are ignored. *)
+
+val writes : t -> write list
+val applied : write -> bool
+(** The op possibly exists: [applies <> Never] and not [nacked]. *)
+
+val key : write -> string * string
+(** The LWW key the write targets: (directory path, atom). *)
+
+val same_side : t -> int -> int -> bool
+(** Whether two replicas are on the same partition side (always true
+    without a partition). *)
+
+val earliest_at : t -> origin:int -> from_:float -> int -> float option
+(** [earliest_at t ~origin ~from_ d]: the earliest instant an op
+    applied at [origin] at time [from_] could possibly be applied at
+    replica [d] in any execution, via any chain of anti-entropy pulls;
+    [None] when no execution delivers it within the run. [Some] answers
+    are lower bounds (over-approximated possibility); [None] is an
+    impossibility proof. *)
+
+val must_concurrent : t -> write -> write -> bool
+(** Provably concurrent: in no execution can either write's op have
+    reached the other's origin before the other was accepted. *)
+
+val stamps_may_tie : write -> write -> bool
+(** The two stamp intervals overlap across distinct origins, so the
+    LWW winner may be decided only by the origin-id tiebreak. *)
+
+val reconverge_provable : ?rounds:int -> t -> bool
+(** Whether reconvergence is provable within [rounds] (default 2)
+    anti-entropy rounds after the last fault heals and the last write
+    lands: only with two replicas (deterministic peer choice) and a
+    loss-free network does any finite round budget constitute a
+    proof. *)
+
+val divergence_possible : t -> bool
+(** Some execution could leave replicas diverged at least transiently:
+    an op possibly exists and the schedule has faults. *)

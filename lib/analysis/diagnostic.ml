@@ -34,7 +34,20 @@ let compare d1 d2 =
   if c <> 0 then c
   else
     let c = String.compare d1.code d2.code in
-    if c <> 0 then c else String.compare d1.message d2.message
+    if c <> 0 then c
+    else
+      let c = String.compare d1.message d2.message in
+      if c <> 0 then c
+      else
+        let c = String.compare d1.pass d2.pass in
+        if c <> 0 then c
+        else
+          let c = Option.compare Int.compare d1.loc d2.loc in
+          if c <> 0 then c
+          else
+            Option.compare String.compare
+              (Option.map Naming.Name.to_string d1.name)
+              (Option.map Naming.Name.to_string d2.name)
 
 let catalogue =
   [
@@ -64,6 +77,24 @@ let catalogue =
     ("NG105", Warning, "a silently-skipped op, or a flow using the result \
                         of one");
     ("NG106", Info, "a flow the analyzer could not decide within its \
+                     budget");
+    ("NG201", Error, "an LWW lost-update race: provably concurrent writes \
+                      to one name, one of them silently overwritten");
+    ("NG202", Error, "a write that can never reach some replica: the \
+                      anti-entropy pull graph is not strongly connected \
+                      over the run");
+    ("NG203", Error, "a replica provably stale beyond the staleness bound \
+                      for a whole fault window");
+    ("NG204", Error, "a durability hole: every retransmission of a write \
+                      lands inside its home replica's crash window");
+    ("NG205", Warning, "a possible Lamport-stamp tie: the LWW winner \
+                        decided only by origin id");
+    ("NG206", Warning, "a dedup window smaller than the overlapping retry \
+                        traffic, so exactly-once can break");
+    ("NG207", Warning, "a replica group that can never satisfy the \
+                        paper's §5 equivalence (orphaned or dangling \
+                        spec entry)");
+    ("NG208", Info, "a replication verdict undecided within the round \
                      budget");
   ]
 

@@ -42,7 +42,10 @@ val make :
 (** [make ~code ~severity ~pass msg] builds a diagnostic. *)
 
 val compare : t -> t -> int
-(** Severity descending, then code, then message — the report order. *)
+(** Severity descending, then code, then message — the report order —
+    with pass, loc and rendered name as final tiebreaks so the order is
+    total over distinct findings and reports are deterministic at any
+    job count. *)
 
 val catalogue : (string * severity * string) list
 (** Every code the analyzer can emit: (code, default severity, summary).

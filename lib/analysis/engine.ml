@@ -80,7 +80,18 @@ let selected_passes cfg =
 
 let assemble ?(min_severity = Diagnostic.Info) ~label ~activities ~objects
     ~context_objects ~probes ~passes_run diagnostics =
-  let diagnostics = List.sort Diagnostic.compare diagnostics in
+  let diagnostics = List.stable_sort Diagnostic.compare diagnostics in
+  (* Cross-pass dedup: two passes reporting the same (code, message,
+     pass, loc, name) finding — adjacent after the total-order sort —
+     collapse to one, so reports are deterministic sets, not bags. *)
+  let diagnostics =
+    let rec dedup = function
+      | a :: (b :: _ as rest) ->
+          if Diagnostic.compare a b = 0 then dedup rest else a :: dedup rest
+      | short -> short
+    in
+    dedup diagnostics
+  in
   let count sev =
     List.length
       (List.filter (fun d -> d.Diagnostic.severity = sev) diagnostics)

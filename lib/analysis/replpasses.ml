@@ -1,0 +1,409 @@
+(* From cluster-schedule verdicts to diagnostics: the NG2xx series.
+
+   Error-severity codes (NG201-NG204) are backed by Must/Never facts of
+   the abstract interpretation in [Clusterstate], so every one of them
+   is reproducible by a chaos replay of the same schedule — the
+   cross-validation property the test suite checks over seeded
+   schedules. Warnings (NG205-NG207) and the undecided verdict (NG208)
+   are may-facts. *)
+
+module Cs = Clusterstate
+module Ch = Dsim.Chaos
+module Ns = Dsim.Nameserver
+module N = Naming.Name
+
+type subject = {
+  config : Ch.config;
+  spec : Ns.spec;
+  workload : (float * int * Ns.request) list;
+}
+
+let subject ?workload config spec =
+  let workload =
+    match workload with Some w -> w | None -> Ch.planned_writes config spec
+  in
+  { config; spec; workload }
+
+let diag = Diagnostic.make
+
+let write_name (w : Cs.write) = N.snoc w.Cs.path w.Cs.atom
+
+let write_str (w : Cs.write) =
+  Printf.sprintf "write #%d (ns%d t=%.1f %s%s)" w.Cs.index w.Cs.origin
+    w.Cs.time
+    (N.to_string (write_name w))
+    (match w.Cs.target with
+    | Some k -> Printf.sprintf "→%s" k
+    | None -> "→unbind")
+
+let window_str (s, e) = Printf.sprintf "[%.1f; %.1f)" s e
+
+(* ------------------------------------------------------------------ *)
+(* cluster-spec: NG207 — groups that can never satisfy §5 equivalence. *)
+
+let path_key p = N.to_string (N.prepend_root p)
+
+let parent_key p =
+  match List.rev (N.atoms (N.prepend_root p)) with
+  | _ :: (_ :: _ as rev_parent) -> path_key (N.of_atoms (List.rev rev_parent))
+  | _ -> path_key (N.singleton N.root_atom)
+
+let spec_pass (spec : Ns.spec) =
+  let pass = "cluster-spec" in
+  let dirs = Hashtbl.create 16 in
+  Hashtbl.replace dirs (path_key (N.singleton N.root_atom)) ();
+  List.iter (fun d -> Hashtbl.replace dirs (path_key d) ()) spec.Ns.dirs;
+  let leaves = Hashtbl.create 16 in
+  List.iter (fun (k, _) -> Hashtbl.replace leaves k ()) spec.Ns.leaves;
+  let orphan what p =
+    diag ~code:"NG207" ~severity:Diagnostic.Warning ~pass ~name:p
+      (Printf.sprintf
+         "%s %s is orphaned: parent %s is not in the spec, so the binding \
+          is silently dropped on every replica and the mirror group can \
+          never satisfy §5 equivalence"
+         what (path_key p) (parent_key p))
+  in
+  List.concat
+    [
+      List.filter_map
+        (fun d ->
+          if Hashtbl.mem dirs (parent_key d) then None
+          else Some (orphan "directory" d))
+        spec.Ns.dirs;
+      List.filter_map
+        (fun (p, k) ->
+          if not (Hashtbl.mem dirs (parent_key p)) then
+            Some (orphan "link" p)
+          else if not (Hashtbl.mem leaves k) then
+            Some
+              (diag ~code:"NG207" ~severity:Diagnostic.Warning ~pass ~name:p
+                 (Printf.sprintf
+                    "link %s refers to unknown leaf key %S: the binding is \
+                     silently dropped on every replica"
+                    (path_key p) k))
+          else if Hashtbl.mem dirs (path_key p) then
+            Some
+              (diag ~code:"NG207" ~severity:Diagnostic.Warning ~pass ~name:p
+                 (Printf.sprintf
+                    "link %s shadows the mirror directory of the same path: \
+                     the replica group can never satisfy §5 equivalence"
+                    (path_key p)))
+          else None)
+        spec.Ns.links;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* cluster-races: NG201 (must-concurrent LWW losses), NG205 (ties).    *)
+
+let races_pass (st : Cs.t) =
+  let pass = "cluster-races" in
+  let ws = Array.of_list (Cs.writes st) in
+  let n = Array.length ws in
+  let ng201 = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = ws.(i) and b = ws.(j) in
+      if
+        a.Cs.applies = Cs.Must && b.Cs.applies = Cs.Must
+        && Cs.applied a && Cs.applied b
+        && Cs.key a = Cs.key b
+        && a.Cs.target <> b.Cs.target
+        && Cs.must_concurrent st a b
+      then
+        ng201 :=
+          diag ~code:"NG201" ~severity:Diagnostic.Error ~pass
+            ~name:(write_name b) ~loc:b.Cs.index
+            (Printf.sprintf
+               "%s and %s are provably concurrent updates of one name: \
+                neither op can reach the other's replica before both are \
+                accepted, so last-writer-wins silently discards one of \
+                them"
+               (write_str a) (write_str b))
+          :: !ng201
+    done
+  done;
+  (* One NG205 per site with a possible stamp tie: the pair's witness
+     intervals show the winner hangs on the origin-id tiebreak. *)
+  let sites = Hashtbl.create 16 in
+  Array.iter
+    (fun w ->
+      if Cs.applied w then
+        Hashtbl.replace sites (Cs.key w)
+          (w :: (try Hashtbl.find sites (Cs.key w) with Not_found -> [])))
+    ws;
+  let ng205 =
+    Hashtbl.fold (fun k ws acc -> (k, List.rev ws) :: acc) sites []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+    |> List.filter_map (fun ((path, atom), ws) ->
+           let rec first_tie = function
+             | a :: rest -> (
+                 match List.find_opt (Cs.stamps_may_tie a) rest with
+                 | Some b -> Some (a, b)
+                 | None -> first_tie rest)
+             | [] -> None
+           in
+           match first_tie ws with
+           | None -> None
+           | Some (a, b) ->
+               Some
+                 (diag ~code:"NG205" ~severity:Diagnostic.Warning ~pass
+                    ~name:(write_name a) ~loc:b.Cs.index
+                    (Printf.sprintf
+                       "site %s·%s: %s (stamp in [%d; %d]) and %s (stamp \
+                        in [%d; %d]) may tie on Lamport stamp, leaving \
+                        the LWW winner decided only by origin id"
+                       path atom (write_str a) (fst a.Cs.stamp)
+                       (snd a.Cs.stamp) (write_str b) (fst b.Cs.stamp)
+                       (snd b.Cs.stamp))))
+  in
+  List.rev !ng201 @ ng205
+
+(* ------------------------------------------------------------------ *)
+(* cluster-topology: NG202 (provable non-convergence), NG203           *)
+(* (staleness bound exceeded over a whole fault window).               *)
+
+let eps = 1e-6
+
+let topology_pass ~rounds (st : Cs.t) =
+  let pass = "cluster-topology" in
+  let cfg = st.Cs.config in
+  let must_writes =
+    List.filter (fun w -> w.Cs.applies = Cs.Must && Cs.applied w)
+      (Cs.writes st)
+  in
+  let ng202 = ref [] in
+  for d = 0 to cfg.Ch.replicas - 1 do
+    match
+      List.find_opt
+        (fun (w : Cs.write) ->
+          w.Cs.origin <> d
+          && Cs.earliest_at st ~origin:w.Cs.origin ~from_:(fst w.Cs.accept) d
+             = None)
+        must_writes
+    with
+    | Some w ->
+        ng202 :=
+          diag ~code:"NG202" ~severity:Diagnostic.Error ~pass
+            ~name:(write_name w) ~loc:w.Cs.index
+            (Printf.sprintf
+               "%s can never reach ns%d within the run: the anti-entropy \
+                pull graph is not strongly connected over the schedule, \
+                so the replicas provably fail to reconverge"
+               (write_str w) d)
+          :: !ng202
+    | None -> ()
+  done;
+  let stale_bound = float_of_int rounds *. cfg.Ch.ae_period in
+  let replicas = List.init cfg.Ch.replicas (fun i -> i) in
+  let windows =
+    (match (st.Cs.partition, st.Cs.sides) with
+    | Some w, Some (g1, _) ->
+        [ ("partition", w, fun o d -> List.mem o g1 <> List.mem d g1) ]
+    | _ -> [])
+    @
+    match st.Cs.crash with
+    | Some (v, s, e) -> [ ("crash", (s, e), fun o d -> o = v <> (d = v)) ]
+    | None -> []
+  in
+  let ng203 =
+    List.filter_map
+      (fun (label, (s, e), isolates) ->
+        if e > st.Cs.duration -. eps || e -. s < stale_bound -. eps then None
+        else
+          let witness =
+            List.find_map
+              (fun d ->
+                List.find_map
+                  (fun (w : Cs.write) ->
+                    if not (isolates w.Cs.origin d) then None
+                    else
+                      let arr =
+                        Cs.earliest_at st ~origin:w.Cs.origin
+                          ~from_:(fst w.Cs.accept) d
+                      in
+                      let blocked tau =
+                        match arr with
+                        | None -> true
+                        | Some a -> a > tau +. eps
+                      in
+                      (* the latest sample inside the window that the
+                         op provably cannot have reached [d] by *)
+                      let best = ref None in
+                      Array.iteri
+                        (fun k tau ->
+                          if
+                            tau > snd w.Cs.accept +. eps
+                            && tau > s && tau < e -. eps
+                            && blocked tau
+                          then best := Some (k, tau))
+                        st.Cs.samples;
+                      Option.map (fun (k, tau) -> (d, w, k, tau)) !best)
+                  must_writes)
+              replicas
+          in
+          Option.map
+            (fun (d, w, k, tau) ->
+              diag ~code:"NG203" ~severity:Diagnostic.Error ~pass
+                ~name:(write_name w) ~loc:k
+                (Printf.sprintf
+                   "ns%d is provably stale beyond the staleness bound (%d \
+                    anti-entropy rounds) for the whole %s window %s: %s \
+                    cannot reach it before sample #%d at t=%.1f"
+                   d rounds label
+                   (window_str (s, e))
+                   (write_str w) k tau))
+            witness)
+      windows
+  in
+  List.rev !ng202 @ ng203
+
+(* ------------------------------------------------------------------ *)
+(* cluster-durability: NG204 (crash-window holes), NG206 (dedup).      *)
+
+let durability_pass (st : Cs.t) =
+  let pass = "cluster-durability" in
+  let cfg = st.Cs.config in
+  let ng204 =
+    List.filter_map
+      (fun (w : Cs.write) ->
+        if not w.Cs.lost_in_crash then None
+        else
+          match st.Cs.crash with
+          | None -> None
+          | Some (v, s, e) ->
+              Some
+                (diag ~code:"NG204" ~severity:Diagnostic.Error ~pass
+                   ~name:(write_name w) ~loc:w.Cs.index
+                   (Printf.sprintf
+                      "%s is a durability hole: every retransmission lands \
+                       inside ns%d's crash window %s, no surviving replica \
+                       ever holds the update and the client's retry budget \
+                       provably exhausts"
+                      (write_str w) v
+                      (window_str (s, e)))))
+      (Cs.writes st)
+  in
+  let ng206 =
+    match cfg.Ch.dedup_window with
+    | Some window when cfg.Ch.call_attempts > 1 || cfg.Ch.duplicate > 0.0 ->
+        let last_send_hi =
+          snd st.Cs.sends.(Array.length st.Cs.sends - 1) +. snd st.Cs.lat
+        in
+        let per_client = Hashtbl.create 8 in
+        List.iter
+          (fun (w : Cs.write) ->
+            Hashtbl.replace per_client w.Cs.origin
+              (w
+              ::
+              (try Hashtbl.find per_client w.Cs.origin with Not_found -> [])))
+          (Cs.writes st);
+        Hashtbl.fold (fun c ws acc -> (c, List.rev ws) :: acc) per_client []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.filter_map (fun (c, ws) ->
+               List.find_map
+                 (fun (w : Cs.write) ->
+                   let overlapping =
+                     List.length
+                       (List.filter
+                          (fun (o : Cs.write) ->
+                            o.Cs.index <> w.Cs.index
+                            && o.Cs.time > w.Cs.time
+                            && o.Cs.time <= w.Cs.time +. last_send_hi)
+                          ws)
+                   in
+                   if overlapping >= window then
+                     Some
+                       (diag ~code:"NG206" ~severity:Diagnostic.Warning ~pass
+                          ~name:(write_name w) ~loc:w.Cs.index
+                          (Printf.sprintf
+                             "dedup window %d is smaller than client c%d's \
+                              overlapping retry traffic: %d later calls can \
+                              evict %s from the dedup memory while its \
+                              duplicates are still in flight, so the write \
+                              may be applied twice"
+                             window c overlapping (write_str w)))
+                   else None)
+                 ws)
+    | _ -> []
+  in
+  ng204 @ ng206
+
+(* ------------------------------------------------------------------ *)
+(* cluster-verdict: NG208 — undecided within the round budget.         *)
+
+let verdict_pass ~rounds ~errors (st : Cs.t) =
+  let pass = "cluster-verdict" in
+  let cfg = st.Cs.config in
+  let ws = Cs.writes st in
+  let may = List.filter (fun w -> w.Cs.applies = Cs.May) ws in
+  if may <> [] then
+    [
+      diag ~code:"NG208" ~severity:Diagnostic.Info ~pass
+        (Printf.sprintf
+           "%d of %d writes may or may not be applied (loss p=%.2f over \
+            the client path): the convergence verdict is undecided within \
+            the round budget (%d)"
+           (List.length may) (List.length ws) cfg.Ch.drop rounds);
+    ]
+  else if
+    (not errors) && Cs.divergence_possible st
+    && not (Cs.reconverge_provable ~rounds st)
+  then
+    [
+      diag ~code:"NG208" ~severity:Diagnostic.Info ~pass
+        (Printf.sprintf
+           "replicas may diverge (faults overlap the workload) and \
+            reconvergence of %d replicas over randomly chosen peers is \
+            not provable within the round budget (%d)"
+           cfg.Ch.replicas rounds);
+    ]
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Assembly.                                                           *)
+
+let pass_ids =
+  [
+    "cluster-spec";
+    "cluster-races";
+    "cluster-topology";
+    "cluster-durability";
+    "cluster-verdict";
+  ]
+
+let diagnostics ?(rounds = 2) subject =
+  let st = Cs.of_chaos ~workload:subject.workload subject.config subject.spec in
+  let spec_diags = spec_pass subject.spec in
+  let races = races_pass st in
+  let topo = topology_pass ~rounds st in
+  let dura = durability_pass st in
+  let errors =
+    List.exists
+      (fun d -> d.Diagnostic.severity = Diagnostic.Error)
+      (races @ topo @ dura)
+  in
+  let verdict = verdict_pass ~rounds ~errors st in
+  (st, spec_diags @ races @ topo @ dura @ verdict)
+
+let report ?min_severity ?rounds ~label subject =
+  let st, diags = diagnostics ?rounds subject in
+  let report =
+    Engine.assemble ?min_severity ~label
+      ~activities:subject.config.Ch.replicas
+      ~objects:(List.length subject.spec.Ns.leaves)
+      ~context_objects:(List.length subject.spec.Ns.dirs)
+      ~probes:(List.length (Cs.writes st))
+      ~passes_run:pass_ids diags
+  in
+  (st, report)
+
+let report_many ?min_severity ?rounds ?jobs subjects =
+  match Naming.Pool.get ?jobs () with
+  | None ->
+      List.map
+        (fun (label, s) -> report ?min_severity ?rounds ~label s)
+        subjects
+  | Some pool ->
+      Naming.Pool.map pool
+        (fun (label, s) -> report ?min_severity ?rounds ~label s)
+        subjects

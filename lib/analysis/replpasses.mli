@@ -1,0 +1,77 @@
+(** From cluster-schedule verdicts to diagnostics: the NG2xx series.
+
+    The replication coherence analyzer: consumes a cluster spec, a
+    fault schedule and a replicated write workload (a {!subject}) and
+    maps the {!Clusterstate} verdicts onto diagnostics, through the
+    same {!Diagnostic}/{!Engine} machinery as the world and flow
+    passes:
+
+    - [NG201] (error): an LWW lost-update race — two provably
+      concurrent writes to one name, one silently overwritten;
+    - [NG202] (error): a write that can never reach some replica — the
+      anti-entropy pull graph is not strongly connected over the run;
+    - [NG203] (error): a replica provably stale beyond the staleness
+      bound for a whole partition or crash window, with the witness
+      sample index in [loc];
+    - [NG204] (error): a durability hole — every retransmission of a
+      write lands inside its home replica's crash window;
+    - [NG205] (warning): a possible Lamport-stamp tie, the LWW winner
+      decided only by origin id;
+    - [NG206] (warning): the dedup window is smaller than the
+      overlapping retry traffic, so exactly-once can break;
+    - [NG207] (warning): a replica group that can never satisfy the
+      paper's §5 equivalence (orphaned or dangling spec entry);
+    - [NG208] (info): the replication verdict is undecided within the
+      round budget.
+
+    Every error-severity diagnostic rests on Must/Never facts of the
+    abstract interpretation, so it is reproducible by a chaos replay of
+    the same schedule: NG201 implies [lww_losses > 0] or a
+    non-converged replay, NG202 a non-converged replay, NG203 a
+    non-converged sample at the witness index, NG204 [writes_lost > 0].
+    The test suite checks this over seeded schedules. *)
+
+type subject = {
+  config : Dsim.Chaos.config;
+  spec : Dsim.Nameserver.spec;
+  workload : (float * int * Dsim.Nameserver.request) list;
+}
+
+val subject :
+  ?workload:(float * int * Dsim.Nameserver.request) list ->
+  Dsim.Chaos.config ->
+  Dsim.Nameserver.spec ->
+  subject
+(** [workload] defaults to {!Dsim.Chaos.planned_writes} — exactly what
+    a chaos run of this config and spec would issue. *)
+
+val pass_ids : string list
+(** The pass names of the family, in execution order. *)
+
+val diagnostics :
+  ?rounds:int -> subject -> Clusterstate.t * Diagnostic.t list
+(** Runs all passes; [rounds] (default 2) is the round budget: the
+    staleness bound of NG203 in anti-entropy periods, and the number of
+    post-heal rounds within which convergence must be provable before
+    NG208 reports an undecided verdict. *)
+
+val report :
+  ?min_severity:Diagnostic.severity ->
+  ?rounds:int ->
+  label:string ->
+  subject ->
+  Clusterstate.t * Engine.report
+(** {!diagnostics} assembled into an {!Engine.report}: activities are
+    the replicas, objects the spec leaves, context objects the spec
+    dirs, probes the workload writes. *)
+
+val report_many :
+  ?min_severity:Diagnostic.severity ->
+  ?rounds:int ->
+  ?jobs:int ->
+  (string * subject) list ->
+  (Clusterstate.t * Engine.report) list
+(** [report] over several labelled subjects, results in input order.
+    Subjects are independent pure values, so with [jobs > 1] they fan
+    out one task per subject on the shared domain pool; results are
+    structurally identical to the sequential ones. *)

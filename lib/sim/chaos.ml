@@ -19,6 +19,7 @@ type config = {
   ae_attempts : int;
   sample_every : float;
   duration : float;
+  dedup_window : int option;
 }
 
 let default =
@@ -40,7 +41,51 @@ let default =
     ae_attempts = 3;
     sample_every = 2.0;
     duration = 80.0;
+    dedup_window = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule introspection: pure functions of the config (and spec) that
+   mirror exactly what [run] below will do, so analyzers can reason
+   about a schedule without executing it. Any change to [run]'s fault
+   layout, rng derivation or sampling grid must be reflected here. *)
+
+let partition_sides cfg =
+  if cfg.partition_for > 0.0 && cfg.replicas >= 2 then
+    let half = max 1 (cfg.replicas / 2) in
+    Some
+      ( List.init half (fun i -> i),
+        List.init (cfg.replicas - half) (fun i -> half + i) )
+  else None
+
+let crash_victim cfg =
+  if cfg.crash_for > 0.0 then Some (cfg.replicas - 1) else None
+
+let heal_time cfg =
+  let h = ref 0.0 in
+  if partition_sides cfg <> None then
+    h := Float.max !h (cfg.partition_at +. cfg.partition_for);
+  if crash_victim cfg <> None then
+    h := Float.max !h (cfg.crash_at +. cfg.crash_for);
+  !h
+
+let sample_times cfg =
+  let rec go k acc =
+    let t = float_of_int k *. cfg.sample_every in
+    if t <= cfg.duration then go (k + 1) (t :: acc) else List.rev acc
+  in
+  go 1 []
+
+let ae_first_tick cfg i =
+  cfg.ae_period *. (1.0 +. (float_of_int i /. float_of_int cfg.replicas))
+
+(* The rng stream the write plan is drawn from: [run] creates the root
+   generator and splits network, cluster, then writes — in that order. *)
+let write_rng_of_seed seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let _net_rng = Rng.split rng in
+  let _cluster_rng = Rng.split rng in
+  Rng.split rng
 
 type sample = { time : float; report : Co.report; converged : bool }
 
@@ -117,7 +162,9 @@ let plan_writes cfg (spec : Nameserver.spec) wrng =
         ignore k;
         (time, client, Nameserver.Write { path; atom; target }))
 
-let run ?jobs ~config:cfg ~spec ~probes () =
+let planned_writes cfg spec = plan_writes cfg spec (write_rng_of_seed cfg.seed)
+
+let run ?jobs ?writes ~config:cfg ~spec ~probes () =
   let engine = Engine.create () in
   let rng = Rng.create (Int64.of_int cfg.seed) in
   let net_rng = Rng.split rng in
@@ -132,7 +179,8 @@ let run ?jobs ~config:cfg ~spec ~probes () =
   in
   let network = Network.create ~config:net_config ~engine ~rng:net_rng () in
   let cluster =
-    Nameserver.create ~network ~rng:cluster_rng ~replicas:cfg.replicas spec
+    Nameserver.create ~network ~rng:cluster_rng ~replicas:cfg.replicas
+      ?dedup_window:cfg.dedup_window spec
   in
   (* One client per replica, on its own machine, partitioned together
      with its home replica. *)
@@ -193,7 +241,9 @@ let run ?jobs ~config:cfg ~spec ~probes () =
                  | Ok (Nameserver.Nack _) -> incr writes_nacked
                  | Ok (Nameserver.Resolved _ | Nameserver.Ops _) -> ()
                  | Error `Timeout -> incr writes_lost))))
-    (plan_writes cfg spec write_rng);
+    (match writes with
+    | Some w -> w
+    | None -> plan_writes cfg spec write_rng);
   (* Coherence sampling. *)
   let samples = ref [] in
   let rec schedule_sample k =

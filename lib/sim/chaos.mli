@@ -29,6 +29,9 @@ type config = {
   ae_attempts : int;
   sample_every : float;  (** coherence sampling period *)
   duration : float;  (** total simulated time *)
+  dedup_window : int option;
+      (** per-caller dedup memory bound at each replica (see
+          {!Rpc.create}); [None] = unbounded *)
 }
 
 val default : config
@@ -66,6 +69,7 @@ type result = {
 
 val run :
   ?jobs:int ->
+  ?writes:(float * int * Nameserver.request) list ->
   config:config ->
   spec:Nameserver.spec ->
   probes:Naming.Name.t list ->
@@ -73,7 +77,45 @@ val run :
   result
 (** Runs one chaos schedule against a cluster built from [spec],
     sampling coherence over [probes]. [jobs] fans each coherence sample
-    over the {!Naming.Pool} (identical results at any job count). *)
+    over the {!Naming.Pool} (identical results at any job count).
+    [writes] overrides the workload — [(time, client, request)] triples,
+    default {!planned_writes} — so a crafted workload can be replayed
+    exactly; the network, cluster and fault schedules are unchanged. *)
+
+(** {1 Schedule introspection}
+
+    Pure functions of the config (and spec) that mirror exactly what
+    {!run} will do, so static analyzers can reason about a schedule
+    without executing it. *)
+
+val planned_writes :
+  config -> Nameserver.spec -> (float * int * Nameserver.request) list
+(** The exact write workload {!run} would issue for this config and
+    spec: [(time, client, request)] triples drawn from the seed's write
+    stream. Empty when the spec has no links or no leaves. *)
+
+val partition_sides : config -> (int list * int list) option
+(** The two replica-id groups the partition window separates (clients
+    are partitioned with their home replica), or [None] when the config
+    schedules no partition. *)
+
+val crash_victim : config -> int option
+(** The replica whose node crashes over [\[crash_at; crash_at +
+    crash_for)], or [None] when no crash is scheduled. *)
+
+val heal_time : config -> float
+(** When the last scheduled fault heals ([0.] for a fault-free
+    schedule) — the [heal_at] the run will report, even when it lies
+    beyond [duration] (a fault that never heals in-run). *)
+
+val sample_times : config -> float list
+(** The coherence sampling instants, in order: [k * sample_every] for
+    [k >= 1] while within [duration]. *)
+
+val ae_first_tick : config -> int -> float
+(** When replica [i]'s first anti-entropy pull fires (subsequent ticks
+    follow every [ae_period]); mirrors the stagger in
+    {!Nameserver.start_anti_entropy}. *)
 
 val to_json : scheme:string -> result -> string
 (** A self-contained JSON document; byte-identical across runs of the

@@ -222,7 +222,7 @@ let handle t r req =
       in
       Ops sorted
 
-let create ~network ~rng ~replicas:n (spec : spec) =
+let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
   if n < 2 then invalid_arg "Nameserver.create: need at least 2 replicas";
   let store = S.create () in
   let leaves = Hashtbl.create 32 in
@@ -332,7 +332,7 @@ let create ~network ~rng ~replicas:n (spec : spec) =
         Some
           (Rpc.create network ~node:r.node ~port
              ~handler:(fun req -> Some (handle t r req))
-             ~dedup:true ()))
+             ~dedup:true ?dedup_window ()))
     members;
   t
 

@@ -80,11 +80,14 @@ val create :
   network:(request, response) Rpc.message Network.t ->
   rng:Rng.t ->
   replicas:int ->
+  ?dedup_window:int ->
   spec ->
   t
 (** Builds the shared world and [replicas] server endpoints, one per
     fresh network node (port {!port}), each with request deduplication
     on. [rng] seeds the replicas' independent anti-entropy streams.
+    [dedup_window] bounds each replica's per-caller dedup memory (see
+    {!Rpc.create}); default unbounded.
     @raise Invalid_argument when [replicas < 2]. *)
 
 val port : int

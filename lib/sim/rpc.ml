@@ -21,7 +21,10 @@ type stats = {
 
 (* Dedup memory: one answered-request table per caller address, keyed by
    the caller's request id. Ids are never reused by an endpoint, so an
-   entry stays valid for the whole run. *)
+   entry stays valid for the whole run — unless a [dedup_window] bounds
+   the per-caller memory, in which case the oldest entries are evicted
+   FIFO and a late duplicate of an evicted request is re-offered to the
+   handler (the exactly-once guarantee degrades to at-least-once). *)
 module Caller_tbl = Hashtbl.Make (struct
   type t = Network.address
 
@@ -37,7 +40,9 @@ type ('req, 'resp) endpoint = {
   address : Network.address;
   mutable handler : ('req -> 'resp option) option;
   dedup : bool;
+  dedup_window : int option;
   answered : (int, 'resp) Hashtbl.t Caller_tbl.t;
+  answered_order : int Queue.t Caller_tbl.t;
   pending_calls : (int, ('req, 'resp) pending_call) Hashtbl.t;
   mutable next_id : int;
   mutable calls : int;
@@ -86,6 +91,23 @@ let receive t envelope =
                           Caller_tbl.replace t.answered src tbl;
                           tbl
                     in
+                    (match t.dedup_window with
+                    | Some window when not (Hashtbl.mem per_caller id) ->
+                        let order =
+                          match Caller_tbl.find_opt t.answered_order src with
+                          | Some q -> q
+                          | None ->
+                              let q = Queue.create () in
+                              Caller_tbl.replace t.answered_order src q;
+                              q
+                        in
+                        while Hashtbl.length per_caller >= max 1 window do
+                          match Queue.take_opt order with
+                          | Some old -> Hashtbl.remove per_caller old
+                          | None -> Hashtbl.reset per_caller
+                        done;
+                        Queue.push id order
+                    | _ -> ());
                     Hashtbl.replace per_caller id response
                   end;
                   respond t ~to_:src ~id response)))
@@ -98,14 +120,16 @@ let receive t envelope =
           t.replies <- t.replies + 1;
           call.on_reply (Ok payload))
 
-let create network ~node ~port ?handler ?(dedup = false) () =
+let create network ~node ~port ?handler ?(dedup = false) ?dedup_window () =
   let t =
     {
       network;
       address = { Network.node; port };
       handler;
       dedup;
+      dedup_window;
       answered = Caller_tbl.create 4;
+      answered_order = Caller_tbl.create 4;
       pending_calls = Hashtbl.create 16;
       next_id = 0;
       calls = 0;
@@ -186,6 +210,27 @@ let call_retry t ~to_ ~timeout ?(backoff = 2.0) ?max_timeout ?(jitter = 0.1)
   arm call 0
 
 let pending t = Hashtbl.length t.pending_calls
+
+(* Static bounds on the retry schedule of [call_retry], for analyzers
+   that reason about the protocol without running it. Must mirror the
+   [arm] arithmetic above: attempt [k] waits [timeout * backoff^k]
+   (capped at [max_timeout]) plus jitter in [0; jitter * wait). *)
+let retry_schedule ~timeout ?(backoff = 2.0) ?max_timeout ?(jitter = 0.1)
+    ~attempts () =
+  if attempts < 1 then invalid_arg "Rpc.retry_schedule: attempts < 1";
+  let wait k =
+    let w = timeout *. (backoff ** float_of_int k) in
+    match max_timeout with Some m -> Float.min w m | None -> w
+  in
+  let sends = Array.make attempts (0.0, 0.0) in
+  let lo = ref 0.0 and hi = ref 0.0 in
+  for k = 0 to attempts - 1 do
+    sends.(k) <- (!lo, !hi);
+    let w = wait k in
+    lo := !lo +. w;
+    hi := !hi +. (w *. (1.0 +. jitter))
+  done;
+  (sends, (!lo, !hi))
 
 let stats t =
   {

@@ -20,6 +20,7 @@ val create :
   port:int ->
   ?handler:('req -> 'resp option) ->
   ?dedup:bool ->
+  ?dedup_window:int ->
   unit ->
   ('req, 'resp) endpoint
 (** Binds an endpoint. [handler] serves incoming requests (return [None]
@@ -34,7 +35,14 @@ val create :
     {e without} invoking the handler again. This is what makes
     non-idempotent requests (binds, unbinds) safe to retry. Declined
     requests ([handler _ = None]) are not remembered, so a retry of a
-    declined request is offered to the handler again. *)
+    declined request is offered to the handler again.
+
+    [dedup_window] (default unbounded) caps the per-caller dedup memory:
+    once a caller has more than [dedup_window] remembered answers, the
+    oldest entries are evicted first-in first-out. A late duplicate of
+    an evicted request is offered to the handler {e again} — exactly-once
+    degrades to at-least-once, which is precisely the failure mode the
+    NG206 analyzer diagnostic warns about. *)
 
 val address : ('req, 'resp) endpoint -> Network.address
 val set_handler : ('req, 'resp) endpoint -> ('req -> 'resp option) -> unit
@@ -82,6 +90,24 @@ val pending : ('req, 'resp) endpoint -> int
 (** Calls still awaiting a reply or timeout. Retries do not create new
     pending entries: one logical call is one entry until it is answered
     or exhausted. *)
+
+val retry_schedule :
+  timeout:float ->
+  ?backoff:float ->
+  ?max_timeout:float ->
+  ?jitter:float ->
+  attempts:int ->
+  unit ->
+  (float * float) array * (float * float)
+(** Static bounds on {!call_retry}'s retransmission schedule, for
+    analyzers that reason about the protocol without executing it.
+    Returns [(sends, exhaust)]: [sends.(k)] bounds the send time of
+    attempt [k] relative to the call (attempt 0 at time 0), and
+    [exhaust] bounds the instant the retry budget runs out. Bounds are
+    exact for the implementation above: attempt [k] waits
+    [timeout * backoff^k] (capped at [max_timeout]) plus a jitter in
+    [0; jitter * wait). Defaults match {!call_retry}.
+    @raise Invalid_argument when [attempts < 1]. *)
 
 type stats = {
   calls : int;  (** logical calls ({!call} / {!call_retry} invocations) *)

@@ -1,0 +1,223 @@
+(* A deliberately broken cluster deployment for the replication
+   coherence analyzer: a hand-picked spec, fault schedule and write
+   workload that together trip every NG2xx diagnostic — statically,
+   without executing the simulator.
+
+   The schedule: 4 replicas split {ns0,ns1} | {ns2,ns3} by a partition
+   at t=10 that never heals within the 80s run, plus a crash of ns3
+   (the victim) over [40; 60). Clients retry twice (timeout 2.0), so a
+   write's attempts send at offsets [0;0] and [2; 2.2] and the retry
+   budget exhausts by +6.6. The workload:
+
+   - #0 t=2.0  ns0 /a/x→k1 : with dedup_window=1, write #1 lands
+     within #0's retry horizon and can evict it          -> NG206
+   - #1 t=3.0  ns0 /a/x→k2 : the evicting call (same origin, so no
+     race diagnostics at this site)
+   - #2 t=12.0 ns0 /a/y→k1 : accepted after the partition cuts, can
+     never reach side B                                  -> NG202 (ns2, ns3)
+   - #3 t=20.0 ns0 /a/race→k1 and
+   - #4 t=22.0 ns2 /a/race→k2 : provably concurrent (the partition
+     never heals) LWW updates of one name                -> NG201
+     with overlapping stamp intervals                    -> NG205
+     #4 is also side B's first post-partition write      -> NG202 (ns0, ns1)
+   - #5 t=39.5 ns3 /a/maybe→k1 : first attempt straddles the crash
+     boundary, the retry is swallowed — may or may not
+     apply                                               -> NG208
+   - #6 t=45.0 ns2 /a/stale→k2 : accepted during ns3's crash, cannot
+     reach ns3 before the window ends at 60              -> NG203
+   - #7 t=45.0 ns3 /a/hole→k1 : every attempt lands inside the home
+     replica's own crash window                          -> NG204
+
+   The spec adds an orphaned directory (/ghost/sub without /ghost) and
+   a link to an unknown leaf key                         -> NG207 ×2 *)
+
+module Ns = Dsim.Nameserver
+module Ch = Dsim.Chaos
+module N = Naming.Name
+
+let config =
+  {
+    Ch.default with
+    Ch.seed = 7;
+    replicas = 4;
+    drop = 0.0;
+    duplicate = 0.0;
+    partition_at = 10.0;
+    partition_for = 1000.0;
+    crash_at = 40.0;
+    crash_for = 20.0;
+    call_timeout = 2.0;
+    call_attempts = 2;
+    dedup_window = Some 1;
+  }
+
+let spec =
+  {
+    Ns.dirs = [ N.of_string "/a"; N.of_string "/ghost/sub" ];
+    leaves = [ ("k1", "one"); ("k2", "two") ];
+    links = [ (N.of_string "/a/x", "k1"); (N.of_string "/a/dead", "kmissing") ];
+  }
+
+let w time client atom target =
+  (time, client, Ns.Write { path = N.of_string "/a"; atom = N.atom atom; target })
+
+let workload =
+  [
+    w 2.0 0 "x" (Some "k1");
+    w 3.0 0 "x" (Some "k2");
+    w 12.0 0 "y" (Some "k1");
+    w 20.0 0 "race" (Some "k1");
+    w 22.0 2 "race" (Some "k2");
+    w 39.5 3 "maybe" (Some "k1");
+    w 45.0 2 "stale" (Some "k2");
+    w 45.0 3 "hole" (Some "k1");
+  ]
+
+let subject = Analysis.Replpasses.subject ~workload config spec
+
+let report () =
+  Analysis.Replpasses.report ~label:"broken-cluster" subject
+
+(* Every code the fixture is expected to trip, in report order
+   (severity descending, then code, then message). *)
+let expected_codes =
+  [
+    "NG201";
+    "NG202"; "NG202"; "NG202"; "NG202";
+    "NG203";
+    "NG204";
+    "NG205";
+    "NG206";
+    "NG207"; "NG207";
+    "NG208";
+  ]
+
+(* The full pretty-JSON report, kept as a golden string: the abstract
+   interpretation's time/stamp bounds are deterministic, so any drift
+   in the acceptance analysis, the propagation relation or the
+   diagnostic text shows up here. *)
+let expected_json = {golden|{
+  "label": "broken-cluster",
+  "activities": 4,
+  "objects": 2,
+  "context_objects": 2,
+  "probes": 8,
+  "passes": [
+    "cluster-spec",
+    "cluster-races",
+    "cluster-topology",
+    "cluster-durability",
+    "cluster-verdict"
+  ],
+  "counts": {
+    "error": 7,
+    "warning": 4,
+    "info": 1
+  },
+  "diagnostics": [
+    {
+      "code": "NG201",
+      "severity": "error",
+      "pass": "cluster-races",
+      "message": "write #3 (ns0 t=20.0 /a/race→k1) and write #4 (ns2 t=22.0 /a/race→k2) are provably concurrent updates of one name: neither op can reach the other's replica before both are accepted, so last-writer-wins silently discards one of them",
+      "entities": [],
+      "step": 4,
+      "name": "/a/race"
+    },
+    {
+      "code": "NG202",
+      "severity": "error",
+      "pass": "cluster-topology",
+      "message": "write #2 (ns0 t=12.0 /a/y→k1) can never reach ns2 within the run: the anti-entropy pull graph is not strongly connected over the schedule, so the replicas provably fail to reconverge",
+      "entities": [],
+      "step": 2,
+      "name": "/a/y"
+    },
+    {
+      "code": "NG202",
+      "severity": "error",
+      "pass": "cluster-topology",
+      "message": "write #2 (ns0 t=12.0 /a/y→k1) can never reach ns3 within the run: the anti-entropy pull graph is not strongly connected over the schedule, so the replicas provably fail to reconverge",
+      "entities": [],
+      "step": 2,
+      "name": "/a/y"
+    },
+    {
+      "code": "NG202",
+      "severity": "error",
+      "pass": "cluster-topology",
+      "message": "write #4 (ns2 t=22.0 /a/race→k2) can never reach ns0 within the run: the anti-entropy pull graph is not strongly connected over the schedule, so the replicas provably fail to reconverge",
+      "entities": [],
+      "step": 4,
+      "name": "/a/race"
+    },
+    {
+      "code": "NG202",
+      "severity": "error",
+      "pass": "cluster-topology",
+      "message": "write #4 (ns2 t=22.0 /a/race→k2) can never reach ns1 within the run: the anti-entropy pull graph is not strongly connected over the schedule, so the replicas provably fail to reconverge",
+      "entities": [],
+      "step": 4,
+      "name": "/a/race"
+    },
+    {
+      "code": "NG203",
+      "severity": "error",
+      "pass": "cluster-topology",
+      "message": "ns3 is provably stale beyond the staleness bound (2 anti-entropy rounds) for the whole crash window [40.0; 60.0): write #2 (ns0 t=12.0 /a/y→k1) cannot reach it before sample #28 at t=58.0",
+      "entities": [],
+      "step": 28,
+      "name": "/a/y"
+    },
+    {
+      "code": "NG204",
+      "severity": "error",
+      "pass": "cluster-durability",
+      "message": "write #7 (ns3 t=45.0 /a/hole→k1) is a durability hole: every retransmission lands inside ns3's crash window [40.0; 60.0), no surviving replica ever holds the update and the client's retry budget provably exhausts",
+      "entities": [],
+      "step": 7,
+      "name": "/a/hole"
+    },
+    {
+      "code": "NG205",
+      "severity": "warning",
+      "pass": "cluster-races",
+      "message": "site /a·race: write #3 (ns0 t=20.0 /a/race→k1) (stamp in [4; 4]) and write #4 (ns2 t=22.0 /a/race→k2) (stamp in [1; 5]) may tie on Lamport stamp, leaving the LWW winner decided only by origin id",
+      "entities": [],
+      "step": 4,
+      "name": "/a/race"
+    },
+    {
+      "code": "NG206",
+      "severity": "warning",
+      "pass": "cluster-durability",
+      "message": "dedup window 1 is smaller than client c0's overlapping retry traffic: 1 later calls can evict write #0 (ns0 t=2.0 /a/x→k1) from the dedup memory while its duplicates are still in flight, so the write may be applied twice",
+      "entities": [],
+      "step": 0,
+      "name": "/a/x"
+    },
+    {
+      "code": "NG207",
+      "severity": "warning",
+      "pass": "cluster-spec",
+      "message": "directory /ghost/sub is orphaned: parent /ghost is not in the spec, so the binding is silently dropped on every replica and the mirror group can never satisfy §5 equivalence",
+      "entities": [],
+      "name": "/ghost/sub"
+    },
+    {
+      "code": "NG207",
+      "severity": "warning",
+      "pass": "cluster-spec",
+      "message": "link /a/dead refers to unknown leaf key \"kmissing\": the binding is silently dropped on every replica",
+      "entities": [],
+      "name": "/a/dead"
+    },
+    {
+      "code": "NG208",
+      "severity": "info",
+      "pass": "cluster-verdict",
+      "message": "1 of 8 writes may or may not be applied (loss p=0.00 over the client path): the convergence verdict is undecided within the round budget (2)",
+      "entities": []
+    }
+  ]
+}|golden}

@@ -88,12 +88,13 @@ let test_codes_in_catalogue () =
             true
             (sev = d.A.Diagnostic.severity))
     r.A.Engine.diagnostics;
-  (* ... and the two fixtures together trip every catalogued code: the
-     broken world covers the NG0xx world passes, the broken script the
-     NG1xx flow passes. *)
+  (* ... and the three fixtures together trip every catalogued code:
+     the broken world covers the NG0xx world passes, the broken script
+     the NG1xx flow passes, the broken cluster the NG2xx replication
+     passes. *)
   let tripped =
     List.map (fun d -> d.A.Diagnostic.code) r.A.Engine.diagnostics
-    @ Broken_script.expected_codes
+    @ Broken_script.expected_codes @ Broken_cluster.expected_codes
   in
   List.iter
     (fun (c, _, _) ->

@@ -46,5 +46,6 @@ let () =
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("flow", Test_flow.suite);
+      ("cluster", Test_cluster.suite);
       ("pool", Test_pool.suite);
     ]
