@@ -14,6 +14,10 @@
      bench/main.exe cluster    — b16: static replication coherence
                                  analysis (check-cluster) across replica
                                  counts at one and four domains
+     bench/main.exe explore    — b19: bounded schedule-space exploration
+                                 (explore) at one and four domains, plus
+                                 an instrumented workload run reporting
+                                 states/second
 
    Flags (anywhere on the command line):
      --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
@@ -431,6 +435,57 @@ let cluster_tests =
     indexed ~name:"b16b: check-cluster by replicas, jobs 4" ~jobs:4;
   ]
 
+(* The b19 series: the adversarial schedule explorer — one bounded
+   model-checking sweep (enumeration, abstract interpretation, witness
+   minimization and confirming replays) per iteration, at one and four
+   domains. The bounds are trimmed so an iteration stays in benchmark
+   range while still synthesizing witnesses. Shares the `explore`
+   positional selector with BENCH_<date>_b19.json. *)
+let explore_config =
+  {
+    Analysis.Explore.default with
+    Analysis.Explore.base =
+      { Analysis.Explore.default.Analysis.Explore.base with
+        Dsim.Chaos.duration = 48.0 };
+    depth = 2;
+    max_writes = 2;
+    budget = 384;
+  }
+
+let explore_tests =
+  let open Bechamel in
+  let run ~jobs () =
+    ignore
+      (Analysis.Explore.run ~jobs ~config:explore_config Fixtures.chaos_spec)
+  in
+  [
+    Test.make ~name:"b19a: explore sweep, jobs 1" (Staged.stage (run ~jobs:1));
+    Test.make ~name:"b19b: explore sweep, jobs 4" (Staged.stage (run ~jobs:4));
+  ]
+
+let explore_workload : (Analysis.Explore.stats * float) option ref = ref None
+
+let report_explore_workload () =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Analysis.Explore.run ~jobs ~config:explore_config
+      Fixtures.chaos_spec in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let s = outcome.Analysis.Explore.stats in
+  explore_workload := Some (s, seconds);
+  Printf.printf
+    "\nb19 workload (depth %d, max_writes %d, budget %d, jobs %d): \
+     enumerated=%d interpreted=%d pruned_por=%d pruned_symmetry=%d \
+     replays=%d exhausted=%b witnesses=%d in %.3fs (%.0f states/s)\n"
+    explore_config.Analysis.Explore.depth
+    explore_config.Analysis.Explore.max_writes
+    explore_config.Analysis.Explore.budget jobs s.Analysis.Explore.enumerated
+    s.Analysis.Explore.interpreted s.Analysis.Explore.pruned_por
+    s.Analysis.Explore.pruned_symmetry s.Analysis.Explore.replays
+    s.Analysis.Explore.exhausted
+    (List.length outcome.Analysis.Explore.witnesses)
+    seconds
+    (float_of_int s.Analysis.Explore.interpreted /. Float.max 1e-9 seconds)
+
 let experiment_tests =
   let open Bechamel in
   [
@@ -660,6 +715,18 @@ let write_json () =
         ops s.Naming.Cache.hits s.Naming.Cache.misses
         s.Naming.Cache.invalidations s.Naming.Cache.evictions
         (float_of_int s.Naming.Cache.hits /. float_of_int total));
+  (match !explore_workload with
+  | None -> ()
+  | Some (s, seconds) ->
+      out
+        "  \"explore_workload\": {\"candidates\": %d, \"interpreted\": %d, \
+         \"pruned_por\": %d, \"pruned_symmetry\": %d, \"replays\": %d, \
+         \"exhausted\": %b, \"seconds\": %.3f, \"states_per_sec\": %.0f},\n"
+        s.Analysis.Explore.enumerated s.Analysis.Explore.interpreted
+        s.Analysis.Explore.pruned_por s.Analysis.Explore.pruned_symmetry
+        s.Analysis.Explore.replays s.Analysis.Explore.exhausted seconds
+        (float_of_int s.Analysis.Explore.interpreted
+        /. Float.max 1e-9 seconds));
   out "  \"results\": [";
   List.iteri
     (fun i (name, time, r2) ->
@@ -684,6 +751,9 @@ let () =
   | "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
   | "chaos" :: _ -> run_bechamel ~name:"chaos" chaos_tests
   | "cluster" :: _ -> run_bechamel ~name:"cluster" cluster_tests
+  | "explore" :: _ ->
+      run_bechamel ~name:"explore" explore_tests;
+      report_explore_workload ()
   | "exps" :: _ -> run_experiments ppf
   | id :: _ when Harness.Experiments.find id <> None -> (
       match Harness.Experiments.find id with
@@ -698,7 +768,7 @@ let () =
   | unknown :: _ ->
       Printf.eprintf
         "unknown argument %S (expected: micro | scaling | chaos | cluster | \
-         exps | e1..e10 | a1..a4)\n"
+         explore | exps | e1..e10 | a1..a4)\n"
         unknown;
       exit 2);
   if json_mode then write_json ()

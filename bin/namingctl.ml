@@ -35,12 +35,22 @@
                         run a replicated name service built from a sample
                         world through a fault schedule and report coherence
                         under failure (--seed, --drop, --partition,
-                        --replicas, --json; nonzero exit when the replicas
-                        fail to reconverge)
+                        --replicas, --json, --schedule FILE to replay an
+                        explicit witness schedule verbatim; nonzero exit
+                        when the replicas fail to reconverge)
+     explore <scheme|all>
+                        adversarial schedule exploration: bounded model
+                        checking over the cluster's fault-schedule space,
+                        synthesizing minimized replayable witnesses (NG3xx
+                        diagnostics; --depth, --max-writes, --budget,
+                        --seed, --replicas, --json, --sarif,
+                        --min-severity, --witness-dir, --jobs; nonzero
+                        exit on errors)
 
-   analyze, check-script and cache-stats take --jobs N (default from
-   NAMING_JOBS, else 1) to fan their sweeps across N domains; output is
-   printed sequentially in input order regardless of jobs. *)
+   analyze, check-script, check-cluster, explore, chaos and cache-stats
+   take --jobs N (default from NAMING_JOBS, else 1) to fan their sweeps
+   across N domains; output is printed sequentially in input order
+   regardless of jobs. *)
 
 let sample_schemes = Harness.Sample.schemes
 
@@ -193,8 +203,30 @@ let cmd_cache_stats scheme jobs =
 
 (* Builds a replicated name service from a sample world's tree, runs one
    chaos schedule over it and reports coherence under failure. Exit code
-   1 when the replicas fail to reconverge after the faults heal. *)
-let cmd_chaos scheme seed drop partition replicas json jobs =
+   1 when the replicas fail to reconverge after the faults heal.
+   [--schedule FILE] replays an explicit schedule (the witness format
+   the explorer emits) verbatim; it takes precedence over the --seed,
+   --drop, --partition and --replicas knobs. *)
+let cmd_chaos scheme seed drop partition replicas json jobs schedule_file =
+  let schedule =
+    match schedule_file with
+    | None -> Ok None
+    | Some file -> (
+        match
+          let ic = open_in_bin file in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Dsim.Chaos.schedule_of_json text
+        with
+        | Ok s -> Ok (Some s)
+        | Error m -> Error (Printf.sprintf "%s: %s" file m)
+        | exception Sys_error m -> Error m)
+  in
+  match schedule with
+  | Error m ->
+      Printf.eprintf "invalid --schedule: %s\n" m;
+      2
+  | Ok schedule ->
   let schemes =
     if String.equal (String.lowercase_ascii scheme) "all" then sample_schemes
     else [ scheme ]
@@ -208,17 +240,20 @@ let cmd_chaos scheme seed drop partition replicas json jobs =
           spec.Dsim.Nameserver.dirs
           @ List.map fst spec.Dsim.Nameserver.links
         in
-        let config =
-          {
-            Dsim.Chaos.default with
-            Dsim.Chaos.seed;
-            drop;
-            duplicate = drop;
-            partition_for = partition;
-            replicas;
-          }
-        in
-        (scheme, Dsim.Chaos.run ~jobs ~config ~spec ~probes ()))
+        match schedule with
+        | Some s -> (scheme, Dsim.Chaos.run_schedule ~jobs ~spec ~probes s)
+        | None ->
+            let config =
+              {
+                Dsim.Chaos.default with
+                Dsim.Chaos.seed;
+                drop;
+                duplicate = drop;
+                partition_for = partition;
+                replicas;
+              }
+            in
+            (scheme, Dsim.Chaos.run ~jobs ~config ~spec ~probes ()))
       schemes
   in
   (match (json, results) with
@@ -238,12 +273,14 @@ let cmd_chaos scheme seed drop partition replicas json jobs =
         results);
   if List.for_all (fun (_, r) -> r.Dsim.Chaos.converged) results then 0 else 1
 
-(* Parses --min-severity, or prints the usage error and exits 2. *)
+(* Parses --min-severity, or prints the usage error and exits 2; every
+   report command routes through this, so the rejection message is
+   uniform. *)
 let with_min_severity s f =
   match Analysis.Diagnostic.severity_of_string s with
   | None ->
-      Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
-        s;
+      Printf.eprintf
+        "invalid --min-severity %S (expected info, warning or error)\n" s;
       2
   | Some min_severity -> f min_severity
 
@@ -350,7 +387,7 @@ let script_targets arg =
     else sample arg
 
 let cmd_check_script target json sarif min_severity received embedded jobs =
-  let severity = Analysis.Diagnostic.severity_of_string min_severity in
+  with_min_severity min_severity @@ fun min_severity ->
   let received_rule =
     match received with
     | "receiver" -> Some `Receiver
@@ -363,20 +400,16 @@ let cmd_check_script target json sarif min_severity received embedded jobs =
     | "source" -> Some `Source
     | _ -> None
   in
-  match (severity, received_rule, embedded_rule) with
-  | None, _, _ ->
-      Printf.eprintf "invalid severity %S (expected info, warning or error)\n"
-        min_severity;
-      2
-  | _, None, _ ->
+  match (received_rule, embedded_rule) with
+  | None, _ ->
       Printf.eprintf
         "invalid received-rule %S (expected receiver or sender)\n" received;
       2
-  | _, _, None ->
+  | _, None ->
       Printf.eprintf "invalid embedded-rule %S (expected reader or source)\n"
         embedded;
       2
-  | Some min_severity, Some received_rule, Some embedded_rule -> (
+  | Some received_rule, Some embedded_rule -> (
       match script_targets target with
       | Error code -> code
       | Ok targets ->
@@ -437,6 +470,76 @@ let cmd_check_cluster scheme json sarif min_severity seed drop partition
   emit_reports ~json ~sarif ~plural:"schemes"
     (List.map2
        (fun (_, store, _) (_state, r) -> (store, None, no_line, r))
+       subjects results)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Adversarial schedule exploration over a sample world's cluster
+   deployment: bounded model checking of the fault-schedule space with
+   minimized, replayable witnesses (NG3xx). [--witness-dir DIR] writes
+   each witness's minimized schedule (<scheme>-<code>-<i>.schedule.json,
+   the format [chaos --schedule] replays) next to the chaos JSON report
+   of its confirming replay (<scheme>-<code>-<i>.replay.json), so CI can
+   verify the reproduction byte for byte. Exit code 1 on any
+   error-severity diagnostic. *)
+let cmd_explore scheme json sarif min_severity depth max_writes budget seed
+    replicas jobs witness_dir =
+  with_min_severity min_severity @@ fun min_severity ->
+  let config =
+    {
+      Analysis.Explore.default with
+      Analysis.Explore.base =
+        {
+          Analysis.Explore.default.Analysis.Explore.base with
+          Dsim.Chaos.replicas;
+        };
+      depth;
+      max_writes;
+      budget;
+      seed;
+    }
+  in
+  let schemes =
+    if String.equal (String.lowercase_ascii scheme) "all" then sample_schemes
+    else [ scheme ]
+  in
+  let subjects =
+    List.map
+      (fun scheme ->
+        let w = sample_world scheme in
+        let spec = Dsim.Nameserver.spec_of_context w.store w.ctx in
+        (scheme, w.store, Analysis.Explorepasses.subject ~config spec))
+      schemes
+  in
+  let results =
+    Analysis.Explorepasses.report_many ~min_severity ~jobs
+      (List.map (fun (label, _, subject) -> (label, subject)) subjects)
+  in
+  (match witness_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter2
+        (fun (scheme, _, _) ((outcome : Analysis.Explore.outcome), _) ->
+          List.iteri
+            (fun i (w : Analysis.Explore.witness) ->
+              let base =
+                Printf.sprintf "%s-%s-%d" scheme w.Analysis.Explore.code i
+              in
+              write_file
+                (Filename.concat dir (base ^ ".schedule.json"))
+                (Dsim.Chaos.schedule_to_json w.Analysis.Explore.schedule);
+              write_file
+                (Filename.concat dir (base ^ ".replay.json"))
+                (Dsim.Chaos.to_json ~scheme w.Analysis.Explore.replay ^ "\n"))
+            outcome.Analysis.Explore.witnesses)
+        subjects results);
+  emit_reports ~json ~sarif ~plural:"schemes"
+    (List.map2
+       (fun (_, store, _) (_outcome, r) -> (store, None, no_line, r))
        subjects results)
 
 open Cmdliner
@@ -516,6 +619,13 @@ let replicas_opt =
   Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.replicas
        & info [ "replicas" ] ~docv:"N" ~doc:"Name-server replicas.")
 
+let schedule_opt =
+  Arg.(value & opt (some string) None
+       & info [ "schedule" ] ~docv:"FILE"
+           ~doc:"Replay this explicit schedule file (the explorer's \
+                 witness format) verbatim; takes precedence over \
+                 --seed, --drop, --partition and --replicas.")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
@@ -524,7 +634,8 @@ let chaos_cmd =
              a replica crash/restart) and report coherence over time; \
              exits nonzero when the replicas fail to reconverge")
     Term.(const cmd_chaos $ scheme_or_all_arg $ seed_opt $ drop_opt
-          $ partition_opt $ replicas_opt $ json_flag $ jobs_opt)
+          $ partition_opt $ replicas_opt $ json_flag $ jobs_opt
+          $ schedule_opt)
 
 let analyze_cmd =
   Cmd.v
@@ -574,6 +685,43 @@ let check_cluster_cmd =
           $ sarif_flag $ min_severity_opt $ seed_opt $ drop_opt
           $ partition_opt $ replicas_opt $ jobs_opt)
 
+let explore_cmd =
+  let depth_opt =
+    Arg.(value & opt int Analysis.Explore.default.Analysis.Explore.depth
+         & info [ "depth" ] ~docv:"N"
+             ~doc:"Candidate fault-window start boundaries (anti-entropy \
+                   ticks) to explore.")
+  in
+  let max_writes_opt =
+    Arg.(value & opt int Analysis.Explore.default.Analysis.Explore.max_writes
+         & info [ "max-writes" ] ~docv:"N"
+             ~doc:"Writes per candidate schedule, at most.")
+  in
+  let budget_opt =
+    Arg.(value & opt int Analysis.Explore.default.Analysis.Explore.budget
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Candidate schedules enumerated at most.")
+  in
+  let witness_dir_opt =
+    Arg.(value & opt (some string) None
+         & info [ "witness-dir" ] ~docv:"DIR"
+             ~doc:"Write each witness's minimized schedule \
+                   (*.schedule.json, replayable with chaos --schedule) \
+                   and the chaos JSON report of its confirming replay \
+                   (*.replay.json) into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Adversarially explore the fault-schedule space of a sample \
+             world's cluster deployment (bounded model checking with \
+             partial-order and symmetry reduction) and report NG3xx \
+             diagnostics, each backed by a minimized schedule witness \
+             that 'chaos --schedule' replays verbatim; exits nonzero on \
+             any error-severity diagnostic")
+    Term.(const cmd_explore $ scheme_or_all_arg $ json_flag $ sarif_flag
+          $ min_severity_opt $ depth_opt $ max_writes_opt $ budget_opt
+          $ seed_opt $ replicas_opt $ jobs_opt $ witness_dir_opt)
+
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
@@ -614,8 +762,22 @@ let cache_stats_cmd =
     Term.(const cmd_cache_stats $ scheme_or_all_arg $ jobs_opt)
 
 let main =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Inspection: $(b,list), $(b,dot), $(b,dump), $(b,trace), \
+          $(b,diff), $(b,coherence), $(b,cache-stats).";
+      `P "Experiments: $(b,exp), $(b,report).";
+      `P "Static analysis: $(b,lint), $(b,analyze) (NG0xx, worlds), \
+          $(b,check-script) (NG1xx, scripts), $(b,check-cluster) \
+          (NG2xx, one fault schedule), $(b,explore) (NG3xx, the whole \
+          bounded schedule space).";
+      `P "Dynamic verification: $(b,chaos) (optionally replaying an \
+          explorer witness with $(b,--schedule)).";
+    ]
+  in
   let info =
-    Cmd.info "namingctl" ~version:"1.0.0"
+    Cmd.info "namingctl" ~version:"1.0.0" ~man
       ~doc:
         "Coherence in naming (Radia & Pachl, ICDCS 1993) — experiment and
 inspection tool"
@@ -623,8 +785,8 @@ inspection tool"
   Cmd.group info
     [
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
-      analyze_cmd; check_script_cmd; check_cluster_cmd; trace_cmd;
-      coherence_cmd; diff_cmd; cache_stats_cmd; chaos_cmd;
+      analyze_cmd; check_script_cmd; check_cluster_cmd; explore_cmd;
+      trace_cmd; coherence_cmd; diff_cmd; cache_stats_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,47 @@
+(* Shared schedule arithmetic: the protocol-derived constants and
+   quantization grids every static cluster analyzer needs. Keeping them
+   in one place means the retry/latency arithmetic of the abstract
+   interpreter and the boundary grid of the schedule explorer cannot
+   drift apart. *)
+
+module Ch = Dsim.Chaos
+
+let eps = 1e-6
+
+let latency () =
+  let net = Dsim.Network.default_config in
+  ( net.Dsim.Network.latency,
+    net.Dsim.Network.latency +. net.Dsim.Network.jitter )
+
+let client_sends (cfg : Ch.config) =
+  Dsim.Rpc.retry_schedule ~timeout:cfg.Ch.call_timeout
+    ~attempts:cfg.Ch.call_attempts ()
+
+let window_str (s, e) = Printf.sprintf "[%.1f; %.1f)" s e
+
+(* Rounds [x] up to the next multiple of [step]. *)
+let ceil_to step x = step *. Float.ceil (x /. step)
+
+(* Rounds [x] down to the previous multiple of [step]. *)
+let floor_to step x = step *. Float.floor (x /. step)
+
+let window_starts ~depth (cfg : Ch.config) =
+  List.init (max 0 depth) (fun j ->
+      cfg.Ch.ae_period *. float_of_int (j + 1))
+
+let window_lengths ~rounds ~start (cfg : Ch.config) =
+  let p = cfg.Ch.ae_period in
+  let _, (_, exhaust_hi) = client_sends cfg in
+  let _, lat_hi = latency () in
+  let stale = ceil_to p (2.0 *. float_of_int rounds *. p) in
+  let retry = ceil_to p (exhaust_hi +. lat_hi +. p) in
+  let closed =
+    floor_to p (cfg.Ch.duration -. start -. (2.0 *. cfg.Ch.sample_every))
+  in
+  let open_ = cfg.Ch.duration -. start +. p in
+  List.filter (fun l -> l > eps) [ stale; retry; closed; open_ ]
+  |> List.sort_uniq compare
+
+let write_offsets (cfg : Ch.config) =
+  let lat_lo, _ = latency () in
+  [ lat_lo; lat_lo +. cfg.Ch.ae_period ]

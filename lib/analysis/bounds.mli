@@ -1,0 +1,53 @@
+(** Shared schedule arithmetic for the cluster analyzers.
+
+    Every module that reasons statically about a {!Dsim.Chaos} schedule
+    — the {!Clusterstate} abstract interpreter, the {!Replpasses}
+    diagnostics and the {!Explore} schedule explorer — needs the same
+    few protocol-derived quantities: the one-way latency bounds of the
+    simulated network, the client retry send/exhaustion offsets, and
+    the protocol-relevant time boundaries (anti-entropy ticks, retry
+    horizons) that quantize the fault-schedule space. They live here
+    once, so the retry/latency arithmetic cannot drift between the
+    interpreter and the explorer. *)
+
+val eps : float
+(** Comparison slack for the time arithmetic (1e-6). *)
+
+val latency : unit -> float * float
+(** One-way message latency bounds between distinct nodes, from
+    {!Dsim.Network.default_config}: [(latency, latency + jitter)]. *)
+
+val client_sends :
+  Dsim.Chaos.config -> (float * float) array * (float * float)
+(** The client retry plan for a config's [call_timeout]/[call_attempts]:
+    {!Dsim.Rpc.retry_schedule}'s per-attempt send-offset spans and the
+    retry-budget exhaustion span, relative to the call instant. *)
+
+val window_str : float * float -> string
+(** Renders a fault window as ["[s; e)"] with one decimal. *)
+
+val window_starts : depth:int -> Dsim.Chaos.config -> float list
+(** Candidate fault-window start instants for the schedule explorer:
+    the first [depth] anti-entropy period boundaries ([ae_period * j]
+    for [j = 1..depth]) — cutting the network just as a pull cycle
+    begins is where a window does the most damage. *)
+
+val window_lengths :
+  rounds:int -> start:float -> Dsim.Chaos.config -> float list
+(** Candidate fault-window lengths for a window opening at [start],
+    quantized to anti-entropy periods, shortest first:
+    - the staleness horizon: twice the [rounds] staleness bound, so
+      samples beyond the bound fall inside the window;
+    - the retry horizon: the client exhaustion offset plus one delivery
+      and a period of slack, so a whole retry budget fits inside;
+    - the longest window that still heals in-run with two sample
+      instants to spare;
+    - an open window ([start + length > duration]) that never heals
+      within the run.
+    Deduplicated; lengths are positive and deterministic. *)
+
+val write_offsets : Dsim.Chaos.config -> float list
+(** Write-issue offsets relative to a fault-window start at which a
+    write interacts with the window: one minimum latency after the cut
+    (accepted strictly inside the window) and one anti-entropy period
+    later (a second op the first cannot be ordered against). *)

@@ -14,7 +14,7 @@ type tri = Must | May | Never
 
 let tri_to_string = function Must -> "must" | May -> "may" | Never -> "never"
 
-let eps = 1e-6
+let eps = Bounds.eps
 
 type write = {
   index : int;  (** position in the workload *)
@@ -144,12 +144,8 @@ let of_chaos ?workload (cfg : Ch.config) (spec : Ns.spec) =
     | Some v -> Some (v, cfg.Ch.crash_at, cfg.Ch.crash_at +. cfg.Ch.crash_for)
     | None -> None
   in
-  let net = Dsim.Network.default_config in
-  let lat = (net.Dsim.Network.latency, net.Dsim.Network.latency +. net.Dsim.Network.jitter) in
-  let sends, exhaust =
-    Dsim.Rpc.retry_schedule ~timeout:cfg.Ch.call_timeout
-      ~attempts:cfg.Ch.call_attempts ()
-  in
+  let lat = Bounds.latency () in
+  let sends, exhaust = Bounds.client_sends cfg in
   let dir_keys = Hashtbl.create 16 in
   Hashtbl.replace dir_keys (path_key (N.singleton N.root_atom)) ();
   List.iter (fun d -> Hashtbl.replace dir_keys (path_key d) ()) spec.Ns.dirs;

@@ -96,6 +96,16 @@ let catalogue =
                         spec entry)");
     ("NG208", Info, "a replication verdict undecided within the round \
                      budget");
+    ("NG301", Error, "a synthesized schedule that provably loses a write \
+                      (minimized, replayable witness attached)");
+    ("NG302", Error, "a synthesized schedule that defeats convergence \
+                      within the exploration bound (minimized, replayable \
+                      witness attached)");
+    ("NG303", Warning, "a staleness-maximizing schedule: the longest \
+                        provably-stale read the explorer could construct \
+                        within bounds");
+    ("NG304", Info, "the schedule space exhausted clean up to the \
+                     exploration bounds");
   ]
 
 let entity_str store e =

@@ -1,0 +1,40 @@
+(** From explorer witnesses to diagnostics: the NG3xx series.
+
+    NG301 ({!Explore.Race} / {!Explore.Hole}) and NG302
+    ({!Explore.Cut}) are error-severity — each is backed by a Must/Never
+    fact of the abstract interpretation {e and} a confirming chaos
+    replay of its minimized witness schedule. NG303 (staleness
+    maximization) is a warning, NG304 (space exhausted clean up to the
+    exploration bounds) an info verdict. *)
+
+type subject = { config : Explore.config; spec : Dsim.Nameserver.spec }
+
+val subject : ?config:Explore.config -> Dsim.Nameserver.spec -> subject
+(** [config] defaults to {!Explore.default}. *)
+
+val pass_ids : string list
+(** [explore-loss], [explore-convergence], [explore-staleness],
+    [explore-space]. *)
+
+val diagnostics :
+  ?jobs:int -> subject -> Explore.outcome * Diagnostic.t list
+(** Runs {!Explore.run} and renders each witness as a diagnostic; the
+    outcome carries the witnesses themselves (for schedule
+    serialization) and the search statistics. *)
+
+val report :
+  ?min_severity:Diagnostic.severity ->
+  ?jobs:int ->
+  label:string ->
+  subject ->
+  Explore.outcome * Engine.report
+(** [probes] in the report counts candidate schedules enumerated. *)
+
+val report_many :
+  ?min_severity:Diagnostic.severity ->
+  ?jobs:int ->
+  (string * subject) list ->
+  (Explore.outcome * Engine.report) list
+(** Reports in input order. Subjects are explored sequentially; [jobs]
+    parallelizes candidate evaluation {e within} each exploration (the
+    outer loop is dominated by the inner fan-out). *)

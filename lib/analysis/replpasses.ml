@@ -36,7 +36,7 @@ let write_str (w : Cs.write) =
     | Some k -> Printf.sprintf "→%s" k
     | None -> "→unbind")
 
-let window_str (s, e) = Printf.sprintf "[%.1f; %.1f)" s e
+let window_str = Bounds.window_str
 
 (* ------------------------------------------------------------------ *)
 (* cluster-spec: NG207 — groups that can never satisfy §5 equivalence. *)
@@ -162,7 +162,7 @@ let races_pass (st : Cs.t) =
 (* cluster-topology: NG202 (provable non-convergence), NG203           *)
 (* (staleness bound exceeded over a whole fault window).               *)
 
-let eps = 1e-6
+let eps = Bounds.eps
 
 let topology_pass ~rounds (st : Cs.t) =
   let pass = "cluster-topology" in

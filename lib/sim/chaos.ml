@@ -306,6 +306,387 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Explicit schedules: a config plus the exact write workload, with a
+   canonical JSON form. This is the exchange format between the
+   schedule explorer and [namingctl chaos --schedule]: a witness the
+   explorer emits replays verbatim. [Analysis.Json] deliberately has no
+   parser (it is a printer for reports) and lib/sim cannot depend on
+   lib/analysis anyway, so the minimal reader lives here. *)
+
+type schedule = {
+  config : config;
+  writes : (float * int * Nameserver.request) list;
+}
+
+(* Canonical float rendering: integral values print as "x.0" (so every
+   number in the document visibly stays a float), everything else as the
+   shortest %g that round-trips through [float_of_string]. Parsing a
+   rendered schedule therefore recovers the exact float values, and
+   re-rendering the parse is byte-identical. *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let rec go p =
+      if p >= 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else go (p + 1)
+    in
+    go 15
+
+let json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let schedule_to_json (s : schedule) =
+  let b = Buffer.create 1024 in
+  let cfg = s.config in
+  let ff = json_float in
+  Buffer.add_string b "{\n  \"version\": 1,\n  \"config\": {";
+  Printf.bprintf b "\"seed\": %d, \"replicas\": %d, " cfg.seed cfg.replicas;
+  Printf.bprintf b "\"drop\": %s, \"duplicate\": %s, " (ff cfg.drop)
+    (ff cfg.duplicate);
+  Printf.bprintf b "\"partition_at\": %s, \"partition_for\": %s, "
+    (ff cfg.partition_at) (ff cfg.partition_for);
+  Printf.bprintf b "\"crash_at\": %s, \"crash_for\": %s, " (ff cfg.crash_at)
+    (ff cfg.crash_for);
+  Printf.bprintf b "\"writes\": %d, \"write_window\": %s, " cfg.writes
+    (ff cfg.write_window);
+  Printf.bprintf b "\"call_timeout\": %s, \"call_attempts\": %d, "
+    (ff cfg.call_timeout) cfg.call_attempts;
+  Printf.bprintf b
+    "\"ae_period\": %s, \"ae_timeout\": %s, \"ae_attempts\": %d, "
+    (ff cfg.ae_period) (ff cfg.ae_timeout) cfg.ae_attempts;
+  Printf.bprintf b "\"sample_every\": %s, \"duration\": %s, "
+    (ff cfg.sample_every) (ff cfg.duration);
+  Printf.bprintf b "\"dedup_window\": %s"
+    (match cfg.dedup_window with Some n -> string_of_int n | None -> "null");
+  Buffer.add_string b "},\n  \"writes\": [";
+  List.iteri
+    (fun i (time, client, req) ->
+      match req with
+      | Nameserver.Write { path; atom; target } ->
+          Printf.bprintf b "%s\n    {\"time\": %s, \"client\": %d, \"path\": "
+            (if i = 0 then "" else ",")
+            (ff time) client;
+          json_string b (N.to_string (N.prepend_root path));
+          Buffer.add_string b ", \"atom\": ";
+          json_string b (N.atom_to_string atom);
+          Buffer.add_string b ", \"target\": ";
+          (match target with
+          | Some k -> json_string b k
+          | None -> Buffer.add_string b "null");
+          Buffer.add_string b "}"
+      | Nameserver.Resolve _ | Nameserver.Pull _ ->
+          invalid_arg "Chaos.schedule_to_json: workload contains a non-write")
+    s.writes;
+  Buffer.add_string b (if s.writes = [] then "]\n}" else "\n  ]\n}");
+  Buffer.contents b
+
+(* A minimal recursive-descent JSON reader — just enough for the
+   schedule format above (ASCII strings, standard escapes). *)
+module Json_reader = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let i = ref 0 in
+    let err msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !i)) in
+    let peek () = if !i < n then Some s.[!i] else None in
+    let skip_ws () =
+      while
+        !i < n
+        && match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr i
+      done
+    in
+    let expect c =
+      if !i < n && s.[!i] = c then incr i
+      else err (Printf.sprintf "expected '%c'" c)
+    in
+    let lit w v =
+      let l = String.length w in
+      if !i + l <= n && String.sub s !i l = w then begin
+        i := !i + l;
+        v
+      end
+      else err ("expected " ^ w)
+    in
+    let number () =
+      let start = !i in
+      if peek () = Some '-' then incr i;
+      while
+        !i < n
+        &&
+        match s.[!i] with
+        | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+        | _ -> false
+      do
+        incr i
+      done;
+      match float_of_string_opt (String.sub s start (!i - start)) with
+      | Some f -> Num f
+      | None -> err "malformed number"
+    in
+    let string_ () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then err "unterminated string"
+        else
+          match s.[!i] with
+          | '"' ->
+              incr i;
+              Buffer.contents b
+          | '\\' ->
+              incr i;
+              (if !i >= n then err "unterminated escape"
+               else
+                 match s.[!i] with
+                 | '"' | '\\' | '/' ->
+                     Buffer.add_char b s.[!i];
+                     incr i
+                 | 'b' ->
+                     Buffer.add_char b '\b';
+                     incr i
+                 | 'f' ->
+                     Buffer.add_char b '\012';
+                     incr i
+                 | 'n' ->
+                     Buffer.add_char b '\n';
+                     incr i
+                 | 'r' ->
+                     Buffer.add_char b '\r';
+                     incr i
+                 | 't' ->
+                     Buffer.add_char b '\t';
+                     incr i
+                 | 'u' ->
+                     if !i + 4 >= n then err "truncated \\u escape";
+                     let code =
+                       match
+                         int_of_string_opt
+                           ("0x" ^ String.sub s (!i + 1) 4)
+                       with
+                       | Some c -> c
+                       | None -> err "malformed \\u escape"
+                     in
+                     if code > 0x7f then
+                       err "non-ASCII \\u escape unsupported"
+                     else Buffer.add_char b (Char.chr code);
+                     i := !i + 5
+                 | _ -> err "unknown escape");
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr i;
+              go ()
+      in
+      go ()
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> Str (string_ ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> err "expected a JSON value"
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr i;
+        Arr []
+      end
+      else
+        let rec go acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr i;
+              go (v :: acc)
+          | Some ']' ->
+              incr i;
+              Arr (List.rev (v :: acc))
+          | _ -> err "expected ',' or ']'"
+        in
+        go []
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr i;
+        Obj []
+      end
+      else
+        let rec go acc =
+          skip_ws ();
+          let k = string_ () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr i;
+              go ((k, v) :: acc)
+          | Some '}' ->
+              incr i;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> err "expected ',' or '}'"
+        in
+        go []
+    in
+    let v = value () in
+    skip_ws ();
+    if !i <> n then err "trailing garbage";
+    v
+end
+
+let schedule_of_json text : (schedule, string) Stdlib.result =
+  let module J = Json_reader in
+  let bad fmt = Printf.ksprintf (fun m -> raise (J.Bad m)) fmt in
+  try
+    let top =
+      match J.parse text with
+      | J.Obj kvs -> kvs
+      | _ -> bad "schedule must be a JSON object"
+    in
+    let field name =
+      match List.assoc_opt name top with
+      | Some v -> v
+      | None -> bad "missing field %S" name
+    in
+    (match field "version" with
+    | J.Num 1.0 -> ()
+    | _ -> bad "unsupported schedule version (expected 1)");
+    let cobj =
+      match field "config" with
+      | J.Obj o -> o
+      | _ -> bad "\"config\" must be an object"
+    in
+    let ff name =
+      match List.assoc_opt name cobj with
+      | Some (J.Num f) -> f
+      | Some _ -> bad "config field %S must be a number" name
+      | None -> bad "missing config field %S" name
+    in
+    let as_int name f =
+      if Float.is_integer f then int_of_float f
+      else bad "%S must be an integer" name
+    in
+    let fi name = as_int name (ff name) in
+    let config =
+      {
+        seed = fi "seed";
+        replicas = fi "replicas";
+        drop = ff "drop";
+        duplicate = ff "duplicate";
+        partition_at = ff "partition_at";
+        partition_for = ff "partition_for";
+        crash_at = ff "crash_at";
+        crash_for = ff "crash_for";
+        writes = fi "writes";
+        write_window = ff "write_window";
+        call_timeout = ff "call_timeout";
+        call_attempts = fi "call_attempts";
+        ae_period = ff "ae_period";
+        ae_timeout = ff "ae_timeout";
+        ae_attempts = fi "ae_attempts";
+        sample_every = ff "sample_every";
+        duration = ff "duration";
+        dedup_window =
+          (match List.assoc_opt "dedup_window" cobj with
+          | Some J.Null -> None
+          | Some (J.Num f) -> Some (as_int "dedup_window" f)
+          | Some _ -> bad "config field \"dedup_window\" must be an int or null"
+          | None -> bad "missing config field \"dedup_window\"");
+      }
+    in
+    if config.replicas < 1 then bad "config.replicas must be >= 1";
+    let parse_write = function
+      | J.Obj o ->
+          let wfield name =
+            match List.assoc_opt name o with
+            | Some v -> v
+            | None -> bad "missing write field %S" name
+          in
+          let time =
+            match wfield "time" with
+            | J.Num f -> f
+            | _ -> bad "write field \"time\" must be a number"
+          in
+          let client =
+            match wfield "client" with
+            | J.Num f -> as_int "client" f
+            | _ -> bad "write field \"client\" must be a number"
+          in
+          if client < 0 || client >= config.replicas then
+            bad "write client %d out of range for %d replicas" client
+              config.replicas;
+          let path =
+            match wfield "path" with
+            | J.Str p -> (
+                try N.prepend_root (N.of_string p)
+                with N.Invalid m -> bad "invalid write path %S: %s" p m)
+            | _ -> bad "write field \"path\" must be a string"
+          in
+          let atom =
+            match wfield "atom" with
+            | J.Str a -> (
+                try N.atom a
+                with N.Invalid m -> bad "invalid write atom %S: %s" a m)
+            | _ -> bad "write field \"atom\" must be a string"
+          in
+          let target =
+            match wfield "target" with
+            | J.Null -> None
+            | J.Str k -> Some k
+            | _ -> bad "write field \"target\" must be a string or null"
+          in
+          (time, client, Nameserver.Write { path; atom; target })
+      | _ -> bad "each write must be an object"
+    in
+    let writes =
+      match field "writes" with
+      | J.Arr ws -> List.map parse_write ws
+      | _ -> bad "\"writes\" must be an array"
+    in
+    if config.writes <> List.length writes then
+      bad "config.writes (%d) must equal the length of the writes array (%d)"
+        config.writes (List.length writes);
+    Ok { config; writes }
+  with J.Bad msg -> Error msg
+
+let run_schedule ?jobs ~spec ~probes (s : schedule) =
+  run ?jobs ~writes:s.writes ~config:s.config ~spec ~probes ()
+
+(* ------------------------------------------------------------------ *)
 (* Rendering.                                                          *)
 
 let degree (r : Co.report) = Co.degree r
@@ -318,7 +699,7 @@ let json_rpc b (s : Rpc.stats) =
     s.Rpc.calls s.Rpc.replies s.Rpc.timeouts s.Rpc.retries s.Rpc.exhausted
     s.Rpc.served s.Rpc.dedup_hits s.Rpc.dropped_requests s.Rpc.late_replies
 
-let to_json ~scheme r =
+let to_json ~scheme (r : result) =
   let b = Buffer.create 4096 in
   let cfg = r.config in
   Printf.bprintf b "{\n  \"scheme\": \"%s\",\n  \"seed\": %d,\n" scheme
@@ -378,7 +759,7 @@ let to_json ~scheme r =
   Printf.bprintf b "  \"events\": %d\n}" r.events;
   Buffer.contents b
 
-let pp_summary ~scheme ppf r =
+let pp_summary ~scheme ppf (r : result) =
   Format.fprintf ppf "@[<v>%s: %s@," scheme
     (if r.converged then "replicas reconverged" else
        "REPLICAS FAILED TO RECONVERGE");

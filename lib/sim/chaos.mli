@@ -117,6 +117,44 @@ val ae_first_tick : config -> int -> float
     follow every [ae_period]); mirrors the stagger in
     {!Nameserver.start_anti_entropy}. *)
 
+(** {1 Explicit schedules}
+
+    A schedule pins down everything {!run} otherwise derives from the
+    seed: the full fault config plus the exact write workload. The JSON
+    form is the exchange format between the adversarial schedule
+    explorer ({!Analysis.Explore}) and [namingctl chaos --schedule]: a
+    witness the explorer emits replays verbatim. *)
+
+type schedule = {
+  config : config;
+  writes : (float * int * Nameserver.request) list;
+      (** [(time, client, request)] triples; {!Nameserver.Write}
+          requests only *)
+}
+
+val schedule_to_json : schedule -> string
+(** Canonical JSON rendering of a schedule. Floats print in their
+    shortest exact decimal form, so {!schedule_of_json} recovers the
+    exact values and re-rendering the parse is byte-identical.
+    @raise Invalid_argument when the workload contains a non-write
+    request. *)
+
+val schedule_of_json : string -> (schedule, string) Stdlib.result
+(** Parses {!schedule_to_json}'s format (version 1). Every config field
+    is required; write paths are re-rooted with
+    {!Naming.Name.prepend_root}; client ids must lie in
+    [\[0; replicas)]. [Error msg] pinpoints the first problem. *)
+
+val run_schedule :
+  ?jobs:int ->
+  spec:Nameserver.spec ->
+  probes:Naming.Name.t list ->
+  schedule ->
+  result
+(** [run_schedule ~spec ~probes s] is
+    [run ~writes:s.writes ~config:s.config ~spec ~probes ()]: replays
+    the schedule exactly. *)
+
 val to_json : scheme:string -> result -> string
 (** A self-contained JSON document; byte-identical across runs of the
     same seed and spec, at any [jobs]. *)

@@ -88,13 +88,14 @@ let test_codes_in_catalogue () =
             true
             (sev = d.A.Diagnostic.severity))
     r.A.Engine.diagnostics;
-  (* ... and the three fixtures together trip every catalogued code:
-     the broken world covers the NG0xx world passes, the broken script
-     the NG1xx flow passes, the broken cluster the NG2xx replication
-     passes. *)
+  (* ... and the fixtures together trip every catalogued code: the
+     broken world covers the NG0xx world passes, the broken script the
+     NG1xx flow passes, the broken cluster the NG2xx replication
+     passes, and the explorer fixtures the NG3xx exploration passes. *)
   let tripped =
     List.map (fun d -> d.A.Diagnostic.code) r.A.Engine.diagnostics
     @ Broken_script.expected_codes @ Broken_cluster.expected_codes
+    @ Test_explore.expected_codes
   in
   List.iter
     (fun (c, _, _) ->

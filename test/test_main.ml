@@ -47,5 +47,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("flow", Test_flow.suite);
       ("cluster", Test_cluster.suite);
+      ("explore", Test_explore.suite);
       ("pool", Test_pool.suite);
     ]
