@@ -14,6 +14,10 @@
      bench/main.exe cluster    — b16: static replication coherence
                                  analysis (check-cluster) across replica
                                  counts at one and four domains
+     bench/main.exe compiled   — b17: the compiled resolution engine vs
+                                 the interpreter and the cache, by path
+                                 depth, store size, coherence sweep and
+                                 mutation mix
      bench/main.exe explore    — b19: bounded schedule-space exploration
                                  (explore) at one and four domains, plus
                                  an instrumented workload run reporting
@@ -202,6 +206,24 @@ module Fixtures = struct
      sweep itself (one row per world, three degrees per row). *)
   let matrix_worlds = Harness.Exp_matrix.worlds ()
 
+  (* b17: the compiled engine over the b1 store (the /d1/../d32 chain is
+     already in place above) and a mutation-mix world of its own. *)
+  let compiled = Naming.Compiled.compile store
+  let () = Naming.Compiled.refresh compiled
+
+  let b17_store = Naming.Store.create ()
+  let b17_fs = Vfs.Fs.create b17_store
+  let () = Vfs.Fs.populate b17_fs Schemes.Unix_scheme.default_tree
+  let b17_root = Vfs.Fs.root b17_fs
+  let b17_compiled = Naming.Compiled.compile b17_store
+
+  let b17_names =
+    List.map Naming.Name.of_string
+      [ "usr/bin/cc"; "bin/ls"; "etc/passwd"; "usr/lib/libc"; "bin" ]
+
+  let b17_rng = Dsim.Rng.create 42L
+  let b17_k = ref 0
+
   (* b15: the chaos harness — a complete fault-injection run over a
      small replicated name service per bench iteration. The spec and a
      shortened schedule are fixed; each run rebuilds its own cluster, so
@@ -272,6 +294,10 @@ let report_cache_workload () =
     ops seed s.Naming.Cache.hits s.Naming.Cache.misses
     s.Naming.Cache.invalidations s.Naming.Cache.evictions
     (float_of_int s.Naming.Cache.hits /. float_of_int (max 1 total))
+
+(* Every run_bechamel call appends its rows here; --json dumps them and
+   the b17 report reads its depth series back out. *)
+let collected : (string * float option * float option) list ref = ref []
 
 let micro_tests =
   let open Bechamel in
@@ -435,6 +461,116 @@ let cluster_tests =
     indexed ~name:"b16b: check-cluster by replicas, jobs 4" ~jobs:4;
   ]
 
+(* The b17 series: the compiled engine against the interpreter and the
+   cache on the resolver's dominant shapes — path depth (the b1/b2
+   axis), store size (the s4 axis), the coherence sweep through ?jobs,
+   and the b13 mutation mix (where every tenth op forces an incremental
+   patch). Shares the `compiled` positional selector with
+   BENCH_<date>_b17.json. *)
+let compiled_tests =
+  let open Bechamel in
+  let depths = [ 2; 8; 16; 32 ] in
+  let by_depth ~name f =
+    Test.make_indexed ~name ~args:depths (fun d ->
+        let n = Fixtures.name_of_depth d in
+        Staged.stage (fun () -> ignore (f n)))
+  in
+  let s4_world n =
+    let st = Naming.Store.create () in
+    let fs = Vfs.Fs.create st in
+    ignore (Vfs.Fs.mkdir_path fs "/a/b/c/d");
+    for i = 1 to n do
+      ignore (Vfs.Fs.add_file fs (Printf.sprintf "/a/f%d" i) ~content:"x")
+    done;
+    (st, Vfs.Fs.root fs, Naming.Name.of_string "a/b/c/d")
+  in
+  let sweep_engine kind =
+    let engine = Naming.Engine.create kind Fixtures.newcastle_store in
+    let occs = List.map Naming.Occurrence.generated Fixtures.newcastle_procs in
+    Staged.stage (fun () ->
+        ignore
+          (Naming.Coherence.measure ~engine ~jobs Fixtures.newcastle_store
+             (Schemes.Newcastle.rule Fixtures.newcastle)
+             occs Fixtures.newcastle_probes))
+  in
+  [
+    by_depth ~name:"b17a: resolve by depth, interpreted" (fun n ->
+        Naming.Resolver.resolve Fixtures.store Fixtures.ctx n);
+    by_depth ~name:"b17b: resolve by depth, cached" (fun n ->
+        Naming.Cache.resolve Fixtures.cache Fixtures.ctx n);
+    by_depth ~name:"b17c: resolve by depth, compiled" (fun n ->
+        Naming.Compiled.resolve Fixtures.compiled Fixtures.ctx n);
+    Test.make_indexed ~name:"b17d: resolve by store size, compiled"
+      ~args:[ 64; 256; 1024; 4096 ]
+      (fun n ->
+        let st, root, name = s4_world n in
+        let c = Naming.Compiled.compile st in
+        Staged.stage (fun () -> ignore (Naming.Compiled.resolve_in c root name)));
+    Test.make ~name:"b17e: coherence sweep (newcastle), engine cached"
+      (sweep_engine `Cached);
+    Test.make ~name:"b17f: coherence sweep (newcastle), engine compiled"
+      (sweep_engine `Compiled);
+    (* the b13 bundle, compiled: one mutation per nine resolves, so each
+       bundle pays one incremental patch round *)
+    Test.make ~name:"b17g: compiled resolve, 10-op mutate/resolve bundle"
+      (Staged.stage (fun () ->
+           let k = !Fixtures.b17_k in
+           Fixtures.b17_k := k + 1;
+           ignore
+             (Vfs.Fs.add_file Fixtures.b17_fs
+                (Printf.sprintf "/tmp/f%d" (k mod 64))
+                ~content:"x");
+           for _ = 1 to 9 do
+             ignore
+               (Naming.Compiled.resolve_in Fixtures.b17_compiled
+                  Fixtures.b17_root
+                  (Dsim.Rng.pick Fixtures.b17_rng Fixtures.b17_names))
+           done));
+  ]
+
+let compiled_workload : (float * Naming.Compiled.stats) option ref = ref None
+
+(* Compile-from-scratch cost and the incremental-patch counters of the
+   b17g fixture, plus the headline depth-series speedup computed from
+   the rows just measured. *)
+let report_compiled_workload () =
+  let st = Naming.Store.create () in
+  let fs = Vfs.Fs.create st in
+  Vfs.Fs.populate fs Schemes.Unix_scheme.default_tree;
+  let t0 = Unix.gettimeofday () in
+  let c = Naming.Compiled.compile st in
+  let compile_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let s = Naming.Compiled.stats c in
+  compiled_workload := Some (compile_ms, s);
+  Printf.printf
+    "\nb17 compile (unix world): %.3f ms, nodes=%d slots=%d cells=%d \
+     bindings=%d\n"
+    compile_ms s.Naming.Compiled.nodes s.Naming.Compiled.slots
+    s.Naming.Compiled.table_cells s.Naming.Compiled.bindings;
+  let w = Naming.Compiled.stats Fixtures.b17_compiled in
+  Printf.printf
+    "b17 mutation mix: node_builds=%d patches=%d patched_nodes=%d\n"
+    w.Naming.Compiled.node_builds w.Naming.Compiled.patches
+    w.Naming.Compiled.patched_nodes;
+  let time_of name =
+    List.find_map
+      (fun (n, t, _) -> if String.equal n name then t else None)
+      !collected
+  in
+  List.iter
+    (fun d ->
+      let interp =
+        time_of (Printf.sprintf "compiled/b17a: resolve by depth, interpreted:%d" d)
+      and comp =
+        time_of (Printf.sprintf "compiled/b17c: resolve by depth, compiled:%d" d)
+      in
+      match (interp, comp) with
+      | Some i, Some c when c > 0.0 ->
+          Printf.printf "b17 speedup, depth %2d: %6.1f ns -> %6.1f ns (%.1fx)\n"
+            d i c (i /. c)
+      | _ -> ())
+    [ 2; 8; 16; 32 ]
+
 (* The b19 series: the adversarial schedule explorer — one bounded
    model-checking sweep (enumeration, abstract interpretation, witness
    minimization and confirming replays) per iteration, at one and four
@@ -591,9 +727,6 @@ let scaling_tests =
   in
   [ depth_test; matrix_test; flow_test; size_plain; size_cached ]
 
-(* Every run_bechamel call appends its rows here; --json dumps them. *)
-let collected : (string * float option * float option) list ref = ref []
-
 (* Measurement methodology (doc/PERF.md):
    1. a discarded warmup pass faults in the fixtures and warms caches;
    2. the measured pass stabilises the GC before each sample and grows
@@ -715,6 +848,17 @@ let write_json () =
         ops s.Naming.Cache.hits s.Naming.Cache.misses
         s.Naming.Cache.invalidations s.Naming.Cache.evictions
         (float_of_int s.Naming.Cache.hits /. float_of_int total));
+  (match !compiled_workload with
+  | None -> ()
+  | Some (compile_ms, s) ->
+      out
+        "  \"compiled_workload\": {\"compile_ms\": %.3f, \"nodes\": %d, \
+         \"slots\": %d, \"table_cells\": %d, \"bindings\": %d, \
+         \"node_builds\": %d, \"patches\": %d, \"patched_nodes\": %d},\n"
+        compile_ms s.Naming.Compiled.nodes s.Naming.Compiled.slots
+        s.Naming.Compiled.table_cells s.Naming.Compiled.bindings
+        s.Naming.Compiled.node_builds s.Naming.Compiled.patches
+        s.Naming.Compiled.patched_nodes);
   (match !explore_workload with
   | None -> ()
   | Some (s, seconds) ->
@@ -751,6 +895,9 @@ let () =
   | "scaling" :: _ -> run_bechamel ~name:"scaling" scaling_tests
   | "chaos" :: _ -> run_bechamel ~name:"chaos" chaos_tests
   | "cluster" :: _ -> run_bechamel ~name:"cluster" cluster_tests
+  | "compiled" :: _ ->
+      run_bechamel ~name:"compiled" compiled_tests;
+      report_compiled_workload ()
   | "explore" :: _ ->
       run_bechamel ~name:"explore" explore_tests;
       report_explore_workload ()
@@ -768,7 +915,7 @@ let () =
   | unknown :: _ ->
       Printf.eprintf
         "unknown argument %S (expected: micro | scaling | chaos | cluster | \
-         explore | exps | e1..e10 | a1..a4)\n"
+         compiled | explore | exps | e1..e10 | a1..a4)\n"
         unknown;
       exit 2);
   if json_mode then write_json ()

@@ -201,6 +201,46 @@ let cmd_cache_stats scheme jobs =
         (float_of_int s.Naming.Cache.hits /. float_of_int total);
       0)
 
+(* Compiles each sample world to packed dispatch form and reports the
+   table footprint, the compile cost, and the incremental patching
+   behaviour: a full coherence sweep through the compiled engine, then a
+   binding burst, then a second sweep — which must arrive via subtree
+   patches, never a second full compile. *)
+let cmd_compile_stats scheme jobs =
+  on_schemes scheme (fun scheme ->
+      let w = sample_world scheme in
+      let reps = 50 in
+      let t0 = Sys.time () in
+      for _ = 1 to reps - 1 do
+        ignore (Naming.Compiled.compile w.store)
+      done;
+      let compiled = Naming.Compiled.compile w.store in
+      let compile_ms = (Sys.time () -. t0) *. 1000.0 /. float_of_int reps in
+      let engine = Naming.Engine.Compiled compiled in
+      let occs = List.map Naming.Occurrence.generated w.activities in
+      let probes = probes_of_world w in
+      ignore (Naming.Coherence.measure ~engine ~jobs w.store w.rule occs probes);
+      let scratch =
+        Naming.Store.create_context_object ~label:"scratch" w.store
+      in
+      (match List.rev (Naming.Store.context_objects w.store) with
+      | dir :: _ ->
+          Naming.Store.bind w.store ~dir (Naming.Name.atom "scratch") scratch
+      | [] -> ());
+      ignore (Naming.Coherence.measure ~engine ~jobs w.store w.rule occs probes);
+      let s = Naming.Compiled.stats compiled in
+      Printf.printf
+        "%s: %d probes x %d activities, 2 sweeps, 1 binding burst in between\n"
+        scheme (List.length probes) (List.length w.activities);
+      Printf.printf "  compile=%.3fms %s\n" compile_ms
+        (Format.asprintf "%a" Naming.Compiled.pp_stats s);
+      if s.Naming.Compiled.full_compiles = 1 then 0
+      else begin
+        Printf.eprintf "  unexpected recompile (full_compiles=%d)\n"
+          s.Naming.Compiled.full_compiles;
+        1
+      end)
+
 (* Builds a replicated name service from a sample world's tree, runs one
    chaos schedule over it and reports coherence under failure. Exit code
    1 when the replicas fail to reconverge after the faults heal.
@@ -761,12 +801,20 @@ let cache_stats_cmd =
              print the memoising resolver's hit/miss/invalidation counters")
     Term.(const cmd_cache_stats $ scheme_or_all_arg $ jobs_opt)
 
+let compile_stats_cmd =
+  Cmd.v
+    (Cmd.info "compile-stats"
+       ~doc:"Compile a sample world to packed dispatch tables and print \
+             their footprint, compile time and incremental-patch counters")
+    Term.(const cmd_compile_stats $ scheme_or_all_arg $ jobs_opt)
+
 let main =
   let man =
     [
       `S Manpage.s_description;
       `P "Inspection: $(b,list), $(b,dot), $(b,dump), $(b,trace), \
-          $(b,diff), $(b,coherence), $(b,cache-stats).";
+          $(b,diff), $(b,coherence), $(b,cache-stats), \
+          $(b,compile-stats).";
       `P "Experiments: $(b,exp), $(b,report).";
       `P "Static analysis: $(b,lint), $(b,analyze) (NG0xx, worlds), \
           $(b,check-script) (NG1xx, scripts), $(b,check-cluster) \
@@ -786,7 +834,8 @@ inspection tool"
     [
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
       analyze_cmd; check_script_cmd; check_cluster_cmd; explore_cmd;
-      trace_cmd; coherence_cmd; diff_cmd; cache_stats_cmd; chaos_cmd;
+      trace_cmd; coherence_cmd; diff_cmd; cache_stats_cmd;
+      compile_stats_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -269,22 +269,27 @@ let dyn_parent_dir fs path =
           if Naming.Store.is_context_object (Vfs.Fs.store fs) e then e
           else E.undefined)
 
-let replay ?(config = default_config) (plan : plan) =
+let replay ?(config = default_config) ?engine:ekind (plan : plan) =
   let store = Naming.Store.create () in
   let w = Sc.new_world store in
   let env = Sc.env w in
   let fs = Sc.fs w in
   let asg = Schemes.Process_env.assignment env in
-  (* One memoising resolver for the whole replay. Script ops mutate the
-     store between flows; dependency-tracked invalidation means only the
+  (* One engine for the whole replay, cached by default. Script ops
+     mutate the store between flows; dependency-tracked invalidation
+     (cached) or incremental recompilation (compiled) means only the
      resolutions that actually cross a mutated context re-walk. *)
-  let cache = Naming.Cache.create store in
+  let engine =
+    match ekind with
+    | Some k -> Naming.Engine.create k store
+    | None -> Naming.Engine.of_env ~default:`Cached store
+  in
   let parents : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let proc i =
     let ps = Sc.processes w in
     if i >= 0 && i < List.length ps then Some (List.nth ps i) else None
   in
-  let resolve p name = Schemes.Process_env.resolve ~cache env ~as_:p name in
+  let resolve p name = Schemes.Process_env.resolve ~engine env ~as_:p name in
   let judge_dyn index fl =
     let unknown reason =
       { dyn_index = index; dyn_outcome = Unknown reason; dyn_diverged = false }
@@ -332,7 +337,7 @@ let replay ?(config = default_config) (plan : plan) =
                         (Naming.Rule.of_activity asg)
                 in
                 outcome_of_coherence
-                  (Naming.Coherence.check ~cache store rule occs name)
+                  (Naming.Coherence.check ~engine store rule occs name)
               else
                 let ea = resolve ps name in
                 let eb =

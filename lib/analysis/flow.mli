@@ -112,11 +112,17 @@ type replay_result = {
   dyn_skips : (int * Workload.Script.skip) list;
 }
 
-val replay : ?config:config -> plan -> replay_result
+val replay :
+  ?config:config -> ?engine:Naming.Engine.kind -> plan -> replay_result
 (** Actually runs the plan over a fresh world and judges every flow
     from the concrete resolutions — absolute-name sends through
     [Naming.Coherence.check] under the configured rule, the rest
-    through the per-activity resolutions of [Schemes.Process_env]. *)
+    through the per-activity resolutions of [Schemes.Process_env]. All
+    resolutions share one {!Naming.Engine} of the given kind for the
+    replayed world (cached by default; [NAMING_ENGINE] or [?engine]
+    overrides) —
+    exercising incremental recompilation when compiled, since script
+    ops mutate the store between flows. *)
 
 val agrees : outcome -> outcome -> bool
 (** [agrees static dynamic] — the soundness relation: a static

@@ -224,7 +224,10 @@ let coherence ?fuel (t : Subject.t) =
   let occs = Subject.occurrences t in
   List.filter_map
     (fun probe ->
-      let p = Predict.predict ?fuel store t.Subject.rule occs probe in
+      let p =
+        Predict.predict ?fuel ~engine:t.Subject.engine store t.Subject.rule
+          occs probe
+      in
       match p.Predict.outcome with
       | Predict.Coherent _ | Predict.Vacuous -> None
       | Predict.Incoherent ((o1, e1), (o2, e2)) ->

@@ -55,12 +55,16 @@ val default_fuel : int
 
 val predict :
   ?fuel:int ->
+  ?engine:Naming.Engine.t ->
   Naming.Store.t ->
   Naming.Rule.t ->
   Naming.Occurrence.t list ->
   Naming.Name.t ->
   t
-(** @raise Invalid_argument on an empty occurrence list. *)
+(** Traces go through [engine] (default {!Naming.Engine.of_env}: the
+    interpreter unless [NAMING_ENGINE] says otherwise); every engine
+    produces the same steps, so predictions are engine-independent.
+    @raise Invalid_argument on an empty occurrence list. *)
 
 val agrees : t -> Naming.Coherence.verdict -> bool
 (** Soundness relation: [Unknown] agrees with everything; [Coherent e]

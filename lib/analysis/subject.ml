@@ -6,10 +6,11 @@ type t = {
   rule : Naming.Rule.t;
   activities : E.t list;
   probes : N.t list;
-  cache : Naming.Cache.t;
+  engine : Naming.Engine.t;
 }
 
-let cache t = t.cache
+let engine t = t.engine
+let cache t = Naming.Engine.cache t.engine
 
 let occurrences t = List.map Naming.Occurrence.generated t.activities
 
@@ -45,17 +46,19 @@ let default_probes ?(max_depth = 3) t =
     (contexts t);
   let probes = List.rev !out in
   (* Resolve every discovered probe from every vantage point once, so the
-     subject's cache is warm before any coherence sweep over it runs. *)
+     subject's engine is warm (cache entries filled, compiled tables up
+     to date) before any coherence sweep over it runs. *)
   List.iter
     (fun (_a, ctx) ->
-      List.iter (fun n -> ignore (Naming.Cache.resolve t.cache ctx n)) probes)
+      List.iter
+        (fun n -> ignore (Naming.Engine.resolve t.engine ctx n))
+        probes)
     (contexts t);
   probes
 
-let v ?probes ~rule ~activities store =
+let v ?probes ?engine ~rule ~activities store =
   if activities = [] then invalid_arg "Subject.v: no activities";
-  let t =
-    { store; rule; activities; probes = []; cache = Naming.Cache.create store }
-  in
+  let engine = Naming.Engine.select ?engine ~default:`Cached store in
+  let t = { store; rule; activities; probes = []; engine } in
   let probes = match probes with Some p -> p | None -> default_probes t in
   { t with probes }

@@ -12,22 +12,28 @@ type t = private {
   rule : Naming.Rule.t;
   activities : Naming.Entity.t list;
   probes : Naming.Name.t list;
-  cache : Naming.Cache.t;
-      (** A memoising resolver over [store], shared by analyses of this
+  engine : Naming.Engine.t;
+      (** The resolution engine over [store], shared by analyses of this
           subject; {!default_probes} warms it. *)
 }
 
 val v :
   ?probes:Naming.Name.t list ->
+  ?engine:Naming.Engine.t ->
   rule:Naming.Rule.t ->
   activities:Naming.Entity.t list ->
   Naming.Store.t ->
   t
-(** When [probes] is omitted, {!default_probes} is used.
+(** When [probes] is omitted, {!default_probes} is used. The engine is
+    chosen by {!Naming.Engine.select}: [?engine], then [NAMING_ENGINE],
+    then a fresh cached engine — the historical default.
     @raise Invalid_argument on an empty activity list. *)
 
-val cache : t -> Naming.Cache.t
-(** The subject's shared memoising resolver (same as the [cache] field). *)
+val engine : t -> Naming.Engine.t
+(** The subject's shared engine (same as the [engine] field). *)
+
+val cache : t -> Naming.Cache.t option
+(** Its cache, when the engine is the cached one. *)
 
 val occurrences : t -> Naming.Occurrence.t list
 (** One [Generated] occurrence per activity, in order. *)

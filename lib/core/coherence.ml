@@ -4,21 +4,19 @@ type verdict =
   | Incoherent of (Occurrence.t * Entity.t) * (Occurrence.t * Entity.t)
   | Vacuous
 
-(* Rule.resolve, optionally through a shared cache: the rule selects the
-   context, the cache memoises the walk. *)
-let resolve_via ?cache store rule occ name =
+(* Rule.resolve through an engine: the rule selects the context, the
+   engine performs (and possibly memoises or compiles) the walk. *)
+let resolve_via_engine engine store rule occ name =
   match Rule.select rule store occ with
   | None -> Entity.undefined
-  | Some ctx -> (
-      match cache with
-      | Some c -> Cache.resolve c ctx name
-      | None -> Resolver.resolve store ctx name)
+  | Some ctx -> Engine.resolve engine ctx name
 
-let check ?(equiv = Entity.equal) ?cache store rule occs name =
+let check ?(equiv = Entity.equal) ?cache ?engine store rule occs name =
   match occs with
   | [] -> invalid_arg "Coherence.check: no occurrences"
   | first :: rest ->
-      let resolve occ = (occ, resolve_via ?cache store rule occ name) in
+      let engine = Engine.select ?cache ?engine ~default:`Interpreted store in
+      let resolve occ = (occ, resolve_via_engine engine store rule occ name) in
       let results = resolve first :: List.map resolve rest in
       let defined = List.filter (fun (_, e) -> Entity.is_defined e) results in
       (match defined with
@@ -36,8 +34,8 @@ let check ?(equiv = Entity.equal) ?cache store rule occs name =
                     Coherent d
                   else Weakly_coherent (List.map snd results))))
 
-let is_coherent ?equiv ?cache store rule occs name =
-  match check ?equiv ?cache store rule occs name with
+let is_coherent ?equiv ?cache ?engine store rule occs name =
+  match check ?equiv ?cache ?engine store rule occs name with
   | Coherent _ | Weakly_coherent _ -> true
   | Incoherent _ | Vacuous -> false
 
@@ -59,39 +57,39 @@ let strict_degree r =
   if meaningful <= 0 then 1.0
   else float_of_int r.coherent /. float_of_int meaningful
 
-(* Batch entry points share one cache across every (occurrence, probe)
-   pair: probes that share a path prefix walk it once. *)
-let batch_cache ?cache store =
-  match cache with Some c -> c | None -> Cache.create store
+(* Batch entry points share one engine across every (occurrence, probe)
+   pair: with the default cached engine, probes that share a path prefix
+   walk it once; with the compiled engine, the world is compiled once. *)
+let batch_engine ?cache ?engine store =
+  Engine.select ?cache ?engine ~default:`Cached store
 
 (* The parallel fan-out behind [?jobs]: one verdict per probe, computed
    across domains with the store frozen (a mutation mid-sweep raises
-   instead of racing) and a cache shard per worker, each seeded from the
-   caller's cache. Shard counters are merged back on join so a shared
-   cache's statistics still account for the whole sweep; shard entries
-   are private and dropped. Verdicts come back in probe order, so every
+   instead of racing) and an engine shard per worker ({!Engine.shard}:
+   a cache copy or compiled snapshot seeded from the caller's engine).
+   Cached-shard counters are merged back on join so a shared cache's
+   statistics still account for the whole sweep; shard entries are
+   private and dropped. Verdicts come back in probe order, so every
    derived quantity equals the sequential path's. *)
-let classify_parallel ?equiv ?cache pool store rule occs probes =
+let classify_parallel ?equiv engine pool store rule occs probes =
+  Engine.prepare engine;
   Store.read_only store (fun () ->
       let verdicts, shards =
         Pool.map_local pool
-          ~local:(fun () -> batch_cache ?cache store |> Cache.copy)
-          (fun shard name -> check ?equiv ~cache:shard store rule occs name)
+          ~local:(fun () -> Engine.shard engine)
+          (fun shard name -> check ?equiv ~engine:shard store rule occs name)
           probes
       in
-      (match cache with
-      | None -> ()
-      | Some c -> List.iter (fun s -> Cache.absorb c (Cache.stats s)) shards);
+      List.iter (fun s -> Engine.absorb engine ~shard:s) shards;
       verdicts)
 
-let verdicts_of ?equiv ?cache ?jobs store rule occs probes =
+let verdicts_of ?equiv ?cache ?engine ?jobs store rule occs probes =
+  let engine = batch_engine ?cache ?engine store in
   match Pool.get ?jobs () with
-  | Some pool -> classify_parallel ?equiv ?cache pool store rule occs probes
-  | None ->
-      let cache = batch_cache ?cache store in
-      List.map (fun n -> check ?equiv ~cache store rule occs n) probes
+  | Some pool -> classify_parallel ?equiv engine pool store rule occs probes
+  | None -> List.map (fun n -> check ?equiv ~engine store rule occs n) probes
 
-let measure ?equiv ?cache ?jobs store rule occs probes =
+let measure ?equiv ?cache ?engine ?jobs store rule occs probes =
   let init =
     { probes = 0; coherent = 0; weakly_coherent = 0; incoherent = 0; vacuous = 0 }
   in
@@ -104,26 +102,27 @@ let measure ?equiv ?cache ?jobs store rule occs probes =
       | Incoherent _ -> { acc with incoherent = acc.incoherent + 1 }
       | Vacuous -> { acc with vacuous = acc.vacuous + 1 })
     init
-    (verdicts_of ?equiv ?cache ?jobs store rule occs probes)
+    (verdicts_of ?equiv ?cache ?engine ?jobs store rule occs probes)
 
-let classify ?equiv ?cache ?jobs store rule occs probes =
-  List.combine probes (verdicts_of ?equiv ?cache ?jobs store rule occs probes)
+let classify ?equiv ?cache ?engine ?jobs store rule occs probes =
+  List.combine probes
+    (verdicts_of ?equiv ?cache ?engine ?jobs store rule occs probes)
 
-let coherent_names ?equiv ?cache ?jobs store rule occs probes =
+let coherent_names ?equiv ?cache ?engine ?jobs store rule occs probes =
   List.filter_map
     (fun (n, v) ->
       match v with
       | Coherent _ | Weakly_coherent _ -> Some n
       | Incoherent _ | Vacuous -> None)
-    (classify ?equiv ?cache ?jobs store rule occs probes)
+    (classify ?equiv ?cache ?engine ?jobs store rule occs probes)
 
-let incoherent_names ?equiv ?cache ?jobs store rule occs probes =
+let incoherent_names ?equiv ?cache ?engine ?jobs store rule occs probes =
   List.filter_map
     (fun (n, v) ->
       match v with
       | Incoherent _ -> Some n
       | Coherent _ | Weakly_coherent _ | Vacuous -> None)
-    (classify ?equiv ?cache ?jobs store rule occs probes)
+    (classify ?equiv ?cache ?engine ?jobs store rule occs probes)
 
 let pp_verdict ppf = function
   | Coherent e -> Format.fprintf ppf "coherent(%a)" Entity.pp e

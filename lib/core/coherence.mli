@@ -22,6 +22,7 @@ type verdict =
 val check :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?engine:Engine.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -29,14 +30,18 @@ val check :
   verdict
 (** [check store rule occs n] resolves [n] under every occurrence and
     classifies the outcome. With [equiv], resolutions that are equivalent
-    but unequal yield [Weakly_coherent]. With [cache], resolutions go
-    through the given memoising resolver (same results, shared work); the
-    batch entry points below create one internally when none is given.
+    but unequal yield [Weakly_coherent]. Resolutions go through an
+    {!Engine}, chosen by {!Engine.select}: an explicit [?engine] wins,
+    then [NAMING_ENGINE], then [?cache] (wrapped as a cached engine),
+    then the default — interpreted here, cached for the batch entry
+    points below, which share one engine across every (occurrence,
+    probe) pair. Every engine produces the same verdicts.
     @raise Invalid_argument on an empty occurrence list. *)
 
 val is_coherent :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?engine:Engine.t ->
   Store.t ->
   Rule.t ->
   Occurrence.t list ->
@@ -63,6 +68,7 @@ val strict_degree : report -> float
 val measure :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?engine:Engine.t ->
   ?jobs:int ->
   Store.t ->
   Rule.t ->
@@ -71,15 +77,17 @@ val measure :
   report
 (** Every batch entry point takes [?jobs]: with [jobs > 1] the probes
     are swept in parallel on a {!Pool} of that many domains — the store
-    frozen ({!Store.read_only}) for the duration, one {!Cache.copy}
-    shard per worker seeded from [?cache], shard counters merged back
-    into [?cache] on join. Results are returned in probe order and are
-    structurally equal to the sequential ones; [jobs = 1] (or omitting
-    it) runs today's sequential path unchanged. *)
+    frozen ({!Store.read_only}) for the duration, one {!Engine.shard}
+    per worker (a {!Cache.copy} or {!Compiled.snapshot} seeded from the
+    caller's engine), cached-shard counters merged back on join.
+    Results are returned in probe order and are structurally equal to
+    the sequential ones; [jobs = 1] (or omitting it) runs today's
+    sequential path unchanged. *)
 
 val classify :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?engine:Engine.t ->
   ?jobs:int ->
   Store.t ->
   Rule.t ->
@@ -91,6 +99,7 @@ val classify :
 val coherent_names :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?engine:Engine.t ->
   ?jobs:int ->
   Store.t ->
   Rule.t ->
@@ -101,6 +110,7 @@ val coherent_names :
 val incoherent_names :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->
+  ?engine:Engine.t ->
   ?jobs:int ->
   Store.t ->
   Rule.t ->

@@ -1,0 +1,513 @@
+(* The resolution compiler: a naming world flattened into one packed
+   integer arena.
+
+   Every context object of the store becomes a {e node}: an open-addressed
+   hash table of interned atom ids, stored as a region of the shared int
+   arena. A region is a header word (the region's probe mask) followed by
+   stride-4 cells [key; slot; next; nextmask] — the bound atom, the
+   target's slot index, the {e arena offset} of the target's region when
+   the target is itself a context object (-1 otherwise), and that
+   region's probe mask. Because child links are arena offsets rather
+   than heap pointers, the walk keeps the arena base in a register and a
+   resolution step costs exactly two dependent loads: the probed key
+   (its cell neighbours share the cache line) and the child's key.
+   Integer loads and compares only — no Context map descent, no Store
+   hashtable lookup, no allocation.
+
+   Every distinct binding target also has a {e slot}: an index into side
+   arrays giving the target entity (for the final step) and the arena
+   offset of its region (the source of truth the cached cell links
+   mirror). The slot indirection is what keeps incremental recompilation
+   O(touched subtree): a bind rebuilds exactly the region of the
+   directory it touched, in place when the new table fits the region's
+   capacity. Two non-local events invalidate cached cells in parents
+   that were not themselves touched: an entity {e gaining or losing}
+   context-object-hood (promotion/demotion) and a rebuild that {e moves
+   a region} (capacity growth). In both cases [refresh] re-syncs every
+   live cell from the slot table — a rare, linear sweep that buys the
+   two-load resolution step.
+
+   Starting context {e values} (which have no backing context object)
+   get the same treatment: [resolve] packs the context into an entry
+   region, memoised by physical equality in a small ring, so repeated
+   resolutions against one activity's context skip the Context map
+   entirely. Entry regions are re-synced with the rest of the arena.
+
+   Regions abandoned by growth, demotion, or entry-ring eviction are
+   simply left behind — the arena is a bump allocator with no
+   compaction, which is what makes snapshots cheap blits. *)
+
+type stats = {
+  nodes : int;
+  slots : int;
+  table_cells : int;
+  bindings : int;
+  full_compiles : int;
+  node_builds : int;
+  patches : int;
+  patched_nodes : int;
+}
+
+let entry_ring = 8
+
+type t = {
+  store : Store.t;
+  tick : int ref;  (* the store's own clock cell: staleness polls inline *)
+  mutable gen : int;  (* store tick the tables reflect *)
+  slot_of : int Entity.Tbl.t;  (* entity -> slot *)
+  mutable slot_ents : Entity.t array;  (* slot -> entity *)
+  mutable slot_off : int array;  (* slot -> region offset, -1 = no node *)
+  mutable n_slots : int;
+  mutable arena : int array;
+  mutable arena_top : int;  (* bump pointer *)
+  mutable obj_off : int array;  (* object id -> region offset, -1 = none *)
+  mutable entry_ctxs : Context.t array;  (* memoised entry contexts *)
+  mutable entry_offs : int array;  (* their region offsets *)
+  mutable entry_n : int;  (* filled ring prefix *)
+  mutable entry_next : int;  (* round-robin eviction cursor *)
+  mutable full_compiles : int;
+  mutable node_builds : int;
+  mutable patches : int;
+  mutable patched_nodes : int;
+}
+
+let store t = t.store
+
+(* ------------------------------------------------------------------ *)
+(* Arena regions                                                       *)
+
+(* [alloc_region t cap] carves a fresh region of [cap] stride-4 cells
+   (all empty) and returns its offset; the header word before the offset
+   holds the region's probe mask, which never changes afterwards. *)
+let alloc_region t cap =
+  let need = 1 + (4 * cap) in
+  let len = Array.length t.arena in
+  if t.arena_top + need > len then begin
+    let grown = Array.make (max (2 * len) (t.arena_top + need)) (-1) in
+    Array.blit t.arena 0 grown 0 t.arena_top;
+    t.arena <- grown
+  end;
+  let off = t.arena_top + 1 in
+  t.arena.(off - 1) <- (4 * cap) - 4;
+  Array.fill t.arena off (4 * cap) (-1);
+  t.arena_top <- t.arena_top + need;
+  off
+
+let slot_for t e =
+  match Entity.Tbl.find t.slot_of e with
+  | s -> s
+  | exception Not_found ->
+      let s = t.n_slots in
+      let cap = Array.length t.slot_ents in
+      if s >= cap then begin
+        let ents = Array.make (2 * cap) Entity.undefined in
+        let offs = Array.make (2 * cap) (-1) in
+        Array.blit t.slot_ents 0 ents 0 cap;
+        Array.blit t.slot_off 0 offs 0 cap;
+        t.slot_ents <- ents;
+        t.slot_off <- offs
+      end;
+      t.slot_ents.(s) <- e;
+      t.slot_off.(s) <- -1;
+      t.n_slots <- s + 1;
+      Entity.Tbl.replace t.slot_of e s;
+      s
+
+let set_obj_off t e off =
+  let id = Entity.id e in
+  let cap = Array.length t.obj_off in
+  if id >= cap then begin
+    let grown = Array.make (max (2 * cap) (id + 1)) (-1) in
+    Array.blit t.obj_off 0 grown 0 cap;
+    t.obj_off <- grown
+  end;
+  t.obj_off.(id) <- off
+
+(* Give a context object a (minimal, empty) region if it has none. *)
+let node_for t e =
+  let s = slot_for t e in
+  let off = t.slot_off.(s) in
+  if off >= 0 then off
+  else begin
+    let off = alloc_region t 4 in
+    t.slot_off.(s) <- off;
+    set_obj_off t e off;
+    off
+  end
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+(* Fill the region at [off] from a context. The region's capacity (and
+   so its mask) is fixed; callers guarantee load factor <= 1/2, so
+   probes always terminate on an empty cell. Requires the regions of
+   every context-object target to be allocated already, so the cached
+   links are exact (compile and refresh run an allocation pass first, or
+   re-sync afterwards). *)
+let build_into t off ctx =
+  let arena = t.arena in
+  let mask4 = arena.(off - 1) in
+  Array.fill arena off (mask4 + 4) (-1);
+  Context.iter
+    (fun a e ->
+      let s = slot_for t e in
+      (* slot_for can grow nothing in the arena, so [arena] stays valid *)
+      let coff = t.slot_off.(s) in
+      let rec place i =
+        if arena.(off + i) = -1 then begin
+          arena.(off + i) <- Name.atom_id a;
+          arena.(off + i + 1) <- s;
+          arena.(off + i + 2) <- coff;
+          arena.(off + i + 3) <- (if coff < 0 then 0 else arena.(coff - 1))
+        end
+        else place ((i + 4) land mask4)
+      in
+      place ((Name.atom_id a lsl 2) land mask4))
+    ctx;
+  t.node_builds <- t.node_builds + 1
+
+(* Rebuild the region of entity [e] (slot [s]) from [ctx]: in place when
+   the table still fits, into a fresh region otherwise. Returns whether
+   the region moved (parents' cached links are then stale). *)
+let rebuild_node t e s ctx =
+  let needed = next_pow2 (2 * Context.cardinal ctx) 4 in
+  let off = t.slot_off.(s) in
+  if off >= 0 && t.arena.(off - 1) >= (4 * needed) - 4 then begin
+    build_into t off ctx;
+    false
+  end
+  else begin
+    let off' = alloc_region t needed in
+    t.slot_off.(s) <- off';
+    set_obj_off t e off';
+    build_into t off' ctx;
+    true
+  end
+
+(* Re-point every live cell's cached link and mask at its slot's current
+   region — the repair pass after promotions/demotions or region moves
+   invalidate cells in parents that were not themselves touched. Entry
+   regions are swept too; abandoned regions are not reachable from any
+   slot or entry and are skipped. *)
+let resync_region t off =
+  let arena = t.arena in
+  let mask4 = arena.(off - 1) in
+  let i = ref 0 in
+  while !i <= mask4 do
+    if arena.(off + !i) >= 0 then begin
+      let coff = t.slot_off.(arena.(off + !i + 1)) in
+      arena.(off + !i + 2) <- coff;
+      arena.(off + !i + 3) <- (if coff < 0 then 0 else arena.(coff - 1))
+    end;
+    i := !i + 4
+  done
+
+let resync_links t =
+  for s = 0 to t.n_slots - 1 do
+    if t.slot_off.(s) >= 0 then resync_region t t.slot_off.(s)
+  done;
+  for k = 0 to t.entry_n - 1 do
+    resync_region t t.entry_offs.(k)
+  done
+
+(* Allocation pass over changed entities: give every (possibly new)
+   context object a region and clear the offset of every demoted one,
+   returning whether any {e pre-existing} slot flipped context-object-
+   hood — exactly the case where some cell's cached links may now be
+   stale. (A brand-new entity has no slot until a parent's rebuild
+   references it, so its links are created correct.) *)
+let allocate_changed t touched =
+  List.fold_left
+    (fun flipped e ->
+      match Store.context_of t.store e with
+      | Some _ -> (
+          match Entity.Tbl.find_opt t.slot_of e with
+          | Some s when t.slot_off.(s) >= 0 -> flipped
+          | Some _ ->
+              ignore (node_for t e);
+              true
+          | None ->
+              ignore (node_for t e);
+              flipped)
+      | None -> (
+          match Entity.Tbl.find_opt t.slot_of e with
+          | Some s when t.slot_off.(s) >= 0 ->
+              (* The abandoned region stays in the arena; a later
+                 re-promotion allocates a fresh one. *)
+              t.slot_off.(s) <- -1;
+              set_obj_off t e (-1);
+              true
+          | Some _ | None -> flipped))
+    false touched
+
+(* Rebuild the tables of the changed context objects, reporting whether
+   any region moved. *)
+let rebuild_changed t touched =
+  List.fold_left
+    (fun moved e ->
+      t.patched_nodes <- t.patched_nodes + 1;
+      match Store.context_of t.store e with
+      | Some ctx ->
+          let s = Entity.Tbl.find t.slot_of e in
+          rebuild_node t e s ctx || moved
+      | None -> moved)
+    false touched
+
+let refresh_slow t =
+  let touched = Store.touched_since t.store t.gen in
+  t.gen <- Store.tick t.store;
+  match touched with
+  | [] -> ()
+  | _ ->
+      t.patches <- t.patches + 1;
+      let flipped = allocate_changed t touched in
+      let moved = rebuild_changed t touched in
+      if flipped || moved then resync_links t
+
+let refresh t = if !(t.tick) <> t.gen then refresh_slow t
+
+let compile store =
+  let t =
+    {
+      store;
+      tick = Store.tick_cell store;
+      gen = Store.tick store;
+      slot_of = Entity.Tbl.create 256;
+      slot_ents = Array.make 256 Entity.undefined;
+      slot_off = Array.make 256 (-1);
+      n_slots = 0;
+      arena = Array.make 1024 (-1);
+      arena_top = 0;
+      obj_off = Array.make 256 (-1);
+      entry_ctxs = Array.make entry_ring Context.empty;
+      entry_offs = Array.make entry_ring (-1);
+      entry_n = 0;
+      entry_next = 0;
+      full_compiles = 1;
+      node_builds = 0;
+      patches = 0;
+      patched_nodes = 0;
+    }
+  in
+  let ctxobjs = Store.context_objects store in
+  List.iter
+    (fun e ->
+      match Store.context_of store e with
+      | Some ctx ->
+          let s = slot_for t e in
+          ignore (rebuild_node t e s ctx)
+      | None -> ())
+    ctxobjs;
+  (* regions were built in registration order; one sweep makes every
+     cached link exact regardless of that order *)
+  resync_links t;
+  t
+
+(* A snapshot owns copies of every mutable structure (arena included —
+   plain int blits), because workers lazily pack entry regions for the
+   context values they encounter: sibling domains must never bump a
+   shared arena. The price is O(world) per worker, the same as a cache
+   shard's copy. *)
+let snapshot t =
+  refresh t;
+  {
+    t with
+    slot_of = Entity.Tbl.copy t.slot_of;
+    slot_ents = Array.copy t.slot_ents;
+    slot_off = Array.copy t.slot_off;
+    arena = Array.copy t.arena;
+    obj_off = Array.copy t.obj_off;
+    entry_ctxs = Array.copy t.entry_ctxs;
+    entry_offs = Array.copy t.entry_offs;
+    full_compiles = 0;
+    node_builds = 0;
+    patches = 0;
+    patched_nodes = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+
+(* The hot loop: probe fused with the step, the child's region offset
+   and probe mask read from the matched cell itself. A single top-level
+   tail-recursive function — every argument lives in a register, no
+   closure is allocated, and the self tail call compiles to a jump. The
+   cell's four fields load in parallel (their addresses share a base),
+   so the dependent chain from one step to the next is a single L1
+   load. *)
+let rec walk slot_ents arena off i mask4 a atoms =
+  let k = Array.unsafe_get arena (off + i) in
+  if k = a then
+    match atoms with
+    | [] -> Array.unsafe_get slot_ents (Array.unsafe_get arena (off + i + 1))
+    | a' :: rest ->
+        let off' = Array.unsafe_get arena (off + i + 2) in
+        if off' < 0 then Entity.undefined
+        else
+          let m' = Array.unsafe_get arena (off + i + 3) in
+          let a' = Name.atom_id a' in
+          walk slot_ents arena off' ((a' lsl 2) land m') m' a' rest
+  else if k < 0 then Entity.undefined
+  else walk slot_ents arena off ((i + 4) land mask4) mask4 a atoms
+
+let node_of t e =
+  match e with
+  | Entity.Object id when id < Array.length t.obj_off ->
+      Array.unsafe_get t.obj_off id
+  | _ -> -1
+
+let resolve_in t o name =
+  refresh t;
+  let off = node_of t o in
+  if off < 0 then Entity.undefined
+  else
+    match Name.atoms name with
+    | [] -> assert false
+    | a :: rest ->
+        let mask4 = t.arena.(off - 1) in
+        let a = Name.atom_id a in
+        walk t.slot_ents t.arena off ((a lsl 2) land mask4) mask4 a rest
+
+let rec entry_find t ctx k =
+  if k >= t.entry_n then -1
+  else if t.entry_ctxs.(k) == ctx then t.entry_offs.(k)
+  else entry_find t ctx (k + 1)
+
+(* The packed entry region for a starting context value, memoised by
+   physical equality: context values are immutable, so a hit can never
+   be stale (the region's cached links are kept fresh by resync like
+   any node's). Misses pack the context and evict round-robin. *)
+let entry_table t ctx =
+  let off = entry_find t ctx 0 in
+  if off >= 0 then off
+  else begin
+    let cap = next_pow2 (2 * Context.cardinal ctx) 4 in
+    let off = alloc_region t cap in
+    build_into t off ctx;
+    let k =
+      if t.entry_n < entry_ring then begin
+        let k = t.entry_n in
+        t.entry_n <- k + 1;
+        k
+      end
+      else begin
+        let k = t.entry_next in
+        t.entry_next <- (k + 1) mod entry_ring;
+        k
+      end
+    in
+    t.entry_ctxs.(k) <- ctx;
+    t.entry_offs.(k) <- off;
+    off
+  end
+
+(* Resolution relative to a context value: every atom, including the
+   first, through packed tables — the first via the memoised entry
+   region of the value. *)
+let resolve t ctx name =
+  refresh t;
+  match Name.atoms name with
+  | [] -> assert false
+  | a :: rest ->
+      let off =
+        if t.entry_n > 0 && Array.unsafe_get t.entry_ctxs 0 == ctx then
+          Array.unsafe_get t.entry_offs 0
+        else entry_table t ctx
+      in
+      let mask4 = t.arena.(off - 1) in
+      let a = Name.atom_id a in
+      walk t.slot_ents t.arena off ((a lsl 2) land mask4) mask4 a rest
+
+(* One non-fused probe, for the trace path: the base cell index of atom
+   [a] in the region at [off], or -1 when unbound there. *)
+let probe arena off a =
+  let mask4 = arena.(off - 1) in
+  let rec go i =
+    let k = arena.(off + i) in
+    if k = a then i else if k < 0 then -1 else go ((i + 4) land mask4)
+  in
+  go ((a lsl 2) land mask4)
+
+(* The trace mirror of [Resolver.resolve_trace_into]: same steps, same
+   buffer, so trace consumers (Predict) can run over compiled form and
+   produce identical evidence. *)
+let resolve_trace_into buf t ctx name =
+  refresh t;
+  Resolver.buffer_clear buf;
+  let arena = t.arena in
+  let rec go at off atoms =
+    match atoms with
+    | [] -> assert false
+    | [ a ] ->
+        let i = probe arena off (Name.atom_id a) in
+        let e =
+          if i < 0 then Entity.undefined
+          else t.slot_ents.(arena.(off + i + 1))
+        in
+        Resolver.buffer_push buf { Resolver.at; atom = a; target = e };
+        e
+    | a :: rest ->
+        let i = probe arena off (Name.atom_id a) in
+        let e =
+          if i < 0 then Entity.undefined
+          else t.slot_ents.(arena.(off + i + 1))
+        in
+        Resolver.buffer_push buf { Resolver.at; atom = a; target = e };
+        if i < 0 then Entity.undefined
+        else
+          let off' = arena.(off + i + 2) in
+          if off' < 0 then Entity.undefined else go e off' rest
+  in
+  let first atoms =
+    match atoms with
+    | [] -> assert false
+    | [ a ] ->
+        let e = Context.lookup ctx a in
+        Resolver.buffer_push buf
+          { Resolver.at = Entity.undefined; atom = a; target = e };
+        e
+    | a :: rest ->
+        let e = Context.lookup ctx a in
+        Resolver.buffer_push buf
+          { Resolver.at = Entity.undefined; atom = a; target = e };
+        let off = node_of t e in
+        if off < 0 then Entity.undefined else go e off rest
+  in
+  first (Name.atoms name)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+
+let stats t =
+  (* Abandoned regions (growth, demotion, entry eviction) still occupy
+     arena space; count only regions a slot currently owns. *)
+  let live = ref 0 and table_cells = ref 0 and bindings = ref 0 in
+  for s = 0 to t.n_slots - 1 do
+    let off = t.slot_off.(s) in
+    if off >= 0 then begin
+      incr live;
+      let mask4 = t.arena.(off - 1) in
+      table_cells := !table_cells + ((mask4 + 4) / 4);
+      let i = ref 0 in
+      while !i <= mask4 do
+        if t.arena.(off + !i) >= 0 then incr bindings;
+        i := !i + 4
+      done
+    end
+  done;
+  {
+    nodes = !live;
+    slots = t.n_slots;
+    table_cells = !table_cells;
+    bindings = !bindings;
+    full_compiles = t.full_compiles;
+    node_builds = t.node_builds;
+    patches = t.patches;
+    patched_nodes = t.patched_nodes;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "nodes=%d slots=%d cells=%d bindings=%d builds=%d patches=%d \
+     patched_nodes=%d"
+    s.nodes s.slots s.table_cells s.bindings s.node_builds s.patches
+    s.patched_nodes

@@ -1,0 +1,65 @@
+(** The resolution compiler: a naming world packed into flat int tables.
+
+    [compile store] flattens every context object of the store into an
+    open-addressed hash table of interned atom ids, so that resolving a
+    compound name is one integer table probe per path component —
+    no Context map descent, no Store hashtable lookup, and no allocation
+    on the resolve path. The compiled form tracks the store's mutation
+    clock ({!Store.tick} / {!Store.touched_since}) and recompiles
+    {e incrementally}: a bind patches exactly the node of the directory
+    it touched, not the world.
+
+    Results are defined to be identical to {!Resolver}'s on every input:
+    the compiled engine is an implementation of the paper's section-2
+    semantics, not a variant of them. *)
+
+type t
+
+val compile : Store.t -> t
+(** Compile the current state of the store. Subsequent store mutations
+    are folded in lazily by the next resolve (or eagerly by
+    {!refresh}). *)
+
+val store : t -> Store.t
+
+val refresh : t -> unit
+(** Bring the tables up to date with the store: rebuilds only the nodes
+    of entities reported by {!Store.touched_since} since the last
+    refresh. A no-op when the store tick is unchanged. Call this before
+    sharing {!snapshot}s with parallel workers so the workers never
+    patch concurrently. *)
+
+val snapshot : t -> t
+(** A refreshed shallow copy for a parallel worker: shares the packed
+    tables (safe under {!Store.read_only}, where no patching can occur)
+    but owns its entry-point index, so concurrent resolves in sibling
+    domains never contend. Per-run counters start at zero. *)
+
+val resolve : t -> Context.t -> Name.t -> Entity.t
+(** [resolve t c n] — same result as [Resolver.resolve (store t) c n]:
+    the first atom through the context value [c], every further step
+    through the packed tables. *)
+
+val resolve_in : t -> Entity.t -> Name.t -> Entity.t
+(** [resolve_in t o n] — same result as
+    [Resolver.resolve_in (store t) o n]. *)
+
+val resolve_trace_into : Resolver.buffer -> t -> Context.t -> Name.t -> Entity.t
+(** Same steps (and result) as {!Resolver.resolve_trace_into}, produced
+    from the packed tables: trace consumers see identical evidence. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  nodes : int;  (** live compiled nodes (= context objects) *)
+  slots : int;  (** distinct entities referenced by the tables *)
+  table_cells : int;  (** total open-addressing cells across nodes *)
+  bindings : int;  (** occupied cells (= defined bindings) *)
+  full_compiles : int;  (** whole-world compiles (1, or 0 for snapshots) *)
+  node_builds : int;  (** per-node table (re)builds, initial + patches *)
+  patches : int;  (** incremental refresh rounds that found changes *)
+  patched_nodes : int;  (** touched entities processed by those rounds *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,80 @@
+(** Resolution engines: one semantics, three execution strategies.
+
+    Every resolve consumer (coherence sweeps, workload replays, the
+    analyzers, the simulator) goes through an engine:
+
+    - {e interpreted} — {!Resolver}: walk the context objects
+      atom-by-atom on every call.
+    - {e cached} — {!Cache}: memoise results with dependency-tracked
+      invalidation.
+    - {e compiled} — {!Compiled}: packed int-table dispatch with
+      incremental recompilation.
+
+    The three produce identical results on every input (a property test
+    holds them to it); they differ only in cost model. Call sites take
+    [?engine] and fall back to [of_env], so the environment variable
+    [NAMING_ENGINE=interpreted|cached|compiled] re-runs any unchanged
+    workload under another engine. *)
+
+type kind = [ `Interpreted | `Cached | `Compiled ]
+
+type t =
+  | Interpreted of Store.t
+  | Cached of Cache.t
+  | Compiled of Compiled.t
+
+val create : kind -> Store.t -> t
+
+val env_kind : unit -> kind option
+(** The kind requested by [NAMING_ENGINE], or [None] when unset/empty.
+    @raise Invalid_argument on an unrecognised value. *)
+
+val of_env : ?default:kind -> Store.t -> t
+(** [of_env ?default store] reads [NAMING_ENGINE]; unset or empty falls
+    back to [default] (itself defaulting to [`Interpreted] — the
+    engine with no warm-up and no state, matching the historical
+    behaviour of single resolutions).
+    @raise Invalid_argument on an unrecognised value. *)
+
+val select :
+  ?cache:Cache.t -> ?engine:t -> default:kind -> Store.t -> t
+(** The call-site selector: an explicit [?engine] wins; otherwise
+    [NAMING_ENGINE] (the variable exists precisely to re-run unchanged
+    call sites under another engine); otherwise a caller-supplied
+    [?cache] is wrapped ([Cached]); otherwise [default]. *)
+
+val kind : t -> kind
+val label : t -> string
+
+val store : t -> Store.t
+(** @raise Invalid_argument for [Cached] (the cache hides its store). *)
+
+(** {1 Resolution} — each equal to its {!Resolver} counterpart *)
+
+val resolve : t -> Context.t -> Name.t -> Entity.t
+val resolve_in : t -> Entity.t -> Name.t -> Entity.t
+
+val resolve_trace_into :
+  Resolver.buffer -> t -> Store.t -> Context.t -> Name.t -> Entity.t
+(** Same steps as {!Resolver.resolve_trace_into}. [Interpreted] and
+    [Cached] walk the store (the cache memoises results, not paths);
+    [Compiled] reconstructs the identical trace from its tables. *)
+
+(** {1 Parallel sweeps} *)
+
+val prepare : t -> unit
+(** Bring the engine up to date with its store ({!Compiled.refresh});
+    call before {!Store.read_only} fan-out so worker shards never patch
+    concurrently. No-op for the other engines. *)
+
+val shard : t -> t
+(** A per-domain engine over the same store: {!Cache.copy} /
+    {!Compiled.snapshot}; [Interpreted] is stateless and shared. *)
+
+val absorb : t -> shard:t -> unit
+(** Merge a shard's counters back after a join (cached shards only —
+    compiled snapshots cannot patch under the read barrier, so they
+    have nothing to report). *)
+
+val cache : t -> Cache.t option
+val compiled : t -> Compiled.t option

@@ -66,7 +66,7 @@ let atom s =
   else Symtab.intern s
 
 let atom_to_string = Symtab.string_of
-let atom_id a = a
+external atom_id : atom -> int = "%identity"
 let root_atom = atom "/"
 let self_atom = atom "."
 let parent_atom = atom ".."
@@ -107,7 +107,7 @@ let to_string = function
       "/" ^ String.concat "/" (List.map atom_to_string rest)
   | l -> String.concat "/" (List.map atom_to_string l)
 
-let atoms n = n
+external atoms : t -> atom list = "%identity"
 let length = List.length
 
 let head = function [] -> assert false | a :: _ -> a

@@ -32,9 +32,11 @@ val atom : string -> atom
 
 val atom_to_string : atom -> string
 
-val atom_id : atom -> int
+external atom_id : atom -> int = "%identity"
 (** The interned symbol id: a small non-negative integer, distinct for
-    distinct atom strings, stable for the lifetime of the process. *)
+    distinct atom strings, stable for the lifetime of the process.
+    (A compiler primitive so per-step uses inside resolution loops cost
+    nothing even without cross-module inlining.) *)
 
 val atom_hash : atom -> int
 (** A hash consistent with {!atom_equal} (the symbol id itself). *)
@@ -67,7 +69,7 @@ val to_string : t -> string
 (** Inverse of {!of_string}: a leading root atom prints as a leading
     slash. *)
 
-val atoms : t -> atom list
+external atoms : t -> atom list = "%identity"
 val length : t -> int
 val head : t -> atom
 val tail : t -> t option

@@ -76,6 +76,12 @@ let resolve_in store o name =
    final entity of a successful walk is looked up but not consulted, so
    it is not a dependency. *)
 let resolve_deps store o name =
+  (* Cyclic walks (think ".." bindings: /a/../a/..) consult the same
+     entity more than once; each is listed once, at its first visit, so
+     cache entries stay minimal and generation checks are not repeated. *)
+  let add e rev_deps =
+    if List.exists (Entity.equal e) rev_deps then rev_deps else e :: rev_deps
+  in
   let rec go ctx atoms rev_deps =
     match atoms with
     | [] -> assert false
@@ -83,8 +89,8 @@ let resolve_deps store o name =
     | a :: rest -> (
         let e' = Context.lookup ctx a in
         match Store.context_of store e' with
-        | Some next_ctx -> go next_ctx rest (e' :: rev_deps)
-        | None -> (Entity.undefined, List.rev (e' :: rev_deps)))
+        | Some next_ctx -> go next_ctx rest (add e' rev_deps)
+        | None -> (Entity.undefined, List.rev (add e' rev_deps)))
   in
   match Store.context_of store o with
   | Some c -> go c (Name.atoms name) [ o ]

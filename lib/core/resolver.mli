@@ -43,6 +43,10 @@ val create_buffer : unit -> buffer
 val buffer_clear : buffer -> unit
 val buffer_length : buffer -> int
 
+val buffer_push : buffer -> step -> unit
+(** Append one step. Exposed for alternative engines ({!Compiled}) that
+    fill a buffer with the same steps this module would produce. *)
+
 val buffer_trace : buffer -> trace
 (** Snapshot the buffered steps as a list (allocates). *)
 
@@ -56,7 +60,9 @@ val resolve_in : Store.t -> Entity.t -> Name.t -> Entity.t
 
 val resolve_deps : Store.t -> Entity.t -> Name.t -> Entity.t * Entity.t list
 (** [resolve_deps store o n] is {!resolve_in} plus the entities whose
-    states the walk consulted, in walk order, starting with [o] itself.
+    states the walk consulted, each listed once at its first visit, in
+    walk order, starting with [o] itself (cyclic walks — e.g. [".."]
+    bindings — consult the same entity repeatedly but report it once).
     The result of the resolution is a function of exactly these entities'
     states: while none of their {!Store.generation}s change, the result
     (defined or ⊥) cannot change. Dependency-tracked caches key their

@@ -12,7 +12,7 @@ let journal_cap = 8192
 let journal_keep = 2048
 
 type t = {
-  mutable tick : int;
+  tick : int ref;  (* a ref, not a mutable field, so engines can hold the cell and poll staleness without a call *)
   mutable next_id : int;
   mutable frozen : int;  (* depth of read-only (parallel) sections *)
   objs : obj_state Entity.Tbl.t;
@@ -27,7 +27,7 @@ type t = {
 
 let create () =
   {
-    tick = 0;
+    tick = ref 0;
     next_id = 0;
     frozen = 0;
     objs = Entity.Tbl.create 64;
@@ -40,8 +40,9 @@ let create () =
     rev_objects = [];
   }
 
-let version t = t.tick
+let version t = !(t.tick)
 let tick = version
+let tick_cell t = t.tick
 
 (* The write barrier of parallel sweeps. Worker domains treat every
    store as read-only; the batch entry points freeze the store around
@@ -71,20 +72,20 @@ let rec take_journal k = function
 
 let touch t e =
   check_writable t;
-  t.tick <- t.tick + 1;
-  Entity.Tbl.replace t.gens e t.tick;
-  t.journal <- (t.tick, e) :: t.journal;
+  incr t.tick;
+  Entity.Tbl.replace t.gens e !(t.tick);
+  t.journal <- (!(t.tick), e) :: t.journal;
   t.journal_len <- t.journal_len + 1;
   if t.journal_len > journal_cap then begin
     t.journal <- take_journal journal_keep t.journal;
     t.journal_len <- journal_keep;
     (match List.rev t.journal with
     | (oldest, _) :: _ -> t.journal_floor <- oldest - 1
-    | [] -> t.journal_floor <- t.tick)
+    | [] -> t.journal_floor <- !(t.tick))
   end
 
 let touched_since t since =
-  if since >= t.tick then []
+  if since >= !(t.tick) then []
   else if since >= t.journal_floor then begin
     let seen = Entity.Tbl.create 16 in
     let rec go acc = function
@@ -108,7 +109,7 @@ let fresh_id t =
   check_writable t;
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.tick <- t.tick + 1;
+  incr t.tick;
   id
 
 let create_object ?label ?(state = Data "") t =

@@ -77,6 +77,12 @@ val version : t -> int
 val tick : t -> int
 (** Alias of {!version}: the monotonic global mutation clock. *)
 
+val tick_cell : t -> int ref
+(** The clock itself. Resolution engines hold the cell and compare
+    [!(cell)] against their compiled generation on every resolve; the
+    cell lets that staleness poll inline to two loads instead of a
+    cross-module call. Holders must treat the cell as read-only. *)
+
 val generation : t -> Entity.t -> int
 (** The global tick at which this entity's state last changed (object
     allocation counts as a change), or [0] if it never has. A resolution
@@ -86,9 +92,14 @@ val generation : t -> Entity.t -> int
 val touched_since : t -> int -> Entity.t list
 (** [touched_since t since] lists the entities whose state changed after
     global tick [since] (each entity once, most recent changes last).
-    Backed by a bounded journal of recent changes; asking about a tick
-    older than the journal covers falls back to a scan of the generation
-    table, which is complete but unordered. *)
+    Backed by a bounded journal of recent changes: the journal grows to
+    8192 entries, then is truncated to its 2048 newest, so it always
+    covers at least the last 2048 change ticks. Asking about a tick at
+    or below the truncation floor falls back to a scan of the
+    generation table — still complete (every touched entity is listed,
+    never any untouched one), but unordered and O(entities in the
+    store). Incremental consumers ({!Compiled}) only rely on
+    completeness, so overflow costs time, not correctness. *)
 
 val read_only : t -> (unit -> 'a) -> 'a
 (** [read_only t f] runs [f] with the store frozen: any mutation

@@ -15,26 +15,29 @@ type row = {
   embedded_deg : float option;
 }
 
-(* Every measurement over the same world shares one cache: the three
-   degrees resolve the same probes over the same paths, so the second and
-   third row entries run almost entirely on hits. *)
-let world_cache w = Naming.Cache.create w.store
+(* Every measurement over the same world shares one engine: the three
+   degrees resolve the same probes over the same paths, so with the
+   default cached engine the second and third row entries run almost
+   entirely on hits, and with the compiled engine the world is compiled
+   once for all three. *)
+let world_engine ?cache ?engine w =
+  Naming.Engine.select ?cache ?engine ~default:`Cached w.store
 
-let generated_degree ?cache ?jobs w =
-  let cache = match cache with Some c -> c | None -> world_cache w in
+let generated_degree ?cache ?engine ?jobs w =
+  let engine = world_engine ?cache ?engine w in
   let occs = List.map Naming.Occurrence.generated w.activities in
   let report =
-    Naming.Coherence.measure ?equiv:w.equiv ~cache ?jobs w.store w.rule occs
+    Naming.Coherence.measure ?equiv:w.equiv ~engine ?jobs w.store w.rule occs
       w.probes
   in
   Naming.Coherence.degree report
 
-let received_degree ?cache ?jobs w =
-  let cache = match cache with Some c -> c | None -> world_cache w in
+let received_degree ?cache ?engine ?jobs w =
+  let engine = world_engine ?cache ?engine w in
   let events =
     Workload.Exchange.all_pairs ~activities:w.activities ~probes:w.probes
   in
-  Workload.Exchange.coherent_fraction ?equiv:w.equiv ~cache ?jobs w.store
+  Workload.Exchange.coherent_fraction ?equiv:w.equiv ~engine ?jobs w.store
     w.rule events
 
 (* One embedded check per (source document, embedded name): the sweep
@@ -50,41 +53,34 @@ let embedded_units w =
       List.map (fun name -> (occs, name)) names)
     w.embedded
 
-let embedded_degree ?cache ?jobs w =
+let embedded_degree ?cache ?engine ?jobs w =
   match w.embedded with
   | [] -> None
   | _ ->
+      let engine = world_engine ?cache ?engine w in
       let units = embedded_units w in
       let verdicts =
         match Naming.Pool.get ?jobs () with
         | None ->
-            let cache =
-              match cache with Some c -> c | None -> world_cache w
-            in
             List.map
               (fun (occs, name) ->
-                Naming.Coherence.check ?equiv:w.equiv ~cache w.store w.rule
+                Naming.Coherence.check ?equiv:w.equiv ~engine w.store w.rule
                   occs name)
               units
         | Some pool ->
+            Naming.Engine.prepare engine;
             Naming.Store.read_only w.store (fun () ->
                 let verdicts, shards =
                   Naming.Pool.map_local pool
-                    ~local:(fun () ->
-                      match cache with
-                      | Some c -> Naming.Cache.copy c
-                      | None -> Naming.Cache.create w.store)
+                    ~local:(fun () -> Naming.Engine.shard engine)
                     (fun shard (occs, name) ->
-                      Naming.Coherence.check ?equiv:w.equiv ~cache:shard
+                      Naming.Coherence.check ?equiv:w.equiv ~engine:shard
                         w.store w.rule occs name)
                     units
                 in
-                (match cache with
-                | None -> ()
-                | Some c ->
-                    List.iter
-                      (fun s -> Naming.Cache.absorb c (Naming.Cache.stats s))
-                      shards);
+                List.iter
+                  (fun s -> Naming.Engine.absorb engine ~shard:s)
+                  shards;
                 verdicts)
       in
       let coherent = ref 0 and meaningful = ref 0 in
@@ -100,13 +96,13 @@ let embedded_degree ?cache ?jobs w =
       if !meaningful = 0 then Some 1.0
       else Some (float_of_int !coherent /. float_of_int !meaningful)
 
-let measure ?jobs w =
-  let cache = world_cache w in
+let measure ?engine ?jobs w =
+  let engine = world_engine ?engine w in
   {
     world = w.label;
-    generated = generated_degree ~cache ?jobs w;
-    received = received_degree ~cache ?jobs w;
-    embedded_deg = embedded_degree ~cache ?jobs w;
+    generated = generated_degree ~engine ?jobs w;
+    received = received_degree ~engine ?jobs w;
+    embedded_deg = embedded_degree ~engine ?jobs w;
   }
 
 (* Worlds are independent (each has its own store), so the coarser

@@ -7,10 +7,19 @@ type t = {
   store : S.t;
   asg : Naming.Rule.Assignment.t;
   mutable rev_activities : E.t list;
+  mutable env_engine : Naming.Engine.t option;
+      (* lazily built when NAMING_ENGINE overrides the default resolve
+         path, so e.g. the compiled engine compiles once per
+         environment, not once per resolution *)
 }
 
 let create store =
-  { store; asg = Naming.Rule.Assignment.create (); rev_activities = [] }
+  {
+    store;
+    asg = Naming.Rule.Assignment.create ();
+    rev_activities = [];
+    env_engine = None;
+  }
 
 let store t = t.store
 let assignment t = t.asg
@@ -69,7 +78,7 @@ let cwd_of t a = C.lookup (context t a) N.self_atom
 let activities t = List.rev t.rev_activities
 let rule t = Naming.Rule.of_activity t.asg
 
-let resolve ?cache t ~as_ name =
+let resolve ?cache ?engine t ~as_ name =
   let ctx = context t as_ in
   (* Absolute names go through the "/" binding; relative names whose head
      is bound directly in the activity's context (a per-process
@@ -79,8 +88,22 @@ let resolve ?cache t ~as_ name =
     else if C.mem ctx (N.head name) then name
     else N.cons N.self_atom name
   in
-  match cache with
-  | Some c -> Naming.Cache.resolve_in c (context_object t as_) name
-  | None -> Naming.Resolver.resolve t.store ctx name
+  match (cache, engine) with
+  | _, Some e -> Naming.Engine.resolve_in e (context_object t as_) name
+  | Some c, None -> Naming.Cache.resolve_in c (context_object t as_) name
+  | None, None -> (
+      match Naming.Engine.env_kind () with
+      | None -> Naming.Resolver.resolve t.store ctx name
+      | Some kind ->
+          let e =
+            match t.env_engine with
+            | Some e when Naming.Engine.kind e = kind -> e
+            | _ ->
+                let e = Naming.Engine.create kind t.store in
+                t.env_engine <- Some e;
+                e
+          in
+          Naming.Engine.resolve_in e (context_object t as_) name)
 
-let resolve_str ?cache t ~as_ s = resolve ?cache t ~as_ (N.of_string s)
+let resolve_str ?cache ?engine t ~as_ s =
+  resolve ?cache ?engine t ~as_ (N.of_string s)

@@ -69,6 +69,7 @@ val rule : t -> Naming.Rule.t
 
 val resolve :
   ?cache:Naming.Cache.t ->
+  ?engine:Naming.Engine.t ->
   t ->
   as_:Naming.Entity.t ->
   Naming.Name.t ->
@@ -77,12 +78,15 @@ val resolve :
     Absolute names resolve through the ["/"] binding; a relative name
     whose head is bound directly in the activity's context (a
     per-process attachment) resolves there; any other relative name is
-    resolved from the working directory (the ["."] binding). With
-    [cache], the walk is memoised against the activity's context object
-    — same result, shared work across repeated resolutions. *)
+    resolved from the working directory (the ["."] binding). The walk
+    goes through [engine] when given, else [cache], else the plain
+    interpreter — unless [NAMING_ENGINE] overrides the latter, in which
+    case an engine of that kind is built once per environment and
+    reused. Every path returns the same entity. *)
 
 val resolve_str :
   ?cache:Naming.Cache.t ->
+  ?engine:Naming.Engine.t ->
   t ->
   as_:Naming.Entity.t ->
   string ->

@@ -117,6 +117,11 @@ type replica = {
 type t = {
   network : (request, response) Rpc.message Network.t;
   store : S.t;
+  engine : Naming.Engine.t;
+      (* serves every Resolve request and coherence sample; interpreted
+         by default, NAMING_ENGINE overrides — the compiled engine then
+         re-patches incrementally as writes and anti-entropy mutate the
+         mirrors *)
   leaves : (string, E.t) Hashtbl.t;
   members : replica array;
   repl : Naming.Replication.t;
@@ -181,7 +186,7 @@ let apply t r op =
 
 let handle t r req =
   match req with
-  | Resolve name -> Resolved (Naming.Resolver.resolve_in t.store r.root name)
+  | Resolve name -> Resolved (Naming.Engine.resolve_in t.engine r.root name)
   | Write { path; atom; target } -> (
       let key = path_key path in
       match Hashtbl.find_opt r.dirs key with
@@ -313,6 +318,7 @@ let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
     {
       network;
       store;
+      engine = Naming.Engine.of_env ~default:`Interpreted store;
       leaves;
       members;
       repl;
@@ -351,7 +357,7 @@ let endpoint t i = get_endpoint (member t i)
 let leaf t key = Hashtbl.find_opt t.leaves key
 
 let resolve_at t i name =
-  Naming.Resolver.resolve_in t.store (member t i).root name
+  Naming.Engine.resolve_in t.engine (member t i).root name
 
 let write_local t i req = handle t (member t i) req
 
@@ -362,8 +368,17 @@ let occurrences t =
 
 let equiv t a b = Naming.Replication.same_replica t.repl a b
 
+let engine t = t.engine
+
 let measure ?jobs t names =
-  Naming.Coherence.measure ~equiv:(equiv t) ?jobs t.store t.rule
+  (* Under NAMING_ENGINE the cluster's own engine serves the sweep too,
+     so e.g. a compiled engine re-patches incrementally across samples
+     instead of being rebuilt per call; otherwise the batch default (a
+     fresh cached engine per call) stands. *)
+  let engine =
+    match Naming.Engine.env_kind () with Some _ -> Some t.engine | None -> None
+  in
+  Naming.Coherence.measure ~equiv:(equiv t) ?engine ?jobs t.store t.rule
     (occurrences t) names
 
 let converged t =

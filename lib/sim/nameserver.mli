@@ -94,6 +94,14 @@ val port : int
 (** The well-known port replicas listen on (1). *)
 
 val store : t -> Naming.Store.t
+
+val engine : t -> Naming.Engine.t
+(** The engine serving [Resolve] requests, {!resolve_at}, and — when
+    [NAMING_ENGINE] is set — {!measure}. Interpreted by default;
+    [NAMING_ENGINE] overrides, in which case e.g. a compiled engine
+    re-patches incrementally as writes and anti-entropy mutate the
+    mirrors. Every engine returns the same entities. *)
+
 val replicas : t -> int
 val replica_node : t -> int -> Network.node_id
 val replica_address : t -> int -> Network.address

@@ -46,42 +46,33 @@ let fraction_of_verdicts verdicts =
   if !meaningful = 0 then 1.0
   else float_of_int !coherent /. float_of_int !meaningful
 
-let coherent_fraction ?equiv ?cache ?jobs store rule events =
+let coherent_fraction ?equiv ?cache ?engine ?jobs store rule events =
+  (* one engine for the whole event batch: most events share probes and
+     path prefixes (cached) or the one compiled world (compiled) *)
+  let engine = Naming.Engine.select ?cache ?engine ~default:`Cached store in
   let verdicts =
     match Naming.Pool.get ?jobs () with
     | None ->
-        (* one cache for the whole event batch: most events share probes
-           and path prefixes *)
-        let cache =
-          match cache with Some c -> c | None -> Naming.Cache.create store
-        in
         List.map
           (fun ev ->
-            Naming.Coherence.check ?equiv ~cache store rule (occurrences ev)
+            Naming.Coherence.check ?equiv ~engine store rule (occurrences ev)
               ev.name)
           events
     | Some pool ->
         (* fan the (sender, receiver, probe) units across domains: store
-           frozen, one cache shard per worker seeded from [?cache],
-           shard counters merged back on join *)
+           frozen, one engine shard per worker seeded from the batch
+           engine, cached-shard counters merged back on join *)
+        Naming.Engine.prepare engine;
         Naming.Store.read_only store (fun () ->
             let verdicts, shards =
               Naming.Pool.map_local pool
-                ~local:(fun () ->
-                  match cache with
-                  | Some c -> Naming.Cache.copy c
-                  | None -> Naming.Cache.create store)
+                ~local:(fun () -> Naming.Engine.shard engine)
                 (fun shard ev ->
-                  Naming.Coherence.check ?equiv ~cache:shard store rule
+                  Naming.Coherence.check ?equiv ~engine:shard store rule
                     (occurrences ev) ev.name)
                 events
             in
-            (match cache with
-            | None -> ()
-            | Some c ->
-                List.iter
-                  (fun s -> Naming.Cache.absorb c (Naming.Cache.stats s))
-                  shards);
+            List.iter (fun s -> Naming.Engine.absorb engine ~shard:s) shards;
             verdicts)
   in
   fraction_of_verdicts verdicts

@@ -33,17 +33,20 @@ val occurrences : event -> Naming.Occurrence.t list
 val coherent_fraction :
   ?equiv:(Naming.Entity.t -> Naming.Entity.t -> bool) ->
   ?cache:Naming.Cache.t ->
+  ?engine:Naming.Engine.t ->
   ?jobs:int ->
   Naming.Store.t ->
   Naming.Rule.t ->
   event list ->
   float
 (** Fraction of non-vacuous events that are coherent under the rule.
-    Resolutions share one memoising resolver (pass [cache] to share it
-    with other measurements over the same store). With [jobs > 1] the
-    events are checked in parallel — store frozen, per-domain cache
-    shards seeded from [cache], counters merged on join — and the
-    fraction is identical to the sequential one. *)
+    Resolutions share one {!Naming.Engine} — chosen by
+    {!Naming.Engine.select} from [?engine] / [NAMING_ENGINE] / [?cache],
+    defaulting to a fresh cached engine — so events that share probes
+    and path prefixes share work. With [jobs > 1] the events are checked
+    in parallel — store frozen, one {!Naming.Engine.shard} per worker,
+    cached-shard counters merged on join — and the fraction is identical
+    to the sequential one. *)
 
 val run_over_network :
   engine:Dsim.Engine.t ->

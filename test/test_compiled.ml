@@ -1,0 +1,393 @@
+(* Tests for Naming.Compiled and Naming.Engine — the packed-table
+   resolution compiler and the engine abstraction over it. The contract
+   under test is strict: every engine returns byte-identical results to
+   the section-2 interpreter on every input, and incremental
+   recompilation is indistinguishable from compiling from scratch. *)
+
+module S = Naming.Store
+module E = Naming.Entity
+module N = Naming.Name
+module C = Naming.Context
+module R = Naming.Resolver
+module Cp = Naming.Compiled
+module Eng = Naming.Engine
+
+let check = Alcotest.check
+let b = Alcotest.bool
+let i = Alcotest.int
+let entity = Alcotest.testable E.pp E.equal
+
+let fixture () =
+  let st = S.create () in
+  let fs = Vfs.Fs.create st in
+  Vfs.Fs.populate fs Schemes.Unix_scheme.default_tree;
+  (st, fs, Vfs.Fs.root fs)
+
+let unix_paths =
+  [
+    "/";
+    "bin";
+    "bin/ls";
+    "usr/bin/cc";
+    "etc/passwd";
+    "tmp";
+    "ghost";
+    "no/such/thing";
+    "bin/ls/through-a-file";
+  ]
+
+let test_matches_interpreter () =
+  let st, _, root = fixture () in
+  let c = Cp.compile st in
+  List.iter
+    (fun p ->
+      let n = N.of_string p in
+      check entity p (R.resolve_in st root n) (Cp.resolve_in c root n))
+    unix_paths;
+  (* resolution against a context value, and from a non-context *)
+  let ctx = C.of_bindings [ (N.root_atom, root) ] in
+  List.iter
+    (fun p ->
+      let n = N.of_string p in
+      check entity (p ^ " (ctx)") (R.resolve st ctx n) (Cp.resolve c ctx n))
+    unix_paths;
+  let file = R.resolve_in st root (N.of_string "bin/ls") in
+  check entity "resolve_in from a data object" E.undefined
+    (Cp.resolve_in c file (N.of_string "x"))
+
+let test_incremental_refresh () =
+  let st, fs, root = fixture () in
+  let c = Cp.compile st in
+  ignore (Cp.resolve_in c root (N.of_string "bin/ls"));
+  (* bind, unbind, create: each patch must be visible immediately *)
+  let f = Vfs.Fs.add_file fs "/tmp/fresh" ~content:"x" in
+  check entity "new file visible" f (Cp.resolve_in c root (N.of_string "tmp/fresh"));
+  let bin = Vfs.Fs.lookup fs "/bin" in
+  Vfs.Fs.unlink fs ~dir:bin "ls";
+  check entity "unbind visible" E.undefined
+    (Cp.resolve_in c root (N.of_string "bin/ls"));
+  let d = Vfs.Fs.mkdir_path fs "/tmp/sub" in
+  let g = Vfs.Fs.add_file fs "/tmp/sub/g" ~content:"y" in
+  check entity "new dir walkable" g
+    (Cp.resolve_in c root (N.of_string "tmp/sub/g"));
+  check entity "new dir itself" d (Cp.resolve_in c root (N.of_string "tmp/sub"));
+  let st_stats = Cp.stats c in
+  check b "patched incrementally, not recompiled" true
+    (st_stats.Cp.full_compiles = 1 && st_stats.Cp.patches >= 3)
+
+(* Promotion and demotion: an entity's context-object-hood can change
+   after parents already hold packed references to it. *)
+let test_promotion_demotion () =
+  let st = S.create () in
+  let root = S.create_context_object ~label:"root" st in
+  let o = S.create_object ~label:"o" ~state:(S.Data "plain") st in
+  S.bind st ~dir:root (N.atom "o") o;
+  let c = Cp.compile st in
+  check entity "leaf resolves" o (Cp.resolve_in c root (N.of_string "o"));
+  check entity "leaf blocks descent" E.undefined
+    (Cp.resolve_in c root (N.of_string "o/x"));
+  (* promote: o becomes a context object *)
+  let x = S.create_object ~label:"x" st in
+  S.set_obj_state st o (S.Context (C.of_bindings [ (N.atom "x", x) ]));
+  check entity "promoted: descent works" x
+    (Cp.resolve_in c root (N.of_string "o/x"));
+  (* demote: o back to data; the parent table is untouched but the walk
+     must fail again *)
+  S.set_obj_state st o (S.Data "plain again");
+  check entity "demoted: descent blocked" E.undefined
+    (Cp.resolve_in c root (N.of_string "o/x"));
+  check entity "demoted: leaf still resolves" o
+    (Cp.resolve_in c root (N.of_string "o"))
+
+let test_trace_parity () =
+  let st, _, root = fixture () in
+  let c = Cp.compile st in
+  let ctx = C.of_bindings [ (N.root_atom, root) ] in
+  let b1 = R.create_buffer () and b2 = R.create_buffer () in
+  List.iter
+    (fun p ->
+      let n = N.of_string ("/" ^ p) in
+      let e1 = R.resolve_trace_into b1 st ctx n in
+      let e2 = Cp.resolve_trace_into b2 c ctx n in
+      check entity (p ^ " result") e1 e2;
+      check b (p ^ " trace") true (R.buffer_trace b1 = R.buffer_trace b2))
+    [ "bin/ls"; "usr/bin/cc"; "nope"; "bin/ls/x"; "usr/nope/cc" ]
+
+let test_stats_shape () =
+  let st, _, _ = fixture () in
+  let c = Cp.compile st in
+  let s = Cp.stats c in
+  check i "one node per context object" (List.length (S.context_objects st))
+    s.Cp.nodes;
+  let bindings =
+    List.fold_left
+      (fun acc e ->
+        match S.context_of st e with
+        | Some ctx -> acc + C.cardinal ctx
+        | None -> acc)
+      0 (S.context_objects st)
+  in
+  check i "one occupied cell per binding" bindings s.Cp.bindings;
+  check b "tables at most half full" true (s.Cp.table_cells >= 2 * s.Cp.bindings)
+
+(* Engine selection and the NAMING_ENGINE variable. *)
+let test_engine_select () =
+  let st, _, _ = fixture () in
+  let cache = Naming.Cache.create st in
+  (* env-dependent defaults only checked when NAMING_ENGINE is unset, so
+     the suite still passes when CI re-runs it under another engine *)
+  (match Eng.env_kind () with
+  | Some _ -> ()
+  | None ->
+      check Alcotest.string "default interpreted" "interpreted"
+        (Eng.label (Eng.of_env st));
+      check Alcotest.string "explicit default" "cached"
+        (Eng.label (Eng.of_env ~default:`Cached st));
+      check Alcotest.string "cache wraps" "cached"
+        (Eng.label (Eng.select ~cache ~default:`Interpreted st)));
+  let engine = Eng.create `Compiled st in
+  check Alcotest.string "explicit engine wins" "compiled"
+    (Eng.label (Eng.select ~cache ~engine ~default:`Interpreted st))
+
+(* ------------------------------------------------------------------ *)
+(* Parity across every sample scheme.                                  *)
+
+let sample_worlds () =
+  List.filter_map
+    (fun scheme ->
+      Option.map (fun w -> (scheme, w)) (Harness.Sample.world scheme))
+    Harness.Sample.schemes
+
+let test_sample_scheme_parity () =
+  List.iter
+    (fun (scheme, w) ->
+      let { Harness.Sample.store; ctx; rule = _; activities = _ } = w in
+      let probes = Harness.Sample.probes w in
+      check b (scheme ^ " has probes") true (probes <> []);
+      let c = Cp.compile store in
+      List.iter
+        (fun n ->
+          check entity
+            (Printf.sprintf "%s: %s" scheme (N.to_string n))
+            (R.resolve store ctx n) (Cp.resolve c ctx n))
+        probes)
+    (sample_worlds ())
+
+(* Coherence verdicts must be engine-independent, sequentially and under
+   the NAMING_JOBS fan-out (the CI legs run this suite at jobs 1 and 4). *)
+let test_sample_scheme_verdict_parity () =
+  List.iter
+    (fun (scheme, w) ->
+      let { Harness.Sample.store; ctx = _; rule; activities } = w in
+      let probes = Harness.Sample.probes w in
+      let occs = List.map Naming.Occurrence.generated activities in
+      let via kind =
+        Naming.Coherence.classify ~engine:(Eng.create kind store) store rule
+          occs probes
+      in
+      let interp = via `Interpreted in
+      check b (scheme ^ ": compiled = interpreted") true
+        (via `Compiled = interp);
+      check b (scheme ^ ": cached = interpreted") true (via `Cached = interp))
+    (sample_worlds ())
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random worlds, random mutation journals.                *)
+
+(* A random tree world (same shape as the resolver property). *)
+let build_world seed =
+  let rng = Dsim.Rng.create (Int64.of_int (seed + 1)) in
+  let st = S.create () in
+  let root = S.create_context_object ~label:"root" st in
+  S.bind st ~dir:root N.root_atom root;
+  let dirs = ref [ root ] in
+  let files = ref [] in
+  for k = 0 to 24 do
+    let parent = Dsim.Rng.pick rng !dirs in
+    if Dsim.Rng.bool rng 0.5 then begin
+      let d = S.create_context_object st in
+      S.bind st ~dir:parent (N.atom (Printf.sprintf "d%d" k)) d;
+      S.bind st ~dir:d N.parent_atom parent;
+      dirs := d :: !dirs
+    end
+    else begin
+      let f = S.create_object st in
+      S.bind st ~dir:parent (N.atom (Printf.sprintf "f%d" k)) f;
+      files := f :: !files
+    end
+  done;
+  (rng, st, root, dirs, files)
+
+let random_name rng =
+  let atoms = [ "d1"; "d3"; "d5"; "f2"; "f4"; ".."; "ghost" ] in
+  let len = 1 + Dsim.Rng.int rng 5 in
+  N.of_atoms (List.init len (fun _ -> N.atom (Dsim.Rng.pick rng atoms)))
+
+let random_mutation rng st dirs files k =
+  match Dsim.Rng.int rng 4 with
+  | 0 ->
+      let d = S.create_context_object st in
+      S.bind st ~dir:(Dsim.Rng.pick rng !dirs) (N.atom (Printf.sprintf "n%d" k)) d;
+      dirs := d :: !dirs
+  | 1 ->
+      let f = S.create_object st in
+      S.bind st ~dir:(Dsim.Rng.pick rng !dirs) (N.atom (Printf.sprintf "m%d" k)) f;
+      files := f :: !files
+  | 2 -> (
+      let d = Dsim.Rng.pick rng !dirs in
+      match S.context_of st d with
+      | Some ctx when not (C.is_empty ctx) ->
+          let a, _ = Dsim.Rng.pick rng (C.bindings ctx) in
+          S.unbind st ~dir:d a
+      | _ -> ())
+  | _ -> (
+      (* flip an object between data and (empty) context state *)
+      match !files with
+      | [] -> ()
+      | _ -> (
+          let f = Dsim.Rng.pick rng !files in
+          match S.obj_state st f with
+          | Some (S.Data _) -> S.set_obj_state st f (S.Context C.empty)
+          | Some (S.Context _) -> S.set_obj_state st f (S.Data "flipped")
+          | None -> ()))
+
+(* Compiled (incrementally refreshed) ≡ interpreter under random
+   interleavings of resolutions and mutations. *)
+let prop_compiled_transparent =
+  QCheck.Test.make ~name:"compiled = interpreter under mutation" ~count:40
+    QCheck.small_nat (fun seed ->
+      let rng, st, root, dirs, files = build_world seed in
+      let c = Cp.compile st in
+      let ok = ref true in
+      for k = 0 to 120 do
+        if Dsim.Rng.bool rng 0.3 then random_mutation rng st dirs files k
+        else begin
+          let n = random_name rng in
+          let plain = R.resolve_in st root n in
+          if not (E.equal (Cp.resolve_in c root n) plain) then ok := false
+        end
+      done;
+      !ok)
+
+(* After an arbitrary bind/unbind journal, the incrementally patched
+   tables answer exactly like a from-scratch compile — on every name,
+   and with the same live-table statistics. *)
+let prop_patch_equals_recompile =
+  QCheck.Test.make ~name:"incremental patch = full recompile" ~count:40
+    QCheck.small_nat (fun seed ->
+      let rng, st, root, dirs, files = build_world seed in
+      let incremental = Cp.compile st in
+      ignore (Cp.resolve_in incremental root (N.of_string "/"));
+      for k = 0 to 60 do
+        random_mutation rng st dirs files k
+      done;
+      Cp.refresh incremental;
+      let fresh = Cp.compile st in
+      let names = List.init 40 (fun _ -> random_name rng) in
+      List.for_all
+        (fun n ->
+          E.equal (Cp.resolve_in incremental root n) (Cp.resolve_in fresh root n))
+        names
+      &&
+      let si = Cp.stats incremental and sf = Cp.stats fresh in
+      si.Cp.nodes = sf.Cp.nodes && si.Cp.bindings = sf.Cp.bindings)
+
+(* The same equivalence across a journal long enough to overflow the
+   store's change journal: refresh must survive the generation-scan
+   fallback of [touched_since]. *)
+let test_patch_survives_journal_overflow () =
+  let rng, st, root, dirs, files = build_world 7 in
+  let c = Cp.compile st in
+  ignore (Cp.resolve_in c root (N.of_string "/"));
+  let churn = S.create_object ~state:(S.Data "0") st in
+  for k = 0 to 9000 do
+    if k mod 500 = 0 then random_mutation rng st dirs files k
+    else S.set_obj_state st churn (S.Data (string_of_int k))
+  done;
+  let fresh = Cp.compile st in
+  let names = List.init 60 (fun _ -> random_name rng) in
+  List.iter
+    (fun n ->
+      check entity (N.to_string n)
+        (Cp.resolve_in fresh root n)
+        (Cp.resolve_in c root n))
+    names
+
+(* Engine parity on random worlds: full verdict lists, all three
+   engines, through the ?jobs fan-out when NAMING_JOBS asks for it. *)
+let prop_engine_verdict_parity =
+  QCheck.Test.make ~name:"engines agree on random-world verdicts" ~count:25
+    QCheck.small_nat (fun seed ->
+      let rng, st, root, dirs, files = build_world seed in
+      for k = 0 to 30 do
+        random_mutation rng st dirs files k
+      done;
+      let asg = Naming.Rule.Assignment.create () in
+      let acts =
+        List.map
+          (fun k ->
+            let a = S.create_activity st in
+            let o =
+              if k = 0 then root
+              else
+                S.create_context_object
+                  ~ctx:(C.of_bindings [ (N.root_atom, Dsim.Rng.pick rng !dirs) ])
+                  st
+            in
+            Naming.Rule.Assignment.set asg a o;
+            a)
+          [ 0; 1; 2 ]
+      in
+      let rule = Naming.Rule.of_activity asg in
+      let occs = List.map Naming.Occurrence.generated acts in
+      let probes = List.init 25 (fun _ -> random_name rng) in
+      let via kind =
+        Naming.Coherence.classify ~engine:(Eng.create kind st) st rule occs
+          probes
+      in
+      let interp = via `Interpreted in
+      via `Compiled = interp && via `Cached = interp)
+
+(* Per-domain compiled snapshots: one snapshot per worker under the
+   frozen store answers like the parent. *)
+let test_snapshot_parity () =
+  let st, _, root = fixture () in
+  let c = Cp.compile st in
+  let names = List.map N.of_string unix_paths in
+  match Naming.Pool.get ~jobs:4 () with
+  | None -> Alcotest.fail "no pool at jobs 4"
+  | Some pool ->
+      Cp.refresh c;
+      let results =
+        S.read_only st (fun () ->
+            let results, _ =
+              Naming.Pool.map_local pool
+                ~local:(fun () -> Cp.snapshot c)
+                (fun shard n -> Cp.resolve_in shard root n)
+                names
+            in
+            results)
+      in
+      List.iter2
+        (fun n r -> check entity (N.to_string n) (R.resolve_in st root n) r)
+        names results
+
+let suite =
+  [
+    Alcotest.test_case "matches the interpreter" `Quick test_matches_interpreter;
+    Alcotest.test_case "incremental refresh" `Quick test_incremental_refresh;
+    Alcotest.test_case "promotion / demotion" `Quick test_promotion_demotion;
+    Alcotest.test_case "trace parity" `Quick test_trace_parity;
+    Alcotest.test_case "stats shape" `Quick test_stats_shape;
+    Alcotest.test_case "engine selection" `Quick test_engine_select;
+    Alcotest.test_case "sample-scheme parity" `Quick test_sample_scheme_parity;
+    Alcotest.test_case "sample-scheme verdict parity" `Quick
+      test_sample_scheme_verdict_parity;
+    Alcotest.test_case "patch survives journal overflow" `Quick
+      test_patch_survives_journal_overflow;
+    Alcotest.test_case "snapshot parity under pool" `Quick
+      test_snapshot_parity;
+    QCheck_alcotest.to_alcotest prop_compiled_transparent;
+    QCheck_alcotest.to_alcotest prop_patch_equals_recompile;
+    QCheck_alcotest.to_alcotest prop_engine_verdict_parity;
+  ]

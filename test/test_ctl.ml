@@ -1,0 +1,84 @@
+(* Source-level checks on bin/namingctl.ml: every subcommand the CLI
+   registers must be mentioned (as a bold $(b,name) cross-reference) in
+   the man-page overview, so `namingctl man`/`--help` never silently
+   trails the command set. The test parses the source (declared as a
+   dune dep), not the binary, so it needs no subprocess. *)
+
+let check = Alcotest.check
+
+(* Under `dune runtest` the cwd is the sandboxed test directory and the
+   declared dep sits at ../bin/; a bare `dune exec test/test_main.exe`
+   runs from the project root instead. *)
+let source_path () =
+  List.find_opt Sys.file_exists [ "../bin/namingctl.ml"; "bin/namingctl.ml" ]
+  |> Option.value ~default:"../bin/namingctl.ml"
+
+let read_source () =
+  let ic = open_in_bin (source_path ()) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* All X from occurrences of [Cmd.info "X"] — the registration point
+   every subcommand must pass through. *)
+let registered_subcommands src =
+  let needle = {|Cmd.info "|} in
+  let nlen = String.length needle in
+  let rec scan acc from =
+    match
+      if from >= String.length src then None
+      else
+        let rec find i =
+          if i + nlen > String.length src then None
+          else if String.sub src i nlen = needle then Some i
+          else find (i + 1)
+        in
+        find from
+    with
+    | None -> List.rev acc
+    | Some i -> (
+        let start = i + nlen in
+        match String.index_from_opt src start '"' with
+        | None -> List.rev acc
+        | Some stop ->
+            scan (String.sub src start (stop - start) :: acc) (stop + 1))
+  in
+  scan [] 0
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_man_covers_every_subcommand () =
+  let src = read_source () in
+  let subs =
+    registered_subcommands src
+    |> List.filter (fun s -> not (String.equal s "namingctl"))
+  in
+  check Alcotest.bool "found a plausible number of subcommands" true
+    (List.length subs >= 10);
+  List.iter
+    (fun sub ->
+      check Alcotest.bool
+        (Printf.sprintf "man overview mentions $(b,%s)" sub)
+        true
+        (contains_sub src (Printf.sprintf "$(b,%s)" sub)))
+    subs
+
+let test_subcommands_are_distinct () =
+  let src = read_source () in
+  let subs = registered_subcommands src in
+  let sorted = List.sort_uniq String.compare subs in
+  check Alcotest.int "no subcommand registered twice" (List.length sorted)
+    (List.length subs)
+
+let suite =
+  [
+    Alcotest.test_case "man overview covers every subcommand" `Quick
+      test_man_covers_every_subcommand;
+    Alcotest.test_case "subcommand names are distinct" `Quick
+      test_subcommands_are_distinct;
+  ]

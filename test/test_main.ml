@@ -16,6 +16,7 @@ let () =
       ("codec", Test_codec.suite);
       ("lint", Test_lint.suite);
       ("cache", Test_cache.suite);
+      ("compiled", Test_compiled.suite);
       ("rng", Test_rng.suite);
       ("engine", Test_engine.suite);
       ("network", Test_network.suite);
@@ -49,4 +50,5 @@ let () =
       ("cluster", Test_cluster.suite);
       ("explore", Test_explore.suite);
       ("pool", Test_pool.suite);
+      ("ctl", Test_ctl.suite);
     ]

@@ -132,6 +132,33 @@ let test_touched_since () =
   check (Alcotest.list entity) "empty at the tip" []
     (S.touched_since st (S.tick st))
 
+let test_touched_since_overflow () =
+  let st = S.create () in
+  let d = S.create_context_object st in
+  let o = S.create_object ~state:(S.Data "v0") st in
+  let t0 = S.tick st in
+  (* one early change, then enough churn to overflow the 8192-entry
+     journal (truncated to its 2048 newest): the early change scrolls
+     out, so [touched_since t0] must take the generation-scan fallback *)
+  S.bind st ~dir:d (N.atom "o") o;
+  for i = 1 to 9000 do
+    S.set_obj_state st o (S.Data (string_of_int i))
+  done;
+  let touched = S.touched_since st t0 in
+  check b "fallback reports the scrolled-out dir" true
+    (List.exists (E.equal d) touched);
+  check b "fallback reports the churned object" true
+    (List.exists (E.equal o) touched);
+  check b "fallback reports nothing untouched" true
+    (List.for_all (fun e -> E.equal e d || E.equal e o) touched);
+  (* recent windows are still served by the journal: ordered, deduped *)
+  let tn = S.tick st in
+  S.set_obj_state st o (S.Data "x");
+  S.set_obj_state st o (S.Data "y");
+  S.bind st ~dir:d (N.atom "p") o;
+  check (Alcotest.list entity) "journal path intact after overflow" [ o; d ]
+    (S.touched_since st tn)
+
 let suite =
   [
     Alcotest.test_case "allocation kinds" `Quick test_allocation_kinds;
@@ -146,4 +173,6 @@ let suite =
     Alcotest.test_case "set_context" `Quick test_set_context;
     Alcotest.test_case "generations" `Quick test_generations;
     Alcotest.test_case "touched_since" `Quick test_touched_since;
+    Alcotest.test_case "touched_since journal overflow" `Quick
+      test_touched_since_overflow;
   ]
