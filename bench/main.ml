@@ -22,6 +22,11 @@
                                  (explore) at one and four domains, plus
                                  an instrumented workload run reporting
                                  states/second
+     bench/main.exe worlds     — b18: exact coherence measurement vs
+                                 sampling-based estimation on generated
+                                 worlds at 10^3..10^6 entities, across
+                                 engines and domain counts (sizes
+                                 overridable via BENCH_WORLDS_SIZES)
 
    Flags (anywhere on the command line):
      --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
@@ -622,6 +627,108 @@ let report_explore_workload () =
     seconds
     (float_of_int s.Analysis.Explore.interpreted /. Float.max 1e-9 seconds)
 
+(* The b18 series: exact coherence measurement against sampling-based
+   estimation on generated worlds, by store size, engine and domain
+   count. These are one-shot wall-clock measurements, not bechamel
+   series — the exact sweep at 10^6 entities is minutes away from
+   micro-benchmark range, and the point of the series is precisely that
+   ratio. Shares the `worlds` positional selector with
+   BENCH_<date>_b18.json. *)
+type b18_run = {
+  b18_engine : string;
+  b18_jobs : int;
+  b18_est : Naming.Coherence.estimate;
+  b18_seconds : float;
+}
+
+type b18_row = {
+  b18_size : int;
+  b18_build_s : float;
+  b18_enumerate_s : float;
+  b18_probes : int;
+  b18_exact_degree : float;
+  b18_exact_s : float;
+  b18_runs : b18_run list;
+}
+
+let b18_rows : b18_row list ref = ref []
+
+let b18_sizes =
+  match Sys.getenv_opt "BENCH_WORLDS_SIZES" with
+  | Some s ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  | None -> [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+let run_worlds () =
+  let rows =
+    List.map
+      (fun size ->
+        let t0 = Unix.gettimeofday () in
+        let w =
+          Harness.Worldgen.build `Unixlike ~size ~seed:(Int64.of_int seed)
+        in
+        let build_s = Unix.gettimeofday () -. t0 in
+        let occs =
+          List.map Naming.Occurrence.generated w.Harness.Sample.activities
+        in
+        let t0 = Unix.gettimeofday () in
+        let probes = Array.of_seq (Harness.Worldgen.probes_seq w) in
+        let enumerate_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let report =
+          Naming.Coherence.measure_seq ~jobs w.Harness.Sample.store
+            w.Harness.Sample.rule occs (Array.to_seq probes)
+        in
+        let exact_s = Unix.gettimeofday () -. t0 in
+        let exact_degree = Naming.Coherence.degree report in
+        Printf.printf
+          "b18 unixlike size=%d: build=%.3fs enumerate=%.3fs exact \
+           degree=%.4f over %d probes in %.3fs\n%!"
+          size build_s enumerate_s exact_degree (Array.length probes) exact_s;
+        (* the estimator draws uniformly from the same probe population
+           the exact sweep covers, so its interval targets exactly the
+           degree measured above — the b18 accuracy columns compare like
+           with like *)
+        let sampler = Harness.Worldgen.uniform_sampler probes in
+        let runs =
+          List.concat_map
+            (fun kind ->
+              List.map
+                (fun jobs ->
+                  let rng = Dsim.Rng.create (Int64.of_int seed) in
+                  let t0 = Unix.gettimeofday () in
+                  (* engine construction (e.g. the compile) is part of
+                     what an estimate costs — timed with it *)
+                  let engine =
+                    Naming.Engine.create kind w.Harness.Sample.store
+                  in
+                  let est =
+                    Naming.Coherence.estimate ~engine ~jobs ~rng
+                      w.Harness.Sample.store w.Harness.Sample.rule occs
+                      sampler
+                  in
+                  let seconds = Unix.gettimeofday () -. t0 in
+                  let label = Naming.Engine.label engine in
+                  Printf.printf
+                    "  estimate engine=%-11s jobs=%d: degree=%.4f \
+                     ci=[%.4f, %.4f] samples=%d in %.4fs (%.0fx)\n%!"
+                    label jobs est.Naming.Coherence.degree
+                    est.Naming.Coherence.ci_low est.Naming.Coherence.ci_high
+                    est.Naming.Coherence.samples seconds
+                    (exact_s /. Float.max 1e-9 seconds);
+                  { b18_engine = label; b18_jobs = jobs; b18_est = est;
+                    b18_seconds = seconds })
+                [ 1; 4 ])
+            [ `Interpreted; `Cached; `Compiled ]
+        in
+        { b18_size = size; b18_build_s = build_s;
+          b18_enumerate_s = enumerate_s; b18_probes = Array.length probes;
+          b18_exact_degree = exact_degree; b18_exact_s = exact_s;
+          b18_runs = runs })
+      b18_sizes
+  in
+  b18_rows := rows
+
 let experiment_tests =
   let open Bechamel in
   [
@@ -871,6 +978,34 @@ let write_json () =
         s.Analysis.Explore.replays s.Analysis.Explore.exhausted seconds
         (float_of_int s.Analysis.Explore.interpreted
         /. Float.max 1e-9 seconds));
+  (match !b18_rows with
+  | [] -> ()
+  | rows ->
+      out "  \"worlds_workload\": [";
+      List.iteri
+        (fun i r ->
+          out "%s\n    {\"size\": %d, \"build_s\": %.3f, \"enumerate_s\": \
+               %.3f, \"probes\": %d, \"exact_degree\": %.6f, \"exact_s\": \
+               %.3f, \"runs\": ["
+            (if i = 0 then "" else ",")
+            r.b18_size r.b18_build_s r.b18_enumerate_s r.b18_probes
+            r.b18_exact_degree r.b18_exact_s;
+          List.iteri
+            (fun j run ->
+              let est = run.b18_est in
+              out
+                "%s\n      {\"engine\": \"%s\", \"jobs\": %d, \"degree\": \
+                 %.6f, \"ci_low\": %.6f, \"ci_high\": %.6f, \"samples\": \
+                 %d, \"seconds\": %.4f, \"speedup\": %.1f}"
+                (if j = 0 then "" else ",")
+                run.b18_engine run.b18_jobs est.Naming.Coherence.degree
+                est.Naming.Coherence.ci_low est.Naming.Coherence.ci_high
+                est.Naming.Coherence.samples run.b18_seconds
+                (r.b18_exact_s /. Float.max 1e-9 run.b18_seconds))
+            r.b18_runs;
+          out "\n    ]}")
+        rows;
+      out "\n  ],\n");
   out "  \"results\": [";
   List.iteri
     (fun i (name, time, r2) ->
@@ -901,6 +1036,7 @@ let () =
   | "explore" :: _ ->
       run_bechamel ~name:"explore" explore_tests;
       report_explore_workload ()
+  | "worlds" :: _ -> run_worlds ()
   | "exps" :: _ -> run_experiments ppf
   | id :: _ when Harness.Experiments.find id <> None -> (
       match Harness.Experiments.find id with
@@ -915,7 +1051,7 @@ let () =
   | unknown :: _ ->
       Printf.eprintf
         "unknown argument %S (expected: micro | scaling | chaos | cluster | \
-         compiled | explore | exps | e1..e10 | a1..a4)\n"
+         compiled | explore | worlds | exps | e1..e10 | a1..a4)\n"
         unknown;
       exit 2);
   if json_mode then write_json ()

@@ -46,6 +46,18 @@
                         --seed, --replicas, --json, --sarif,
                         --min-severity, --witness-dir, --jobs; nonzero
                         exit on errors)
+     worldgen <template>
+                        generate a large seeded world (unixlike,
+                        perprocess, federated) and stream its Codec v1
+                        dump to stdout or --out FILE (--size, --seed;
+                        deterministic: same template/size/seed, same
+                        bytes)
+     estimate <scheme|world-file>
+                        sampling-based coherence estimation: draw seeded
+                        probes until the Wilson interval is tight enough
+                        (--confidence, --epsilon, --max-samples, --seed,
+                        --engine, --jobs, --json; nonzero exit when the
+                        interval stays wider than epsilon)
 
    analyze, check-script, check-cluster, explore, chaos and cache-stats
    take --jobs N (default from NAMING_JOBS, else 1) to fan their sweeps
@@ -582,6 +594,116 @@ let cmd_explore scheme json sarif min_severity depth max_writes budget seed
        (fun (_, store, _) (_outcome, r) -> (store, None, no_line, r))
        subjects results)
 
+(* Generates a seeded world and streams its codec dump, never holding
+   the dump text in memory: a million-entity world goes straight from
+   the builder to the channel. *)
+let cmd_worldgen template size seed out =
+  match Harness.Worldgen.template_of_string template with
+  | None ->
+      Printf.eprintf "unknown template %S (expected one of: %s)\n" template
+        (String.concat ", " Harness.Worldgen.templates);
+      2
+  | Some t -> (
+      match Harness.Worldgen.build t ~size ~seed with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          2
+      | w -> (
+          match out with
+          | None ->
+              Naming.Codec.encode_to_channel w.store stdout;
+              flush stdout;
+              0
+          | Some file ->
+              let oc = open_out_bin file in
+              Naming.Codec.encode_to_channel w.store oc;
+              close_out oc;
+              0))
+
+(* An estimate target: a world file in codec format (takes precedence;
+   reconstructed via the Process_env label convention) or a sample
+   scheme name. *)
+let estimate_world target =
+  if Sys.file_exists target then begin
+    let ic = open_in_bin target in
+    let decoded = Naming.Codec.decode_from_channel ic in
+    close_in ic;
+    match decoded with
+    | Error e ->
+        Error
+          (Printf.sprintf "%s:%d: %s" target e.Naming.Codec.line
+             e.Naming.Codec.message)
+    | Ok store -> (
+        match Harness.Worldgen.of_store store with
+        | Some w -> Ok w
+        | None ->
+            Error
+              (Printf.sprintf
+                 "%s: no measurable world in dump (activities and their \
+                  context objects must carry the p<i>/p<i>.ctx labels)"
+                 target))
+  end
+  else
+    match Harness.Sample.world target with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown scheme or file %S (expected a codec dump file or one \
+              of: %s)"
+             target
+             (String.concat ", " sample_schemes))
+
+(* Sampling-based coherence estimation over a sample scheme or a dumped
+   world. The probe stream is fixed by --seed alone (batches drawn from
+   split child streams), so the printed report is byte-identical across
+   --jobs values and engines — CI diffs it. Exit code 1 when the
+   confidence interval never reached the requested half-width. *)
+let cmd_estimate target confidence epsilon max_samples seed engine jobs json =
+  let engine_kind =
+    match String.lowercase_ascii engine with
+    | "" | "default" -> Ok None
+    | "interpreted" -> Ok (Some `Interpreted)
+    | "cached" -> Ok (Some `Cached)
+    | "compiled" -> Ok (Some `Compiled)
+    | _ ->
+        Error
+          (Printf.sprintf
+             "invalid --engine %S (expected interpreted, cached or compiled)"
+             engine)
+  in
+  match (estimate_world target, engine_kind) with
+  | Error msg, _ | _, Error msg ->
+      Printf.eprintf "%s\n" msg;
+      2
+  | Ok w, Ok engine_kind -> (
+      let engine =
+        Option.map (fun k -> Naming.Engine.create k w.store) engine_kind
+      in
+      let occs = List.map Naming.Occurrence.generated w.activities in
+      let rng = Dsim.Rng.create seed in
+      let sampler = Harness.Worldgen.sampler w in
+      match
+        Naming.Coherence.estimate ?engine ~jobs ~confidence ~epsilon
+          ~max_samples ~rng w.store w.rule occs sampler
+      with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          2
+      | est ->
+          let open Naming.Coherence in
+          let half = (est.ci_high -. est.ci_low) /. 2.0 in
+          if json then
+            Printf.printf
+              "{\"target\": %S, \"degree\": %.6f, \"strict_degree\": %.6f, \
+               \"ci_low\": %.6f, \"ci_high\": %.6f, \"samples\": %d, \
+               \"confidence\": %.6f, \"epsilon\": %.6f, \"converged\": %b}\n"
+              target est.degree est.strict_degree est.ci_low est.ci_high
+              est.samples confidence epsilon (half <= epsilon)
+          else
+            Format.printf "%s: %a@." target pp_estimate est;
+          if half <= epsilon then 0 else 1)
+
 open Cmdliner
 
 let list_cmd =
@@ -762,6 +884,82 @@ let explore_cmd =
           $ min_severity_opt $ depth_opt $ max_writes_opt $ budget_opt
           $ seed_opt $ replicas_opt $ jobs_opt $ witness_dir_opt)
 
+let worldgen_cmd =
+  let template =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TEMPLATE"
+           ~doc:(Printf.sprintf "One of: %s"
+                   (String.concat ", " Harness.Worldgen.templates)))
+  in
+  let size =
+    Arg.(value & opt int 10_000
+         & info [ "size" ] ~docv:"N"
+             ~doc:"Entities in the generated store (at least 64).")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Generator seed. The same template, size and seed \
+                   rebuild the identical world, bind for bind.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the dump to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "worldgen"
+       ~doc:"Generate a large seeded world from a template (zipf-shaped \
+             directory fan-out, scaled to --size entities) and stream \
+             its Codec v1 dump without materialising it")
+    Term.(const cmd_worldgen $ template $ size $ seed $ out)
+
+let estimate_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORLD"
+           ~doc:(Printf.sprintf
+                   "A Codec v1 world file (e.g. from worldgen), or one \
+                    of: %s"
+                   (String.concat ", " sample_schemes)))
+  in
+  let confidence =
+    Arg.(value & opt float 0.95
+         & info [ "confidence" ] ~docv:"C"
+             ~doc:"Confidence level of the Wilson interval, in (0, 1).")
+  in
+  let epsilon =
+    Arg.(value & opt float 0.01
+         & info [ "epsilon" ] ~docv:"E"
+             ~doc:"Stop once the interval half-width is at most $(docv).")
+  in
+  let max_samples =
+    Arg.(value & opt int 100_000
+         & info [ "max-samples" ] ~docv:"N"
+             ~doc:"Hard cap on drawn probes; exits nonzero if the \
+                   interval is still wider than epsilon when it hits.")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Probe-stream seed. The estimate depends only on \
+                   $(docv) — never on --jobs or --engine.")
+  in
+  let engine =
+    Arg.(value & opt string "default"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Resolution engine: interpreted, cached or compiled \
+                   (default: the library's usual selection, honouring \
+                   NAMING_ENGINE).")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate a world's coherence degree by sequential sampling: \
+             draw seeded probes until the Wilson score interval at the \
+             requested confidence is tighter than epsilon, instead of \
+             sweeping every name exactly; exits nonzero when the \
+             interval never converges within --max-samples")
+    Term.(const cmd_estimate $ target $ confidence $ epsilon $ max_samples
+          $ seed $ engine $ jobs_opt $ json_flag)
+
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
@@ -816,6 +1014,9 @@ let main =
           $(b,diff), $(b,coherence), $(b,cache-stats), \
           $(b,compile-stats).";
       `P "Experiments: $(b,exp), $(b,report).";
+      `P "Scale: $(b,worldgen) (seeded million-entity worlds, streamed \
+          as Codec v1), $(b,estimate) (sampling-based coherence degree \
+          with a Wilson confidence interval).";
       `P "Static analysis: $(b,lint), $(b,analyze) (NG0xx, worlds), \
           $(b,check-script) (NG1xx, scripts), $(b,check-cluster) \
           (NG2xx, one fault schedule), $(b,explore) (NG3xx, the whole \
@@ -835,7 +1036,7 @@ inspection tool"
       list_cmd; exp_cmd; report_cmd; dot_cmd; dump_cmd; lint_cmd;
       analyze_cmd; check_script_cmd; check_cluster_cmd; explore_cmd;
       trace_cmd; coherence_cmd; diff_cmd; cache_stats_cmd;
-      compile_stats_cmd; chaos_cmd;
+      compile_stats_cmd; chaos_cmd; worldgen_cmd; estimate_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -81,14 +81,17 @@ let size_estimate store all =
     (String.length header + 1)
     all
 
-let to_string store =
+(* The single encoder behind [to_string] and [encode_to_channel]: fills
+   [buf] entity by entity, calling [flush] after each one — a no-op for
+   the in-memory dump, a threshold-triggered channel write for the
+   streaming one, so both produce the same bytes. *)
+let encode store ~buf ~flush =
   (* Entities in allocation (id) order. *)
   let all =
     List.sort
       (fun e1 e2 -> Int.compare (Entity.id e1) (Entity.id e2))
       (Store.activities store @ Store.objects store)
   in
-  let buf = Buffer.create (size_estimate store all) in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
   List.iter
@@ -108,14 +111,15 @@ let to_string store =
           Buffer.add_string buf "dir ";
           Buffer.add_string buf (string_of_int (Entity.id e));
           Buffer.add_char buf '\n');
-      match Store.label store e with
+      (match Store.label store e with
       | None -> ()
       | Some l ->
           Buffer.add_string buf "label ";
           add_entity_ref buf e;
           Buffer.add_char buf ' ';
           add_quoted buf l;
-          Buffer.add_char buf '\n')
+          Buffer.add_char buf '\n');
+      flush ())
     all;
   (* Bindings, after every entity exists. *)
   List.iter
@@ -131,10 +135,29 @@ let to_string store =
               Buffer.add_char buf ' ';
               add_entity_ref buf target;
               Buffer.add_char buf '\n')
-            (Context.bindings ctx)
+            (Context.bindings ctx);
+          flush ()
       | Some (Store.Data _) | None -> ())
-    all;
+    all
+
+let to_string store =
+  let all = Store.activities store @ Store.objects store in
+  let buf = Buffer.create (size_estimate store all) in
+  encode store ~buf ~flush:ignore;
   Buffer.contents buf
+
+let stream_chunk = 65536
+
+let encode_to_channel store oc =
+  let buf = Buffer.create (2 * stream_chunk) in
+  let flush () =
+    if Buffer.length buf >= stream_chunk then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
+  in
+  encode store ~buf ~flush;
+  Buffer.output_buffer oc buf
 
 let to_string_many ?jobs stores =
   match Pool.get ?jobs () with
@@ -159,6 +182,70 @@ let parse_entity_ref lineno s =
     | 'o' -> Entity.Object (num ())
     | _ -> parse_error lineno "bad entity reference %S" s
 
+(* One classified body line; the string parser and the streaming channel
+   decoder share this so the two accept the same line language and
+   report the same errors at the same positions. *)
+type line =
+  | L_blank
+  | L_entity of int * pre_entity
+  | L_label of string * string  (* entity ref, label *)
+  | L_bind of int * string * string  (* dir id, atom, target ref *)
+
+let classify_line lineno line =
+  if String.equal line "" then L_blank
+  else if String.length line >= 9 && String.sub line 0 9 = "activity " then
+    match int_of_string_opt (String.sub line 9 (String.length line - 9)) with
+    | Some id -> L_entity (id, Pre_activity)
+    | None -> parse_error lineno "bad activity line"
+  else if String.length line >= 4 && String.sub line 0 4 = "dir " then
+    match int_of_string_opt (String.sub line 4 (String.length line - 4)) with
+    | Some id -> L_entity (id, Pre_dir)
+    | None -> parse_error lineno "bad dir line"
+  else if String.length line >= 5 && String.sub line 0 5 = "file " then begin
+    try
+      Scanf.sscanf line "file %d %S" (fun id data ->
+          L_entity (id, Pre_file data))
+    with Scanf.Scan_failure _ | End_of_file ->
+      parse_error lineno "bad file line"
+  end
+  else if String.length line >= 6 && String.sub line 0 6 = "label " then begin
+    try Scanf.sscanf line "label %s %S" (fun ref_ l -> L_label (ref_, l))
+    with Scanf.Scan_failure _ | End_of_file ->
+      parse_error lineno "bad label line"
+  end
+  else if String.length line >= 5 && String.sub line 0 5 = "bind " then begin
+    try
+      Scanf.sscanf line "bind %d %S %s" (fun dir atom target ->
+          L_bind (dir, atom, target))
+    with Scanf.Scan_failure _ | End_of_file ->
+      parse_error lineno "bad bind line"
+  end
+  else parse_error lineno "unrecognised line %S" line
+
+(* Reference lookup, label application and bind application over the
+   id ↦ created-entity table — shared by both decoders. *)
+let find_created created lineno e =
+  match e with
+  | Entity.Undefined -> Entity.Undefined
+  | _ -> (
+      match Hashtbl.find_opt created (Entity.id e) with
+      | Some e' when Entity.(is_activity e = is_activity e') -> e'
+      | _ -> parse_error lineno "dangling entity reference %s" (entity_ref e))
+
+let apply_label store created (lineno, ref_, l) =
+  Store.set_label store
+    (find_created created lineno (parse_entity_ref lineno ref_))
+    l
+
+let apply_bind store created (lineno, dir_id, atom, target) =
+  let dir = find_created created lineno (Entity.Object dir_id) in
+  if not (Store.is_context_object store dir) then
+    parse_error lineno "bind into non-directory o%d" dir_id;
+  let target = find_created created lineno (parse_entity_ref lineno target) in
+  match Name.atom atom with
+  | a -> Store.bind store ~dir a target
+  | exception Name.Invalid msg -> parse_error lineno "bad atom: %s" msg
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   (match lines with
@@ -171,37 +258,14 @@ let parse text =
   List.iteri
     (fun idx line ->
       let lineno = idx + 1 in
-      if idx = 0 || String.equal line "" then ()
-      else if String.length line >= 9 && String.sub line 0 9 = "activity " then
-        match int_of_string_opt (String.sub line 9 (String.length line - 9)) with
-        | Some id -> Hashtbl.replace entities id Pre_activity
-        | None -> parse_error lineno "bad activity line"
-      else if String.length line >= 4 && String.sub line 0 4 = "dir " then
-        match int_of_string_opt (String.sub line 4 (String.length line - 4)) with
-        | Some id -> Hashtbl.replace entities id Pre_dir
-        | None -> parse_error lineno "bad dir line"
-      else if String.length line >= 5 && String.sub line 0 5 = "file " then begin
-        try
-          Scanf.sscanf line "file %d %S" (fun id data ->
-              Hashtbl.replace entities id (Pre_file data))
-        with Scanf.Scan_failure _ | End_of_file ->
-          parse_error lineno "bad file line"
-      end
-      else if String.length line >= 6 && String.sub line 0 6 = "label " then begin
-        try
-          Scanf.sscanf line "label %s %S" (fun ref_ l ->
-              labels := (lineno, ref_, l) :: !labels)
-        with Scanf.Scan_failure _ | End_of_file ->
-          parse_error lineno "bad label line"
-      end
-      else if String.length line >= 5 && String.sub line 0 5 = "bind " then begin
-        try
-          Scanf.sscanf line "bind %d %S %s" (fun dir atom target ->
-              binds := (lineno, dir, atom, target) :: !binds)
-        with Scanf.Scan_failure _ | End_of_file ->
-          parse_error lineno "bad bind line"
-      end
-      else parse_error lineno "unrecognised line %S" line)
+      if idx = 0 then ()
+      else
+        match classify_line lineno line with
+        | L_blank -> ()
+        | L_entity (id, pre) -> Hashtbl.replace entities id pre
+        | L_label (ref_, l) -> labels := (lineno, ref_, l) :: !labels
+        | L_bind (dir, atom, target) ->
+            binds := (lineno, dir, atom, target) :: !binds)
     lines;
   (* Recreate entities in id order; ids must be dense from 0. *)
   let store = Store.create () in
@@ -217,30 +281,82 @@ let parse text =
     | Some Pre_dir ->
         Hashtbl.replace created id (Store.create_context_object store)
   done;
-  let find lineno e =
+  List.iter (apply_label store created) (List.rev !labels);
+  List.iter (apply_bind store created) (List.rev !binds);
+  store
+
+(* Streaming decode: one pass, constant-resident. Entities must arrive
+   in dense id order (what the encoder emits), so each can be created
+   the moment its line is read; labels and binds are applied eagerly
+   when their entities already exist — always the case for encoder
+   output — and parked until end of input otherwise, where a
+   still-dangling reference reports the same error at the same line as
+   [parse]. *)
+let decode_lines next_line =
+  (match next_line () with
+  | Some first when String.equal first header -> ()
+  | Some first -> parse_error 1 "bad header %S" first
+  | None -> parse_error 1 "empty input");
+  let store = Store.create () in
+  let created = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let pending_labels = ref [] in
+  let pending_binds = ref [] in
+  let ready e =
     match e with
-    | Entity.Undefined -> Entity.Undefined
+    | Entity.Undefined -> true
     | _ -> (
         match Hashtbl.find_opt created (Entity.id e) with
-        | Some e' when Entity.(is_activity e = is_activity e') -> e'
-        | _ ->
-            parse_error lineno "dangling entity reference %s" (entity_ref e))
+        | Some e' -> Entity.(is_activity e = is_activity e')
+        | None -> false)
   in
-  List.iter
-    (fun (lineno, ref_, l) ->
-      Store.set_label store (find lineno (parse_entity_ref lineno ref_)) l)
-    (List.rev !labels);
-  List.iter
-    (fun (lineno, dir_id, atom, target) ->
-      let dir = find lineno (Entity.Object dir_id) in
-      if not (Store.is_context_object store dir) then
-        parse_error lineno "bind into non-directory o%d" dir_id;
-      let target = find lineno (parse_entity_ref lineno target) in
-      match Name.atom atom with
-      | a -> Store.bind store ~dir a target
-      | exception Name.Invalid msg -> parse_error lineno "bad atom: %s" msg)
-    (List.rev !binds);
+  let lineno = ref 1 in
+  let rec loop () =
+    match next_line () with
+    | None -> ()
+    | Some line ->
+        incr lineno;
+        let ln = !lineno in
+        (match classify_line ln line with
+        | L_blank -> ()
+        | L_entity (id, pre) ->
+            if id <> !next_id then
+              parse_error ln "out-of-order entity id %d (expected %d)" id
+                !next_id;
+            let e =
+              match pre with
+              | Pre_activity -> Store.create_activity store
+              | Pre_file data ->
+                  Store.create_object ~state:(Store.Data data) store
+              | Pre_dir -> Store.create_context_object store
+            in
+            Hashtbl.replace created id e;
+            incr next_id
+        | L_label (ref_, l) ->
+            if ready (parse_entity_ref ln ref_) then
+              apply_label store created (ln, ref_, l)
+            else pending_labels := (ln, ref_, l) :: !pending_labels
+        | L_bind (dir_id, atom, target) ->
+            if ready (Entity.Object dir_id) && ready (parse_entity_ref ln target)
+            then apply_bind store created (ln, dir_id, atom, target)
+            else pending_binds := (ln, dir_id, atom, target) :: !pending_binds);
+        loop ()
+  in
+  loop ();
+  List.iter (apply_label store created) (List.rev !pending_labels);
+  List.iter (apply_bind store created) (List.rev !pending_binds);
   store
+
+let decode_from_channel ic =
+  let next_line () =
+    match input_line ic with
+    | line -> Some line
+    | exception End_of_file -> None
+  in
+  match decode_lines next_line with
+  | store -> Ok store
+  | exception Err e -> Error e
+  | exception exn -> Error { line = 0; message = Printexc.to_string exn }
 
 (* Total: any input — random bytes, truncated dumps, mutated valid dumps
    — yields [Error] rather than an exception. The catch-all guards

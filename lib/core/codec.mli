@@ -18,6 +18,12 @@ val to_string_many : ?jobs:int -> Store.t list -> string list
     via {!Store.read_only} while its task reads it); output is identical
     to [List.map to_string]. *)
 
+val encode_to_channel : Store.t -> out_channel -> unit
+(** Streams the dump to a channel in bounded chunks (one internal
+    buffer, flushed every ~64 KiB): the bytes written are exactly
+    [to_string store], but a million-entity world is encoded without
+    ever materialising the multi-megabyte dump string. *)
+
 exception Parse_error of string
 (** Carries a line number and message. *)
 
@@ -35,6 +41,16 @@ val of_string : string -> Store.t
 (** [of_string_result] with the error rendered into an exception.
     @raise Parse_error on malformed input, unknown version, or dangling
     entity references. *)
+
+val decode_from_channel : in_channel -> (Store.t, error) result
+(** Total streaming decoder: reads the channel line by line in one
+    constant-resident pass, never materialising the dump text. Accepts
+    the same line language as {!of_string_result} and reports the same
+    errors at the same positions, with one extra requirement: entity
+    lines must arrive in dense id order (0, 1, 2, …) — which is exactly
+    what {!to_string} and {!encode_to_channel} emit — so each entity is
+    created the moment its line is read. Labels and binds may reference
+    entities not yet created; they are applied at end of input. *)
 
 val roundtrip_equal : Store.t -> Store.t -> bool
 (** Structural equality of two stores: same entities in the same order,

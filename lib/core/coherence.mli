@@ -84,6 +84,92 @@ val measure :
     the sequential ones; [jobs = 1] (or omitting it) runs today's
     sequential path unchanged. *)
 
+val measure_seq :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
+  ?engine:Engine.t ->
+  ?jobs:int ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  Name.t Seq.t ->
+  report
+(** {!measure} over a lazy probe sequence: probes are materialised one
+    fixed-size chunk at a time (sequentially, or fanned over the pool
+    chunk by chunk) and folded into the report immediately, so peak
+    residency is one chunk — an exact sweep over 10^6 streamed probes
+    never allocates an O(probes) verdict list. The report is identical
+    to [measure] over the forced sequence, for every engine and every
+    [jobs]. *)
+
+val fold_verdicts :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
+  ?engine:Engine.t ->
+  ?jobs:int ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  init:'a ->
+  f:('a -> verdict -> 'a) ->
+  Name.t Seq.t ->
+  'a
+(** The streaming fold underneath {!measure_seq}: verdicts are folded
+    in probe order, chunk by chunk. *)
+
+type estimate = {
+  degree : float;  (** point estimate of {!degree} *)
+  strict_degree : float;  (** point estimate of {!strict_degree} *)
+  ci_low : float;  (** Wilson interval lower bound on [degree] *)
+  ci_high : float;  (** Wilson interval upper bound on [degree] *)
+  samples : int;  (** probes drawn (including vacuous ones) *)
+}
+
+type 'rng sampler = {
+  split : 'rng -> 'rng;
+      (** A child stream, deterministic from the parent's state; the
+          parent advances (e.g. [Dsim.Rng.split]). *)
+  draw : 'rng -> Name.t;  (** The next probe from a stream. *)
+}
+(** A seeded probe source. The rng type is abstract here so the core
+    library stays independent of any particular generator; the harness
+    instantiates it with [Dsim.Rng.t]. *)
+
+val estimate :
+  ?equiv:(Entity.t -> Entity.t -> bool) ->
+  ?cache:Cache.t ->
+  ?engine:Engine.t ->
+  ?jobs:int ->
+  ?confidence:float ->
+  ?epsilon:float ->
+  ?max_samples:int ->
+  rng:'rng ->
+  Store.t ->
+  Rule.t ->
+  Occurrence.t list ->
+  'rng sampler ->
+  estimate
+(** Sampling-based coherence estimation: draws probes from the sampler
+    and classifies them exactly like {!measure} until the Wilson score
+    interval at [confidence] (default 0.95) has half-width at most
+    [epsilon] (default 0.01), or [max_samples] (default 100_000) probes
+    have been drawn. [degree] is the observed success fraction over
+    meaningful (non-vacuous) samples — the quantity exact [measure]
+    computes exhaustively — and [\[ci_low, ci_high\]] covers the true
+    degree with the requested confidence.
+
+    Probes are drawn in fixed-size batches, each batch from a child
+    stream obtained with [sampler.split]: the drawn sequence depends
+    only on the rng state and the batch index, never on [jobs] or the
+    engine, so estimates are byte-identical across jobs 1 vs 4 and
+    across interpreted, cached and compiled engines. When every drawn
+    probe is vacuous, [degree] is 1.0 (the {!degree} convention) and
+    the interval stays [\[0, 1\]].
+    @raise Invalid_argument when [confidence] is outside (0, 1),
+    [epsilon] is not positive, or [max_samples < 1]. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
 val classify :
   ?equiv:(Entity.t -> Entity.t -> bool) ->
   ?cache:Cache.t ->

@@ -1,9 +1,51 @@
 module N = Naming.Name
 
+(* One graph walk, then a partial Fisher–Yates over the enumerated
+   index: drawing [n] of [m] enumerable names costs the walk plus
+   exactly [min n m] rng draws — not a full [m]-element shuffle, and
+   never a re-walk per draw. *)
 let from_graph store ctx ~rng ~n ~max_depth =
   let all = Naming.Graph.all_names store ctx ~max_depth () in
-  let names = List.map fst all in
-  Dsim.Rng.sample rng n names
+  let names = Array.of_list (List.map fst all) in
+  let m = Array.length names in
+  let k = min (max n 0) m in
+  let drawn = ref [] in
+  for i = 0 to k - 1 do
+    let j = i + Dsim.Rng.int rng (m - i) in
+    let tmp = names.(i) in
+    names.(i) <- names.(j);
+    names.(j) <- tmp;
+    drawn := names.(i) :: !drawn
+  done;
+  List.rev !drawn
+
+(* A single probe by seeded random descent from [ctx]: pick a random
+   non-dot binding, maybe keep walking into directories. O(path length)
+   per draw — no enumeration of the graph, which is what sampling-based
+   estimation needs at 10^6 entities. *)
+let descend store ctx ~rng ~max_depth =
+  let keep (a, _) =
+    not (N.atom_equal a N.self_atom || N.atom_equal a N.parent_atom)
+  in
+  let rec go ctx acc depth =
+    match List.filter keep (Naming.Context.bindings ctx) with
+    | [] -> acc
+    | edges -> (
+        let a, e = Dsim.Rng.pick rng edges in
+        let acc = a :: acc in
+        if depth + 1 >= max_depth then acc
+        else
+          (* Descend with probability 0.7 so drawn depths spread over
+             the whole tree instead of piling up at the leaves. *)
+          match Naming.Store.context_of store e with
+          | Some ctx' when Dsim.Rng.bool rng 0.7 -> go ctx' acc (depth + 1)
+          | Some _ | None -> acc)
+  in
+  if max_depth <= 0 then None
+  else
+    match go ctx [] 0 with
+    | [] -> None
+    | atoms -> Some (N.of_atoms (List.rev atoms))
 
 let garbage_atom rng =
   let letters = "zxqvwk" in
@@ -15,6 +57,13 @@ let noise ~rng ~n ~max_depth =
   List.init n (fun _ ->
       let depth = 1 + Dsim.Rng.int rng max_depth in
       N.of_strings (List.init depth (fun _ -> garbage_atom rng)))
+
+let noise_one ~rng ~max_depth =
+  let depth = 1 + Dsim.Rng.int rng max_depth in
+  let rec atoms k acc =
+    if k = 0 then List.rev acc else atoms (k - 1) (garbage_atom rng :: acc)
+  in
+  N.of_strings (atoms depth [])
 
 let mixed store ctx ~rng ~n ~max_depth ~valid_fraction =
   if valid_fraction < 0.0 || valid_fraction > 1.0 then

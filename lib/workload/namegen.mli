@@ -13,10 +13,31 @@ val from_graph :
   max_depth:int ->
   Naming.Name.t list
 (** A sample (without replacement, as far as availability allows) of names
-    resolvable from the given context. *)
+    resolvable from the given context. The graph is enumerated once per
+    call and the draw is a partial Fisher–Yates over that index, so the
+    rng is advanced exactly [min n m] times for [m] enumerable names —
+    drawing a handful of probes from a large graph does not pay for a
+    full shuffle (let alone a re-walk per draw). *)
+
+val descend :
+  Naming.Store.t ->
+  Naming.Context.t ->
+  rng:Dsim.Rng.t ->
+  max_depth:int ->
+  Naming.Name.t option
+(** One resolvable name drawn by random descent from the context: pick a
+    random non-dot binding, then keep walking into directories with
+    probability 0.7, up to [max_depth] atoms. O(path length) per draw —
+    no enumeration, which is what sampling-based coherence estimation
+    needs on million-entity worlds. [None] when the context has no
+    non-dot bindings (or [max_depth <= 0]). Draws are weighted by the
+    tree shape, not uniform over names. *)
 
 val noise : rng:Dsim.Rng.t -> n:int -> max_depth:int -> Naming.Name.t list
 (** Random names over a garbage alphabet — overwhelmingly unresolvable. *)
+
+val noise_one : rng:Dsim.Rng.t -> max_depth:int -> Naming.Name.t
+(** One draw of {!noise}, for per-probe samplers. *)
 
 val mixed :
   Naming.Store.t ->

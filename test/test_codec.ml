@@ -140,6 +140,109 @@ let prop_decode_total_on_mutated_dumps =
                 (Printexc.to_string e) s)
         [ mutate base; truncate base; mutate (truncate base) ])
 
+(* The streaming pair must be byte- and structure-compatible with the
+   string pair on every sample world: encode_to_channel writes exactly
+   to_string's bytes, and decode_from_channel accepts them. *)
+let test_streaming_roundtrip_samples () =
+  let path = Filename.temp_file "naming_codec" ".dump" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      List.iter
+        (fun scheme ->
+          let w =
+            match Harness.Sample.world scheme with
+            | Some w -> w
+            | None -> Alcotest.failf "sample scheme %s missing" scheme
+          in
+          let text = Cd.to_string w.Harness.Sample.store in
+          let oc = open_out_bin path in
+          Cd.encode_to_channel w.Harness.Sample.store oc;
+          close_out oc;
+          let ic = open_in_bin path in
+          let written = really_input_string ic (in_channel_length ic) in
+          seek_in ic 0;
+          let decoded = Cd.decode_from_channel ic in
+          close_in ic;
+          check b
+            (scheme ^ ": channel bytes equal to_string")
+            true
+            (String.equal text written);
+          match decoded with
+          | Error e ->
+              Alcotest.failf "%s: streaming decode failed at line %d: %s"
+                scheme e.Cd.line e.Cd.message
+          | Ok st' ->
+              check b
+                (scheme ^ ": streaming decode roundtrips")
+                true
+                (Cd.roundtrip_equal w.Harness.Sample.store st'))
+        Harness.Sample.schemes)
+
+let test_streaming_decode_errors () =
+  let decode_str text =
+    let path = Filename.temp_file "naming_codec" ".bad" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc;
+        let ic = open_in_bin path in
+        let r = Cd.decode_from_channel ic in
+        close_in ic;
+        r)
+  in
+  (match decode_str "coherent-naming-store v1\ndir 1\n" with
+  | Error e -> check Alcotest.int "out-of-order id line" 2 e.Cd.line
+  | Ok _ -> Alcotest.fail "sparse entity ids accepted");
+  (match decode_str "nonsense\n" with
+  | Error e -> check Alcotest.int "bad header line" 1 e.Cd.line
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  (* a dangling bind target must fail at end of input, like of_string *)
+  match decode_str "coherent-naming-store v1\ndir 0\nbind 0 \"x\" o9\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dangling reference accepted"
+
+(* Streaming and string decoders agree verdict-for-verdict on mutated
+   dumps: both total, both accepting/rejecting the same inputs. *)
+let prop_streaming_matches_string =
+  QCheck.Test.make ~name:"decode_from_channel agrees with of_string_result"
+    ~count:60
+    (QCheck.pair QCheck.small_nat QCheck.small_nat)
+    (fun (line_no, flip) ->
+      let st = sample_store () in
+      let text = Cd.to_string st in
+      let lines = String.split_on_char '\n' text in
+      let n = List.length lines in
+      let target = line_no mod n in
+      let mutated =
+        String.concat "\n"
+          (List.mapi
+             (fun i l ->
+               if i <> target then l
+               else
+                 match flip mod 3 with
+                 | 0 -> "garbage here"
+                 | 1 -> ""
+                 | _ -> l ^ " trailing")
+             lines)
+      in
+      let path = Filename.temp_file "naming_codec" ".mut" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc mutated;
+          close_out oc;
+          let ic = open_in_bin path in
+          let streamed = Cd.decode_from_channel ic in
+          close_in ic;
+          match (Cd.of_string_result mutated, streamed) with
+          | Ok a, Ok b -> Cd.roundtrip_equal a b
+          | Error _, Error _ -> true
+          | Ok _, Error _ | Error _, Ok _ -> false))
+
 let suite =
   [
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
@@ -154,4 +257,9 @@ let suite =
     Alcotest.test_case "error positions" `Quick test_error_positions;
     QCheck_alcotest.to_alcotest prop_decode_never_raises;
     QCheck_alcotest.to_alcotest prop_decode_total_on_mutated_dumps;
+    Alcotest.test_case "streaming roundtrip on every sample scheme" `Quick
+      test_streaming_roundtrip_samples;
+    Alcotest.test_case "streaming decode errors" `Quick
+      test_streaming_decode_errors;
+    QCheck_alcotest.to_alcotest prop_streaming_matches_string;
   ]

@@ -200,6 +200,94 @@ let test_cached_measure_parity () =
   let r_plain = Coh.measure st rule (occs acts) probes in
   check f "same degree" (Coh.degree r_plain) (Coh.degree r_cached)
 
+let probe_names = [ "shared"; "local"; "only1"; "missing" ]
+
+let test_measure_seq_parity () =
+  let st, rule, acts, _ = fixture () in
+  let os = occs acts in
+  (* more than one chunk, so the streaming fold actually iterates *)
+  let names =
+    List.init 5000 (fun i -> N.of_string (List.nth probe_names (i mod 4)))
+  in
+  let r_list = Coh.measure st rule os names in
+  let r_seq = Coh.measure_seq st rule os (List.to_seq names) in
+  check b "streamed report equals list report" true (r_list = r_seq);
+  let r_jobs = Coh.measure_seq ~jobs:2 st rule os (List.to_seq names) in
+  check b "streamed report equals at jobs 2" true (r_list = r_jobs);
+  let count =
+    Coh.fold_verdicts st rule os ~init:0
+      ~f:(fun acc _ -> acc + 1)
+      (List.to_seq names)
+  in
+  check Alcotest.int "fold visits every probe" 5000 count
+
+(* Uniform draws from a fixed name list: the estimator's target is then
+   the exact degree over that population. *)
+let uniform names =
+  let arr = Array.of_list (List.map N.of_string names) in
+  {
+    Coh.split = Dsim.Rng.split;
+    draw = (fun rng -> arr.(Dsim.Rng.int rng (Array.length arr)));
+  }
+
+let test_estimate_fixture () =
+  let st, rule, acts, _ = fixture () in
+  let est =
+    Coh.estimate ~rng:(Dsim.Rng.create 42L) st rule (occs acts)
+      (uniform probe_names)
+  in
+  (* over the population: shared coherent; local and only1 incoherent;
+     missing vacuous — true degree 1/3 *)
+  check b "interval brackets the point estimate" true
+    (est.Coh.ci_low <= est.Coh.degree && est.Coh.degree <= est.Coh.ci_high);
+  check b "interval contains the true degree" true
+    (est.Coh.ci_low <= 1.0 /. 3.0 && 1.0 /. 3.0 <= est.Coh.ci_high);
+  check b "strict degree matches (no equivalence supplied)" true
+    (est.Coh.degree = est.Coh.strict_degree);
+  check b "drew some samples" true (est.Coh.samples > 0)
+
+let test_estimate_parity () =
+  let st, rule, acts, _ = fixture () in
+  let run ?engine ?jobs () =
+    Coh.estimate ?engine ?jobs ~rng:(Dsim.Rng.create 7L) st rule (occs acts)
+      (uniform probe_names)
+  in
+  let base = run () in
+  check b "jobs 4 parity" true (base = run ~jobs:4 ());
+  check b "interpreted engine parity" true
+    (base = run ~engine:(Naming.Engine.create `Interpreted st) ());
+  check b "cached engine parity" true
+    (base = run ~engine:(Naming.Engine.create `Cached st) ());
+  check b "compiled engine parity" true
+    (base = run ~engine:(Naming.Engine.create `Compiled st) ())
+
+let test_estimate_all_vacuous () =
+  let st, rule, acts, _ = fixture () in
+  let est =
+    Coh.estimate ~max_samples:600 ~rng:(Dsim.Rng.create 1L) st rule
+      (occs acts) (uniform [ "missing" ])
+  in
+  check f "vacuous degree convention" 1.0 est.Coh.degree;
+  check f "lower bound stays 0" 0.0 est.Coh.ci_low;
+  check f "upper bound stays 1" 1.0 est.Coh.ci_high;
+  check Alcotest.int "runs to max_samples" 600 est.Coh.samples
+
+let test_estimate_invalid () =
+  let st, rule, acts, _ = fixture () in
+  let expect label run =
+    match run () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Coh.estimate) -> Alcotest.fail label
+  in
+  let est ?confidence ?epsilon ?max_samples () =
+    Coh.estimate ?confidence ?epsilon ?max_samples
+      ~rng:(Dsim.Rng.create 1L) st rule (occs acts) (uniform probe_names)
+  in
+  expect "confidence 1.0 accepted" (fun () -> est ~confidence:1.0 ());
+  expect "confidence 0.0 accepted" (fun () -> est ~confidence:0.0 ());
+  expect "epsilon 0 accepted" (fun () -> est ~epsilon:0.0 ());
+  expect "max_samples 0 accepted" (fun () -> est ~max_samples:0 ())
+
 let suite =
   [
     Alcotest.test_case "coherent" `Quick test_coherent;
@@ -218,6 +306,13 @@ let suite =
     Alcotest.test_case "classify and filters" `Quick test_classify_and_filters;
     Alcotest.test_case "cached measure parity" `Quick
       test_cached_measure_parity;
+    Alcotest.test_case "measure_seq parity" `Quick test_measure_seq_parity;
+    Alcotest.test_case "estimate on the fixture" `Quick test_estimate_fixture;
+    Alcotest.test_case "estimate parity across jobs and engines" `Quick
+      test_estimate_parity;
+    Alcotest.test_case "estimate all vacuous" `Quick test_estimate_all_vacuous;
+    Alcotest.test_case "estimate invalid arguments" `Quick
+      test_estimate_invalid;
     QCheck_alcotest.to_alcotest prop_order_invariant;
     QCheck_alcotest.to_alcotest prop_monotone_in_activities;
   ]

@@ -44,6 +44,7 @@ let () =
       ("workload", Test_workload.suite);
       ("script", Test_script.suite);
       ("harness", Test_harness.suite);
+      ("worldgen", Test_worldgen.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("flow", Test_flow.suite);

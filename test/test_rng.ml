@@ -110,6 +110,27 @@ let prop_int_uniformish =
       done;
       Array.for_all Fun.id seen)
 
+(* The estimator's reproducibility rests on split: equal parent states
+   must yield equal child streams (and equally-advanced parents), and
+   distinct children must not echo the parent or each other. *)
+let prop_split_deterministic =
+  QCheck.Test.make ~name:"split is deterministic in the parent state"
+    ~count:100 QCheck.int64 (fun seed ->
+      let a = R.create seed and b = R.create seed in
+      let ca = R.split a and cb = R.split b in
+      let take r = List.init 8 (fun _ -> R.next_int64 r) in
+      take ca = take cb && take a = take b)
+
+let prop_split_independent =
+  QCheck.Test.make ~name:"split children differ from parent and each other"
+    ~count:100 QCheck.int64 (fun seed ->
+      let r = R.create seed in
+      let c1 = R.split r in
+      let c2 = R.split r in
+      let take p = List.init 8 (fun _ -> R.next_int64 p) in
+      let sp = take r and s1 = take c1 and s2 = take c2 in
+      sp <> s1 && sp <> s2 && s1 <> s2)
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -124,4 +145,6 @@ let suite =
     Alcotest.test_case "sample" `Quick test_sample;
     Alcotest.test_case "exponential" `Quick test_exponential_positive;
     QCheck_alcotest.to_alcotest prop_int_uniformish;
+    QCheck_alcotest.to_alcotest prop_split_deterministic;
+    QCheck_alcotest.to_alcotest prop_split_independent;
   ]

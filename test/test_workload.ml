@@ -59,6 +59,53 @@ let test_namegen_mixed () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "bad fraction accepted")
 
+(* from_graph's cost contract: drawing [n] of [m] names consumes
+   exactly [min n m] rng draws (one partial Fisher–Yates step each),
+   however large the graph. Pinned by running a mirror rng forward the
+   same number of next_int64 steps and comparing states. *)
+let test_namegen_draw_count () =
+  let st, _, ctx = world () in
+  let m = List.length (Naming.Graph.all_names st ctx ~max_depth:4 ()) in
+  check b "population is non-trivial" true (m > 10);
+  let pinned seed ~n ~expect_names ~expect_draws =
+    let rng = Dsim.Rng.create seed in
+    let mirror = Dsim.Rng.copy rng in
+    let names = Ng.from_graph st ctx ~rng ~n ~max_depth:4 in
+    check i "names drawn" expect_names (List.length names);
+    for _ = 1 to expect_draws do
+      ignore (Dsim.Rng.next_int64 mirror)
+    done;
+    check b "rng advanced by exactly that many draws" true
+      (Dsim.Rng.next_int64 rng = Dsim.Rng.next_int64 mirror)
+  in
+  pinned 5L ~n:7 ~expect_names:7 ~expect_draws:7;
+  pinned 6L ~n:(m + 50) ~expect_names:m ~expect_draws:m;
+  pinned 7L ~n:0 ~expect_names:0 ~expect_draws:0
+
+let test_namegen_from_graph_distinct () =
+  let st, _, ctx = world () in
+  let rng = Dsim.Rng.create 8L in
+  let names = Ng.from_graph st ctx ~rng ~n:12 ~max_depth:4 in
+  check i "no duplicates (without replacement)" (List.length names)
+    (List.length (List.sort_uniq N.compare names))
+
+let test_namegen_descend () =
+  let st, _, ctx = world () in
+  let rng = Dsim.Rng.create 9L in
+  for _ = 1 to 50 do
+    match Ng.descend st ctx ~rng ~max_depth:4 with
+    | None -> Alcotest.fail "descent in a populated world found nothing"
+    | Some n ->
+        check b "descent stays within max_depth" true (N.length n <= 4);
+        check b "descended name resolves" true
+          (E.is_defined (Naming.Resolver.resolve st ctx n))
+  done;
+  check b "max_depth 0 yields nothing" true
+    (Ng.descend st ctx ~rng ~max_depth:0 = None);
+  let empty_ctx = Naming.Context.empty in
+  check b "no bindings yields nothing" true
+    (Ng.descend st empty_ctx ~rng ~max_depth:4 = None)
+
 let test_alphabet () =
   check (Alcotest.list Alcotest.string) "alphabet" [ "f0"; "f1" ]
     (Ng.atoms_of_alphabet ~prefix:"f" 2)
@@ -208,6 +255,10 @@ let test_docgen_validation () =
 let suite =
   [
     Alcotest.test_case "namegen from_graph" `Quick test_namegen_from_graph;
+    Alcotest.test_case "namegen draw count" `Quick test_namegen_draw_count;
+    Alcotest.test_case "namegen without replacement" `Quick
+      test_namegen_from_graph_distinct;
+    Alcotest.test_case "namegen descend" `Quick test_namegen_descend;
     Alcotest.test_case "namegen noise" `Quick test_namegen_noise;
     Alcotest.test_case "namegen mixed" `Quick test_namegen_mixed;
     Alcotest.test_case "alphabet" `Quick test_alphabet;
