@@ -27,6 +27,10 @@
                                  worlds at 10^3..10^6 entities, across
                                  engines and domain counts (sizes
                                  overridable via BENCH_WORLDS_SIZES)
+     bench/main.exe modes      — b20: the coherence/availability/latency
+                                 trade-off matrix — identical seeded
+                                 fault schedules under the `Lww_ae and
+                                 `Leader_log tiers (doc/FAULTS.md)
 
    Flags (anywhere on the command line):
      --seed N   — seed for the global RNG (default: $BENCH_SEED or 42);
@@ -729,6 +733,116 @@ let run_worlds () =
   in
   b18_rows := rows
 
+(* The b20 series: the coherence/availability/latency trade-off matrix
+   behind doc/FAULTS.md — identical seeded fault schedules run under
+   both consistency tiers (`Lww_ae and `Leader_log), reporting the
+   coherence degree, write availability and client-visible commit
+   latency each tier delivers. These are one-shot simulation runs whose
+   metrics live entirely in simulated time, so the printed table and
+   the JSON rows are byte-identical at any --jobs count; there is
+   nothing for bechamel to fit. Shares the `modes` positional selector
+   with BENCH_<date>_b20.json. *)
+type b20_row = {
+  b20_scenario : string;
+  b20_mode : string;
+  b20_degree_min : float;  (** worst sampled coherence degree in-run *)
+  b20_degree_final : float;
+  b20_sent : int;
+  b20_committed : int;  (** acked writes / committed txns *)
+  b20_avail : float;  (** committed / sent *)
+  b20_lat_mean : float;  (** client-visible success latency, sim s *)
+  b20_lat_max : float;
+  b20_converged : bool;
+  b20_converge : float option;
+  b20_rounds : int option;
+  b20_lost : int;  (** exhausted retries / unknown-outcome txns *)
+  b20_lww_losses : int;
+  b20_unknown : int;
+  b20_elections : int;
+}
+
+let b20_rows : b20_row list ref = ref []
+
+(* The same fault grid as b15 plus a leader-kill scenario: the kill is
+   a no-op under `Lww_ae (there is no leader to depose), so that row
+   prices the failover window the leader tier alone pays. *)
+let b20_scenarios =
+  [
+    ("healthy", Fixtures.chaos_config ~drop:0.0 ~partition_for:0.0);
+    ("drop-5%", Fixtures.chaos_config ~drop:0.05 ~partition_for:0.0);
+    ("partition+crash", Fixtures.chaos_config ~drop:0.0 ~partition_for:10.0);
+    ( "partition+crash+drop",
+      Fixtures.chaos_config ~drop:0.05 ~partition_for:10.0 );
+    ( "leader-kill",
+      {
+        (Fixtures.chaos_config ~drop:0.0 ~partition_for:0.0) with
+        Dsim.Chaos.leader_kill_at = 5.0;
+        leader_kill_for = 6.0;
+      } );
+  ]
+
+let run_modes () =
+  let rows =
+    List.concat_map
+      (fun (scenario, base) ->
+        List.map
+          (fun mode ->
+            let config = { base with Dsim.Chaos.mode } in
+            let (r : Dsim.Chaos.result) =
+              Dsim.Chaos.run ~jobs ~config ~spec:Fixtures.chaos_spec
+                ~probes:Fixtures.chaos_probes ()
+            in
+            let degree_min =
+              List.fold_left
+                (fun acc (s : Dsim.Chaos.sample) ->
+                  Float.min acc (Naming.Coherence.degree s.report))
+                1.0 r.samples
+            in
+            {
+              b20_scenario = scenario;
+              b20_mode = Dsim.Chaos.mode_to_string mode;
+              b20_degree_min = degree_min;
+              b20_degree_final = Naming.Coherence.degree r.final_report;
+              b20_sent = r.writes_sent;
+              b20_committed = r.writes_acked;
+              b20_avail =
+                float_of_int r.writes_acked
+                /. float_of_int (max 1 r.writes_sent);
+              b20_lat_mean = r.latency_mean;
+              b20_lat_max = r.latency_max;
+              b20_converged = r.converged;
+              b20_converge = r.converge_time;
+              b20_rounds = r.rounds_to_converge;
+              b20_lost = r.writes_lost;
+              b20_lww_losses = r.ns.Dsim.Nameserver.lww_losses;
+              b20_unknown = r.txns_unknown;
+              b20_elections = r.ns.Dsim.Nameserver.elections;
+            })
+          [ `Lww_ae; `Leader_log ])
+      b20_scenarios
+  in
+  b20_rows := rows;
+  let opt_f = function Some t -> Printf.sprintf "%8.1f" t | None -> "       -" in
+  let opt_i = function Some n -> Printf.sprintf "%6d" n | None -> "     -" in
+  Printf.printf
+    "b20 consistency-tier trade-off (seed %d; simulated time, \
+     jobs-independent)\n"
+    seed;
+  Printf.printf "%-22s %-7s %10s %10s %7s %9s %9s %5s %8s %6s %5s %7s %7s %6s\n"
+    "scenario" "mode" "degree_min" "degree_end" "avail" "lat_mean" "lat_max"
+    "conv" "conv_t" "rounds" "lost" "lww_lost" "unknown" "elects";
+  Printf.printf "%s\n" (String.make 132 '-');
+  List.iter
+    (fun row ->
+      Printf.printf
+        "%-22s %-7s %10.4f %10.4f %7.3f %9.2f %9.2f %5b %s %s %5d %8d %7d \
+         %6d\n"
+        row.b20_scenario row.b20_mode row.b20_degree_min row.b20_degree_final
+        row.b20_avail row.b20_lat_mean row.b20_lat_max row.b20_converged
+        (opt_f row.b20_converge) (opt_i row.b20_rounds) row.b20_lost
+        row.b20_lww_losses row.b20_unknown row.b20_elections)
+    rows
+
 let experiment_tests =
   let open Bechamel in
   [
@@ -1006,6 +1120,29 @@ let write_json () =
           out "\n    ]}")
         rows;
       out "\n  ],\n");
+  (match !b20_rows with
+  | [] -> ()
+  | rows ->
+      let opt_f = function Some t -> Printf.sprintf "%.1f" t | None -> "null" in
+      let opt_i = function Some n -> string_of_int n | None -> "null" in
+      out "  \"modes_workload\": [";
+      List.iteri
+        (fun i r ->
+          out
+            "%s\n    {\"scenario\": \"%s\", \"mode\": \"%s\", \
+             \"degree_min\": %.6f, \"degree_final\": %.6f, \"sent\": %d, \
+             \"committed\": %d, \"availability\": %.4f, \"latency_mean\": \
+             %.4f, \"latency_max\": %.4f, \"converged\": %b, \
+             \"converge_time\": %s, \"rounds_to_converge\": %s, \"lost\": \
+             %d, \"lww_losses\": %d, \"unknown\": %d, \"elections\": %d}"
+            (if i = 0 then "" else ",")
+            (json_escape r.b20_scenario) r.b20_mode r.b20_degree_min
+            r.b20_degree_final r.b20_sent r.b20_committed r.b20_avail
+            r.b20_lat_mean r.b20_lat_max r.b20_converged
+            (opt_f r.b20_converge) (opt_i r.b20_rounds) r.b20_lost
+            r.b20_lww_losses r.b20_unknown r.b20_elections)
+        rows;
+      out "\n  ],\n");
   out "  \"results\": [";
   List.iteri
     (fun i (name, time, r2) ->
@@ -1037,6 +1174,7 @@ let () =
       run_bechamel ~name:"explore" explore_tests;
       report_explore_workload ()
   | "worlds" :: _ -> run_worlds ()
+  | "modes" :: _ -> run_modes ()
   | "exps" :: _ -> run_experiments ppf
   | id :: _ when Harness.Experiments.find id <> None -> (
       match Harness.Experiments.find id with
@@ -1051,7 +1189,7 @@ let () =
   | unknown :: _ ->
       Printf.eprintf
         "unknown argument %S (expected: micro | scaling | chaos | cluster | \
-         compiled | explore | worlds | exps | e1..e10 | a1..a4)\n"
+         compiled | explore | worlds | modes | exps | e1..e10 | a1..a4)\n"
         unknown;
       exit 2);
   if json_mode then write_json ()

@@ -20,7 +20,8 @@
                         abstract interpretation of the fault schedule, no
                         simulator execution (--json, --sarif,
                         --min-severity, --seed, --drop, --partition,
-                        --replicas; nonzero exit on errors)
+                        --replicas, --mode lww|leader, --partition-leader,
+                        --leader-kill; nonzero exit on errors)
      coherence <scheme> <name>
                         per-activity resolution and coherence verdict
      cache-stats <scheme|all>
@@ -35,17 +36,18 @@
                         run a replicated name service built from a sample
                         world through a fault schedule and report coherence
                         under failure (--seed, --drop, --partition,
-                        --replicas, --json, --schedule FILE to replay an
-                        explicit witness schedule verbatim; nonzero exit
-                        when the replicas fail to reconverge)
+                        --replicas, --mode lww|leader, --partition-leader,
+                        --leader-kill, --json, --schedule FILE to replay
+                        an explicit witness schedule verbatim; nonzero
+                        exit when the replicas fail to reconverge)
      explore <scheme|all>
                         adversarial schedule exploration: bounded model
                         checking over the cluster's fault-schedule space,
                         synthesizing minimized replayable witnesses (NG3xx
                         diagnostics; --depth, --max-writes, --budget,
-                        --seed, --replicas, --json, --sarif,
-                        --min-severity, --witness-dir, --jobs; nonzero
-                        exit on errors)
+                        --seed, --replicas, --mode lww|leader, --json,
+                        --sarif, --min-severity, --witness-dir, --jobs;
+                        nonzero exit on errors)
      worldgen <template>
                         generate a large seeded world (unixlike,
                         perprocess, federated) and stream its Codec v1
@@ -253,13 +255,24 @@ let cmd_compile_stats scheme jobs =
         1
       end)
 
+(* Parses --mode, or prints the usage error and exits 2; chaos,
+   check-cluster and explore all route through this. *)
+let with_mode s f =
+  match Dsim.Chaos.mode_of_string s with
+  | None ->
+      Printf.eprintf "invalid --mode %S (expected lww or leader)\n" s;
+      2
+  | Some mode -> f mode
+
 (* Builds a replicated name service from a sample world's tree, runs one
    chaos schedule over it and reports coherence under failure. Exit code
    1 when the replicas fail to reconverge after the faults heal.
    [--schedule FILE] replays an explicit schedule (the witness format
    the explorer emits) verbatim; it takes precedence over the --seed,
-   --drop, --partition and --replicas knobs. *)
-let cmd_chaos scheme seed drop partition replicas json jobs schedule_file =
+   --drop, --partition, --replicas, --mode and leader-fault knobs. *)
+let cmd_chaos scheme seed drop partition replicas mode partition_leader
+    leader_kill json jobs schedule_file =
+  with_mode mode @@ fun mode ->
   let schedule =
     match schedule_file with
     | None -> Ok None
@@ -303,6 +316,9 @@ let cmd_chaos scheme seed drop partition replicas json jobs schedule_file =
                 duplicate = drop;
                 partition_for = partition;
                 replicas;
+                mode;
+                partition_leader;
+                leader_kill_for = leader_kill;
               }
             in
             (scheme, Dsim.Chaos.run ~jobs ~config ~spec ~probes ()))
@@ -491,8 +507,9 @@ let cmd_check_script target json sarif min_severity received embedded jobs =
    NG2xx diagnostics come from abstract interpretation — no simulator
    execution. Exit code 1 on any error-severity diagnostic, for CI. *)
 let cmd_check_cluster scheme json sarif min_severity seed drop partition
-    replicas jobs =
+    replicas mode partition_leader leader_kill jobs =
   with_min_severity min_severity @@ fun min_severity ->
+  with_mode mode @@ fun mode ->
   let schemes =
     if String.equal (String.lowercase_ascii scheme) "all" then sample_schemes
     else [ scheme ]
@@ -510,6 +527,9 @@ let cmd_check_cluster scheme json sarif min_severity seed drop partition
             duplicate = drop;
             partition_for = partition;
             replicas;
+            mode;
+            partition_leader;
+            leader_kill_for = leader_kill;
           }
         in
         (scheme, w.store, Analysis.Replpasses.subject config spec))
@@ -538,8 +558,9 @@ let write_file path contents =
    verify the reproduction byte for byte. Exit code 1 on any
    error-severity diagnostic. *)
 let cmd_explore scheme json sarif min_severity depth max_writes budget seed
-    replicas jobs witness_dir =
+    replicas mode jobs witness_dir =
   with_min_severity min_severity @@ fun min_severity ->
+  with_mode mode @@ fun mode ->
   let config =
     {
       Analysis.Explore.default with
@@ -547,6 +568,7 @@ let cmd_explore scheme json sarif min_severity depth max_writes budget seed
         {
           Analysis.Explore.default.Analysis.Explore.base with
           Dsim.Chaos.replicas;
+          mode;
         };
       depth;
       max_writes;
@@ -781,22 +803,47 @@ let replicas_opt =
   Arg.(value & opt int Dsim.Chaos.default.Dsim.Chaos.replicas
        & info [ "replicas" ] ~docv:"N" ~doc:"Name-server replicas.")
 
+let mode_opt =
+  Arg.(value & opt string "lww"
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Consistency tier: 'lww' (last-writer-wins replicas \
+                 reconciled by anti-entropy) or 'leader' \
+                 (leader-replicated log with quorum commit and atomic \
+                 multi-name transactions).")
+
+let partition_leader_flag =
+  Arg.(value & flag
+       & info [ "partition-leader" ]
+           ~doc:"Leader mode only: instead of static halves, the \
+                 partition cuts whoever leads at partition time (plus \
+                 its client) off alone — the minority-leader deposition \
+                 scenario.")
+
+let leader_kill_opt =
+  Arg.(value & opt float Dsim.Chaos.default.Dsim.Chaos.leader_kill_for
+       & info [ "leader-kill" ] ~docv:"SECONDS"
+           ~doc:"Leader mode only: downtime of whoever leads at the \
+                 kill instant (0 disables the targeted fault).")
+
 let schedule_opt =
   Arg.(value & opt (some string) None
        & info [ "schedule" ] ~docv:"FILE"
            ~doc:"Replay this explicit schedule file (the explorer's \
                  witness format) verbatim; takes precedence over \
-                 --seed, --drop, --partition and --replicas.")
+                 --seed, --drop, --partition, --replicas, --mode and \
+                 the leader-fault knobs.")
 
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run a replicated name service built from a sample world \
              through a fault schedule (message loss, a partition window, \
-             a replica crash/restart) and report coherence over time; \
-             exits nonzero when the replicas fail to reconverge")
+             a replica crash/restart, targeted leader faults) in either \
+             consistency tier and report coherence over time; exits \
+             nonzero when the replicas fail to reconverge")
     Term.(const cmd_chaos $ scheme_or_all_arg $ seed_opt $ drop_opt
-          $ partition_opt $ replicas_opt $ json_flag $ jobs_opt
+          $ partition_opt $ replicas_opt $ mode_opt
+          $ partition_leader_flag $ leader_kill_opt $ json_flag $ jobs_opt
           $ schedule_opt)
 
 let analyze_cmd =
@@ -840,12 +887,15 @@ let check_cluster_cmd =
     (Cmd.info "check-cluster"
        ~doc:"Static replication coherence analysis of a sample world's \
              cluster deployment: interpret the fault schedule abstractly \
-             and report NG2xx diagnostics (lost-update races, unreachable \
-             replicas, staleness, durability holes) without executing the \
-             simulator; exits nonzero on any error-severity diagnostic")
+             and report NG2xx diagnostics (under lww: lost-update races, \
+             unreachable replicas, staleness, durability holes; under \
+             leader: provable no-quorum windows and unknown-outcome \
+             horizons) without executing the simulator; exits nonzero on \
+             any error-severity diagnostic")
     Term.(const cmd_check_cluster $ scheme_or_all_arg $ json_flag
           $ sarif_flag $ min_severity_opt $ seed_opt $ drop_opt
-          $ partition_opt $ replicas_opt $ jobs_opt)
+          $ partition_opt $ replicas_opt $ mode_opt
+          $ partition_leader_flag $ leader_kill_opt $ jobs_opt)
 
 let explore_cmd =
   let depth_opt =
@@ -878,11 +928,14 @@ let explore_cmd =
              world's cluster deployment (bounded model checking with \
              partial-order and symmetry reduction) and report NG3xx \
              diagnostics, each backed by a minimized schedule witness \
-             that 'chaos --schedule' replays verbatim; exits nonzero on \
-             any error-severity diagnostic")
+             that 'chaos --schedule' replays verbatim; with --mode \
+             leader the synthesized loss schedules replay against the \
+             leader tier and are discharged unless a commit is actually \
+             lost; exits nonzero on any error-severity diagnostic")
     Term.(const cmd_explore $ scheme_or_all_arg $ json_flag $ sarif_flag
           $ min_severity_opt $ depth_opt $ max_writes_opt $ budget_opt
-          $ seed_opt $ replicas_opt $ jobs_opt $ witness_dir_opt)
+          $ seed_opt $ replicas_opt $ mode_opt $ jobs_opt
+          $ witness_dir_opt)
 
 let worldgen_cmd =
   let template =

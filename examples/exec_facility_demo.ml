@@ -54,7 +54,7 @@ let () =
                 | Some c -> Printf.sprintf "%S" c
                 | None -> "⊥"))
             reads
-      | Error `Timeout -> Format.printf "  timed out@.")
+      | Error (`Timeout | `Unavailable) -> Format.printf "  timed out@.")
     ();
   ignore (Dsim.Engine.run engine);
   Format.printf

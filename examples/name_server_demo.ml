@@ -52,7 +52,7 @@ let () =
         | Ok entity ->
             Format.printf "  [%5.2f] %s: %-24s -> %s@."
               (Dsim.Engine.now engine) who name entity
-        | Error `Timeout ->
+        | Error (`Timeout | `Unavailable) ->
             Format.printf "  [%5.2f] %s: %-24s -> TIMEOUT (retrying)@."
               (Dsim.Engine.now engine) who name;
             (* a real client retries *)
@@ -62,7 +62,7 @@ let () =
                 | Ok entity ->
                     Format.printf "  [%5.2f] %s: %-24s -> %s (retry)@."
                       (Dsim.Engine.now engine) who name entity
-                | Error `Timeout ->
+                | Error (`Timeout | `Unavailable) ->
                     Format.printf "  [%5.2f] %s: %-24s -> gave up@."
                       (Dsim.Engine.now engine) who name))
   in

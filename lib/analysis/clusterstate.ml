@@ -172,7 +172,7 @@ let of_chaos ?workload (cfg : Ch.config) (spec : Ns.spec) =
       (fun (time, client, req) ->
         match req with
         | Ns.Write { path; atom; target } -> Some (time, client, path, atom, target)
-        | Ns.Resolve _ | Ns.Pull _ -> None)
+        | _ -> None)
       workload
   in
   let writes =
@@ -355,3 +355,91 @@ let reconverge_provable ?(rounds = 2) t =
 let divergence_possible t =
   Array.exists applied t.writes
   && (t.config.Ch.drop > 0.0 || t.partition <> None || t.crash <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Leader-mode availability: provable no-quorum windows.               *)
+
+let majority t = (t.config.Ch.replicas / 2) + 1
+
+(* The quorum verdict at one instant must hold in EVERY execution, so
+   it quantifies over the statically-unknown choices: which replica the
+   leader-kill fault takes down (whoever leads then, falling back to
+   ns0 — always exactly one node), and which replica a
+   [partition_leader] cut isolates. Quorum is denied only when no
+   scenario leaves any connected side with a live majority. *)
+let no_quorum_at t tau =
+  let cfg = t.config in
+  let n = cfg.Ch.replicas in
+  let maj = majority t in
+  let inside (s, e) = tau >= s && tau < e in
+  let all = List.init n (fun i -> i) in
+  let crashed =
+    match t.crash with Some (v, s, e) when inside (s, e) -> Some v | _ -> None
+  in
+  let killed_choices =
+    match Ch.leader_kill_window cfg with
+    | Some w when inside w -> List.map (fun i -> Some i) all
+    | _ -> [ None ]
+  in
+  let sides_choices =
+    match t.partition with
+    | Some w when inside w ->
+        if cfg.Ch.partition_leader && cfg.Ch.mode = `Leader_log then
+          List.map
+            (fun m -> [ [ m ]; List.filter (fun i -> i <> m) all ])
+            all
+        else (
+          match t.sides with
+          | Some (g1, g2) -> [ [ g1; g2 ] ]
+          | None -> [ [ all ] ])
+    | _ -> [ [ all ] ]
+  in
+  List.for_all
+    (fun killed ->
+      List.for_all
+        (fun sides ->
+          let up i = Some i <> crashed && Some i <> killed in
+          not
+            (List.exists
+               (fun side -> List.length (List.filter up side) >= maj)
+               sides))
+        sides_choices)
+    killed_choices
+
+let no_quorum_windows t =
+  if t.config.Ch.mode <> `Leader_log then []
+  else begin
+    let bounds = ref [ 0.0; t.duration ] in
+    let add (s, e) = bounds := s :: e :: !bounds in
+    Option.iter add t.partition;
+    (match t.crash with Some (_, s, e) -> add (s, e) | None -> ());
+    Option.iter add (Ch.leader_kill_window t.config);
+    let pts =
+      List.sort_uniq Float.compare
+        (List.filter (fun x -> x >= 0.0 && x <= t.duration) !bounds)
+    in
+    (* evaluate each elementary interval at its midpoint; the verdict
+       is constant there because every fault boundary is a cut point *)
+    let rec walk acc = function
+      | a :: (b :: _ as rest) ->
+          let acc =
+            if b -. a > eps && no_quorum_at t ((a +. b) /. 2.0) then
+              match acc with
+              | (s, e) :: tl when Float.abs (e -. a) <= eps -> (s, b) :: tl
+              | _ -> (a, b) :: acc
+            else acc
+          in
+          walk acc rest
+      | _ -> List.rev acc
+    in
+    walk [] pts
+  end
+
+let outcome_unknown_horizon t (w : write) =
+  if t.config.Ch.mode <> `Leader_log then None
+  else
+    List.find_opt
+      (fun (s, e) ->
+        w.time >= s -. eps
+        && w.time +. t.config.Ch.txn_deadline <= e +. eps)
+      (no_quorum_windows t)

@@ -100,3 +100,25 @@ val reconverge_provable : ?rounds:int -> t -> bool
 val divergence_possible : t -> bool
 (** Some execution could leave replicas diverged at least transiently:
     an op possibly exists and the schedule has faults. *)
+
+val majority : t -> int
+(** The write-quorum size under [`Leader_log]: [replicas/2 + 1]. *)
+
+val no_quorum_windows : t -> (float * float) list
+(** Maximal intervals of the run during which the fault schedule
+    provably denies a write quorum under [`Leader_log] — in every
+    execution, no connected side of the cluster has [majority] live
+    replicas, so no transaction can commit and no leader election can
+    complete. Quantifies over the statically-unknown fault targets
+    (which replica the leader-kill takes down, which replica a
+    [partition_leader] cut isolates): an interval is reported only when
+    every choice denies quorum. Empty for [`Lww_ae] schedules. Windows
+    are disjoint, sorted, and clipped to [0, duration]. *)
+
+val outcome_unknown_horizon : t -> write -> (float * float) option
+(** The no-quorum window that swallows the write's whole transaction
+    budget, when one does: the write is issued inside the window and
+    its [txn_deadline] expires before the window ends, so in every
+    execution the client can observe neither [Committed] nor [Aborted]
+    by its deadline and must report the outcome unknown. [None] for
+    [`Lww_ae] schedules. *)

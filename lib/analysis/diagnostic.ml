@@ -96,6 +96,13 @@ let catalogue =
                         spec entry)");
     ("NG208", Info, "a replication verdict undecided within the round \
                      budget");
+    ("NG209", Warning, "a leader-mode unavailable window: the fault \
+                        schedule provably denies a write quorum for an \
+                        interval, so writes inside it cannot commit");
+    ("NG210", Warning, "a transaction-outcome-unknown horizon: a write \
+                        whose client deadline expires inside a no-quorum \
+                        window, so the client can learn neither commit \
+                        nor abort in time");
     ("NG301", Error, "a synthesized schedule that provably loses a write \
                       (minimized, replayable witness attached)");
     ("NG302", Error, "a synthesized schedule that defeats convergence \

@@ -48,15 +48,34 @@ let default =
 
 type claim = Lost_update | Lost_client_write | Unreachable | Stale_at of int
 
+(* Under [`Lww_ae] the claims read off the gossip protocol's failure
+   counters. Under [`Leader_log] the same synthesized schedules replay
+   against the leader tier, where a lost or unordered update would be a
+   protocol bug: the loss claims demand an ACTUAL observed loss
+   ([lww_losses], which leader serialization keeps at zero), not mere
+   non-convergence — so the LWW race/hole frontier is discharged by its
+   own replay, and only genuine convergence/staleness defeats (e.g. a
+   partition that never heals starving a follower) survive as
+   witnesses. *)
 let claim_holds claim (r : Ch.result) =
-  match claim with
-  | Lost_update -> r.Ch.ns.Ns.lww_losses > 0 || not r.Ch.converged
-  | Lost_client_write -> r.Ch.writes_lost > 0
-  | Unreachable -> not r.Ch.converged
-  | Stale_at k -> (
-      match List.nth_opt r.Ch.samples k with
-      | Some s -> not s.Ch.converged
-      | None -> false)
+  match r.Ch.config.Ch.mode with
+  | `Leader_log -> (
+      match claim with
+      | Lost_update | Lost_client_write -> r.Ch.ns.Ns.lww_losses > 0
+      | Unreachable -> not r.Ch.converged
+      | Stale_at k -> (
+          match List.nth_opt r.Ch.samples k with
+          | Some s -> not s.Ch.converged
+          | None -> false))
+  | `Lww_ae -> (
+      match claim with
+      | Lost_update -> r.Ch.ns.Ns.lww_losses > 0 || not r.Ch.converged
+      | Lost_client_write -> r.Ch.writes_lost > 0
+      | Unreachable -> not r.Ch.converged
+      | Stale_at k -> (
+          match List.nth_opt r.Ch.samples k with
+          | Some s -> not s.Ch.converged
+          | None -> false))
 
 type stale = {
   replica : int;

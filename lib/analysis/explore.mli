@@ -47,10 +47,15 @@ type claim =
       (** sample [k] provably observes diverged replicas *)
 
 val claim_holds : claim -> Dsim.Chaos.result -> bool
-(** Does a chaos replay exhibit the claimed failure? [Lost_update]:
-    LWW losses observed or the run did not converge; [Lost_client_write]:
-    a retry budget exhausted; [Unreachable]: the run did not converge;
-    [Stale_at k]: sample [k] saw unequal version vectors. *)
+(** Does a chaos replay exhibit the claimed failure? Under [`Lww_ae] —
+    [Lost_update]: LWW losses observed or the run did not converge;
+    [Lost_client_write]: a retry budget exhausted; [Unreachable]: the
+    run did not converge; [Stale_at k]: sample [k] saw unequal version
+    vectors. Under [`Leader_log] (the replay config's mode) the loss
+    claims demand an actually observed lost update — leader
+    serialization keeps that counter at zero, so the LWW race/hole
+    frontier is discharged by its own replay and only convergence/
+    staleness defeats survive. *)
 
 type stale = {
   replica : int;  (** the provably stale replica *)
@@ -100,9 +105,14 @@ val run : ?jobs:int -> ?config:config -> Dsim.Nameserver.spec -> outcome
     one witness per claim kind is returned (the first found in
     enumeration order; for staleness, the blocked-sample maximizing
     one), each confirmed by replay — a witness whose minimized schedule
-    fails to reproduce its claim is dropped (the soundness contract
-    makes this unreachable; the replay is defense in depth). [jobs]
-    fans candidate evaluation over the {!Naming.Pool} in enumeration
-    order, so the outcome is identical at any job count. Probes for the
-    confirming replays are the spec's directories and link paths,
-    exactly as [namingctl chaos] derives them. *)
+    fails to reproduce its claim is dropped. Under [`Lww_ae] the
+    soundness contract makes dropping unreachable (the replay is
+    defense in depth); with [base.mode = `Leader_log] dropping is the
+    point — the statically-found LWW race/hole frontier replays against
+    the leader tier and is discharged unless a commit is actually lost,
+    so a leader-mode exploration reporting no loss witnesses is a
+    replay-confirmed coherence claim. [jobs] fans candidate evaluation
+    over the {!Naming.Pool} in enumeration order, so the outcome is
+    identical at any job count. Probes for the confirming replays are
+    the spec's directories and link paths, exactly as [namingctl chaos]
+    derives them. *)

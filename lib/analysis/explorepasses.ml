@@ -25,7 +25,8 @@ let write_str (w : Cs.write) =
 
 let sched_str (s : Ch.schedule) =
   let cfg = s.Ch.config in
-  Printf.sprintf "%d write%s%s%s"
+  Printf.sprintf "%s%d write%s%s%s"
+    (match cfg.Ch.mode with `Lww_ae -> "" | `Leader_log -> "leader-mode, ")
     (List.length s.Ch.writes)
     (if List.length s.Ch.writes = 1 then "" else "s")
     (if cfg.Ch.partition_for > 0.0 then
@@ -100,10 +101,15 @@ let diagnostics ?jobs subject =
                "schedule space exhausted clean up to the bounds (depth %d, \
                 ≤%d writes, budget %d): %d schedules enumerated, %d \
                 interpreted, %d collapsed by partial-order reduction, %d by \
-                symmetry"
+                symmetry%s"
                subject.config.Ex.depth subject.config.Ex.max_writes
                subject.config.Ex.budget st.Ex.enumerated st.Ex.interpreted
-               st.Ex.pruned_por st.Ex.pruned_symmetry);
+               st.Ex.pruned_por st.Ex.pruned_symmetry
+               (match subject.config.Ex.base.Ch.mode with
+               | `Leader_log ->
+                   "; every statically-racing schedule replayed against \
+                    the leader tier without losing an update"
+               | `Lww_ae -> ""));
         ]
     else diags
   in

@@ -360,6 +360,44 @@ let verdict_pass ~rounds ~errors (st : Cs.t) =
   else []
 
 (* ------------------------------------------------------------------ *)
+(* cluster-availability: NG209 (provable no-quorum windows), NG210     *)
+(* (transaction-outcome-unknown horizons) — [`Leader_log] only.        *)
+
+let availability_pass (st : Cs.t) =
+  let pass = "cluster-availability" in
+  let cfg = st.Cs.config in
+  let windows = Cs.no_quorum_windows st in
+  let maj = Cs.majority st in
+  let ng209 =
+    List.map
+      (fun (s, e) ->
+        diag ~code:"NG209" ~severity:Diagnostic.Warning ~pass
+          (Printf.sprintf
+             "the fault schedule provably denies a write quorum (%d of %d \
+              replicas) for the whole window %s: no transaction can commit \
+              and no leader election can complete until it ends"
+             maj cfg.Ch.replicas (window_str (s, e))))
+      windows
+  in
+  let ng210 =
+    List.filter_map
+      (fun (w : Cs.write) ->
+        Option.map
+          (fun (s, e) ->
+            diag ~code:"NG210" ~severity:Diagnostic.Warning ~pass
+              ~name:(write_name w) ~loc:w.Cs.index
+              (Printf.sprintf
+                 "%s expires its transaction deadline (%.1fs) inside the \
+                  no-quorum window %s: the client can observe neither \
+                  commit nor abort in time and must report the outcome \
+                  unknown"
+                 (write_str w) cfg.Ch.txn_deadline (window_str (s, e))))
+          (Cs.outcome_unknown_horizon st w))
+      (Cs.writes st)
+  in
+  ng209 @ ng210
+
+(* ------------------------------------------------------------------ *)
 (* Assembly.                                                           *)
 
 let pass_ids =
@@ -371,19 +409,37 @@ let pass_ids =
     "cluster-verdict";
   ]
 
+let leader_pass_ids = [ "cluster-spec"; "cluster-availability" ]
+
+let passes_for (cfg : Ch.config) =
+  match cfg.Ch.mode with
+  | `Lww_ae -> pass_ids
+  | `Leader_log -> leader_pass_ids
+
 let diagnostics ?(rounds = 2) subject =
   let st = Cs.of_chaos ~workload:subject.workload subject.config subject.spec in
   let spec_diags = spec_pass subject.spec in
-  let races = races_pass st in
-  let topo = topology_pass ~rounds st in
-  let dura = durability_pass st in
-  let errors =
-    List.exists
-      (fun d -> d.Diagnostic.severity = Diagnostic.Error)
-      (races @ topo @ dura)
-  in
-  let verdict = verdict_pass ~rounds ~errors st in
-  (st, spec_diags @ races @ topo @ dura @ verdict)
+  match subject.config.Ch.mode with
+  | `Leader_log ->
+      (* The leader tier serializes every update through one elected
+         log, so the LWW race/topology/durability passes are discharged
+         by construction: no NG201 (a quorum commit totally orders
+         conflicting writes), no NG202/NG203 (followers replay the
+         leader's log, not a gossip graph), no NG204 (a committed op is
+         on a majority before the ack). What remains is the
+         availability cost of that coherence — the NG209/NG210 pass. *)
+      (st, spec_diags @ availability_pass st)
+  | `Lww_ae ->
+      let races = races_pass st in
+      let topo = topology_pass ~rounds st in
+      let dura = durability_pass st in
+      let errors =
+        List.exists
+          (fun d -> d.Diagnostic.severity = Diagnostic.Error)
+          (races @ topo @ dura)
+      in
+      let verdict = verdict_pass ~rounds ~errors st in
+      (st, spec_diags @ races @ topo @ dura @ verdict)
 
 let report ?min_severity ?rounds ~label subject =
   let st, diags = diagnostics ?rounds subject in
@@ -393,7 +449,7 @@ let report ?min_severity ?rounds ~label subject =
       ~objects:(List.length subject.spec.Ns.leaves)
       ~context_objects:(List.length subject.spec.Ns.dirs)
       ~probes:(List.length (Cs.writes st))
-      ~passes_run:pass_ids diags
+      ~passes_run:(passes_for subject.config) diags
   in
   (st, report)
 

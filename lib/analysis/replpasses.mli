@@ -22,14 +22,28 @@
     - [NG207] (warning): a replica group that can never satisfy the
       paper's §5 equivalence (orphaned or dangling spec entry);
     - [NG208] (info): the replication verdict is undecided within the
-      round budget.
+      round budget;
+    - [NG209] (warning): a leader-mode no-quorum window — the fault
+      schedule provably denies a write quorum for an interval, so no
+      transaction can commit and no election can complete inside it;
+    - [NG210] (warning): a transaction-outcome-unknown horizon — a
+      write whose client deadline expires inside a no-quorum window,
+      so the client can learn neither commit nor abort in time.
 
     Every error-severity diagnostic rests on Must/Never facts of the
     abstract interpretation, so it is reproducible by a chaos replay of
     the same schedule: NG201 implies [lww_losses > 0] or a
     non-converged replay, NG202 a non-converged replay, NG203 a
     non-converged sample at the witness index, NG204 [writes_lost > 0].
-    The test suite checks this over seeded schedules. *)
+    The test suite checks this over seeded schedules.
+
+    The passes run depend on the schedule's consistency mode. An
+    [`Lww_ae] subject runs the five LWW passes. A [`Leader_log] subject
+    runs [cluster-spec] plus [cluster-availability] (NG209/NG210): the
+    leader tier serializes every update through one quorum-committed
+    log, which discharges the race, topology and durability passes by
+    construction — what remains to analyze is the availability cost of
+    that coherence. *)
 
 type subject = {
   config : Dsim.Chaos.config;
@@ -46,7 +60,11 @@ val subject :
     a chaos run of this config and spec would issue. *)
 
 val pass_ids : string list
-(** The pass names of the family, in execution order. *)
+(** The pass names of the [`Lww_ae] family, in execution order. *)
+
+val leader_pass_ids : string list
+(** The pass names run for a [`Leader_log] subject, in execution
+    order: [cluster-spec] then [cluster-availability]. *)
 
 val diagnostics :
   ?rounds:int -> subject -> Clusterstate.t * Diagnostic.t list

@@ -47,7 +47,7 @@ val exec_remote :
   on:string ->
   reads:Naming.Name.t list ->
   ?timeout:float ->
-  on_result:((result, [ `Timeout ]) Stdlib.result -> unit) ->
+  on_result:((result, [ `Timeout | `Unavailable ]) Stdlib.result -> unit) ->
   unit ->
   unit
 (** Ships the exec request to subsystem [on]'s server. The reply arrives

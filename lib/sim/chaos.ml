@@ -20,6 +20,15 @@ type config = {
   sample_every : float;
   duration : float;
   dedup_window : int option;
+  mode : Nameserver.mode;
+  leader_kill_at : float;
+  leader_kill_for : float;  (** 0.0 disables the leader-kill fault *)
+  partition_leader : bool;
+      (** cut the current leader (plus its client) off alone instead of
+          splitting the cluster in static halves — [`Leader_log] only *)
+  txn_deadline : float;
+      (** overall client budget per transaction before it gives up and
+          reports [Unknown] — [`Leader_log] only *)
 }
 
 let default =
@@ -42,7 +51,19 @@ let default =
     sample_every = 2.0;
     duration = 80.0;
     dedup_window = None;
+    mode = `Lww_ae;
+    leader_kill_at = 15.0;
+    leader_kill_for = 0.0;
+    partition_leader = false;
+    txn_deadline = 20.0;
   }
+
+let mode_to_string = function `Lww_ae -> "lww" | `Leader_log -> "leader"
+
+let mode_of_string = function
+  | "lww" | "lww-ae" -> Some `Lww_ae
+  | "leader" | "leader-log" -> Some `Leader_log
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Schedule introspection: pure functions of the config (and spec) that
@@ -58,8 +79,25 @@ let partition_sides cfg =
         List.init (cfg.replicas - half) (fun i -> half + i) )
   else None
 
+(* With [partition_leader] the membership of the sides is decided at
+   partition time (whoever leads then is cut off alone), so only the
+   sizes are statically known. *)
+let partition_side_sizes cfg =
+  if cfg.partition_for > 0.0 && cfg.replicas >= 2 then
+    if cfg.partition_leader && cfg.mode = `Leader_log then
+      Some (1, cfg.replicas - 1)
+    else
+      let half = max 1 (cfg.replicas / 2) in
+      Some (half, cfg.replicas - half)
+  else None
+
 let crash_victim cfg =
   if cfg.crash_for > 0.0 then Some (cfg.replicas - 1) else None
+
+let leader_kill_window cfg =
+  if cfg.mode = `Leader_log && cfg.leader_kill_for > 0.0 then
+    Some (cfg.leader_kill_at, cfg.leader_kill_at +. cfg.leader_kill_for)
+  else None
 
 let heal_time cfg =
   let h = ref 0.0 in
@@ -67,6 +105,9 @@ let heal_time cfg =
     h := Float.max !h (cfg.partition_at +. cfg.partition_for);
   if crash_victim cfg <> None then
     h := Float.max !h (cfg.crash_at +. cfg.crash_for);
+  (match leader_kill_window cfg with
+  | Some (_, e) -> h := Float.max !h e
+  | None -> ());
   !h
 
 let sample_times cfg =
@@ -101,6 +142,11 @@ type result = {
   writes_acked : int;
   writes_nacked : int;
   writes_lost : int;
+  txns_committed : int;
+  txns_aborted : int;
+  txns_unknown : int;
+  latency_mean : float;
+  latency_max : float;
   net : Network.stats;
   server_rpc : Rpc.stats;
   client_rpc : Rpc.stats;
@@ -117,6 +163,7 @@ let sum_rpc (stats : Rpc.stats list) =
         timeouts = a.Rpc.timeouts + s.Rpc.timeouts;
         retries = a.Rpc.retries + s.Rpc.retries;
         exhausted = a.Rpc.exhausted + s.Rpc.exhausted;
+        unavailable = a.Rpc.unavailable + s.Rpc.unavailable;
         served = a.Rpc.served + s.Rpc.served;
         dedup_hits = a.Rpc.dedup_hits + s.Rpc.dedup_hits;
         dropped_requests = a.Rpc.dropped_requests + s.Rpc.dropped_requests;
@@ -128,6 +175,7 @@ let sum_rpc (stats : Rpc.stats list) =
       timeouts = 0;
       retries = 0;
       exhausted = 0;
+      unavailable = 0;
       served = 0;
       dedup_hits = 0;
       dropped_requests = 0;
@@ -180,7 +228,7 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
   let network = Network.create ~config:net_config ~engine ~rng:net_rng () in
   let cluster =
     Nameserver.create ~network ~rng:cluster_rng ~replicas:cfg.replicas
-      ?dedup_window:cfg.dedup_window spec
+      ~mode:cfg.mode ?dedup_window:cfg.dedup_window spec
   in
   (* One client per replica, on its own machine, partitioned together
      with its home replica. *)
@@ -192,7 +240,6 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
   (* Fault schedule. *)
   let heal_at = ref 0.0 in
   if cfg.partition_for > 0.0 && cfg.replicas >= 2 then begin
-    let half = max 1 (cfg.replicas / 2) in
     let side p =
       List.concat
         (List.init cfg.replicas (fun i ->
@@ -201,10 +248,24 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
                [ Nameserver.replica_node cluster i; cnode ]
              else []))
     in
-    let g1 = side (fun i -> i < half) and g2 = side (fun i -> i >= half) in
     ignore
       (Engine.schedule engine ~delay:cfg.partition_at (fun () ->
-           Network.partition network g1 g2));
+           if cfg.partition_leader && cfg.mode = `Leader_log then begin
+             (* cut whoever leads right now off alone (minority side) *)
+             let l =
+               match Nameserver.leader_of cluster with
+               | Some l -> l
+               | None -> cfg.replicas - 1
+             in
+             Network.partition network
+               (side (fun i -> i = l))
+               (side (fun i -> i <> l))
+           end
+           else
+             let half = max 1 (cfg.replicas / 2) in
+             Network.partition network
+               (side (fun i -> i < half))
+               (side (fun i -> i >= half))));
     let ends = cfg.partition_at +. cfg.partition_for in
     ignore
       (Engine.schedule engine ~delay:ends (fun () -> Network.heal network));
@@ -221,26 +282,152 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
            Network.set_node_up network victim true));
     if ends > !heal_at then heal_at := ends
   end;
+  if cfg.mode = `Leader_log && cfg.leader_kill_for > 0.0 then begin
+    (* the targeted fault: whoever leads at [leader_kill_at] goes down *)
+    ignore
+      (Engine.schedule engine ~delay:cfg.leader_kill_at (fun () ->
+           let l =
+             match Nameserver.leader_of cluster with
+             | Some l -> l
+             | None -> 0
+           in
+           let node = Nameserver.replica_node cluster l in
+           Network.set_node_up network node false;
+           ignore
+             (Engine.schedule engine ~delay:cfg.leader_kill_for (fun () ->
+                  Network.set_node_up network node true))));
+    let ends = cfg.leader_kill_at +. cfg.leader_kill_for in
+    if ends > !heal_at then heal_at := ends
+  end;
   (* Write workload over retrying RPC. *)
   let writes_sent = ref 0
   and writes_acked = ref 0
   and writes_nacked = ref 0
-  and writes_lost = ref 0 in
-  List.iter
-    (fun (time, client, req) ->
-      ignore
-        (Engine.schedule engine ~delay:time (fun () ->
-             let _, ep, crng = clients.(client) in
-             incr writes_sent;
-             Rpc.call_retry ep
-               ~to_:(Nameserver.replica_address cluster client)
-               ~timeout:cfg.call_timeout ~rng:crng
-               ~attempts:cfg.call_attempts req
-               ~on_reply:(function
-                 | Ok (Nameserver.Ack _) -> incr writes_acked
-                 | Ok (Nameserver.Nack _) -> incr writes_nacked
-                 | Ok (Nameserver.Resolved _ | Nameserver.Ops _) -> ()
-                 | Error `Timeout -> incr writes_lost))))
+  and writes_lost = ref 0
+  and txns_committed = ref 0
+  and txns_aborted = ref 0
+  and txns_unknown = ref 0
+  and lat_sum = ref 0.0
+  and lat_max = ref 0.0
+  and lat_n = ref 0 in
+  let note_latency start =
+    let l = Engine.now engine -. start in
+    lat_sum := !lat_sum +. l;
+    lat_n := !lat_n + 1;
+    if l > !lat_max then lat_max := l
+  in
+  let later delay f = ignore (Engine.schedule engine ~delay f) in
+  (* `Leader_log client protocol: submit to a replica, follow Redirect
+     hints to the leader, then poll the transaction's fate until it is
+     Committed or Aborted — all under one overall txn_deadline, threaded
+     into every RPC as the `Unavailable cutoff, after which the client
+     gives up and records the outcome as unknown. *)
+  let submit_txn i time client ~path ~atom ~target =
+    later time (fun () ->
+        let _, ep, crng = clients.(client) in
+        incr writes_sent;
+        let start = Engine.now engine in
+        let deadline_at = start +. cfg.txn_deadline in
+        let txn = { Nameserver.client; tseq = i } in
+        let action = Nameserver.Bind_group [ (path, atom, target) ] in
+        let settled = ref false in
+        let settle outcome =
+          if not !settled then begin
+            settled := true;
+            match outcome with
+            | `Committed ->
+                incr txns_committed;
+                incr writes_acked;
+                note_latency start
+            | `Aborted ->
+                incr txns_aborted;
+                incr writes_nacked
+            | `Unknown ->
+                incr txns_unknown;
+                incr writes_lost
+          end
+        in
+        let remaining () = deadline_at -. Engine.now engine in
+        (* cap each call well under the transaction budget: one call to
+           an unreachable replica must not eat the whole deadline — the
+           client needs budget left to rotate to a live one *)
+        let step left = Float.min left (2.0 *. cfg.call_timeout) in
+        let rec submit target_replica =
+          let left = remaining () in
+          if left <= 0.0 then settle `Unknown
+          else
+            Rpc.call_retry ep
+              ~to_:(Nameserver.replica_address cluster target_replica)
+              ~timeout:cfg.call_timeout ~rng:crng
+              ~attempts:cfg.call_attempts ~deadline:(step left)
+              (Nameserver.Submit { txn; action })
+              ~on_reply:(function
+                | Ok (Nameserver.Submitted _) -> poll target_replica
+                | Ok (Nameserver.Outcome_is o) -> settle_outcome o target_replica
+                | Ok (Nameserver.Redirect (Some l))
+                  when l <> target_replica ->
+                    later (cfg.call_timeout /. 4.0) (fun () -> submit l)
+                | Ok (Nameserver.Redirect _) ->
+                    (* election in progress: wait a beat, try the next *)
+                    later cfg.ae_period (fun () ->
+                        submit ((target_replica + 1) mod cfg.replicas))
+                | Ok (Nameserver.Nack _) -> settle `Aborted
+                | Ok _ -> ()
+                | Error (`Timeout | `Unavailable) ->
+                    later (cfg.call_timeout /. 4.0) (fun () ->
+                        submit ((target_replica + 1) mod cfg.replicas)))
+        and settle_outcome o from =
+          match o with
+          | Nameserver.Committed -> settle `Committed
+          | Nameserver.Aborted _ -> settle `Aborted
+          | Nameserver.Pending ->
+              later (cfg.ae_period /. 2.0) (fun () -> poll from)
+        and poll replica =
+          let left = remaining () in
+          if left <= 0.0 then settle `Unknown
+          else
+            Rpc.call_retry ep
+              ~to_:(Nameserver.replica_address cluster replica)
+              ~timeout:cfg.call_timeout ~rng:crng
+              ~attempts:cfg.call_attempts ~deadline:(step left)
+              (Nameserver.Query txn)
+              ~on_reply:(function
+                | Ok (Nameserver.Outcome_is o) -> settle_outcome o replica
+                | Ok (Nameserver.Redirect (Some l)) when l <> replica ->
+                    later (cfg.call_timeout /. 4.0) (fun () -> poll l)
+                | Ok (Nameserver.Redirect _) ->
+                    later cfg.ae_period (fun () ->
+                        poll ((replica + 1) mod cfg.replicas))
+                | Ok (Nameserver.Nack _) -> settle `Aborted
+                | Ok _ -> ()
+                | Error (`Timeout | `Unavailable) ->
+                    later (cfg.call_timeout /. 4.0) (fun () ->
+                        poll ((replica + 1) mod cfg.replicas)))
+        in
+        submit client)
+  in
+  List.iteri
+    (fun i (time, client, req) ->
+      match (cfg.mode, req) with
+      | `Leader_log, Nameserver.Write { path; atom; target } ->
+          submit_txn i time client ~path ~atom ~target
+      | _ ->
+          ignore
+            (Engine.schedule engine ~delay:time (fun () ->
+                 let _, ep, crng = clients.(client) in
+                 incr writes_sent;
+                 let start = Engine.now engine in
+                 Rpc.call_retry ep
+                   ~to_:(Nameserver.replica_address cluster client)
+                   ~timeout:cfg.call_timeout ~rng:crng
+                   ~attempts:cfg.call_attempts req
+                   ~on_reply:(function
+                     | Ok (Nameserver.Ack _) ->
+                         incr writes_acked;
+                         note_latency start
+                     | Ok (Nameserver.Nack _) -> incr writes_nacked
+                     | Ok _ -> ()
+                     | Error (`Timeout | `Unavailable) -> incr writes_lost))))
     (match writes with
     | Some w -> w
     | None -> plan_writes cfg spec write_rng);
@@ -260,7 +447,17 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
     end
   in
   schedule_sample 1;
-  Nameserver.start_anti_entropy ~period:cfg.ae_period ~timeout:cfg.ae_timeout
+  let ae_timeout =
+    match cfg.mode with
+    | `Lww_ae -> cfg.ae_timeout
+    | `Leader_log ->
+        (* protocol replies must be awaited past a full round trip, or
+           the leader never hears its followers and no election ever
+           completes *)
+        Float.max cfg.ae_timeout
+          (2.5 *. (net_config.Network.latency +. net_config.Network.jitter))
+  in
+  Nameserver.start_anti_entropy ~period:cfg.ae_period ~timeout:ae_timeout
     ~attempts:cfg.ae_attempts cluster;
   let events = Engine.run ~until:cfg.duration engine in
   Nameserver.stop_anti_entropy cluster;
@@ -281,6 +478,17 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
         int_of_float (Float.ceil ((tc -. !heal_at) /. cfg.ae_period)))
       converge_time
   in
+  (* Transactions still in flight when the run ends never learned their
+     fate: the client-visible outcome is unknown. *)
+  if cfg.mode = `Leader_log then begin
+    let unresolved =
+      !writes_sent - (!txns_committed + !txns_aborted + !txns_unknown)
+    in
+    if unresolved > 0 then begin
+      txns_unknown := !txns_unknown + unresolved;
+      writes_lost := !writes_lost + unresolved
+    end
+  end;
   {
     config = cfg;
     samples;
@@ -293,6 +501,11 @@ let run ?jobs ?writes ~config:cfg ~spec ~probes () =
     writes_acked = !writes_acked;
     writes_nacked = !writes_nacked;
     writes_lost = !writes_lost;
+    txns_committed = !txns_committed;
+    txns_aborted = !txns_aborted;
+    txns_unknown = !txns_unknown;
+    latency_mean = (if !lat_n = 0 then 0.0 else !lat_sum /. float_of_int !lat_n);
+    latency_max = !lat_max;
     net = Network.stats network;
     server_rpc =
       sum_rpc
@@ -370,8 +583,13 @@ let schedule_to_json (s : schedule) =
     (ff cfg.ae_period) (ff cfg.ae_timeout) cfg.ae_attempts;
   Printf.bprintf b "\"sample_every\": %s, \"duration\": %s, "
     (ff cfg.sample_every) (ff cfg.duration);
-  Printf.bprintf b "\"dedup_window\": %s"
+  Printf.bprintf b "\"dedup_window\": %s, "
     (match cfg.dedup_window with Some n -> string_of_int n | None -> "null");
+  Printf.bprintf b "\"mode\": \"%s\", " (mode_to_string cfg.mode);
+  Printf.bprintf b "\"leader_kill_at\": %s, \"leader_kill_for\": %s, "
+    (ff cfg.leader_kill_at) (ff cfg.leader_kill_for);
+  Printf.bprintf b "\"partition_leader\": %b, \"txn_deadline\": %s"
+    cfg.partition_leader (ff cfg.txn_deadline);
   Buffer.add_string b "},\n  \"writes\": [";
   List.iteri
     (fun i (time, client, req) ->
@@ -388,8 +606,7 @@ let schedule_to_json (s : schedule) =
           | Some k -> json_string b k
           | None -> Buffer.add_string b "null");
           Buffer.add_string b "}"
-      | Nameserver.Resolve _ | Nameserver.Pull _ ->
-          invalid_arg "Chaos.schedule_to_json: workload contains a non-write")
+      | _ -> invalid_arg "Chaos.schedule_to_json: workload contains a non-write")
     s.writes;
   Buffer.add_string b (if s.writes = [] then "]\n}" else "\n  ]\n}");
   Buffer.contents b
@@ -626,6 +843,37 @@ let schedule_of_json text : (schedule, string) Stdlib.result =
           | Some (J.Num f) -> Some (as_int "dedup_window" f)
           | Some _ -> bad "config field \"dedup_window\" must be an int or null"
           | None -> bad "missing config field \"dedup_window\"");
+        (* PR 10 fields, absent from earlier witness files: default to
+           the values those schedules in fact ran with, so every old
+           witness still parses and replays identically *)
+        mode =
+          (match List.assoc_opt "mode" cobj with
+          | Some (J.Str s) -> (
+              match mode_of_string s with
+              | Some m -> m
+              | None -> bad "unknown mode %S (expected lww or leader)" s)
+          | Some _ -> bad "config field \"mode\" must be a string"
+          | None -> `Lww_ae);
+        leader_kill_at =
+          (match List.assoc_opt "leader_kill_at" cobj with
+          | Some (J.Num f) -> f
+          | Some _ -> bad "config field \"leader_kill_at\" must be a number"
+          | None -> default.leader_kill_at);
+        leader_kill_for =
+          (match List.assoc_opt "leader_kill_for" cobj with
+          | Some (J.Num f) -> f
+          | Some _ -> bad "config field \"leader_kill_for\" must be a number"
+          | None -> default.leader_kill_for);
+        partition_leader =
+          (match List.assoc_opt "partition_leader" cobj with
+          | Some (J.Bool v) -> v
+          | Some _ -> bad "config field \"partition_leader\" must be a bool"
+          | None -> default.partition_leader);
+        txn_deadline =
+          (match List.assoc_opt "txn_deadline" cobj with
+          | Some (J.Num f) -> f
+          | Some _ -> bad "config field \"txn_deadline\" must be a number"
+          | None -> default.txn_deadline);
       }
     in
     if config.replicas < 1 then bad "config.replicas must be >= 1";
@@ -694,10 +942,11 @@ let degree (r : Co.report) = Co.degree r
 let json_rpc b (s : Rpc.stats) =
   Printf.bprintf b
     "{\"calls\": %d, \"replies\": %d, \"timeouts\": %d, \"retries\": %d, \
-     \"exhausted\": %d, \"served\": %d, \"dedup_hits\": %d, \
-     \"dropped_requests\": %d, \"late_replies\": %d}"
+     \"exhausted\": %d, \"unavailable\": %d, \"served\": %d, \"dedup_hits\": \
+     %d, \"dropped_requests\": %d, \"late_replies\": %d}"
     s.Rpc.calls s.Rpc.replies s.Rpc.timeouts s.Rpc.retries s.Rpc.exhausted
-    s.Rpc.served s.Rpc.dedup_hits s.Rpc.dropped_requests s.Rpc.late_replies
+    s.Rpc.unavailable s.Rpc.served s.Rpc.dedup_hits s.Rpc.dropped_requests
+    s.Rpc.late_replies
 
 let to_json ~scheme (r : result) =
   let b = Buffer.create 4096 in
@@ -705,12 +954,15 @@ let to_json ~scheme (r : result) =
   Printf.bprintf b "{\n  \"scheme\": \"%s\",\n  \"seed\": %d,\n" scheme
     cfg.seed;
   Printf.bprintf b
-    "  \"config\": {\"replicas\": %d, \"drop\": %.4f, \"duplicate\": %.4f, \
-     \"partition_at\": %.3f, \"partition_for\": %.3f, \"crash_at\": %.3f, \
-     \"crash_for\": %.3f, \"writes\": %d, \"ae_period\": %.3f, \
-     \"duration\": %.3f},\n"
-    cfg.replicas cfg.drop cfg.duplicate cfg.partition_at cfg.partition_for
-    cfg.crash_at cfg.crash_for cfg.writes cfg.ae_period cfg.duration;
+    "  \"config\": {\"mode\": \"%s\", \"replicas\": %d, \"drop\": %.4f, \
+     \"duplicate\": %.4f, \"partition_at\": %.3f, \"partition_for\": %.3f, \
+     \"crash_at\": %.3f, \"crash_for\": %.3f, \"leader_kill_at\": %.3f, \
+     \"leader_kill_for\": %.3f, \"partition_leader\": %b, \"writes\": %d, \
+     \"ae_period\": %.3f, \"duration\": %.3f},\n"
+    (mode_to_string cfg.mode) cfg.replicas cfg.drop cfg.duplicate
+    cfg.partition_at cfg.partition_for cfg.crash_at cfg.crash_for
+    cfg.leader_kill_at cfg.leader_kill_for cfg.partition_leader cfg.writes
+    cfg.ae_period cfg.duration;
   Printf.bprintf b "  \"converged\": %b,\n  \"heal_at\": %.3f,\n" r.converged
     r.heal_at;
   (match r.converge_time with
@@ -723,6 +975,12 @@ let to_json ~scheme (r : result) =
     "  \"writes\": {\"sent\": %d, \"acked\": %d, \"nacked\": %d, \"lost\": \
      %d},\n"
     r.writes_sent r.writes_acked r.writes_nacked r.writes_lost;
+  Printf.bprintf b
+    "  \"txns\": {\"committed\": %d, \"aborted\": %d, \"unknown\": %d},\n"
+    r.txns_committed r.txns_aborted r.txns_unknown;
+  Printf.bprintf b
+    "  \"latency\": {\"mean\": %.4f, \"max\": %.4f},\n"
+    r.latency_mean r.latency_max;
   let j (rep : Co.report) =
     Printf.sprintf
       "{\"probes\": %d, \"coherent\": %d, \"weakly_coherent\": %d, \
@@ -752,10 +1010,12 @@ let to_json ~scheme (r : result) =
   json_rpc b r.client_rpc;
   Printf.bprintf b
     ",\n  \"nameserver\": {\"writes_accepted\": %d, \"ops_applied\": %d, \
-     \"lww_losses\": %d, \"pulls\": %d, \"pull_failures\": %d},\n"
+     \"lww_losses\": %d, \"pulls\": %d, \"pull_failures\": %d, \
+     \"elections\": %d, \"txns_committed\": %d, \"txns_aborted\": %d},\n"
     r.ns.Nameserver.writes_accepted r.ns.Nameserver.ops_applied
     r.ns.Nameserver.lww_losses r.ns.Nameserver.pulls
-    r.ns.Nameserver.pull_failures;
+    r.ns.Nameserver.pull_failures r.ns.Nameserver.elections
+    r.ns.Nameserver.txns_committed r.ns.Nameserver.txns_aborted;
   Printf.bprintf b "  \"events\": %d\n}" r.events;
   Buffer.contents b
 
@@ -770,6 +1030,12 @@ let pp_summary ~scheme ppf (r : result) =
     | Some t, Some n ->
         Printf.sprintf "at t=%.1f (%d anti-entropy rounds after heal)" t n
     | _ -> "never");
+  if r.config.mode = `Leader_log then
+    Format.fprintf ppf
+      "  txns: %d committed, %d aborted, %d unknown; commit latency \
+       mean=%.2f max=%.2f@,"
+      r.txns_committed r.txns_aborted r.txns_unknown r.latency_mean
+      r.latency_max;
   Format.fprintf ppf "  net: %a@,  server rpc: %a@,  clients: %a@,  ns: %a@,"
     Network.pp_stats r.net Rpc.pp_stats r.server_rpc Rpc.pp_stats r.client_rpc
     Nameserver.pp_stats r.ns;

@@ -32,12 +32,32 @@ type config = {
   dedup_window : int option;
       (** per-caller dedup memory bound at each replica (see
           {!Rpc.create}); [None] = unbounded *)
+  mode : Nameserver.mode;  (** consistency tier; default [`Lww_ae] *)
+  leader_kill_at : float;
+  leader_kill_for : float;
+      (** downtime of whoever leads at [leader_kill_at]; [0.] disables
+          the fault ([`Leader_log] only) *)
+  partition_leader : bool;
+      (** [`Leader_log] only: instead of static halves, the partition
+          cuts whoever leads at [partition_at] (plus its client) off
+          alone — the minority-leader deposition scenario *)
+  txn_deadline : float;
+      (** [`Leader_log] only: overall client budget per transaction; a
+          transaction still undecided when it expires is recorded as
+          unknown *)
 }
 
 val default : config
 (** 3 replicas, 5% drop, 5% duplication, partition over [\[10; 30)],
     replica crash over [\[15; 25)], 32 writes in [\[0; 30)], anti-entropy
-    every 2.0, sampling every 2.0, duration 80, seed 42. *)
+    every 2.0, sampling every 2.0, duration 80, seed 42, [`Lww_ae] mode
+    (leader-kill disabled, [txn_deadline] 20.0). *)
+
+val mode_to_string : Nameserver.mode -> string
+(** ["lww"] / ["leader"] — the schedule-JSON and CLI spelling. *)
+
+val mode_of_string : string -> Nameserver.mode option
+(** Accepts ["lww"], ["lww-ae"], ["leader"], ["leader-log"]. *)
 
 type sample = {
   time : float;
@@ -57,9 +77,20 @@ type result = {
   rounds_to_converge : int option;
       (** [converge_time - heal_at] in anti-entropy periods (ceiling) *)
   writes_sent : int;
-  writes_acked : int;
-  writes_nacked : int;
-  writes_lost : int;  (** retry budgets exhausted *)
+  writes_acked : int;  (** in [`Leader_log] mode: committed txns *)
+  writes_nacked : int;  (** in [`Leader_log] mode: aborted txns *)
+  writes_lost : int;
+      (** retry budgets exhausted; in [`Leader_log] mode: txns whose
+          outcome stayed unknown *)
+  txns_committed : int;  (** [`Leader_log] only; 0 under [`Lww_ae] *)
+  txns_aborted : int;
+  txns_unknown : int;
+      (** txn deadlines expired (or run ended) before a decision *)
+  latency_mean : float;
+      (** mean client-visible success latency: write→ack under
+          [`Lww_ae], submit→committed under [`Leader_log]; 0 when
+          nothing succeeded *)
+  latency_max : float;
   net : Network.stats;
   server_rpc : Rpc.stats;  (** summed over the replica endpoints *)
   client_rpc : Rpc.stats;  (** summed over the client endpoints *)
@@ -97,11 +128,23 @@ val planned_writes :
 val partition_sides : config -> (int list * int list) option
 (** The two replica-id groups the partition window separates (clients
     are partitioned with their home replica), or [None] when the config
-    schedules no partition. *)
+    schedules no partition. With [partition_leader] the static halves
+    are {e not} what runs — see {!partition_side_sizes}. *)
+
+val partition_side_sizes : config -> (int * int) option
+(** The sizes of the two partition sides. For a [partition_leader]
+    schedule the membership is decided at partition time (the leader
+    alone vs everyone else) but the sizes [(1, replicas - 1)] are
+    static — enough for majority-loss arithmetic. *)
 
 val crash_victim : config -> int option
 (** The replica whose node crashes over [\[crash_at; crash_at +
     crash_for)], or [None] when no crash is scheduled. *)
+
+val leader_kill_window : config -> (float * float) option
+(** The [\[leader_kill_at; leader_kill_at + leader_kill_for)] downtime
+    window of the dynamically-chosen leader victim, or [None] when the
+    fault is disabled (always [None] under [`Lww_ae]). *)
 
 val heal_time : config -> float
 (** When the last scheduled fault heals ([0.] for a fault-free
@@ -141,7 +184,12 @@ val schedule_to_json : schedule -> string
 
 val schedule_of_json : string -> (schedule, string) Stdlib.result
 (** Parses {!schedule_to_json}'s format (version 1). Every config field
-    is required; write paths are re-rooted with
+    present in the original format is required; the mode and
+    leader-fault fields ([mode], [leader_kill_at], [leader_kill_for],
+    [partition_leader], [txn_deadline]) default to the values earlier
+    schedules in fact ran with ([`Lww_ae], leader-kill disabled), so
+    witness files from before the leader tier parse and replay
+    unchanged. Write paths are re-rooted with
     {!Naming.Name.prepend_root}; client ids must lie in
     [\[0; replicas)]. [Error msg] pinpoints the first problem. *)
 

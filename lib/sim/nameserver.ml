@@ -78,10 +78,42 @@ let spec_of_context ?(max_depth = 4) ?(max_nodes = 512) store ctx =
 (* ------------------------------------------------------------------ *)
 (* The wire protocol.                                                  *)
 
+type mode = [ `Lww_ae | `Leader_log ]
+
+type txn_id = { client : int; tseq : int }
+
+type action =
+  | Bind_group of (N.t * N.atom * string option) list
+  | Atomic_rename of {
+      src_path : N.t;
+      src_atom : N.atom;
+      dst_path : N.t;
+      dst_atom : N.atom;
+    }
+
+type entry = { eterm : int; txn : txn_id; action : action }
+type outcome = Committed | Aborted of string | Pending
+
 type request =
   | Resolve of N.t
   | Write of { path : N.t; atom : N.atom; target : string option }
   | Pull of int array
+  | Submit of { txn : txn_id; action : action }
+  | Query of txn_id
+  | Request_vote of {
+      term : int;
+      candidate : int;
+      last_idx : int;
+      last_term : int;
+    }
+  | Append_entries of {
+      term : int;
+      leader : int;
+      prev_idx : int;
+      prev_term : int;
+      entries : entry list;
+      commit : int;
+    }
 
 type op = {
   origin : int;
@@ -97,9 +129,16 @@ type response =
   | Ack of { stamp : int }
   | Ops of op list
   | Nack of string
+  | Submitted of { term : int; index : int }
+  | Redirect of int option
+  | Voted of { term : int; granted : bool }
+  | Appended of { term : int; ok : bool; matched : int }
+  | Outcome_is of outcome
 
 (* ------------------------------------------------------------------ *)
 (* Replicas and clusters.                                              *)
+
+type role = Follower | Candidate | Leader
 
 type replica = {
   id : int;
@@ -112,9 +151,29 @@ type replica = {
   mutable clock : int;
   rng : Rng.t;
   mutable endpoint : (request, response) Rpc.endpoint option;
+  (* leader-log state (unused in `Lww_ae mode) *)
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable role : role;
+  mutable known_leader : int option;
+  mutable llog : entry array;  (** oldest first; log index i lives at i-1 *)
+  mutable commit_idx : int;
+  mutable applied_idx : int;
+  mutable votes : int;
+  mutable last_heartbeat : float;
+  mutable election_timeout : float;
+  mutable election_backoff : int;
+      (** widens the timeout redraw span after each fruitless election;
+          reset on hearing a leader — split votes then break quickly
+          even when message latency rivals the heartbeat period *)
+  next_idx : int array;
+  match_idx : int array;
+  peer_acked : float array;  (** leader lease: last reply time per peer *)
+  outcomes : (txn_id, outcome) Hashtbl.t;
 }
 
 type t = {
+  mode : mode;
   network : (request, response) Rpc.message Network.t;
   store : S.t;
   engine : Naming.Engine.t;
@@ -127,12 +186,18 @@ type t = {
   repl : Naming.Replication.t;
   rule : Naming.Rule.t;
   probes : E.t array;  (** one probe activity per replica *)
+  decided : (txn_id, unit) Hashtbl.t;  (** txns already counted below *)
   mutable ae_gen : int;  (** bumped by start/stop; stale ticks die *)
   mutable writes_accepted : int;
   mutable ops_applied : int;
   mutable lww_losses : int;
   mutable pulls : int;
   mutable pull_failures : int;
+  mutable elections : int;
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+  mutable proto_timeout : float;
+      (** per-message timeout for leader-log protocol traffic *)
 }
 
 let port = 1
@@ -184,9 +249,400 @@ let apply t r op =
    sequence order; if it somehow does, the op is dropped and a later
    pull re-fetches the origin's suffix in order. *)
 
+(* ------------------------------------------------------------------ *)
+(* The leader log (`Leader_log mode).
+
+   A small Raft-shaped replicated log: terms, randomized election
+   timeouts drawn from each replica's seeded rng, majority voting with
+   the up-to-date-log restriction, append/ack majority commit, follower
+   log repair by next-index walk-back, and a leader lease (a leader that
+   cannot reach a majority within an election timeout steps down, so a
+   minority-side leader deposes itself during a partition). A fresh
+   leader appends a no-op entry (txn.client < 0) to commit its
+   predecessor's tail and anchor current-term commitment — the standard
+   precondition for deciding that an entry absent from the leader's log
+   can never commit, i.e. for reporting [Aborted] to the client.
+
+   Committed entries are applied, in log order, by every replica to its
+   own mirror; an action's precondition is evaluated against the mirror
+   at application time, so all replicas reach the same commit-or-abort
+   decision and identical mirror states for the same committed prefix. *)
+
+let majority t = (Array.length t.members / 2) + 1
+let noop_txn r = { client = -1 - r.id; tseq = r.term }
+
+let last_log_info r =
+  let n = Array.length r.llog in
+  if n = 0 then (0, 0) else (n, r.llog.(n - 1).eterm)
+
+let observe_term r term =
+  if term > r.term then begin
+    r.term <- term;
+    r.voted_for <- None;
+    r.role <- Follower;
+    r.known_leader <- None
+  end
+
+let find_txn r txn =
+  let found = ref None in
+  Array.iteri
+    (fun i e ->
+      if !found = None && e.txn = txn then found := Some (i + 1))
+    r.llog;
+  !found
+
+(* Both the commit decision and the mirror mutation for one committed
+   entry. Preconditions are checked first so the action commits or
+   aborts as a unit: an aborted action touches nothing. *)
+let entry_precondition t r action =
+  match action with
+  | Bind_group writes ->
+      List.fold_left
+        (fun acc (path, _atom, target) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if not (Hashtbl.mem r.dirs (path_key path)) then
+                Some (Printf.sprintf "unknown directory %s" (path_key path))
+              else (
+                match target with
+                | Some key when not (Hashtbl.mem t.leaves key) ->
+                    Some (Printf.sprintf "unknown leaf %s" key)
+                | _ -> None))
+        None writes
+  | Atomic_rename { src_path; src_atom; dst_path; dst_atom = _ } -> (
+      match
+        ( Hashtbl.find_opt r.dirs (path_key src_path),
+          Hashtbl.find_opt r.dirs (path_key dst_path) )
+      with
+      | None, _ -> Some (Printf.sprintf "unknown directory %s" (path_key src_path))
+      | _, None -> Some (Printf.sprintf "unknown directory %s" (path_key dst_path))
+      | Some src_dir, Some _ -> (
+          match S.obj_state t.store src_dir with
+          | Some (S.Context ctx) when C.mem ctx src_atom -> None
+          | _ ->
+              Some
+                (Printf.sprintf "%s has no binding %s" (path_key src_path)
+                   (N.atom_to_string src_atom))))
+
+let apply_entry t r e =
+  let outcome =
+    match entry_precondition t r e.action with
+    | Some reason -> Aborted reason
+    | None ->
+        (match e.action with
+        | Bind_group writes ->
+            List.iter
+              (fun (path, atom, target) ->
+                let dir = Hashtbl.find r.dirs (path_key path) in
+                match target with
+                | Some key ->
+                    S.bind t.store ~dir atom (Hashtbl.find t.leaves key)
+                | None -> S.unbind t.store ~dir atom)
+              writes
+        | Atomic_rename { src_path; src_atom; dst_path; dst_atom } -> (
+            let src_dir = Hashtbl.find r.dirs (path_key src_path) in
+            let dst_dir = Hashtbl.find r.dirs (path_key dst_path) in
+            match S.obj_state t.store src_dir with
+            | Some (S.Context ctx) ->
+                let target = C.lookup ctx src_atom in
+                S.unbind t.store ~dir:src_dir src_atom;
+                S.bind t.store ~dir:dst_dir dst_atom target
+            | _ -> ()));
+        Committed
+  in
+  if e.txn.client >= 0 then begin
+    t.ops_applied <- t.ops_applied + 1;
+    if not (Hashtbl.mem t.decided e.txn) then begin
+      Hashtbl.replace t.decided e.txn ();
+      match outcome with
+      | Committed -> t.txns_committed <- t.txns_committed + 1
+      | Aborted _ -> t.txns_aborted <- t.txns_aborted + 1
+      | Pending -> ()
+    end
+  end;
+  Hashtbl.replace r.outcomes e.txn outcome
+
+let apply_committed t r =
+  while r.applied_idx < r.commit_idx do
+    let e = r.llog.(r.applied_idx) in
+    r.applied_idx <- r.applied_idx + 1;
+    apply_entry t r e
+  done
+
+let advance_commit t r =
+  (* only current-term entries commit by counting (Raft §5.4.2);
+     earlier-term entries commit as part of the prefix *)
+  let len = Array.length r.llog in
+  let advanced = ref false in
+  for idx = r.commit_idx + 1 to len do
+    if idx > r.commit_idx && r.llog.(idx - 1).eterm = r.term then begin
+      let acks = ref 1 in
+      Array.iteri
+        (fun p m -> if p <> r.id && m >= idx then incr acks)
+        r.match_idx;
+      if !acks >= majority t then begin
+        r.commit_idx <- idx;
+        advanced := true
+      end
+    end
+  done;
+  if !advanced then apply_committed t r
+
+let rec broadcast_append t r =
+  let engine = Network.engine t.network in
+  let term_at = r.term in
+  Array.iter
+    (fun peer ->
+      if peer.id <> r.id then begin
+        let ni = max 1 r.next_idx.(peer.id) in
+        let prev_idx = ni - 1 in
+        let prev_term = if prev_idx = 0 then 0 else r.llog.(prev_idx - 1).eterm in
+        let len = Array.length r.llog in
+        let entries =
+          if ni > len then []
+          else Array.to_list (Array.sub r.llog (ni - 1) (len - ni + 1))
+        in
+        let sent = prev_idx + List.length entries in
+        Rpc.call (get_endpoint r)
+          ~to_:{ Network.node = peer.node; port }
+          ~timeout:t.proto_timeout
+          (Append_entries
+             {
+               term = r.term;
+               leader = r.id;
+               prev_idx;
+               prev_term;
+               entries;
+               commit = r.commit_idx;
+             })
+          ~on_reply:(function
+            | Ok (Appended { term; ok; matched }) ->
+                observe_term r term;
+                if r.role = Leader && r.term = term_at then begin
+                  r.peer_acked.(peer.id) <- Engine.now engine;
+                  if ok then begin
+                    r.match_idx.(peer.id) <- max r.match_idx.(peer.id) matched;
+                    r.next_idx.(peer.id) <- max r.next_idx.(peer.id) (matched + 1);
+                    advance_commit t r
+                  end
+                  else if r.next_idx.(peer.id) > 1 then begin
+                    (* log mismatch: walk back and re-ship the suffix *)
+                    r.next_idx.(peer.id) <- ni - 1;
+                    if sent > 0 then broadcast_append_to t r peer.id
+                  end
+                end
+            | Ok _ | Error _ -> ())
+      end)
+    t.members
+
+and broadcast_append_to t r peer_id =
+  let peer = t.members.(peer_id) in
+  let term_at = r.term in
+  let ni = max 1 r.next_idx.(peer_id) in
+  let prev_idx = ni - 1 in
+  let prev_term = if prev_idx = 0 then 0 else r.llog.(prev_idx - 1).eterm in
+  let len = Array.length r.llog in
+  let entries =
+    if ni > len then []
+    else Array.to_list (Array.sub r.llog (ni - 1) (len - ni + 1))
+  in
+  Rpc.call (get_endpoint r)
+    ~to_:{ Network.node = peer.node; port }
+    ~timeout:t.proto_timeout
+    (Append_entries
+       {
+         term = r.term;
+         leader = r.id;
+         prev_idx;
+         prev_term;
+         entries;
+         commit = r.commit_idx;
+       })
+    ~on_reply:(function
+      | Ok (Appended { term; ok; matched }) ->
+          observe_term r term;
+          if r.role = Leader && r.term = term_at then begin
+            r.peer_acked.(peer_id) <- Engine.now (Network.engine t.network);
+            if ok then begin
+              r.match_idx.(peer_id) <- max r.match_idx.(peer_id) matched;
+              r.next_idx.(peer_id) <- max r.next_idx.(peer_id) (matched + 1);
+              advance_commit t r
+            end
+            else if r.next_idx.(peer_id) > 1 then begin
+              r.next_idx.(peer_id) <- ni - 1;
+              broadcast_append_to t r peer_id
+            end
+          end
+      | Ok _ | Error _ -> ())
+
+let become_leader t r =
+  let engine = Network.engine t.network in
+  let now = Engine.now engine in
+  r.role <- Leader;
+  r.known_leader <- Some r.id;
+  r.election_backoff <- 1;
+  let len = Array.length r.llog in
+  Array.iteri
+    (fun p _ ->
+      r.next_idx.(p) <- len + 1;
+      r.match_idx.(p) <- 0;
+      r.peer_acked.(p) <- now)
+    t.members;
+  (* no-op entry: commits the predecessor's tail, anchors this term *)
+  r.llog <-
+    Array.append r.llog
+      [| { eterm = r.term; txn = noop_txn r; action = Bind_group [] } |];
+  broadcast_append t r
+
+let start_election t r =
+  let engine = Network.engine t.network in
+  let now = Engine.now engine in
+  r.term <- r.term + 1;
+  t.elections <- t.elections + 1;
+  r.role <- Candidate;
+  r.voted_for <- Some r.id;
+  r.votes <- 1;
+  r.known_leader <- None;
+  r.last_heartbeat <- now;
+  let last_idx, last_term = last_log_info r in
+  let term_at = r.term in
+  if r.votes >= majority t then become_leader t r
+  else
+    Array.iter
+      (fun peer ->
+        if peer.id <> r.id then
+          (* retried: a dropped vote request must not waste the whole
+             election round *)
+          Rpc.call_retry (get_endpoint r)
+            ~to_:{ Network.node = peer.node; port }
+            ~timeout:t.proto_timeout ~rng:r.rng ~attempts:2
+            (Request_vote { term = r.term; candidate = r.id; last_idx; last_term })
+            ~on_reply:(function
+              | Ok (Voted { term; granted }) ->
+                  observe_term r term;
+                  if r.role = Candidate && r.term = term_at && granted then begin
+                    r.votes <- r.votes + 1;
+                    if r.votes >= majority t then become_leader t r
+                  end
+              | Ok _ | Error _ -> ()))
+      t.members
+
 let handle t r req =
   match req with
   | Resolve name -> Resolved (Naming.Engine.resolve_in t.engine r.root name)
+  | (Write _ | Pull _) when t.mode = `Leader_log ->
+      Nack "lww-ae request in leader-log mode"
+  | (Submit _ | Query _ | Request_vote _ | Append_entries _)
+    when t.mode = `Lww_ae ->
+      Nack "leader-log request in lww-ae mode"
+  | Submit { txn; action } ->
+      if r.role <> Leader then Redirect r.known_leader
+      else (
+        (* log-level dedup: a resubmission of a txn already appended (or
+           already decided) is answered without a second append, so the
+           exactly-once guarantee survives client-side redirect loops *)
+        match Hashtbl.find_opt r.outcomes txn with
+        | Some o -> Outcome_is o
+        | None -> (
+            match find_txn r txn with
+            | Some index -> Submitted { term = r.term; index }
+            | None ->
+                let e = { eterm = r.term; txn; action } in
+                r.llog <- Array.append r.llog [| e |];
+                t.writes_accepted <- t.writes_accepted + 1;
+                broadcast_append t r;
+                Submitted { term = r.term; index = Array.length r.llog }))
+  | Query txn -> (
+      match Hashtbl.find_opt r.outcomes txn with
+      | Some o -> Outcome_is o
+      | None ->
+          if r.role = Leader then (
+            match find_txn r txn with
+            | Some _ -> Outcome_is Pending
+            | None ->
+                (* a leader that has committed an entry of its own term
+                   and finds no trace of the txn knows it can never
+                   commit (leader completeness): a sticky abort *)
+                if
+                  r.commit_idx > 0
+                  && r.llog.(r.commit_idx - 1).eterm = r.term
+                then begin
+                  let o = Aborted "lost in leader change" in
+                  Hashtbl.replace r.outcomes txn o;
+                  if not (Hashtbl.mem t.decided txn) then begin
+                    Hashtbl.replace t.decided txn ();
+                    t.txns_aborted <- t.txns_aborted + 1
+                  end;
+                  Outcome_is o
+                end
+                else Outcome_is Pending)
+          else Redirect r.known_leader)
+  | Request_vote { term; candidate; last_idx; last_term } ->
+      observe_term r term;
+      (* Same-term tie-break: a candidate yields to a lower-id rival.
+         Its own self-vote dies with its candidacy (the role check in
+         the vote-reply handler keeps it from ever counting a
+         majority), so each replica still casts at most one live vote
+         per term — split votes break in one round instead of stalling
+         a full timeout. *)
+      if
+        term = r.term && r.role = Candidate && candidate < r.id
+        && r.voted_for = Some r.id
+      then begin
+        r.role <- Follower;
+        r.voted_for <- None
+      end;
+      let my_idx, my_term = last_log_info r in
+      let up_to_date =
+        last_term > my_term || (last_term = my_term && last_idx >= my_idx)
+      in
+      let granted =
+        term = r.term && up_to_date
+        && match r.voted_for with None -> true | Some c -> c = candidate
+      in
+      if granted then begin
+        r.voted_for <- Some candidate;
+        r.last_heartbeat <- Engine.now (Network.engine t.network)
+      end;
+      Voted { term = r.term; granted }
+  | Append_entries { term; leader; prev_idx; prev_term; entries; commit } ->
+      observe_term r term;
+      if term < r.term then Appended { term = r.term; ok = false; matched = 0 }
+      else begin
+        r.role <- Follower;
+        r.known_leader <- Some leader;
+        r.election_backoff <- 1;
+        r.last_heartbeat <- Engine.now (Network.engine t.network);
+        let len = Array.length r.llog in
+        let prev_ok =
+          prev_idx = 0
+          || (prev_idx <= len && r.llog.(prev_idx - 1).eterm = prev_term)
+        in
+        if not prev_ok then Appended { term = r.term; ok = false; matched = 0 }
+        else begin
+          List.iteri
+            (fun i e ->
+              let idx = prev_idx + i + 1 in
+              if idx <= Array.length r.llog then begin
+                if r.llog.(idx - 1).eterm <> e.eterm then begin
+                  (* conflict: drop the (uncommitted) suffix, take the
+                     leader's entry *)
+                  r.llog <- Array.sub r.llog 0 (idx - 1);
+                  r.llog <- Array.append r.llog [| e |]
+                end
+              end
+              else r.llog <- Array.append r.llog [| e |])
+            entries;
+          let matched = prev_idx + List.length entries in
+          let new_commit = min commit (Array.length r.llog) in
+          if new_commit > r.commit_idx then begin
+            r.commit_idx <- new_commit;
+            apply_committed t r
+          end;
+          Appended { term = r.term; ok = true; matched }
+        end
+      end
   | Write { path; atom; target } -> (
       let key = path_key path in
       match Hashtbl.find_opt r.dirs key with
@@ -227,7 +683,8 @@ let handle t r req =
       in
       Ops sorted
 
-let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
+let create ~network ~rng ~replicas:n ?(mode = `Lww_ae) ?dedup_window
+    (spec : spec) =
   if n < 2 then invalid_arg "Nameserver.create: need at least 2 replicas";
   let store = S.create () in
   let leaves = Hashtbl.create 32 in
@@ -260,6 +717,21 @@ let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
           clock = 0;
           rng = Rng.split rng;
           endpoint = None;
+          term = 0;
+          voted_for = None;
+          role = Follower;
+          known_leader = None;
+          llog = [||];
+          commit_idx = 0;
+          applied_idx = 0;
+          votes = 0;
+          last_heartbeat = 0.0;
+          election_timeout = Float.infinity;
+          election_backoff = 1;
+          next_idx = Array.make n 1;
+          match_idx = Array.make n 0;
+          peer_acked = Array.make n 0.0;
+          outcomes = Hashtbl.create 64;
         })
   in
   (* Mirror directories, and one replica group per logical path. *)
@@ -316,6 +788,7 @@ let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
   in
   let t =
     {
+      mode;
       network;
       store;
       engine = Naming.Engine.of_env ~default:`Interpreted store;
@@ -324,12 +797,17 @@ let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
       repl;
       rule = Naming.Rule.of_activity asg;
       probes;
+      decided = Hashtbl.create 64;
       ae_gen = 0;
       writes_accepted = 0;
       ops_applied = 0;
       lww_losses = 0;
       pulls = 0;
       pull_failures = 0;
+      elections = 0;
+      txns_committed = 0;
+      txns_aborted = 0;
+      proto_timeout = 2.0;
     }
   in
   Array.iter
@@ -343,6 +821,7 @@ let create ~network ~rng ~replicas:n ?dedup_window (spec : spec) =
   t
 
 let store t = t.store
+let mode t = t.mode
 let replicas t = Array.length t.members
 
 let member t i =
@@ -382,18 +861,51 @@ let measure ?jobs t names =
     (occurrences t) names
 
 let converged t =
-  let reference = t.members.(0).vec in
-  Array.for_all
-    (fun r ->
-      let ok = ref true in
-      Array.iteri (fun i v -> if v <> reference.(i) then ok := false) r.vec;
-      !ok)
-    t.members
+  match t.mode with
+  | `Lww_ae ->
+      let reference = t.members.(0).vec in
+      Array.for_all
+        (fun r ->
+          let ok = ref true in
+          Array.iteri
+            (fun i v -> if v <> reference.(i) then ok := false)
+            r.vec;
+          !ok)
+        t.members
+  | `Leader_log ->
+      (* identical committed-and-applied logs with no uncommitted
+         stragglers: the leader's log repair drives every replica here
+         once a stable leader has replicated its final no-op *)
+      let c0 = t.members.(0).commit_idx in
+      Array.for_all
+        (fun r ->
+          r.commit_idx = c0 && r.applied_idx = c0
+          && Array.length r.llog = c0)
+        t.members
+
+let leader_of t =
+  Array.fold_left
+    (fun acc r ->
+      if r.role = Leader && Network.node_is_up t.network r.node then
+        match acc with
+        | Some l when t.members.(l).term >= r.term -> acc
+        | _ -> Some r.id
+      else acc)
+    None t.members
+
+let term_at t i = (member t i).term
+let commit_index t i = (member t i).commit_idx
+let outcome_at t i txn = Hashtbl.find_opt (member t i).outcomes txn
+
+let committed_log t i =
+  let r = member t i in
+  Array.to_list (Array.sub r.llog 0 r.commit_idx)
+  |> List.map (fun e -> (e.txn, e.action))
 
 (* ------------------------------------------------------------------ *)
-(* Anti-entropy.                                                       *)
+(* Anti-entropy (`Lww_ae) and the leader heartbeat (`Leader_log).      *)
 
-let start_anti_entropy ?(period = 5.0) ?(timeout = 2.0) ?(attempts = 3) t =
+let start_lww_anti_entropy ~period ~timeout ~attempts t =
   t.ae_gen <- t.ae_gen + 1;
   let gen = t.ae_gen in
   let engine = Network.engine t.network in
@@ -411,8 +923,9 @@ let start_anti_entropy ?(period = 5.0) ?(timeout = 2.0) ?(attempts = 3) t =
           ~timeout ~rng:r.rng ~attempts (Pull (Array.copy r.vec))
           ~on_reply:(function
             | Ok (Ops ops) -> List.iter (apply t r) ops
-            | Ok (Resolved _ | Ack _ | Nack _) -> ()
-            | Error `Timeout -> t.pull_failures <- t.pull_failures + 1)
+            | Ok _ -> ()
+            | Error (`Timeout | `Unavailable) ->
+                t.pull_failures <- t.pull_failures + 1)
       end;
       ignore (Engine.schedule engine ~delay:period (tick r))
     end
@@ -425,6 +938,88 @@ let start_anti_entropy ?(period = 5.0) ?(timeout = 2.0) ?(attempts = 3) t =
       ignore (Engine.schedule engine ~delay (tick r)))
     t.members
 
+(* The leader-log driver: one staggered recurring tick per replica. A
+   leader's tick checks its lease (step down when a majority has not
+   answered within an election timeout — this is what deposes a
+   minority-side leader during a partition) and sends heartbeats; a
+   follower's or candidate's tick starts an election when it has not
+   heard from a live leader within its randomized timeout. Crashed
+   nodes forfeit any role on their tick and rejoin as followers. *)
+let start_leader_protocol ~period ~timeout t =
+  t.ae_gen <- t.ae_gen + 1;
+  t.proto_timeout <- timeout;
+  let gen = t.ae_gen in
+  let engine = Network.engine t.network in
+  let n = Array.length t.members in
+  let base = 2.0 *. period in
+  (* the lease outlives one heartbeat round trip, else a slow (but
+     healthy) network deposes a working leader every few ticks *)
+  let lease = 3.0 *. period in
+  (* Election timeouts are id-staggered into near-disjoint ranges: in
+     this simulation one message flight can rival the heartbeat period,
+     so purely random draws from a shared range would send two
+     candidates into split votes about half the time. The stagger makes
+     the lowest-id live replica fire first (its Request_vote resets the
+     others' timers); the randomized tail plus backoff still breaks any
+     residual tie. *)
+  let span = base /. 2.0 in
+  let redraw r =
+    base
+    +. (float_of_int r.id *. span)
+    +. Rng.float r.rng (span *. float_of_int r.election_backoff)
+  in
+  Array.iter (fun r -> r.election_timeout <- redraw r) t.members;
+  (* Followers check their timers at quarter-period granularity —
+     coarser ticks would quantize the staggered timeouts back into
+     collision; leaders heartbeat at full-period cadence. *)
+  let sub = period /. 4.0 in
+  let rec tick r k () =
+    if t.ae_gen = gen then begin
+      let now = Engine.now engine in
+      if Network.node_is_up t.network r.node then begin
+        match r.role with
+        | Leader ->
+            if k mod 4 = 0 then begin
+              let live = ref 1 in
+              Array.iteri
+                (fun p last ->
+                  if p <> r.id && now -. last <= lease then incr live)
+                r.peer_acked;
+              if !live < majority t then begin
+                r.role <- Follower;
+                r.known_leader <- None;
+                r.last_heartbeat <- now
+              end
+              else broadcast_append t r
+            end
+        | Follower | Candidate ->
+            if now -. r.last_heartbeat >= r.election_timeout then begin
+              start_election t r;
+              r.election_backoff <- min (r.election_backoff * 2) 2;
+              r.election_timeout <- redraw r
+            end
+      end
+      else begin
+        if r.role <> Follower then begin
+          r.role <- Follower;
+          r.known_leader <- None
+        end;
+        r.last_heartbeat <- now
+      end;
+      ignore (Engine.schedule engine ~delay:sub (tick r (k + 1)))
+    end
+  in
+  Array.iter
+    (fun r ->
+      let delay = sub *. (1.0 +. (float_of_int r.id /. float_of_int n)) in
+      ignore (Engine.schedule engine ~delay (tick r 0)))
+    t.members
+
+let start_anti_entropy ?(period = 5.0) ?(timeout = 2.0) ?(attempts = 3) t =
+  match t.mode with
+  | `Lww_ae -> start_lww_anti_entropy ~period ~timeout ~attempts t
+  | `Leader_log -> start_leader_protocol ~period ~timeout t
+
 let stop_anti_entropy t = t.ae_gen <- t.ae_gen + 1
 
 type stats = {
@@ -433,6 +1028,9 @@ type stats = {
   lww_losses : int;
   pulls : int;
   pull_failures : int;
+  elections : int;
+  txns_committed : int;
+  txns_aborted : int;
 }
 
 let stats (t : t) =
@@ -442,9 +1040,14 @@ let stats (t : t) =
     lww_losses = t.lww_losses;
     pulls = t.pulls;
     pull_failures = t.pull_failures;
+    elections = t.elections;
+    txns_committed = t.txns_committed;
+    txns_aborted = t.txns_aborted;
   }
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "writes=%d applied=%d lww_losses=%d pulls=%d pull_failures=%d"
+    "writes=%d applied=%d lww_losses=%d pulls=%d pull_failures=%d \
+     elections=%d committed=%d aborted=%d"
     s.writes_accepted s.ops_applied s.lww_losses s.pulls s.pull_failures
+    s.elections s.txns_committed s.txns_aborted

@@ -44,7 +44,50 @@ val spec_of_context :
     directories (cross-links, cycles) are pruned to keep the result a
     tree. Defaults: [max_depth = 4], [max_nodes = 512]. *)
 
+(** {1 Consistency modes} *)
+
+type mode = [ `Lww_ae | `Leader_log ]
+(** [`Lww_ae] (the default): every replica accepts writes; replicas
+    exchange ops by anti-entropy pulls and order them last-writer-wins —
+    always available, but concurrent writes to one name race (the NG201
+    lost-update class). [`Leader_log]: a Raft-shaped replicated log —
+    leader election with term numbers and seeded randomized timeouts,
+    append/ack majority commit, follower catch-up by log repair, leader
+    failover on crash or partition (a leader that cannot reach a
+    majority within an election timeout steps down). Single-name
+    histories are linearizable and multi-name actions commit or abort
+    as a unit, at the price of an unavailable window whenever no
+    majority is reachable. *)
+
 (** {1 The wire protocol} *)
+
+type txn_id = { client : int; tseq : int }
+(** Client-chosen transaction identity; [client < 0] is reserved for
+    the protocol's internal no-op entries. *)
+
+(** A transactional multi-name action ([`Leader_log] mode): applied in
+    committed-log order at every replica, all bindings or none. *)
+type action =
+  | Bind_group of (Naming.Name.t * Naming.Name.atom * string option) list
+      (** bind/unbind several names as a unit; aborts (touching
+          nothing) when any directory or leaf key is unknown *)
+  | Atomic_rename of {
+      src_path : Naming.Name.t;
+      src_atom : Naming.Name.atom;
+      dst_path : Naming.Name.t;
+      dst_atom : Naming.Name.atom;
+    }
+      (** move whatever [src] denotes to [dst] atomically; aborts when
+          [src] is unbound at application time *)
+
+type entry = { eterm : int; txn : txn_id; action : action }
+(** One replicated-log entry: the term it was appended in plus the
+    transaction. *)
+
+type outcome = Committed | Aborted of string | Pending
+(** The replica-visible fate of a transaction. Clients that exhaust
+    their polling budget before a decision map the silence to their own
+    fourth state, {e unknown}. *)
 
 type request =
   | Resolve of Naming.Name.t
@@ -56,6 +99,25 @@ type request =
   | Pull of int array
       (** caller's version vector: [vec.(o)] = highest sequence number
           from origin [o] the caller has applied *)
+  | Submit of { txn : txn_id; action : action }
+      (** [`Leader_log] only: append a transaction at the leader;
+          resubmissions of a known [txn] are answered without a second
+          append (log-level dedup) *)
+  | Query of txn_id  (** [`Leader_log] only: poll a transaction's fate *)
+  | Request_vote of {
+      term : int;
+      candidate : int;
+      last_idx : int;
+      last_term : int;
+    }
+  | Append_entries of {
+      term : int;
+      leader : int;
+      prev_idx : int;
+      prev_term : int;
+      entries : entry list;
+      commit : int;
+    }
 
 type op = {
   origin : int;  (** replica that accepted the write *)
@@ -70,7 +132,17 @@ type response =
   | Resolved of Naming.Entity.t
   | Ack of { stamp : int }
   | Ops of op list  (** delta, sorted by (origin, seq) *)
-  | Nack of string  (** malformed write: unknown path or leaf key *)
+  | Nack of string
+      (** malformed write: unknown path or leaf key — or a request sent
+          to a cluster running in the other consistency mode *)
+  | Submitted of { term : int; index : int }
+      (** the leader appended the txn at [index] of its [term] log *)
+  | Redirect of int option
+      (** not the leader; the hint is the last leader this replica
+          heard from, when it has one *)
+  | Voted of { term : int; granted : bool }
+  | Appended of { term : int; ok : bool; matched : int }
+  | Outcome_is of outcome
 
 (** {1 Clusters} *)
 
@@ -80,15 +152,19 @@ val create :
   network:(request, response) Rpc.message Network.t ->
   rng:Rng.t ->
   replicas:int ->
+  ?mode:mode ->
   ?dedup_window:int ->
   spec ->
   t
 (** Builds the shared world and [replicas] server endpoints, one per
     fresh network node (port {!port}), each with request deduplication
-    on. [rng] seeds the replicas' independent anti-entropy streams.
-    [dedup_window] bounds each replica's per-caller dedup memory (see
-    {!Rpc.create}); default unbounded.
+    on. [rng] seeds the replicas' independent anti-entropy (or election
+    timeout) streams. [mode] selects the consistency tier (default
+    [`Lww_ae]). [dedup_window] bounds each replica's per-caller dedup
+    memory (see {!Rpc.create}); default unbounded.
     @raise Invalid_argument when [replicas < 2]. *)
+
+val mode : t -> mode
 
 val port : int
 (** The well-known port replicas listen on (1). *)
@@ -134,9 +210,29 @@ val measure : ?jobs:int -> t -> Naming.Name.t list -> Naming.Coherence.report
     for directory-valued probes, incoherence while replicas diverge. *)
 
 val converged : t -> bool
-(** All replicas have applied the same set of ops (version vectors
-    equal) — with last-writer-wins ordering this implies identical
-    mirror states. *)
+(** [`Lww_ae]: all replicas have applied the same set of ops (version
+    vectors equal) — with last-writer-wins ordering this implies
+    identical mirror states. [`Leader_log]: all replicas hold the same
+    fully-committed, fully-applied log with no uncommitted stragglers —
+    again identical mirrors, by determinism of application. *)
+
+(** {1 Leader-log introspection} *)
+
+val leader_of : t -> int option
+(** The live replica currently acting as leader (the highest-term one,
+    should a deposed leader linger), if any. *)
+
+val term_at : t -> int -> int
+val commit_index : t -> int -> int
+
+val outcome_at : t -> int -> txn_id -> outcome option
+(** The fate replica [i] has recorded for [txn], once it has applied
+    (or sticky-aborted) it. *)
+
+val committed_log : t -> int -> (txn_id * action) list
+(** Replica [i]'s committed log prefix, oldest first (leader no-ops
+    included). Agreement means these are prefixes of one another across
+    replicas — the property the leader tier's tests check. *)
 
 (** {1 Anti-entropy} *)
 
@@ -146,21 +242,37 @@ val start_anti_entropy :
   ?attempts:int ->
   t ->
   unit
-(** Schedules a recurring pull per replica: every [period] (default
-    5.0) each live replica asks one peer (chosen from its seeded rng)
-    for the ops it lacks, over {!Rpc.call_retry} ([timeout] default 2.0,
-    [attempts] default 3). Replicas whose node is down skip their tick;
-    ticks are staggered so simultaneous events stay deterministic. *)
+(** [`Lww_ae]: schedules a recurring pull per replica: every [period]
+    (default 5.0) each live replica asks one peer (chosen from its
+    seeded rng) for the ops it lacks, over {!Rpc.call_retry} ([timeout]
+    default 2.0, [attempts] default 3). Replicas whose node is down skip
+    their tick; ticks are staggered so simultaneous events stay
+    deterministic.
+
+    [`Leader_log]: starts the leader protocol instead — [period] is the
+    heartbeat interval, election timeouts are drawn per replica from
+    [[2·period, 4·period)], and [timeout] bounds each protocol message
+    ([attempts] is unused; heartbeats retransmit naturally). *)
 
 val stop_anti_entropy : t -> unit
 (** Stops scheduling new ticks (already-scheduled ones still fire). *)
 
 type stats = {
   writes_accepted : int;
-  ops_applied : int;  (** op applications across all replicas (incl. origin) *)
-  lww_losses : int;  (** ops superseded by a later writer on arrival *)
+      (** accepted writes ([`Lww_ae]) or appended client txns
+          ([`Leader_log]) *)
+  ops_applied : int;
+      (** op applications across all replicas (incl. origin); in
+          [`Leader_log] mode, client entry applications (no-ops
+          excluded) *)
+  lww_losses : int;
+      (** ops superseded by a later writer on arrival — always 0 in
+          [`Leader_log] mode, which serializes writes instead *)
   pulls : int;  (** anti-entropy rounds initiated *)
   pull_failures : int;  (** rounds whose call exhausted its retries *)
+  elections : int;  (** elections started ([`Leader_log]) *)
+  txns_committed : int;  (** distinct client txns decided committed *)
+  txns_aborted : int;  (** distinct client txns decided aborted *)
 }
 
 val stats : t -> stats

@@ -3,7 +3,7 @@ type ('req, 'resp) message =
   | Response of { id : int; payload : 'resp }
 
 type ('req, 'resp) pending_call = {
-  on_reply : ('resp, [ `Timeout ]) result -> unit;
+  on_reply : ('resp, [ `Timeout | `Unavailable ]) result -> unit;
   mutable timeout_handle : Engine.handle;
 }
 
@@ -13,6 +13,7 @@ type stats = {
   timeouts : int;
   retries : int;
   exhausted : int;
+  unavailable : int;
   served : int;
   dedup_hits : int;
   dropped_requests : int;
@@ -50,6 +51,7 @@ type ('req, 'resp) endpoint = {
   mutable timeouts : int;
   mutable retries : int;
   mutable exhausted : int;
+  mutable unavailable : int;
   mutable served : int;
   mutable dedup_hits : int;
   mutable dropped_requests : int;
@@ -137,6 +139,7 @@ let create network ~node ~port ?handler ?(dedup = false) ?dedup_window () =
       timeouts = 0;
       retries = 0;
       exhausted = 0;
+      unavailable = 0;
       served = 0;
       dedup_hits = 0;
       dropped_requests = 0;
@@ -165,8 +168,11 @@ let call t ~to_ ~timeout payload ~on_reply =
   Network.send t.network ~src:t.address ~dst:to_ (Request { id; payload })
 
 let call_retry t ~to_ ~timeout ?(backoff = 2.0) ?max_timeout ?(jitter = 0.1)
-    ~rng ~attempts payload ~on_reply =
+    ?deadline ~rng ~attempts payload ~on_reply =
   if attempts < 1 then invalid_arg "Rpc.call_retry: attempts < 1";
+  (match deadline with
+  | Some d when d <= 0.0 -> invalid_arg "Rpc.call_retry: deadline <= 0"
+  | _ -> ());
   let id = t.next_id in
   t.next_id <- id + 1;
   t.calls <- t.calls + 1;
@@ -177,28 +183,44 @@ let call_retry t ~to_ ~timeout ?(backoff = 2.0) ?max_timeout ?(jitter = 0.1)
   (* One pending entry for the whole logical call; each expired attempt
      swaps in the next attempt's timeout handle. The same request id is
      reused on every retransmission so a deduplicating server applies
-     the request at most once no matter how many copies arrive. *)
-  let rec arm call attempt =
+     the request at most once no matter how many copies arrive.
+     [elapsed] accumulates the jittered waits already spent, so an
+     overall [deadline] can cut the schedule short: an attempt that
+     cannot complete before the deadline waits only the remaining budget
+     and then terminates the call with [Error `Unavailable]. *)
+  let rec arm call attempt elapsed =
     let wait = timeout *. (backoff ** float_of_int attempt) in
     let wait =
       match max_timeout with Some m -> Float.min wait m | None -> wait
     in
     let wait = wait +. Rng.float rng (jitter *. wait) in
-    call.timeout_handle <-
-      Engine.schedule engine ~delay:wait (fun () ->
-          if Hashtbl.mem t.pending_calls id then begin
-            t.timeouts <- t.timeouts + 1;
-            if attempt + 1 < attempts then begin
-              t.retries <- t.retries + 1;
-              send_request ();
-              arm call (attempt + 1)
-            end
-            else begin
-              Hashtbl.remove t.pending_calls id;
-              t.exhausted <- t.exhausted + 1;
-              on_reply (Error `Timeout)
-            end
-          end)
+    match deadline with
+    | Some d when elapsed +. wait >= d ->
+        let remaining = Float.max 0.0 (d -. elapsed) in
+        call.timeout_handle <-
+          Engine.schedule engine ~delay:remaining (fun () ->
+              if Hashtbl.mem t.pending_calls id then begin
+                Hashtbl.remove t.pending_calls id;
+                t.timeouts <- t.timeouts + 1;
+                t.unavailable <- t.unavailable + 1;
+                on_reply (Error `Unavailable)
+              end)
+    | _ ->
+        call.timeout_handle <-
+          Engine.schedule engine ~delay:wait (fun () ->
+              if Hashtbl.mem t.pending_calls id then begin
+                t.timeouts <- t.timeouts + 1;
+                if attempt + 1 < attempts then begin
+                  t.retries <- t.retries + 1;
+                  send_request ();
+                  arm call (attempt + 1) (elapsed +. wait)
+                end
+                else begin
+                  Hashtbl.remove t.pending_calls id;
+                  t.exhausted <- t.exhausted + 1;
+                  on_reply (Error `Timeout)
+                end
+              end)
   in
   let call =
     (* placeholder handle, replaced by [arm] before the engine runs *)
@@ -207,7 +229,7 @@ let call_retry t ~to_ ~timeout ?(backoff = 2.0) ?max_timeout ?(jitter = 0.1)
   Engine.cancel engine call.timeout_handle;
   Hashtbl.replace t.pending_calls id call;
   send_request ();
-  arm call 0
+  arm call 0 0.0
 
 let pending t = Hashtbl.length t.pending_calls
 
@@ -239,6 +261,7 @@ let stats t =
     timeouts = t.timeouts;
     retries = t.retries;
     exhausted = t.exhausted;
+    unavailable = t.unavailable;
     served = t.served;
     dedup_hits = t.dedup_hits;
     dropped_requests = t.dropped_requests;
@@ -247,7 +270,7 @@ let stats t =
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "calls=%d replies=%d timeouts=%d retries=%d exhausted=%d served=%d \
-     dedup=%d dropped=%d late=%d"
-    s.calls s.replies s.timeouts s.retries s.exhausted s.served s.dedup_hits
-    s.dropped_requests s.late_replies
+    "calls=%d replies=%d timeouts=%d retries=%d exhausted=%d unavailable=%d \
+     served=%d dedup=%d dropped=%d late=%d"
+    s.calls s.replies s.timeouts s.retries s.exhausted s.unavailable s.served
+    s.dedup_hits s.dropped_requests s.late_replies

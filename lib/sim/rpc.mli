@@ -52,12 +52,14 @@ val call :
   to_:Network.address ->
   timeout:float ->
   'req ->
-  on_reply:(('resp, [ `Timeout ]) result -> unit) ->
+  on_reply:(('resp, [ `Timeout | `Unavailable ]) result -> unit) ->
   unit
 (** Sends a request; [on_reply] fires exactly once — with the response,
-    or with [Error `Timeout] after [timeout] simulated time units. A
-    response arriving after the timeout is counted in
-    [stats.late_replies] and discarded. *)
+    or with [Error `Timeout] after [timeout] simulated time units
+    ({!call} itself never reports [`Unavailable]; the error type is
+    shared with {!call_retry} so handlers compose). A response arriving
+    after the timeout is counted in [stats.late_replies] and
+    discarded. *)
 
 val call_retry :
   ('req, 'resp) endpoint ->
@@ -66,10 +68,11 @@ val call_retry :
   ?backoff:float ->
   ?max_timeout:float ->
   ?jitter:float ->
+  ?deadline:float ->
   rng:Rng.t ->
   attempts:int ->
   'req ->
-  on_reply:(('resp, [ `Timeout ]) result -> unit) ->
+  on_reply:(('resp, [ `Timeout | `Unavailable ]) result -> unit) ->
   unit
 (** Like {!call}, but the request is retransmitted (with the {e same}
     request id, so a deduplicating server applies it at most once) each
@@ -84,7 +87,15 @@ val call_retry :
     [stats.exhausted]; every expired attempt is also counted in
     [stats.timeouts], every retransmission in [stats.retries]). A
     response arriving after exhaustion counts as a late reply.
-    @raise Invalid_argument when [attempts < 1]. *)
+
+    [deadline] is an overall per-call budget, in simulated time from the
+    call: an attempt whose wait would run past the deadline waits only
+    the remaining budget, and the call then terminates with
+    [Error `Unavailable] (counted in [stats.unavailable], {e not} in
+    [stats.exhausted]) instead of burning the rest of the attempt
+    schedule — the caller-visible signal for a known-dead destination.
+    Without [deadline] the behaviour (and the rng stream) is unchanged.
+    @raise Invalid_argument when [attempts < 1] or [deadline <= 0]. *)
 
 val pending : ('req, 'resp) endpoint -> int
 (** Calls still awaiting a reply or timeout. Retries do not create new
@@ -114,7 +125,10 @@ type stats = {
   replies : int;
   timeouts : int;  (** expired attempts (including ones that were retried) *)
   retries : int;  (** retransmissions sent by {!call_retry} *)
-  exhausted : int;  (** {!call_retry} budgets that ran out *)
+  exhausted : int;  (** {!call_retry} attempt budgets that ran out *)
+  unavailable : int;
+      (** {!call_retry} calls cut short by their [deadline] — the
+          terminal [Error `Unavailable] outcomes *)
   served : int;  (** requests this endpoint's handler answered *)
   dedup_hits : int;
       (** duplicate requests answered from the dedup memory without

@@ -92,6 +92,61 @@ let expected_codes =
     "NG208";
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The leader-mode companion: the same deliberately-broken spec under a
+   [`Leader_log] schedule whose faults provably deny a write quorum.
+
+   3 replicas, majority 2, partition {ns0} | {ns1, ns2} over [10; 40)
+   and a crash of ns2 (the victim) over [15; 35). The majority side
+   keeps a quorum while only the partition is active, so the provable
+   no-quorum window is exactly the overlap [15; 35)        -> NG209
+
+   Transactions run on a 10s client budget:
+   - #0 t=2.0  ns0 /a/x→k1 : commits before the faults (clean)
+   - #1 t=18.0 ns1 /a/y→k2 : deadline 28 < 35, expires in-window
+                                                           -> NG210
+   - #2 t=22.0 ns0 /a/z→k1 : deadline 32 < 35, expires in-window
+                                                           -> NG210
+   - #3 t=30.0 ns1 /a/w→k2 : deadline 40 > 35, quorum can return in
+     time, outcome decidable (clean)
+
+   The spec's orphaned directory and dead link still trip  -> NG207 ×2
+   and the LWW race/topology/durability passes are discharged by the
+   leader tier — no NG201-NG206, NG208 can appear. *)
+
+let leader_config =
+  {
+    Ch.default with
+    Ch.seed = 11;
+    mode = `Leader_log;
+    replicas = 3;
+    drop = 0.0;
+    duplicate = 0.0;
+    partition_at = 10.0;
+    partition_for = 30.0;
+    crash_at = 15.0;
+    crash_for = 20.0;
+    txn_deadline = 10.0;
+  }
+
+let leader_workload =
+  [
+    w 2.0 0 "x" (Some "k1");
+    w 18.0 1 "y" (Some "k2");
+    w 22.0 0 "z" (Some "k1");
+    w 30.0 1 "w" (Some "k2");
+  ]
+
+let leader_subject =
+  Analysis.Replpasses.subject ~workload:leader_workload leader_config spec
+
+let leader_report () =
+  Analysis.Replpasses.report ~label:"broken-cluster-leader" leader_subject
+
+(* Report order again: severity descending, then code, then message. *)
+let leader_expected_codes =
+  [ "NG207"; "NG207"; "NG209"; "NG210"; "NG210" ]
+
 (* The full pretty-JSON report, kept as a golden string: the abstract
    interpretation's time/stamp bounds are deterministic, so any drift
    in the acceptance analysis, the propagation relation or the

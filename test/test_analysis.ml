@@ -95,7 +95,7 @@ let test_codes_in_catalogue () =
   let tripped =
     List.map (fun d -> d.A.Diagnostic.code) r.A.Engine.diagnostics
     @ Broken_script.expected_codes @ Broken_cluster.expected_codes
-    @ Test_explore.expected_codes
+    @ Broken_cluster.leader_expected_codes @ Test_explore.expected_codes
   in
   List.iter
     (fun (c, _, _) ->

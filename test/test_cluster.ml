@@ -67,6 +67,90 @@ let test_broken_sarif () =
     (contains ~sub:"\"level\": \"error\"" sarif)
 
 (* ------------------------------------------------------------------ *)
+(* The leader-mode fixture: NG209/NG210 from the availability pass,
+   LWW passes discharged.                                              *)
+
+let test_leader_broken_codes () =
+  let st, r = Broken_cluster.leader_report () in
+  check sl "diagnostic codes in report order"
+    Broken_cluster.leader_expected_codes
+    (List.map (fun d -> d.A.Diagnostic.code) r.A.Engine.diagnostics);
+  check b "warnings only, no gate" false (A.Engine.has_errors r);
+  check sl "leader mode runs spec + availability passes only"
+    Rp.leader_pass_ids r.A.Engine.passes_run;
+  (* the window arithmetic: quorum is denied exactly while the crash
+     overlaps the partition *)
+  (match Cs.no_quorum_windows st with
+  | [ (s, e) ] ->
+      check (Alcotest.float 1e-9) "no-quorum window starts at crash" 15.0 s;
+      check (Alcotest.float 1e-9) "no-quorum window ends at recovery" 35.0 e
+  | ws ->
+      Alcotest.failf "expected one no-quorum window, got %d" (List.length ws));
+  List.iter
+    (fun d ->
+      match
+        List.find_opt
+          (fun (c, _, _) -> String.equal c d.A.Diagnostic.code)
+          A.Diagnostic.catalogue
+      with
+      | None -> Alcotest.failf "code %s not in the catalogue" d.A.Diagnostic.code
+      | Some (_, sev, _) ->
+          check b
+            (Printf.sprintf "%s severity matches catalogue" d.A.Diagnostic.code)
+            true
+            (sev = d.A.Diagnostic.severity))
+    r.A.Engine.diagnostics
+
+(* The same schedule under LWW keeps the five LWW passes and never
+   emits the leader-only codes; under leader mode the availability
+   verdicts quantify over every fault placement, so a partition the
+   majority side survives alone yields no NG209. *)
+let test_mode_gating () =
+  let lww_subject =
+    Rp.subject
+      ~workload:Broken_cluster.leader_workload
+      { Broken_cluster.leader_config with Ch.mode = `Lww_ae }
+      Broken_cluster.spec
+  in
+  let _st, r = Rp.report ~label:"lww" lww_subject in
+  check sl "lww mode runs the five LWW passes" Rp.pass_ids
+    r.A.Engine.passes_run;
+  check b "lww mode never emits NG209/NG210" false
+    (List.exists
+       (fun d ->
+         String.equal d.A.Diagnostic.code "NG209"
+         || String.equal d.A.Diagnostic.code "NG210")
+       r.A.Engine.diagnostics);
+  (* partition only, no crash: {ns1, ns2} keeps a quorum throughout *)
+  let survivable =
+    Rp.subject
+      ~workload:Broken_cluster.leader_workload
+      { Broken_cluster.leader_config with Ch.crash_for = 0.0 }
+      Broken_cluster.spec
+  in
+  let st, r = Rp.report ~label:"survivable" survivable in
+  check b "no no-quorum window when a majority side survives" true
+    (Cs.no_quorum_windows st = []);
+  check b "hence no NG209/NG210" false
+    (List.exists
+       (fun d ->
+         String.equal d.A.Diagnostic.code "NG209"
+         || String.equal d.A.Diagnostic.code "NG210")
+       r.A.Engine.diagnostics);
+  (* with [partition_leader] the isolated replica is unknown, so the
+     same overlap is no longer provable: the crash victim could be the
+     isolated one, leaving the other two a quorum *)
+  let unprovable =
+    Rp.subject
+      ~workload:Broken_cluster.leader_workload
+      { Broken_cluster.leader_config with Ch.partition_leader = true }
+      Broken_cluster.spec
+  in
+  let st, _r = Rp.report ~label:"unprovable" unprovable in
+  check b "partition_leader overlap is not provably quorum-denying" true
+    (Cs.no_quorum_windows st = [])
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: the three analyzer families produce byte-identical
    reports at any job count (the CLI's --jobs 1 vs --jobs 4).          *)
 
@@ -104,6 +188,7 @@ let test_jobs_parity () =
     [
       ("c1", Broken_cluster.subject);
       ("c2", Rp.subject Ch.default Broken_cluster.spec);
+      ("c3", Broken_cluster.leader_subject);
     ]
   in
   let cluster jobs =
@@ -222,6 +307,9 @@ let suite =
     Alcotest.test_case "broken cluster JSON golden" `Quick
       test_broken_json_golden;
     Alcotest.test_case "broken cluster SARIF" `Quick test_broken_sarif;
+    Alcotest.test_case "leader broken cluster codes" `Quick
+      test_leader_broken_codes;
+    Alcotest.test_case "mode gating of passes" `Quick test_mode_gating;
     Alcotest.test_case "jobs parity across analyzers" `Quick test_jobs_parity;
     QCheck_alcotest.to_alcotest prop_errors_replay_witnessed;
   ]

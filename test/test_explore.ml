@@ -117,6 +117,33 @@ let test_report_codes () =
             (sev = d.A.Diagnostic.severity))
     r.A.Engine.diagnostics
 
+(* Leader mode: the same spec family explored with the leader tier as
+   the replay target. The statically-racing schedules (LWW claims)
+   replay without losing an update — the loss frontier is discharged by
+   its own replay — while genuine convergence defeats (a partition that
+   never heals starving a follower) may survive as witnesses. *)
+let test_leader_mode_discharges_losses () =
+  let config =
+    {
+      broken_config with
+      Ex.base = { broken_config.Ex.base with Ch.mode = `Leader_log };
+    }
+  in
+  let spec = Broken_cluster.spec in
+  let outcome = Ex.run ~config spec in
+  let codes = List.map (fun w -> w.Ex.code) outcome.Ex.witnesses in
+  check b "no NG301 loss witness survives the leader replay" false
+    (List.mem "NG301" codes);
+  List.iter
+    (fun (w : Ex.witness) ->
+      check b (w.Ex.code ^ " witness schedule carries leader mode") true
+        (w.Ex.schedule.Ch.config.Ch.mode = `Leader_log);
+      check b (w.Ex.code ^ " claim holds in the leader replay") true
+        (Ex.claim_holds w.Ex.claim w.Ex.replay);
+      check i (w.Ex.code ^ " replay observed zero lost updates") 0
+        w.Ex.replay.Ch.ns.Ns.lww_losses)
+    outcome.Ex.witnesses
+
 (* A spec whose cluster accepts no write at all: the space is a single
    empty schedule, exhausted clean — the NG304 verdict. *)
 let test_exhausted_clean () =
@@ -159,6 +186,11 @@ let schedule_of_seed seed =
       ae_period = 0.5 +. Rng.float rng 3.0;
       duration = 40.0 +. Rng.float rng 40.0;
       dedup_window = (if Rng.bool rng 0.3 then Some (Rng.int rng 4) else None);
+      mode = (if Rng.bool rng 0.5 then `Leader_log else `Lww_ae);
+      leader_kill_at = Rng.float rng 30.0;
+      leader_kill_for = Rng.pick rng [ 0.0; Rng.float rng 20.0 ];
+      partition_leader = Rng.bool rng 0.3;
+      txn_deadline = 5.0 +. Rng.float rng 30.0;
     }
   in
   let writes =
@@ -195,6 +227,38 @@ let prop_schedule_roundtrip =
             QCheck.Test.fail_reportf "seed %d: re-render not byte-identical"
               seed;
           true)
+
+(* A witness from before the leader tier: its config object stops at
+   dedup_window. It must parse with [`Lww_ae] and the leader-fault
+   defaults, so every archived witness file replays byte-for-byte. *)
+let test_schedule_json_backward_compat () =
+  let old_json =
+    {|{
+  "version": 1,
+  "config": {"seed": 7, "replicas": 3, "drop": 0.05, "duplicate": 0.05, "partition_at": 10, "partition_for": 20, "crash_at": 15, "crash_for": 10, "writes": 2, "write_window": 30, "call_timeout": 2, "call_attempts": 6, "ae_period": 2, "ae_timeout": 2, "ae_attempts": 3, "sample_every": 2, "duration": 80, "dedup_window": null},
+  "writes": [
+    {"time": 1.5, "client": 0, "path": "/a", "atom": "x", "target": "k1"},
+    {"time": 2.5, "client": 1, "path": "/a/b", "atom": "y", "target": null}]
+}|}
+  in
+  match Ch.schedule_of_json old_json with
+  | Error m -> Alcotest.failf "pre-leader witness rejected: %s" m
+  | Ok s ->
+      Alcotest.(check bool) "defaults to lww" true (s.Ch.config.Ch.mode = `Lww_ae);
+      Alcotest.(check bool) "leader-kill disabled" true
+        (s.Ch.config.Ch.leader_kill_for = 0.0);
+      Alcotest.(check bool) "no leader partition" false
+        s.Ch.config.Ch.partition_leader;
+      Alcotest.(check bool) "default txn deadline" true
+        (s.Ch.config.Ch.txn_deadline = Ch.default.Ch.txn_deadline);
+      Alcotest.(check int) "writes preserved" 2 (List.length s.Ch.writes);
+      (* and the re-render carries the new fields explicitly *)
+      let json = Ch.schedule_to_json s in
+      (match Ch.schedule_of_json json with
+      | Ok s' ->
+          Alcotest.(check bool) "re-render round-trips" true
+            (s'.Ch.config = s.Ch.config)
+      | Error m -> Alcotest.failf "re-render unparsable: %s" m)
 
 let test_schedule_of_json_errors () =
   let reject what text =
@@ -339,10 +403,14 @@ let suite =
     Alcotest.test_case "explorer acceptance on broken cluster" `Quick
       test_acceptance;
     Alcotest.test_case "explorer report codes" `Quick test_report_codes;
+    Alcotest.test_case "leader mode discharges the loss frontier" `Quick
+      test_leader_mode_discharges_losses;
     Alcotest.test_case "space exhausted clean (NG304)" `Quick
       test_exhausted_clean;
     Alcotest.test_case "schedule_of_json rejects malformed input" `Quick
       test_schedule_of_json_errors;
+    Alcotest.test_case "pre-leader witness files still parse" `Quick
+      test_schedule_json_backward_compat;
     Alcotest.test_case "assemble across four families" `Quick
       test_assemble_cross_family;
     QCheck_alcotest.to_alcotest prop_schedule_roundtrip;

@@ -23,6 +23,7 @@ let () =
       ("rpc", Test_rpc.suite);
       ("nameserver", Test_nameserver.suite);
       ("chaos", Test_chaos.suite);
+      ("leader", Test_leader.suite);
       ("sim-util", Test_sim_util.suite);
       ("fs", Test_fs.suite);
       ("subtree", Test_subtree.suite);

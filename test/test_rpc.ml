@@ -182,6 +182,55 @@ let test_retry_exhaustion_stats () =
   (* exponential backoff: 1 + 2 + 4 time units before giving up *)
   check b "backoff applied" true (En.now engine >= 7.0)
 
+let test_deadline_cuts_retries_short () =
+  let engine, net, n1, n2 =
+    make ~config:{ Net.default_config with drop_probability = 1.0 } ()
+  in
+  let _server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some x) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  let at = ref 0.0 in
+  (* attempts alone would burn 1 + 2 + 4 + 8 ... time units; the
+     deadline must surface a terminal [`Unavailable] at 5.0 sharp *)
+  Rpc.call_retry client ~to_:{ Net.node = n1; port = 1 } ~timeout:1.0
+    ~backoff:2.0 ~jitter:0.0 ~rng:(Dsim.Rng.create 7L) ~attempts:10
+    ~deadline:5.0 1
+    ~on_reply:(fun r ->
+      got := Some r;
+      at := En.now engine);
+  ignore (En.run engine);
+  check b "terminal error is Unavailable" true
+    (!got = Some (Error `Unavailable));
+  check b "reported exactly at the deadline" true (!at = 5.0);
+  let s = Rpc.stats client in
+  check i "counted as unavailable" 1 s.Rpc.unavailable;
+  check i "distinct from attempts-exhausted" 0 s.Rpc.exhausted;
+  check i "none pending" 0 (Rpc.pending client)
+
+let test_deadline_no_effect_when_reply_arrives () =
+  let engine, net, n1, n2 = make () in
+  let server =
+    Rpc.create net ~node:n1 ~port:1 ~handler:(fun x -> Some (x * 2)) ()
+  in
+  let client = Rpc.create net ~node:n2 ~port:1 () in
+  let got = ref None in
+  Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:2.0
+    ~rng:(Dsim.Rng.create 7L) ~attempts:3 ~deadline:50.0 21
+    ~on_reply:(fun r -> got := Some r);
+  ignore (En.run engine);
+  check b "normal reply" true (!got = Some (Ok 42));
+  check i "no unavailable" 0 (Rpc.stats client).Rpc.unavailable;
+  (* and an invalid deadline is rejected eagerly *)
+  check b "non-positive deadline rejected" true
+    (try
+       Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:2.0
+         ~rng:(Dsim.Rng.create 7L) ~attempts:3 ~deadline:0.0 1
+         ~on_reply:(fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
 let test_duplicate_invokes_handler_twice_without_dedup () =
   let engine, net, n1, n2 =
     make ~config:{ Net.default_config with duplicate_probability = 1.0 } ()
@@ -290,7 +339,7 @@ let prop_exactly_once =
         Rpc.call_retry client ~to_:(Rpc.address server) ~timeout:1.0
           ~backoff:1.0 ~rng:(Dsim.Rng.create (Int64.of_int (seed + k)))
           ~attempts:200 k
-          ~on_reply:(function Ok _ -> incr ok | Error `Timeout -> ())
+          ~on_reply:(function Ok _ -> incr ok | Error _ -> ())
       done;
       ignore (En.run engine);
       (* at-most-once always; with this budget, exactly once *)
@@ -315,6 +364,10 @@ let suite =
     Alcotest.test_case "retry recovers loss" `Quick test_retry_recovers_loss;
     Alcotest.test_case "retry exhaustion stats" `Quick
       test_retry_exhaustion_stats;
+    Alcotest.test_case "deadline cuts retries short" `Quick
+      test_deadline_cuts_retries_short;
+    Alcotest.test_case "deadline inert when replies flow" `Quick
+      test_deadline_no_effect_when_reply_arrives;
     Alcotest.test_case "duplicate runs handler twice (no dedup)" `Quick
       test_duplicate_invokes_handler_twice_without_dedup;
     Alcotest.test_case "dedup applies once" `Quick test_dedup_applies_once;
